@@ -1,0 +1,1 @@
+bench/experiments.ml: Arith Compare Constraints Ctables Datalog Float Format Incomplete List Logic Option Printf Probdb Random Relational Sys Zeroone

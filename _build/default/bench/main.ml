@@ -1,0 +1,179 @@
+(* Benchmark harness: regenerates every experiment E1-E20 (the paper's
+   theorems, propositions and worked examples — see EXPERIMENTS.md) and
+   then runs bechamel micro-benchmarks over the computational kernels.
+
+   Run with:  dune exec bench/main.exe
+   Only experiments: dune exec bench/main.exe -- --experiments
+   Only timings:     dune exec bench/main.exe -- --timings *)
+
+module RInstance = Relational.Instance
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Parser = Logic.Parser
+module Query = Logic.Query
+module Dependency = Constraints.Dependency
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark kernels: one per experiment family                   *)
+(* ------------------------------------------------------------------ *)
+
+let intro_db = lazy (Experiments.intro_db ())
+let intro_q = lazy (Experiments.intro_query ())
+
+let kernel_naive () =
+  let d = Lazy.force intro_db and q = Lazy.force intro_q in
+  ignore (Incomplete.Naive.answers d q)
+
+let kernel_mu_symbolic () =
+  let d = Lazy.force intro_db and q = Lazy.force intro_q in
+  ignore (Zeroone.Measure.mu_symbolic d q (Parser.tuple_exn "('c1', ~1)"))
+
+let kernel_mu_k_bruteforce () =
+  let d = Lazy.force intro_db and q = Lazy.force intro_q in
+  ignore (Incomplete.Support.mu_k d q (Parser.tuple_exn "('c1', ~1)") ~k:6)
+
+let kernel_certain () =
+  let d = Lazy.force intro_db and q = Lazy.force intro_q in
+  ignore (Incomplete.Certain.certain_answers d q)
+
+let section4 = lazy (Zeroone.Constructions.section4_example ())
+
+let kernel_conditional () =
+  let e = Lazy.force section4 in
+  ignore
+    (Zeroone.Conditional.mu_cond ~sigma:e.Zeroone.Constructions.s4_sigma
+       e.Zeroone.Constructions.s4_instance e.Zeroone.Constructions.s4_query
+       e.Zeroone.Constructions.s4_tuple_third)
+
+let chase_input =
+  lazy
+    (RInstance.of_rows Experiments.rs_schema
+       [ ("R",
+          List.concat
+            (List.init 4 (fun i ->
+                 [ [ Value.named ("key" ^ string_of_int i); Value.null (2 * i) ];
+                   [ Value.named ("key" ^ string_of_int i); Value.null ((2 * i) + 1) ]
+                 ])))
+       ])
+
+let kernel_chase () =
+  let fd = { Dependency.fd_relation = "R"; fd_lhs = [ 0 ]; fd_rhs = 1 } in
+  ignore (Constraints.Chase.chase [ fd ] (Lazy.force chase_input))
+
+let sat_input = lazy (Experiments.orders_instance ~rows:64 ~nulls:3)
+
+let kernel_sat () =
+  let cs =
+    [ Dependency.key "Orders" [ 0 ]; Dependency.key "Customers" [ 0 ];
+      Dependency.foreign_key "Orders" [ 1 ] "Customers" [ 0 ]
+    ]
+  in
+  ignore
+    (Constraints.Sat.unary_keys_fks Experiments.orders_schema cs
+       (Lazy.force sat_input))
+
+let kernel_sep_generic () =
+  let d = Lazy.force intro_db and q = Lazy.force intro_q in
+  ignore
+    (Compare.Sep.sep d q (Parser.tuple_exn "('c1', ~1)")
+       (Parser.tuple_exn "('c2', ~2)"))
+
+let ucq_ctx =
+  lazy
+    (let q = Parser.query_exn "Q(x) := exists y. R(x, y) & S(y, x)" in
+     let u = Option.get (Logic.Ucq.of_query q) in
+     let d =
+       RInstance.of_rows Experiments.rs_schema
+         [ ("R",
+            List.init 3 (fun i ->
+                [ Value.named ("a" ^ string_of_int i); Value.null i ]));
+           ("S",
+            List.init 3 (fun i ->
+                [ Value.null i; Value.named ("a" ^ string_of_int i) ]))
+         ]
+     in
+     (d, u))
+
+let kernel_sep_ucq () =
+  let d, u = Lazy.force ucq_ctx in
+  ignore
+    (Compare.Ucq_compare.sep d u
+       (Tuple.of_list [ Value.named "a0" ])
+       (Tuple.of_list [ Value.null 2 ]))
+
+let kernel_best () =
+  let d = Lazy.force intro_db and q = Lazy.force intro_q in
+  ignore (Compare.Best.best d q)
+
+let probdb_sentence =
+  lazy
+    (Parser.query_exn "Q() := exists x. exists y. R1(x, y) & !R2(x, y)").Query.body
+
+let kernel_probdb () =
+  let d = Lazy.force intro_db in
+  let worlds = Probdb.Pworld.of_incomplete d ~k:5 in
+  ignore (Probdb.Pworld.prob_sentence worlds (Lazy.force probdb_sentence))
+
+let tests =
+  Test.make_grouped ~name:"certainty" ~fmt:"%s/%s"
+    [ Test.make ~name:"e2_naive_eval" (Staged.stage kernel_naive);
+      Test.make ~name:"e2_mu_symbolic" (Staged.stage kernel_mu_symbolic);
+      Test.make ~name:"e2_mu_k_bruteforce_k6" (Staged.stage kernel_mu_k_bruteforce);
+      Test.make ~name:"e13_certain_answers" (Staged.stage kernel_certain);
+      Test.make ~name:"e6_conditional_measure" (Staged.stage kernel_conditional);
+      Test.make ~name:"e12_chase_8_nulls" (Staged.stage kernel_chase);
+      Test.make ~name:"e10_sat_64_rows" (Staged.stage kernel_sat);
+      Test.make ~name:"e14_sep_generic" (Staged.stage kernel_sep_generic);
+      Test.make ~name:"e15_sep_ucq_thm8" (Staged.stage kernel_sep_ucq);
+      Test.make ~name:"e13_best_answers" (Staged.stage kernel_best);
+      Test.make ~name:"e20_probdb_mu_k5" (Staged.stage kernel_probdb)
+    ]
+
+let run_timings () =
+  print_endline "\n== bechamel micro-benchmarks (ns/run, OLS estimate) ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.25) ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw_results in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Printf.sprintf "%12.1f" t
+        | Some [] | None -> "     (n/a)"
+      in
+      Printf.printf "  %-40s %s ns/run\n" name estimate)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let run_experiments () =
+  print_endline "=====================================================";
+  print_endline " Certain Answers Meet Zero-One Laws  --  experiments";
+  print_endline " (one block per theorem/proposition/example; see";
+  print_endline "  EXPERIMENTS.md for the paper-vs-measured record)";
+  print_endline "=====================================================";
+  List.iter
+    (fun (name, f) ->
+      let t0 = Sys.time () in
+      f ();
+      Printf.printf "[%s: %.2fs]\n%!" name (Sys.time () -. t0))
+    Experiments.all
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let experiments = List.mem "--experiments" args in
+  let timings = List.mem "--timings" args in
+  match (experiments, timings) with
+  | true, false -> run_experiments ()
+  | false, true -> run_timings ()
+  | _, _ ->
+      run_experiments ();
+      run_timings ()

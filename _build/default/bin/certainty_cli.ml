@@ -1,0 +1,455 @@
+(* certainty — a command-line laboratory for query answering over
+   incomplete databases, after L. Libkin, "Certain Answers Meet
+   Zero-One Laws" (PODS 2018).
+
+   Inputs are given inline or, when prefixed with '@', read from files:
+
+     certainty naive \
+       --schema "R1(c,p); R2(c,p)" \
+       --db "R1 = { ('c1', ~1) }; R2 = { }" \
+       --query "Q(x,y) := R1(x,y) & !R2(x,y)"
+*)
+
+module Instance = Relational.Instance
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Query = Logic.Query
+module Parser = Logic.Parser
+module F = Logic.Formula
+module R = Arith.Rat
+module P = Arith.Poly
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Argument plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let read_input s =
+  if String.length s > 0 && s.[0] = '@' then begin
+    let path = String.sub s 1 (String.length s - 1) in
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    content
+  end
+  else s
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+
+let schema_arg =
+  let doc =
+    "Relational schema, e.g. 'R(customer, product); U(name)'. Prefix with @ \
+     to read from a file."
+  in
+  Arg.(required & opt (some string) None & info [ "s"; "schema" ] ~docv:"SCHEMA" ~doc)
+
+let db_arg =
+  let doc =
+    "Database instance, e.g. \"R = { ('c1', ~1), (~2, 'x') }\". Nulls are \
+     ~1, ~2, ...; constants are quoted, integers, or bare identifiers."
+  in
+  Arg.(required & opt (some string) None & info [ "d"; "db" ] ~docv:"DB" ~doc)
+
+let query_arg =
+  let doc =
+    "Query: 'Q(x, y) := R(x, y) & !S(x, y)' or a bare formula (free \
+     variables become answer variables)."
+  in
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY" ~doc)
+
+let constraints_arg =
+  let doc =
+    "Constraints: 'fd R : a -> b; key S : x; ind R[2] <= S[1]; fk R[1] -> \
+     S[1]'."
+  in
+  Arg.(required & opt (some string) None & info [ "c"; "constraints" ] ~docv:"CONSTRAINTS" ~doc)
+
+let tuple_arg =
+  let doc = "Candidate answer tuple, e.g. \"('c1', ~1)\"." in
+  Arg.(value & opt (some string) None & info [ "t"; "tuple" ] ~docv:"TUPLE" ~doc)
+
+let tuple2_arg =
+  let doc = "Second tuple for comparisons." in
+  Arg.(value & opt (some string) None & info [ "u"; "tuple2" ] ~docv:"TUPLE" ~doc)
+
+let ks_arg =
+  let doc = "Domain sizes k at which to sample µ^k (comma-separated)." in
+  Arg.(value & opt (some string) None & info [ "k"; "ks" ] ~docv:"K,K,..." ~doc)
+
+let load_schema s = or_die (Parser.schema (read_input s))
+let load_db schema s = or_die (Parser.instance schema (read_input s))
+let load_query s = or_die (Parser.query (read_input s))
+let load_constraints schema s =
+  or_die (Constraints.Dep_parser.parse schema (read_input s))
+
+let load_tuple = function
+  | None -> None
+  | Some s -> Some (or_die (Parser.tuple (read_input s)))
+
+let parse_ks inst = function
+  | None ->
+      let base = Instance.max_constant inst in
+      List.map (fun i -> base + i) [ 1; 2; 4; 8; 16 ]
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+      |> List.map int_of_string
+
+let print_relation label rel =
+  Printf.printf "%s (%d tuple%s):\n" label (Relation.cardinal rel)
+    (if Relation.cardinal rel = 1 then "" else "s");
+  if Relation.is_empty rel then print_endline "  (empty)"
+  else Relation.iter (fun t -> Printf.printf "  %s\n" (Tuple.to_string t)) rel
+
+let with_context schema db query f =
+  let schema = load_schema schema in
+  let inst = load_db schema db in
+  let q = load_query query in
+  (match Query.well_formed schema q with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "error: ill-formed query: %s\n" msg;
+      exit 2);
+  f schema inst q
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let naive_cmd =
+  let run schema db query =
+    with_context schema db query (fun _ inst q ->
+        Printf.printf "query: %s\n" (Query.to_string q);
+        Printf.printf "database:\n%s\n" (Instance.to_string inst);
+        print_relation "naive answers (= almost certainly true, Thm 1)"
+          (Incomplete.Naive.answers inst q))
+  in
+  let doc = "Evaluate a query naively (= almost-certainly-true answers)." in
+  Cmd.v (Cmd.info "naive" ~doc)
+    Term.(const run $ schema_arg $ db_arg $ query_arg)
+
+let certain_cmd =
+  let run schema db query =
+    with_context schema db query (fun _ inst q ->
+        Printf.printf "query: %s\n\n" (Query.to_string q);
+        print_relation "certain answers" (Incomplete.Certain.certain_answers inst q);
+        print_relation "possible answers" (Incomplete.Certain.possible_answers inst q);
+        print_relation "naive answers" (Incomplete.Naive.answers inst q))
+  in
+  let doc =
+    "Compute certain and possible answers exactly (exponential in the number \
+     of nulls)."
+  in
+  Cmd.v (Cmd.info "certain" ~doc)
+    Term.(const run $ schema_arg $ db_arg $ query_arg)
+
+let measure_cmd =
+  let run schema db query tuple ks =
+    with_context schema db query (fun _ inst q ->
+        let tuple =
+          match load_tuple tuple with
+          | Some t -> t
+          | None ->
+              if Query.arity q = 0 then Tuple.empty
+              else begin
+                Printf.eprintf "error: non-Boolean query needs --tuple\n";
+                exit 2
+              end
+        in
+        Printf.printf "query:  %s\n" (Query.to_string q);
+        Printf.printf "tuple:  %s\n" (Tuple.to_string tuple);
+        let sp = Zeroone.Support_poly.of_query inst q tuple in
+        let m = Instance.null_count inst in
+        Printf.printf "|Supp^k| = %s   (|V^k| = k^%d)\n" (P.to_string sp) m;
+        let mu = Zeroone.Measure.mu_symbolic inst q tuple in
+        Printf.printf "µ(Q,D,t) = %s   [0-1 law: %s]\n" (R.to_string mu)
+          (Format.asprintf "%a" Zeroone.Measure.pp_verdict
+             (Zeroone.Measure.mu inst q tuple));
+        let ks = parse_ks inst ks in
+        print_endline "µ^k series (brute force):";
+        List.iter
+          (fun (k, v) ->
+            Printf.printf "  k = %3d   µ^k = %-12s ≈ %.6f\n" k (R.to_string v)
+              (R.to_float v))
+          (Incomplete.Support.mu_k_series inst q tuple ~ks))
+  in
+  let doc =
+    "Measure how close an answer is to certainty: the support polynomial, the \
+     asymptotic measure µ (0 or 1 by the 0-1 law), and a µ^k series."
+  in
+  Cmd.v (Cmd.info "measure" ~doc)
+    Term.(const run $ schema_arg $ db_arg $ query_arg $ tuple_arg $ ks_arg)
+
+let conditional_cmd =
+  let run schema db query cstr tuple ks =
+    with_context schema db query (fun sch inst q ->
+        let deps = load_constraints sch cstr in
+        let sigma = Constraints.Dependency.set_to_formula sch deps in
+        let tuple =
+          match load_tuple tuple with
+          | Some t -> t
+          | None ->
+              if Query.arity q = 0 then Tuple.empty
+              else begin
+                Printf.eprintf "error: non-Boolean query needs --tuple\n";
+                exit 2
+              end
+        in
+        Printf.printf "query:       %s\n" (Query.to_string q);
+        Printf.printf "tuple:       %s\n" (Tuple.to_string tuple);
+        List.iter
+          (fun d ->
+            Printf.printf "constraint:  %s\n"
+              (Constraints.Dependency.to_string ~schema:sch d))
+          deps;
+        let report = Zeroone.Conditional.mu_cond_report ~sigma inst q tuple in
+        Printf.printf "|Supp^k(Σ∧Q)| = %s\n"
+          (P.to_string report.Zeroone.Conditional.numerator);
+        Printf.printf "|Supp^k(Σ)|   = %s\n"
+          (P.to_string report.Zeroone.Conditional.denominator);
+        Printf.printf "µ(Q|Σ,D,t)    = %s ≈ %.6f   (Theorem 3: always exists, rational)\n"
+          (R.to_string report.Zeroone.Conditional.value)
+          (R.to_float report.Zeroone.Conditional.value);
+        let fds = Constraints.Dependency.fds_of_schema sch deps in
+        let only_fds =
+          List.for_all
+            (function
+              | Constraints.Dependency.Fd _ | Constraints.Dependency.Key _ -> true
+              | Constraints.Dependency.Ind _ | Constraints.Dependency.ForeignKey _ ->
+                  false)
+            deps
+        in
+        if only_fds && not (Tuple.has_null tuple) then begin
+          let via_chase = Zeroone.Conditional.mu_cond_fds fds inst q tuple in
+          Printf.printf "via chase (Thm 5) = %s\n" (R.to_string via_chase)
+        end;
+        match ks with
+        | None -> ()
+        | Some _ ->
+            print_endline "µ^k(Q|Σ) series (brute force):";
+            List.iter
+              (fun k ->
+                let v = Zeroone.Conditional.mu_cond_k ~sigma inst q tuple ~k in
+                Printf.printf "  k = %3d   %-12s ≈ %.6f\n" k (R.to_string v)
+                  (R.to_float v))
+              (parse_ks inst ks))
+  in
+  let doc =
+    "Conditional measure µ(Q|Σ,D,t) under integrity constraints (Theorem 3); \
+     uses the chase shortcut for pure FD sets (Theorem 5)."
+  in
+  Cmd.v (Cmd.info "conditional" ~doc)
+    Term.(const run $ schema_arg $ db_arg $ query_arg $ constraints_arg
+          $ tuple_arg $ ks_arg)
+
+let best_cmd =
+  let run schema db query tuple tuple2 =
+    with_context schema db query (fun _ inst q ->
+        Printf.printf "query: %s\n\n" (Query.to_string q);
+        (match (load_tuple tuple, load_tuple tuple2) with
+        | Some a, Some b ->
+            Printf.printf "%s ⊴ %s : %b\n" (Tuple.to_string a) (Tuple.to_string b)
+              (Compare.Order.leq inst q a b);
+            Printf.printf "%s ◁ %s : %b\n" (Tuple.to_string a) (Tuple.to_string b)
+              (Compare.Order.lt inst q a b);
+            Printf.printf "%s ⊴ %s : %b\n" (Tuple.to_string b) (Tuple.to_string a)
+              (Compare.Order.leq inst q b a)
+        | _ -> ());
+        print_relation "best answers  Best(Q,D)" (Compare.Best.best inst q);
+        print_relation "best ∩ almost-certain  Best_µ(Q,D)"
+          (Compare.Best.best_mu inst q);
+        print_endline "ranking by support (strata of the ⊴ preorder):";
+        List.iteri
+          (fun i stratum ->
+            Printf.printf "  rank %d: %s\n" i
+              (String.concat " "
+                 (List.map Tuple.to_string (Relation.to_list stratum))))
+          (Compare.Rank.strata inst q);
+        match Logic.Ucq.of_query q with
+        | Some u ->
+            print_relation "best via Theorem 8 (UCQ polynomial algorithm)"
+              (Compare.Ucq_compare.best inst u)
+        | None -> print_endline "(not a UCQ: Theorem 8 algorithm not applicable)")
+  in
+  let doc =
+    "Compare answers by support and compute the best answers (and Best_µ); \
+     for unions of conjunctive queries also runs the polynomial algorithm of \
+     Theorem 8."
+  in
+  Cmd.v (Cmd.info "best" ~doc)
+    Term.(const run $ schema_arg $ db_arg $ query_arg $ tuple_arg $ tuple2_arg)
+
+let chase_cmd =
+  let run schema db cstr =
+    let sch = load_schema schema in
+    let inst = load_db sch db in
+    let deps = load_constraints sch cstr in
+    let fds = Constraints.Dependency.fds_of_schema sch deps in
+    Printf.printf "chasing with %d functional dependenc%s\n" (List.length fds)
+      (if List.length fds = 1 then "y" else "ies");
+    let steps, outcome = Constraints.Chase.trace fds inst in
+    List.iter
+      (fun (fd, from_v, to_v) ->
+        Printf.printf "  step: %s forces %s := %s\n"
+          (Constraints.Dependency.to_string ~schema:sch (Constraints.Dependency.Fd fd))
+          (Relational.Value.to_string from_v)
+          (Relational.Value.to_string to_v))
+      steps;
+    match outcome with
+    | Constraints.Chase.Failure (fd, t, u) ->
+        Printf.printf "chase FAILED on %s: %s vs %s\n"
+          (Constraints.Dependency.to_string ~schema:sch (Constraints.Dependency.Fd fd))
+          (Tuple.to_string t) (Tuple.to_string u);
+        exit 1
+    | Constraints.Chase.Success chased ->
+        Printf.printf "chase succeeded:\n%s\n" (Instance.to_string chased)
+  in
+  let doc = "Chase an incomplete database with functional dependencies (§4.4)." in
+  Cmd.v (Cmd.info "chase" ~doc)
+    Term.(const run $ schema_arg $ db_arg $ constraints_arg)
+
+let sat_cmd =
+  let run schema db cstr =
+    let sch = load_schema schema in
+    let inst = load_db sch db in
+    let deps = load_constraints sch cstr in
+    let unary_only =
+      List.for_all
+        (function
+          | Constraints.Dependency.Key { Constraints.Dependency.key_cols = [ _ ]; _ }
+          | Constraints.Dependency.ForeignKey
+              { Constraints.Dependency.fk_src_cols = [ _ ]; fk_dst_cols = [ _ ]; _ } ->
+              true
+          | _ -> false)
+        deps
+    in
+    if unary_only then begin
+      match Constraints.Sat.unary_keys_fks sch deps inst with
+      | Constraints.Sat.Satisfiable v ->
+          Printf.printf "SATISFIABLE (Prop 6 polynomial procedure)\nwitness: %s\n"
+            (Incomplete.Valuation.to_string v)
+      | Constraints.Sat.Unsatisfiable reason ->
+          Printf.printf "UNSATISFIABLE: %s\n" reason
+    end
+    else begin
+      let sat = Constraints.Sat.satisfiable_generic sch deps inst in
+      Printf.printf "%s (generic exponential procedure)\n"
+        (if sat then "SATISFIABLE" else "UNSATISFIABLE")
+    end
+  in
+  let doc =
+    "Decide satisfiability of constraints in an incomplete database; uses the \
+     Proposition 6 polynomial procedure for unary keys and foreign keys."
+  in
+  Cmd.v (Cmd.info "sat" ~doc) Term.(const run $ schema_arg $ db_arg $ constraints_arg)
+
+let approx_cmd =
+  let scheme_arg =
+    let doc =
+      "Approximation scheme to grade: 'sql' (3-valued WHERE), 'naive' \
+       (marked-null naive evaluation) or 'naive-null-free'."
+    in
+    Arg.(value & opt string "sql" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+  in
+  let run schema db query scheme_name =
+    with_context schema db query (fun _ inst q ->
+        let scheme =
+          match scheme_name with
+          | "sql" -> Zeroone.Approx.sql_scheme
+          | "naive" -> fun d q -> Incomplete.Naive.answers d q
+          | "naive-null-free" -> Zeroone.Approx.naive_null_free_scheme
+          | other ->
+              Printf.eprintf "error: unknown scheme %s\n" other;
+              exit 2
+        in
+        let r = Zeroone.Approx.evaluate scheme inst q in
+        Printf.printf "query:  %s\nscheme: %s\n\n" (Query.to_string q) scheme_name;
+        print_relation "certain answers" r.Zeroone.Approx.certain;
+        print_relation "returned by the scheme" r.Zeroone.Approx.returned;
+        print_relation "missed certain answers" r.Zeroone.Approx.missed;
+        print_relation "spurious but almost certainly true (benign)"
+          r.Zeroone.Approx.spurious_benign;
+        print_relation "spurious and almost certainly false (harmful)"
+          r.Zeroone.Approx.spurious_harmful;
+        Printf.printf "recall = %s   precision = %s   sound = %b   complete = %b\n"
+          (R.to_string (Zeroone.Approx.recall r))
+          (R.to_string (Zeroone.Approx.precision r))
+          (Zeroone.Approx.sound r) (Zeroone.Approx.complete r))
+  in
+  let doc =
+    "Grade a certain-answer approximation scheme against the exact certain \
+     answers, classifying its errors by the measure µ (§6 of the paper)."
+  in
+  Cmd.v (Cmd.info "approx" ~doc)
+    Term.(const run $ schema_arg $ db_arg $ query_arg $ scheme_arg)
+
+let datalog_cmd =
+  let program_arg =
+    let doc =
+      "Datalog program, e.g. 'TC(x, y) := E(x, y). TC(x, z) := E(x, y), TC(y, \
+       z).' Prefix with @ to read from a file."
+    in
+    Arg.(required & opt (some string) None & info [ "p"; "program" ] ~docv:"PROGRAM" ~doc)
+  in
+  let goal_arg =
+    let doc = "IDB predicate whose answers to report." in
+    Arg.(required & opt (some string) None & info [ "g"; "goal" ] ~docv:"GOAL" ~doc)
+  in
+  let run schema db program goal =
+    let sch = load_schema schema in
+    let inst = load_db sch db in
+    let prog =
+      match Datalog.Program.parse sch (read_input program) with
+      | Ok p -> p
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2
+    in
+    let q =
+      try Zeroone.Generic.of_datalog sch prog ~goal
+      with Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    in
+    Printf.printf "program:\n%s" (Format.asprintf "%a" Datalog.Program.pp prog);
+    print_relation
+      ("almost certainly true " ^ goal ^ " facts (naive fixpoint, Thm 1)")
+      (Zeroone.Generic.naive_answers inst q);
+    let certain =
+      List.filter
+        (fun t -> Zeroone.Generic.is_certain inst q t)
+        (Relation.to_list (Zeroone.Generic.naive_answers inst q))
+    in
+    Printf.printf "of these, certain under every valuation: %d\n"
+      (List.length certain);
+    List.iter (fun t -> Printf.printf "  %s\n" (Tuple.to_string t)) certain
+  in
+  let doc =
+    "Evaluate a recursive datalog program over an incomplete database; the \
+     0-1 law applies to these generic queries too."
+  in
+  Cmd.v (Cmd.info "datalog" ~doc)
+    Term.(const run $ schema_arg $ db_arg $ program_arg $ goal_arg)
+
+let default =
+  Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+
+let () =
+  let doc =
+    "measures of certainty for query answering over incomplete databases \
+     (Libkin, PODS 2018)"
+  in
+  let info = Cmd.info "certainty" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ naive_cmd; certain_cmd; measure_cmd; conditional_cmd; best_cmd; approx_cmd; datalog_cmd;
+            chase_cmd; sat_cmd ]))

@@ -1,0 +1,1 @@
+examples/chase_repair.ml: Arith Constraints Incomplete List Logic Printf Relational Zeroone

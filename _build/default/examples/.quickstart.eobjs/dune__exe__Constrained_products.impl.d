@@ -1,0 +1,1 @@
+examples/constrained_products.ml: Arith Constraints Incomplete List Logic Printf Relational Zeroone

@@ -1,0 +1,1 @@
+examples/constrained_products.mli:

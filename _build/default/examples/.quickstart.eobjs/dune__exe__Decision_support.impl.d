@@ -1,0 +1,1 @@
+examples/decision_support.ml: Compare Incomplete List Logic Printf Relational

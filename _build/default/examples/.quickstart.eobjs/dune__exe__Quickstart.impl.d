@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arith Compare Constraints Incomplete List Logic Printf Relational

@@ -1,0 +1,1 @@
+examples/recursive_reachability.ml: Arith Datalog Format List Printf Relational Zeroone

@@ -1,0 +1,1 @@
+examples/sql_nulls.ml: Arith Incomplete List Logic Printf Relational Zeroone

@@ -1,0 +1,89 @@
+(* Recursive queries over incomplete data: datalog meets the 0-1 law.
+
+   A network inventory has links whose endpoints are partially unknown
+   (unresolved device ids). Reachability is not first-order expressible,
+   but Theorem 1 holds for EVERY generic query — so the measure
+   machinery applies to a recursive datalog program unchanged. We ask
+   which reachability facts are certain, which are almost certain, and
+   how likely the uncertain ones are.
+
+   Run with:  dune exec examples/recursive_reachability.exe *)
+
+module Instance = Relational.Instance
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Program = Datalog.Program
+module Generic = Zeroone.Generic
+module R = Arith.Rat
+
+let () =
+  let schema = Schema.make_with_attrs [ ("Link", [ "from"; "to" ]) ] in
+  (* core -> ~1 -> edge ;  core -> gw ;  ~2 -> edge *)
+  let d =
+    Instance.of_rows schema
+      [ ("Link",
+         [ [ Value.named "core"; Value.null 1 ];
+           [ Value.null 1; Value.named "edge" ];
+           [ Value.named "core"; Value.named "gw" ];
+           [ Value.null 2; Value.named "edge" ]
+         ])
+      ]
+  in
+  print_endline "Network links (with unresolved device ids ~1, ~2):";
+  print_endline (Instance.to_string d);
+
+  let program =
+    Program.parse_exn schema
+      "Reach(x, y) := Link(x, y). Reach(x, z) := Link(x, y), Reach(y, z)."
+  in
+  print_endline "Recursive program:";
+  Format.printf "%a@." Program.pp program;
+
+  let q = Generic.of_datalog schema program ~goal:"Reach" in
+
+  (* 1. Naive evaluation = almost certainly true reachability. *)
+  let naive = Generic.naive_answers d q in
+  Printf.printf "Almost certainly true reachability facts (%d):\n"
+    (Relation.cardinal naive);
+  Relation.iter (fun t -> Printf.printf "  %s\n" (Tuple.to_string t)) naive;
+
+  (* 2. Which of them are CERTAIN (true under every resolution)? *)
+  print_endline "\nOf these, certain under every resolution of ~1, ~2:";
+  Relation.iter
+    (fun t ->
+      if Generic.is_certain d q t then Printf.printf "  %s\n" (Tuple.to_string t))
+    naive;
+
+  (* 3. A fact that is neither certain nor almost certain: gw -> edge
+     needs v(~1) = gw or v(~2) = gw. Exactly how unlikely is it? *)
+  let t = Tuple.consts [ "gw"; "edge" ] in
+  Printf.printf "\nIs gw -> edge reachable?  µ = %s"
+    (R.to_string (Generic.mu_symbolic d q t));
+  print_endline "  (almost certainly not, but not impossible:)";
+  let k0 = Instance.max_constant d in
+  List.iter
+    (fun i ->
+      let k = k0 + i in
+      let v = Generic.mu_k d q t ~k in
+      Printf.printf "  k = %3d   µ^k = %-10s ≈ %.4f\n" k (R.to_string v)
+        (R.to_float v))
+    [ 1; 2; 4; 8 ];
+
+  (* 4. The 0-1 law beyond FO, checked exhaustively on this graph. *)
+  let violations = ref 0 in
+  List.iter
+    (fun vals ->
+      let t = Tuple.of_list vals in
+      let mu = Generic.mu_symbolic d q t in
+      let naive_mem = Relation.mem t naive in
+      if not ((R.is_zero mu || R.is_one mu) && R.is_one mu = naive_mem) then
+        incr violations)
+    (Arith.Combinat.tuples (Instance.adom d) 2);
+  Printf.printf
+    "\n0-1 law checked on all %d candidate pairs: %d violations (Theorem 1 \
+     holds for recursive queries too).\n"
+    (List.length (Arith.Combinat.tuples (Instance.adom d) 2))
+    !violations;
+  print_endline "\nDone."

@@ -1,0 +1,1 @@
+lib/arith/bigint.ml: Array Buffer Format Lazy List Printf Stdlib String

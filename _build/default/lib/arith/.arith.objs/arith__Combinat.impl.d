@@ -1,0 +1,1 @@
+lib/arith/combinat.ml: Array Bigint List

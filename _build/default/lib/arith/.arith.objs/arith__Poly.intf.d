@@ -1,0 +1,1 @@
+lib/arith/poly.mli: Bigint Format Rat

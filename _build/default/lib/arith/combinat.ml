@@ -1,0 +1,160 @@
+module B = Bigint
+
+let factorial n =
+  if n < 0 then invalid_arg "Combinat.factorial: negative"
+  else begin
+    let rec go acc i = if i > n then acc else go (B.mul_int acc i) (i + 1) in
+    go B.one 2
+  end
+
+let falling_factorial n f =
+  if f < 0 then invalid_arg "Combinat.falling_factorial: negative length"
+  else begin
+    let rec go acc i =
+      if i >= f then acc else go (B.mul_int acc (n - i)) (i + 1)
+    in
+    go B.one 0
+  end
+
+let binomial n r =
+  if r < 0 || r > n then B.zero
+  else begin
+    let r = min r (n - r) in
+    B.div (falling_factorial n r) (factorial r)
+  end
+
+let power b n =
+  if n < 0 then invalid_arg "Combinat.power: negative exponent"
+  else B.pow (B.of_int b) n
+
+let stirling2 n b =
+  if n < 0 || b < 0 then B.zero
+  else if n = 0 && b = 0 then B.one
+  else if n = 0 || b = 0 || b > n then B.zero
+  else begin
+    (* S(n,b) = b*S(n-1,b) + S(n-1,b-1), by rows. *)
+    let prev = Array.make (b + 1) B.zero in
+    prev.(0) <- B.one;
+    let cur = Array.make (b + 1) B.zero in
+    for i = 1 to n do
+      cur.(0) <- (if i = 0 then B.one else B.zero);
+      for j = 1 to min i b do
+        cur.(j) <- B.add (B.mul_int prev.(j) j) prev.(j - 1)
+      done;
+      for j = min i b + 1 to b do
+        cur.(j) <- B.zero
+      done;
+      Array.blit cur 0 prev 0 (b + 1)
+    done;
+    prev.(b)
+  end
+
+let bell n =
+  if n < 0 then invalid_arg "Combinat.bell: negative"
+  else begin
+    let rec go acc b =
+      if b > n then acc else go (B.add acc (stirling2 n b)) (b + 1)
+    in
+    if n = 0 then B.one else go B.zero 1
+  end
+
+let set_partitions elements =
+  (* Insert each element in turn either into an existing block or as a
+     new singleton block; blocks keep insertion order. *)
+  let insert x partition =
+    let rec with_each_block prefix = function
+      | [] -> []
+      | block :: rest ->
+          (List.rev_append prefix ((block @ [ x ]) :: rest))
+          :: with_each_block (block :: prefix) rest
+    in
+    with_each_block [] partition @ [ partition @ [ [ x ] ] ]
+  in
+  List.fold_left
+    (fun partitions x -> List.concat_map (insert x) partitions)
+    [ [] ] elements
+
+let injective_partial_maps b targets =
+  let rec go slot used =
+    if slot >= b then [ [] ]
+    else begin
+      let rest_none = go (slot + 1) used in
+      let with_none = List.map (fun tl -> None :: tl) rest_none in
+      let with_some =
+        List.concat_map
+          (fun t ->
+            if List.mem t used then []
+            else List.map (fun tl -> Some t :: tl) (go (slot + 1) (t :: used)))
+          targets
+      in
+      with_none @ with_some
+    end
+  in
+  List.map Array.of_list (go 0 [])
+
+let tuples dom n =
+  let rec go n =
+    if n <= 0 then [ [] ]
+    else begin
+      let rest = go (n - 1) in
+      List.concat_map (fun x -> List.map (fun tl -> x :: tl) rest) dom
+    end
+  in
+  go n
+
+let sublists l =
+  List.fold_right
+    (fun x acc -> List.map (fun s -> x :: s) acc @ acc)
+    l [ [] ]
+
+let subsets_upto n l =
+  let rec go n l =
+    if n <= 0 then [ [] ]
+    else
+      match l with
+      | [] -> [ [] ]
+      | x :: rest ->
+          List.map (fun s -> x :: s) (go (n - 1) rest) @ go n rest
+  in
+  go n l
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun (x, rest) -> List.map (fun p -> x :: p) (permutations rest))
+        (let rec picks prefix = function
+           | [] -> []
+           | x :: rest ->
+               (x, List.rev_append prefix rest) :: picks (x :: prefix) rest
+         in
+         picks [] l)
+
+let injections xs ys =
+  let rec go xs available =
+    match xs with
+    | [] -> [ [] ]
+    | x :: rest ->
+        List.concat_map
+          (fun (y, remaining) ->
+            List.map (fun assoc -> (x, y) :: assoc) (go rest remaining))
+          (let rec picks prefix = function
+             | [] -> []
+             | y :: more ->
+                 (y, List.rev_append prefix more) :: picks (y :: prefix) more
+           in
+           picks [] available)
+  in
+  go xs ys
+
+let pairs l =
+  List.concat_map
+    (fun (i, x) ->
+      List.filter_map
+        (fun (j, y) -> if i <> j then Some (x, y) else None)
+        (List.mapi (fun j y -> (j, y)) l))
+    (List.mapi (fun i x -> (i, x)) l)
+
+let range lo hi =
+  let rec go acc i = if i < lo then acc else go (i :: acc) (i - 1) in
+  go [] hi

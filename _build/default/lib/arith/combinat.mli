@@ -1,0 +1,69 @@
+(** Combinatorial counting and enumeration.
+
+    The enumeration functions drive the valuation-equivalence-class
+    machinery (set partitions of the nulls of a database, injective
+    partial maps of blocks into the anchor set) and the brute-force
+    enumeration of [V^k(D)] used to cross-check symbolic results. *)
+
+(** {1 Counting (exact, in {!Bigint})} *)
+
+val factorial : int -> Bigint.t
+(** @raise Invalid_argument on negative input. *)
+
+val binomial : int -> int -> Bigint.t
+(** [binomial n r]; zero when [r < 0] or [r > n]. *)
+
+val falling_factorial : int -> int -> Bigint.t
+(** [falling_factorial n f] is [n·(n−1)···(n−f+1)], the number of
+    injective maps from an [f]-set into an [n]-set; [1] when [f = 0];
+    [0] when [f > n ≥ 0].
+    @raise Invalid_argument if [f < 0]. *)
+
+val power : int -> int -> Bigint.t
+(** [power b n] = [b^n] for [n ≥ 0]. @raise Invalid_argument if [n < 0]. *)
+
+val bell : int -> Bigint.t
+(** Number of set partitions of an [n]-set.
+    @raise Invalid_argument on negative input. *)
+
+val stirling2 : int -> int -> Bigint.t
+(** Stirling numbers of the second kind: partitions of an [n]-set into
+    exactly [b] blocks. Zero outside the valid range. *)
+
+(** {1 Enumeration} *)
+
+val set_partitions : 'a list -> 'a list list list
+(** All set partitions of the given elements (assumed distinct). Each
+    partition is a list of non-empty blocks; blocks preserve the input
+    order of their elements, and the blocks are ordered by their first
+    element's position in the input. [set_partitions [] = [[]]]. *)
+
+val injective_partial_maps : int -> 'a list -> 'a option array list
+(** [injective_partial_maps b targets] enumerates all ways to assign to
+    each of [b] slots either [None] or [Some t] with [t] drawn from
+    [targets] (assumed distinct), such that all [Some] values are
+    pairwise distinct. There are [Σ_j C(b,j)·P(|targets|,j)] of them. *)
+
+val tuples : 'a list -> int -> 'a list list
+(** [tuples dom n]: all [n]-tuples over [dom] ([|dom|^n] of them). *)
+
+val subsets_upto : int -> 'a list -> 'a list list
+(** All sublists of size [≤ n], preserving order. Includes [[]]. *)
+
+val sublists : 'a list -> 'a list list
+(** All sublists (the power set), preserving order. *)
+
+val permutations : 'a list -> 'a list list
+(** All permutations. Beware the factorial blow-up. *)
+
+val injections : 'a list -> 'b list -> ('a * 'b) list list
+(** [injections xs ys]: all injective maps from [xs] into [ys]
+    represented as association lists ([P(|ys|,|xs|)] of them; empty
+    when [|xs| > |ys|]). *)
+
+val pairs : 'a list -> ('a * 'a) list
+(** All ordered pairs of distinct positions, i.e. [(x,y)] with [x]
+    before or after [y] in the list, [x ≠ y] positionally. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [[lo; lo+1; …; hi]]; empty if [lo > hi]. *)

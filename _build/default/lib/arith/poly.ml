@@ -1,0 +1,153 @@
+(* Dense representation: [coeffs.(i)] is the coefficient of k^i, with no
+   most-significant zero. The zero polynomial is the empty array. *)
+
+type t = Rat.t array
+
+let zero : t = [||]
+
+let normalize (a : Rat.t array) : t =
+  let rec top i = if i >= 0 && Rat.is_zero a.(i) then top (i - 1) else i in
+  let t = top (Array.length a - 1) in
+  if t < 0 then [||]
+  else if t = Array.length a - 1 then a
+  else Array.sub a 0 (t + 1)
+
+let const c = normalize [| c |]
+let const_int n = const (Rat.of_int n)
+let one = const Rat.one
+let x = normalize [| Rat.zero; Rat.one |]
+
+let of_coeffs l = normalize (Array.of_list l)
+
+let monomial c d =
+  if d < 0 then invalid_arg "Poly.monomial: negative degree"
+  else if Rat.is_zero c then zero
+  else begin
+    let a = Array.make (d + 1) Rat.zero in
+    a.(d) <- c;
+    a
+  end
+
+let degree (p : t) = Array.length p - 1
+let coeff (p : t) i = if i >= 0 && i < Array.length p then p.(i) else Rat.zero
+
+let leading_coeff (p : t) =
+  if Array.length p = 0 then invalid_arg "Poly.leading_coeff: zero polynomial"
+  else p.(Array.length p - 1)
+
+let coeffs (p : t) = Array.to_list p
+let is_zero (p : t) = Array.length p = 0
+
+let equal (p : t) (q : t) =
+  Array.length p = Array.length q
+  && begin
+       let rec go i =
+         i < 0 || (Rat.equal p.(i) q.(i) && go (i - 1))
+       in
+       go (Array.length p - 1)
+     end
+
+let neg (p : t) : t = Array.map Rat.neg p
+
+let add (p : t) (q : t) : t =
+  let lp = Array.length p and lq = Array.length q in
+  let l = max lp lq in
+  normalize
+    (Array.init l (fun i ->
+         Rat.add
+           (if i < lp then p.(i) else Rat.zero)
+           (if i < lq then q.(i) else Rat.zero)))
+
+let sub p q = add p (neg q)
+
+let mul (p : t) (q : t) : t =
+  if is_zero p || is_zero q then zero
+  else begin
+    let lp = Array.length p and lq = Array.length q in
+    let r = Array.make (lp + lq - 1) Rat.zero in
+    for i = 0 to lp - 1 do
+      for j = 0 to lq - 1 do
+        r.(i + j) <- Rat.add r.(i + j) (Rat.mul p.(i) q.(j))
+      done
+    done;
+    normalize r
+  end
+
+let scale c (p : t) : t =
+  if Rat.is_zero c then zero else normalize (Array.map (Rat.mul c) p)
+
+let pow p n =
+  if n < 0 then invalid_arg "Poly.pow: negative exponent"
+  else begin
+    let rec go acc b n =
+      if n = 0 then acc
+      else if n land 1 = 1 then go (mul acc b) (mul b b) (n lsr 1)
+      else go acc (mul b b) (n lsr 1)
+    in
+    go one p n
+  end
+
+let sum = List.fold_left add zero
+
+let falling_factorial ~shift f =
+  if f < 0 then invalid_arg "Poly.falling_factorial: negative length"
+  else begin
+    (* (k - shift)(k - shift - 1)...(k - shift - f + 1) *)
+    let rec go acc i =
+      if i >= f then acc
+      else go (mul acc (of_coeffs [ Rat.of_int (-(shift + i)); Rat.one ])) (i + 1)
+    in
+    go one 0
+  end
+
+let eval (p : t) (v : Rat.t) =
+  (* Horner. *)
+  let acc = ref Rat.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Rat.add (Rat.mul !acc v) p.(i)
+  done;
+  !acc
+
+let eval_int p n = eval p (Rat.of_int n)
+let eval_bigint p b = eval p (Rat.of_bigint b)
+
+type ratio_limit = Finite of Rat.t | Infinite | Undefined
+
+let limit_ratio p q =
+  if is_zero q then Undefined
+  else if is_zero p then Finite Rat.zero
+  else begin
+    let dp = degree p and dq = degree q in
+    if dp < dq then Finite Rat.zero
+    else if dp > dq then Infinite
+    else Finite (Rat.div (leading_coeff p) (leading_coeff q))
+  end
+
+let pp fmt (p : t) =
+  if is_zero p then Format.pp_print_string fmt "0"
+  else begin
+    let first = ref true in
+    for i = Array.length p - 1 downto 0 do
+      let c = p.(i) in
+      if not (Rat.is_zero c) then begin
+        if !first then begin
+          first := false;
+          if Rat.sign c < 0 then Format.pp_print_string fmt "-"
+        end
+        else if Rat.sign c < 0 then Format.pp_print_string fmt " - "
+        else Format.pp_print_string fmt " + ";
+        let a = Rat.abs c in
+        if i = 0 then Rat.pp fmt a
+        else begin
+          if not (Rat.is_one a) then begin
+            Rat.pp fmt a;
+            Format.pp_print_string fmt "*"
+          end;
+          if i = 1 then Format.pp_print_string fmt "k"
+          else Format.fprintf fmt "k^%d" i
+        end
+      end
+    done
+  end
+
+let to_string p = Format.asprintf "%a" pp p

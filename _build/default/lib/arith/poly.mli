@@ -1,0 +1,85 @@
+(** Univariate polynomials over {!Rat}, in the indeterminate [k].
+
+    This is the central object of the proof of Theorem 3 of the paper:
+    for a generic Boolean query [q] and database [D], the cardinality
+    [|Supp^k(q,D)|] is a polynomial in [k], and limits of ratios of such
+    cardinalities are ratios of leading coefficients. The module offers
+    exact ring operations, falling factorials, evaluation and the
+    limit-of-ratio operation. *)
+
+type t
+
+(** {1 Constants and construction} *)
+
+val zero : t
+val one : t
+
+val x : t
+(** The indeterminate [k]. *)
+
+val const : Rat.t -> t
+val const_int : int -> t
+
+val of_coeffs : Rat.t list -> t
+(** [of_coeffs [a0; a1; …]] is [a0 + a1·k + …]. Trailing zeros allowed. *)
+
+val monomial : Rat.t -> int -> t
+(** [monomial c d] is [c·k^d]. @raise Invalid_argument if [d < 0]. *)
+
+val falling_factorial : shift:int -> int -> t
+(** [falling_factorial ~shift:a f] is the degree-[f] polynomial
+    [(k−a)(k−a−1)···(k−a−f+1)] — the number of injective maps from an
+    [f]-element set into a [k−a]-element set. [f = 0] yields [one].
+    @raise Invalid_argument if [f < 0]. *)
+
+(** {1 Accessors} *)
+
+val degree : t -> int
+(** Degree; [-1] for the zero polynomial. *)
+
+val coeff : t -> int -> Rat.t
+(** Coefficient of [k^i] (zero beyond the degree). *)
+
+val leading_coeff : t -> Rat.t
+(** @raise Invalid_argument on the zero polynomial. *)
+
+val coeffs : t -> Rat.t list
+(** Coefficients from degree 0 up, with no trailing zero (empty for 0). *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+(** {1 Ring operations} *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : Rat.t -> t -> t
+val pow : t -> int -> t
+val sum : t list -> t
+
+(** {1 Evaluation} *)
+
+val eval : t -> Rat.t -> Rat.t
+val eval_int : t -> int -> Rat.t
+val eval_bigint : t -> Bigint.t -> Rat.t
+
+(** {1 Asymptotics} *)
+
+type ratio_limit =
+  | Finite of Rat.t  (** the ratio converges to this rational *)
+  | Infinite  (** the ratio grows without bound *)
+  | Undefined  (** denominator is the zero polynomial *)
+
+val limit_ratio : t -> t -> ratio_limit
+(** [limit_ratio p q] is [lim_{k→∞} p(k)/q(k)]: zero if
+    [deg p < deg q], the ratio of leading coefficients if degrees are
+    equal, [Infinite] if [deg p > deg q], and [Undefined] if [q = 0].
+    (When [p] and [q] have non-negative leading coefficients, as all
+    support-counting polynomials do, this is the usual real limit.) *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

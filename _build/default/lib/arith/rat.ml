@@ -1,0 +1,85 @@
+(* Canonical rationals: den > 0 and gcd(num, den) = 1. *)
+
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    if B.is_zero num then { num = B.zero; den = B.one }
+    else
+      let g = B.gcd num den in
+      { num = B.div num g; den = B.div den g }
+  end
+
+let zero = { num = B.zero; den = B.one }
+let one = { num = B.one; den = B.one }
+let half = { num = B.one; den = B.two }
+let of_int n = { num = B.of_int n; den = B.one }
+let of_ints p q = make (B.of_int p) (B.of_int q)
+let of_bigint b = { num = b; den = B.one }
+let num t = t.num
+let den t = t.den
+let is_zero t = B.is_zero t.num
+let is_one t = B.equal t.num t.den
+let is_integer t = B.equal t.den B.one
+let sign t = B.sign t.num
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den
+     (both denominators positive). *)
+  B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let neg t = { t with num = B.neg t.num }
+
+let add a b =
+  make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (B.mul a.num b.num) (B.mul a.den b.den)
+
+let inv t =
+  if is_zero t then raise Division_by_zero else make t.den t.num
+
+let div a b = mul a (inv b)
+let abs t = { t with num = B.abs t.num }
+
+let pow t n =
+  if n >= 0 then { num = B.pow t.num n; den = B.pow t.den n }
+  else inv { num = B.pow t.num (-n); den = B.pow t.den (-n) }
+
+let mul_int t n = make (B.mul_int t.num n) t.den
+let div_int t n = make t.num (B.mul_int t.den n)
+
+let to_float t = B.to_float t.num /. B.to_float t.den
+
+let to_string t =
+  if is_integer t then B.to_string t.num
+  else B.to_string t.num ^ "/" ^ B.to_string t.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (B.of_string s)
+  | Some i ->
+      let p = String.sub s 0 i in
+      let q = String.sub s (i + 1) (String.length s - i - 1) in
+      make (B.of_string p) (B.of_string q)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

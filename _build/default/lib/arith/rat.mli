@@ -1,0 +1,90 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept in canonical form: the denominator is strictly
+    positive and the numerator and denominator are coprime. All measures
+    of certainty in this library ([µ^k], [µ(Q|Σ,D)], …) are values of
+    this type — no floating point is used in any computation. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val half : t
+
+(** {1 Construction} *)
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the canonical form of [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints p q] is [p/q]. @raise Division_by_zero if [q = 0]. *)
+
+val of_bigint : Bigint.t -> t
+
+val of_string : string -> t
+(** Parses ["p"], ["p/q"] or ["-p/q"] decimal forms. *)
+
+(** {1 Accessors} *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val to_float : t -> float
+(** Approximate, for display only. *)
+
+val to_string : t -> string
+(** ["p/q"], or just ["p"] when the denominator is 1. *)
+
+(** {1 Predicates and comparisons} *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_integer : t -> bool
+val sign : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val abs : t -> t
+val pow : t -> int -> t
+(** Integer power; negative exponents invert.
+    @raise Division_by_zero when raising zero to a negative power. *)
+
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/compare/best.ml: Arith Incomplete List Logic Order Relational

@@ -1,0 +1,1 @@
+lib/compare/best.mli: Logic Relational

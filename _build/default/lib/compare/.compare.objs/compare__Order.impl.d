@@ -1,0 +1,1 @@
+lib/compare/order.ml: List Sep

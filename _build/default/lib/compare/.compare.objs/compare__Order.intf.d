@@ -1,0 +1,1 @@
+lib/compare/order.mli: Logic Relational

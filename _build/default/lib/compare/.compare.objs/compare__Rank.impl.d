@@ -1,0 +1,1 @@
+lib/compare/rank.ml: Best List Logic Order Relational

@@ -1,0 +1,1 @@
+lib/compare/rank.mli: Logic Relational

@@ -1,0 +1,1 @@
+lib/compare/sep.ml: Incomplete Int List Logic Option Relational

@@ -1,0 +1,1 @@
+lib/compare/sep.mli: Incomplete Logic Relational

@@ -1,0 +1,1 @@
+lib/compare/ucq_compare.ml: Arith Incomplete Int List Logic Relational

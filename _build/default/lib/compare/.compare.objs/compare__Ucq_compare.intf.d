@@ -1,0 +1,1 @@
+lib/compare/ucq_compare.mli: Logic Relational

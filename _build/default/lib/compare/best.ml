@@ -1,0 +1,23 @@
+module Instance = Relational.Instance
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Query = Logic.Query
+
+let candidates inst q =
+  List.map Tuple.of_list
+    (Arith.Combinat.tuples (Instance.adom inst) (Query.arity q))
+
+let is_best inst q a =
+  not (List.exists (fun b -> Order.lt inst q a b) (candidates inst q))
+
+let best inst q =
+  let cands = candidates inst q in
+  List.fold_left
+    (fun acc a ->
+      if List.exists (fun b -> Order.lt inst q a b) cands then acc
+      else Relation.add a acc)
+    (Relation.empty (Query.arity q))
+    cands
+
+let best_mu inst q =
+  Relation.filter (fun a -> Incomplete.Naive.tuple_in inst q a) (best inst q)

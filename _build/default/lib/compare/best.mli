@@ -1,0 +1,26 @@
+(** Best answers: support-maximal candidate tuples (§5).
+
+    [Best(Q,D) = {ā | ¬∃b̄ : ā ◁ b̄}], with [b̄] ranging over all tuples
+    of matching arity over the active domain. Unlike certain answers,
+    [Best(Q,D)] is never empty on a non-empty database, and when
+    certain answers exist they are exactly the best answers. Theorem 7:
+    computing it is [P^NP[log n]]-complete for FO queries — here it is
+    realized with exponential-in-nulls oracle calls ({!Sep}).
+
+    [Best_µ(Q,D)] (§5.2, Proposition 8) keeps only the best answers
+    that are also almost certainly true; by Theorem 1 the [µ = 1] filter
+    is naïve evaluation. *)
+
+val best : Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
+
+val is_best :
+  Relational.Instance.t -> Logic.Query.t -> Relational.Tuple.t -> bool
+(** Is there no strictly better tuple over the active domain? *)
+
+val best_mu : Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
+(** [Best_µ(Q,D) = Best(Q,D) ∩ {ā | µ(Q,D,ā) = 1}]. *)
+
+val candidates :
+  Relational.Instance.t -> Logic.Query.t -> Relational.Tuple.t list
+(** The candidate space: all tuples of the query's arity over
+    [adom(D)]. *)

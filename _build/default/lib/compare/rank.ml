@@ -1,0 +1,45 @@
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+
+let strata ?candidates inst q =
+  let candidates =
+    match candidates with Some c -> c | None -> Best.candidates inst q
+  in
+  let arity = Logic.Query.arity q in
+  (* Repeatedly peel the ◁-maximal layer. Termination: each round
+     removes at least one candidate (a finite preorder always has
+     maximal elements). *)
+  let rec peel remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        let maximal, rest =
+          List.partition
+            (fun a -> not (List.exists (fun b -> Order.lt inst q a b) remaining))
+            remaining
+        in
+        let maximal, rest =
+          if maximal = [] then
+            (* Cannot happen for a preorder, but never loop forever. *)
+            ([ List.hd remaining ], List.tl remaining)
+          else (maximal, rest)
+        in
+        peel rest (Relation.of_list arity maximal :: acc)
+  in
+  peel candidates []
+
+let top_k ~k inst q =
+  let rec take acc = function
+    | [] -> List.rev acc
+    | stratum :: rest ->
+        let acc = List.rev_append (Relation.to_list stratum) acc in
+        if List.length acc >= k then List.rev acc else take acc rest
+  in
+  take [] (strata inst q)
+
+let rank_of inst q tuple =
+  let rec go i = function
+    | [] -> raise Not_found
+    | stratum :: rest -> if Relation.mem tuple stratum then i else go (i + 1) rest
+  in
+  go 0 (strata inst q)

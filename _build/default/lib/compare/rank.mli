@@ -1,0 +1,37 @@
+(** Ranking answers by support (a user-facing refinement of §5).
+
+    The [⊴] preorder compares candidate answers by their sets of
+    supporting valuations; [Best(Q,D)] is its top stratum. Iterating —
+    remove the best answers, take the best of the rest — stratifies all
+    candidates into a ranked list of equivalence layers, which is the
+    natural "top-k answers over incomplete data" interface suggested by
+    the paper's comparison framework.
+
+    Within a stratum, answers are pairwise [⊴]-maximal among the
+    remaining candidates (they may be equivalent or incomparable).
+    Candidates with empty support (impossible answers) always form the
+    final stratum when present. Cost: quadratically many [Sep] calls,
+    each exponential in the number of nulls — same regime as
+    Theorem 7. *)
+
+val strata :
+  ?candidates:Relational.Tuple.t list ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Relation.t list
+(** The full ranking, best stratum first. Candidates default to all
+    tuples of matching arity over the active domain. The strata
+    partition the candidates. *)
+
+val top_k :
+  k:int ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t list
+(** At least [k] answers (complete strata are never split), best first;
+    fewer only if there are fewer candidates. *)
+
+val rank_of :
+  Relational.Instance.t -> Logic.Query.t -> Relational.Tuple.t -> int
+(** 0-based stratum index of a tuple among the active-domain
+    candidates. @raise Not_found if the tuple is not a candidate. *)

@@ -1,0 +1,28 @@
+module Instance = Relational.Instance
+module Tuple = Relational.Tuple
+module Query = Logic.Query
+module Classes = Incomplete.Classes
+module Support = Incomplete.Support
+
+let witness inst q a b =
+  if Tuple.arity a <> Query.arity q || Tuple.arity b <> Query.arity q then
+    invalid_arg "Sep: tuple arity does not match the query"
+  else begin
+    let sa = Query.instantiate q a and sb = Query.instantiate q b in
+    let anchor_set = Support.anchor_set_sentences inst [ sa; sb ] in
+    let nulls =
+      List.sort_uniq Int.compare
+        (Instance.nulls inst @ Tuple.nulls a @ Tuple.nulls b)
+    in
+    List.find_map
+      (fun cls ->
+        let v = Classes.representative ~anchor_set cls in
+        if
+          Support.sentence_in_support inst sa v
+          && not (Support.sentence_in_support inst sb v)
+        then Some v
+        else None)
+      (Classes.enumerate ~anchor_set ~nulls)
+  end
+
+let sep inst q a b = Option.is_some (witness inst q a b)

@@ -1,0 +1,29 @@
+(** The separation predicate [Sep(Q,D,ā,b̄)] (paper §5).
+
+    [Sep(Q,D,ā,b̄)] holds when [Supp(Q,D,ā) − Supp(Q,D,b̄) ≠ ∅]: some
+    valuation witnesses [ā] but not [b̄]. All support comparisons reduce
+    to it:
+    [ā ⊴ b̄ ⇔ ¬Sep(ā,b̄)] and [ā ◁ b̄ ⇔ ¬Sep(ā,b̄) ∧ Sep(b̄,ā)].
+
+    The generic decision procedure searches the valuation equivalence
+    classes (complete by the small-range argument in the proof of
+    Theorem 8); it is exact for any query with decidable evaluation but
+    exponential in the number of nulls — consistent with Theorem 6's
+    coNP/DP-completeness. *)
+
+val sep :
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  Relational.Tuple.t ->
+  bool
+(** [sep D Q ā b̄ = Sep(Q,D,ā,b̄)].
+    @raise Invalid_argument on arity mismatches. *)
+
+val witness :
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  Relational.Tuple.t ->
+  Incomplete.Valuation.t option
+(** A valuation in [Supp(Q,D,ā) − Supp(Q,D,b̄)], if any. *)

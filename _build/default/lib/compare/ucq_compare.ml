@@ -1,0 +1,105 @@
+module Instance = Relational.Instance
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Query = Logic.Query
+module Formula = Logic.Formula
+module Ucq = Logic.Ucq
+module Eval = Logic.Eval
+module Valuation = Incomplete.Valuation
+module Combinat = Arith.Combinat
+
+(* Apply a valuation where defined, leaving other nulls in place. *)
+let apply_partial_value v = function
+  | Value.Const _ as c -> c
+  | Value.Null n as orig -> (
+      match Valuation.find v n with Some c -> Value.const c | None -> orig)
+
+let apply_partial_instance v inst = Instance.map_values (apply_partial_value v) inst
+let apply_partial_tuple v t = Tuple.map (apply_partial_value v) t
+
+let facts inst =
+  Instance.fold (fun rel tuple acc -> (rel, tuple) :: acc) inst []
+
+let sub_instance schema fact_list =
+  List.fold_left
+    (fun acc (rel, tuple) -> Instance.add_tuple rel tuple acc)
+    (Instance.empty schema) fact_list
+
+let ucq_constants (u : Ucq.t) =
+  List.concat_map
+    (fun (c : Ucq.cq) ->
+      List.concat_map
+        (fun (_, ts) ->
+          List.filter_map
+            (function
+              | Formula.Val (Value.Const code) -> Some code
+              | Formula.Val (Value.Null _) | Formula.Var _ -> None)
+            ts)
+        c.Ucq.atoms)
+    u.Ucq.disjuncts
+
+let sep inst (u : Ucq.t) a b =
+  let q = Ucq.to_query u in
+  if Tuple.arity a <> Query.arity q || Tuple.arity b <> Query.arity q then
+    invalid_arg "Ucq_compare.sep: tuple arity does not match the query"
+  else begin
+    let schema = Instance.schema inst in
+    let nulls =
+      List.sort_uniq Int.compare
+        (Instance.nulls inst @ Tuple.nulls a @ Tuple.nulls b)
+    in
+    let m = List.length nulls in
+    let base_consts =
+      List.sort_uniq Int.compare
+        (Instance.constants inst @ ucq_constants u @ Tuple.constants a
+        @ Tuple.constants b)
+    in
+    let top = List.fold_left max 0 base_consts in
+    let fresh = List.init m (fun i -> top + i + 1) in
+    let anchor = base_consts @ fresh in
+    let bound = Ucq.max_atoms u + Query.arity q in
+    let a_components = Tuple.to_list a in
+    List.exists
+      (fun fact_list ->
+        let d' = sub_instance schema fact_list in
+        let adom' = Instance.adom d' in
+        List.for_all (fun v -> List.exists (Value.equal v) adom') a_components
+        && begin
+             let nulls' = Instance.nulls d' in
+             List.exists
+               (fun codes ->
+                 let v = Valuation.of_list (List.combine nulls' codes) in
+                 let va = apply_partial_tuple v a in
+                 let vd' = apply_partial_instance v d' in
+                 Eval.tuple_in_answer vd' q va
+                 && begin
+                      let vb = apply_partial_tuple v b in
+                      let vd = apply_partial_instance v inst in
+                      not (Eval.tuple_in_answer vd q vb)
+                    end)
+               (Combinat.tuples anchor (List.length nulls'))
+           end)
+      (Combinat.subsets_upto bound (facts inst))
+  end
+
+let leq inst u a b = not (sep inst u a b)
+let lt inst u a b = leq inst u a b && sep inst u b a
+
+let candidates inst (u : Ucq.t) =
+  List.map Tuple.of_list
+    (Combinat.tuples (Instance.adom inst) (List.length u.Ucq.free))
+
+let best inst u =
+  let cands = candidates inst u in
+  List.fold_left
+    (fun acc a ->
+      if List.exists (fun b -> lt inst u a b) cands then acc
+      else Relation.add a acc)
+    (Relation.empty (List.length u.Ucq.free))
+    cands
+
+let best_mu inst u =
+  let q = Ucq.to_query u in
+  Relation.filter (fun a -> Incomplete.Naive.tuple_in inst q a) (best inst u)

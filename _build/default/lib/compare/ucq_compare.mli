@@ -1,0 +1,43 @@
+(** Polynomial-time comparisons for unions of conjunctive queries
+    (Theorem 8).
+
+    Naïve evaluation does not help with support comparisons even for
+    UCQs (§5.1 gives a counterexample), but the small-witness
+    characterisation of Theorem 8 does: [Sep(Q,D,ā,b̄)] holds iff there
+    are a sub-database [D' ⊆ D] with at most [p + k] tuples whose active
+    domain contains every component of [ā] ([p] = maximal number of
+    atoms in a disjunct, [k] = arity), and a valuation [v'] of the nulls
+    of [D'] with range in [A = Const(D) ∪ C ∪ A_m] such that
+    [v'(ā) ∈ Q(v'(D'))] and [v'(b̄) ∉ Q^naïve(v'(D))].
+
+    For a fixed query this yields polynomial data complexity for
+    [⊴]-comparison, [◁]-comparison and [BestAnswer] — in contrast to
+    the coNP/DP/[P^NP[log n]]-completeness of the general case
+    (experiment E15 demonstrates the gap). Agreement with the generic
+    {!Sep} procedure is property-tested. *)
+
+val sep :
+  Relational.Instance.t ->
+  Logic.Ucq.t ->
+  Relational.Tuple.t ->
+  Relational.Tuple.t ->
+  bool
+
+val leq :
+  Relational.Instance.t ->
+  Logic.Ucq.t ->
+  Relational.Tuple.t ->
+  Relational.Tuple.t ->
+  bool
+
+val lt :
+  Relational.Instance.t ->
+  Logic.Ucq.t ->
+  Relational.Tuple.t ->
+  Relational.Tuple.t ->
+  bool
+
+val best : Relational.Instance.t -> Logic.Ucq.t -> Relational.Relation.t
+
+val best_mu : Relational.Instance.t -> Logic.Ucq.t -> Relational.Relation.t
+(** Proposition 8 for UCQs: still polynomial time. *)

@@ -1,0 +1,1 @@
+lib/constraints/chase.ml: Dependency List Relational

@@ -1,0 +1,1 @@
+lib/constraints/chase.mli: Dependency Relational

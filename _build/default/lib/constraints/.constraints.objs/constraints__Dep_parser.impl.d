@@ -1,0 +1,1 @@
+lib/constraints/dep_parser.ml: Dependency List Logic Printf Relational

@@ -1,0 +1,1 @@
+lib/constraints/dep_parser.mli: Dependency Relational

@@ -1,0 +1,1 @@
+lib/constraints/dependency.ml: Format Fun Hashtbl List Logic Printf Relational String

@@ -1,0 +1,1 @@
+lib/constraints/dependency.mli: Format Logic Relational

@@ -1,0 +1,1 @@
+lib/constraints/sat.ml: Chase Dependency Hashtbl Incomplete Int List Option Printf Relational Set

@@ -1,0 +1,1 @@
+lib/constraints/sat.mli: Dependency Incomplete Relational

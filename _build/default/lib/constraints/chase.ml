@@ -1,0 +1,64 @@
+module Instance = Relational.Instance
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+
+type outcome =
+  | Success of Relational.Instance.t
+  | Failure of Dependency.fd * Relational.Tuple.t * Relational.Tuple.t
+
+let find_violation inst (fd : Dependency.fd) =
+  let rel = Instance.relation inst fd.Dependency.fd_relation in
+  let tuples = Relation.to_list rel in
+  let key t = List.map (Tuple.get t) fd.Dependency.fd_lhs in
+  let rec scan = function
+    | [] -> None
+    | t :: rest -> (
+        let kt = key t in
+        match
+          List.find_opt
+            (fun u ->
+              List.for_all2 Value.equal kt (key u)
+              && not (Value.equal (Tuple.get t fd.Dependency.fd_rhs)
+                        (Tuple.get u fd.Dependency.fd_rhs)))
+            rest
+        with
+        | Some u -> Some (t, u)
+        | None -> scan rest)
+  in
+  scan tuples
+
+(* Replace value [from_v] by [to_v] everywhere in the instance. *)
+let substitute from_v to_v inst =
+  Instance.map_values (fun v -> if Value.equal v from_v then to_v else v) inst
+
+type step = Dependency.fd * Value.t * Value.t
+
+let rec run fds inst (steps : step list) =
+  let violation =
+    List.find_map
+      (fun fd ->
+        match find_violation inst fd with
+        | Some (t, u) -> Some (fd, t, u)
+        | None -> None)
+      fds
+  in
+  match violation with
+  | None -> (List.rev steps, Success inst)
+  | Some (fd, t, u) -> (
+      let a = Tuple.get t fd.Dependency.fd_rhs in
+      let b = Tuple.get u fd.Dependency.fd_rhs in
+      match (a, b) with
+      | Value.Null _, _ ->
+          run fds (substitute a b inst) ((fd, a, b) :: steps)
+      | Value.Const _, Value.Null _ ->
+          run fds (substitute b a inst) ((fd, b, a) :: steps)
+      | Value.Const _, Value.Const _ -> (List.rev steps, Failure (fd, t, u)))
+
+let trace fds inst = run fds inst []
+let chase fds inst = snd (run fds inst [])
+
+let chase_constraints schema cs inst =
+  chase (Dependency.fds_of_schema schema cs) inst
+
+let successful = function Success i -> Some i | Failure _ -> None

@@ -1,0 +1,34 @@
+(** The chase with functional dependencies (paper §4.4).
+
+    A chase step picks two tuples violating an FD [X → A] (equal on
+    [X], different on [A]) and
+    - replaces a null by the other side's constant everywhere, or
+    - replaces one null by the other everywhere, or
+    - fails when both sides are distinct constants.
+
+    Every successful chase sequence yields the same instance up to
+    renaming of nulls; its length is polynomial (each step removes a
+    null or fails). [chase_Σ(D)] is the basis of Theorem 5 and
+    Corollary 4: for FDs, [µ(Q|Σ,D,ā) = µ(Q, chase_Σ(D), ā)]. *)
+
+type outcome =
+  | Success of Relational.Instance.t
+  | Failure of Dependency.fd * Relational.Tuple.t * Relational.Tuple.t
+      (** the violated FD and the two clashing tuples *)
+
+val chase : Dependency.fd list -> Relational.Instance.t -> outcome
+
+val chase_constraints :
+  Relational.Schema.t -> Dependency.t list -> Relational.Instance.t -> outcome
+(** Chases with all FDs contributed by the constraint set (keys and
+    foreign-key targets included); inclusion dependencies are ignored —
+    the FD chase does not handle them. *)
+
+val successful : outcome -> Relational.Instance.t option
+
+val trace :
+  Dependency.fd list ->
+  Relational.Instance.t ->
+  (Dependency.fd * Relational.Value.t * Relational.Value.t) list * outcome
+(** Like {!chase} but also returns the substitution steps performed
+    (the FD fired, the value replaced, the value it was replaced by). *)

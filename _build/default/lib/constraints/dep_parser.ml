@@ -1,0 +1,115 @@
+module Schema = Relational.Schema
+open Logic.Lexer
+
+exception Parse_error of string
+
+type state = { mutable tokens : token list; schema : Schema.t }
+
+let fail msg = raise (Parse_error msg)
+let peek st = match st.tokens with t :: _ -> t | [] -> EOF
+
+let next st =
+  match st.tokens with
+  | t :: rest ->
+      st.tokens <- rest;
+      t
+  | [] -> EOF
+
+let expect st t =
+  let got = next st in
+  if got <> t then
+    fail
+      (Printf.sprintf "expected %s but found %s" (token_to_string t)
+         (token_to_string got))
+
+let ident st =
+  match next st with
+  | IDENT s -> s
+  | t -> fail ("expected identifier, found " ^ token_to_string t)
+
+(* A column reference: attribute name or 1-based position. *)
+let column st rel =
+  match next st with
+  | INT i ->
+      if i < 1 then fail "column positions are 1-based"
+      else begin
+        match Schema.arity_opt st.schema rel with
+        | Some a when i > a ->
+            fail (Printf.sprintf "column %d out of range for %s" i rel)
+        | Some _ | None -> i - 1
+      end
+  | IDENT attr -> (
+      try Schema.attr_index st.schema rel attr
+      with Not_found ->
+        fail (Printf.sprintf "unknown attribute %s of %s" attr rel))
+  | t -> fail ("expected a column, found " ^ token_to_string t)
+
+let rec columns st rel =
+  let c = column st rel in
+  match peek st with
+  | COMMA ->
+      ignore (next st);
+      c :: columns st rel
+  | _ -> [ c ]
+
+let check_relation st r =
+  if not (Schema.mem r st.schema) then fail ("unknown relation " ^ r)
+
+let bracketed_columns st =
+  let r = ident st in
+  check_relation st r;
+  expect st LBRACKET;
+  let cols = columns st r in
+  expect st RBRACKET;
+  (r, cols)
+
+let declaration st =
+  match next st with
+  | IDENT "fd" ->
+      let r = ident st in
+      check_relation st r;
+      expect st COLON;
+      let lhs = columns st r in
+      expect st ARROW;
+      let rhs = column st r in
+      Dependency.fd r lhs rhs
+  | IDENT "key" ->
+      let r = ident st in
+      check_relation st r;
+      expect st COLON;
+      let cols = columns st r in
+      Dependency.key r cols
+  | IDENT "ind" ->
+      let src, src_cols = bracketed_columns st in
+      expect st LEQ;
+      let dst, dst_cols = bracketed_columns st in
+      if List.length src_cols <> List.length dst_cols then
+        fail "inclusion dependency with mismatched column counts"
+      else Dependency.ind src src_cols dst dst_cols
+  | IDENT "fk" ->
+      let src, src_cols = bracketed_columns st in
+      expect st ARROW;
+      let dst, dst_cols = bracketed_columns st in
+      if List.length src_cols <> List.length dst_cols then
+        fail "foreign key with mismatched column counts"
+      else Dependency.foreign_key src src_cols dst dst_cols
+  | t -> fail ("expected fd/key/ind/fk, found " ^ token_to_string t)
+
+let parse_exn schema input =
+  let st = { tokens = tokenize input; schema } in
+  let rec go acc =
+    match peek st with
+    | EOF -> List.rev acc
+    | SEMI ->
+        ignore (next st);
+        go acc
+    | _ -> go (declaration st :: acc)
+  in
+  go []
+
+let parse schema input =
+  match parse_exn schema input with
+  | cs -> Ok cs
+  | exception Parse_error msg -> Error msg
+  | exception Lex_error (msg, pos) ->
+      Error (Printf.sprintf "%s (at offset %d)" msg pos)

@@ -1,0 +1,20 @@
+(** Parser for the constraint surface syntax.
+
+    {v
+      fd R : customer -> product
+      fd R : a, b -> c
+      key U : name
+      ind R[product] <= Products[id]     -- or 1-based positions: R[2] <= Products[1]
+      fk Orders[customer] -> Customers[id]
+    v}
+
+    Declarations are separated by semicolons or newlines; [--]/[#]
+    comments run to end of line. Columns may be attribute names (when
+    the schema declares them) or 1-based positions. *)
+
+exception Parse_error of string
+
+val parse :
+  Relational.Schema.t -> string -> (Dependency.t list, string) result
+
+val parse_exn : Relational.Schema.t -> string -> Dependency.t list

@@ -1,0 +1,108 @@
+module Instance = Relational.Instance
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+module Valuation = Incomplete.Valuation
+
+type verdict = Satisfiable of Valuation.t | Unsatisfiable of string
+
+let validate_unary cs =
+  List.iter
+    (function
+      | Dependency.Key { Dependency.key_cols = [ _ ]; _ } -> ()
+      | Dependency.ForeignKey
+          { Dependency.fk_src_cols = [ _ ]; fk_dst_cols = [ _ ]; _ } ->
+          ()
+      | _ ->
+          invalid_arg
+            "Sat.unary_keys_fks: constraint set must contain only unary keys \
+             and unary foreign keys")
+    cs
+
+module ISet = Set.Make (Int)
+
+let unary_keys_fks schema cs inst =
+  validate_unary cs;
+  if not (Dependency.keys_null_free inst cs) then
+    Unsatisfiable "a declared key column contains a null"
+  else begin
+    match Chase.chase_constraints schema cs inst with
+    | Chase.Failure (fd, _, _) ->
+        Unsatisfiable
+          (Printf.sprintf
+             "two tuples of %s share a key value but clash on a constant column"
+             fd.Dependency.fd_relation)
+    | Chase.Success chased -> begin
+        (* Collect, for every null, the intersection of the target key
+           value sets it must fall into; check constants directly. *)
+        let fks =
+          List.filter_map
+            (function
+              | Dependency.ForeignKey fk -> Some fk
+              | Dependency.Key _ | Dependency.Fd _ | Dependency.Ind _ -> None)
+            cs
+        in
+        let exception Unsat of string in
+        try
+          let demands : (int, ISet.t) Hashtbl.t = Hashtbl.create 8 in
+          List.iter
+            (fun fk ->
+              let src_col = List.hd fk.Dependency.fk_src_cols in
+              let dst_col = List.hd fk.Dependency.fk_dst_cols in
+              let targets =
+                Relation.fold
+                  (fun t acc ->
+                    match Tuple.get t dst_col with
+                    | Value.Const c -> ISet.add c acc
+                    | Value.Null _ -> acc (* excluded by null-free check *))
+                  (Instance.relation chased fk.Dependency.fk_dst)
+                  ISet.empty
+              in
+              Relation.iter
+                (fun t ->
+                  match Tuple.get t src_col with
+                  | Value.Const c ->
+                      if not (ISet.mem c targets) then
+                        raise
+                          (Unsat
+                             (Printf.sprintf
+                                "constant %s of %s has no key match in %s"
+                                (Relational.Names.to_string c)
+                                fk.Dependency.fk_src fk.Dependency.fk_dst))
+                  | Value.Null n ->
+                      let current =
+                        Option.value ~default:targets (Hashtbl.find_opt demands n)
+                      in
+                      Hashtbl.replace demands n (ISet.inter current targets))
+                (Instance.relation chased fk.Dependency.fk_src))
+            fks;
+          (* Build a witnessing valuation: constrained nulls take any
+             element of their demand set; free nulls take fresh codes. *)
+          let fresh = ref (Instance.max_constant chased) in
+          let assignment =
+            List.map
+              (fun n ->
+                match Hashtbl.find_opt demands n with
+                | Some set -> (
+                    match ISet.min_elt_opt set with
+                    | Some c -> (n, c)
+                    | None ->
+                        raise
+                          (Unsat
+                             (Printf.sprintf
+                                "null ~%d has no admissible foreign-key target"
+                                n)))
+                | None ->
+                    incr fresh;
+                    (n, !fresh))
+              (Instance.nulls chased)
+          in
+          Satisfiable (Valuation.of_list assignment)
+        with Unsat reason -> Unsatisfiable reason
+      end
+  end
+
+let satisfiable_generic schema cs inst =
+  Dependency.keys_null_free inst cs
+  && Incomplete.Certain.is_possible_sentence inst
+       (Dependency.set_to_formula schema cs)

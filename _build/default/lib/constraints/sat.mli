@@ -1,0 +1,38 @@
+(** Satisfiability of constraints in an incomplete database.
+
+    [Σ] is {e satisfiable in D} when [v(D) ⊨ Σ] for at least one
+    valuation [v]. In general this is intractable (it encodes the
+    complement of homomorphism problems), but Proposition 6 of the paper
+    gives a polynomial-time procedure for {e unary keys and foreign
+    keys} under the RDBMS reading (key attributes of [D] are not null):
+
+    + check that every declared key column of [D] is null-free;
+    + chase [D] with the key FDs — a constant/constant clash means two
+      tuples share a key value but can never be merged: unsatisfiable;
+    + after the chase, key uniqueness holds for {e every} valuation
+      (tuples sharing a key value have been merged), so only the
+      foreign-key inclusions remain: each source-column entry must land
+      in the (fixed, null-free) set of target key values — a constant
+      must already be there; a null must have a non-empty intersection
+      of the target value sets over all foreign keys constraining it.
+
+    The generic fallback {!satisfiable_generic} decides satisfiability
+    for arbitrary generic constraint sentences by the valuation-class
+    search (exponential in the number of nulls). *)
+
+type verdict =
+  | Satisfiable of Incomplete.Valuation.t
+      (** a witnessing valuation for the nulls of the chased database,
+          extended arbitrarily to merged nulls *)
+  | Unsatisfiable of string  (** human-readable reason *)
+
+val unary_keys_fks : Relational.Schema.t -> Dependency.t list ->
+  Relational.Instance.t -> verdict
+(** The Proposition 6 polynomial-time procedure.
+    @raise Invalid_argument if the constraint set contains anything
+    other than unary keys and unary foreign keys. *)
+
+val satisfiable_generic :
+  Relational.Schema.t -> Dependency.t list -> Relational.Instance.t -> bool
+(** Is there a valuation [v] with [v(D) ⊨ Σ] (and keys null-free)?
+    Exact, exponential in the number of nulls. *)

@@ -1,0 +1,1 @@
+lib/core/alt_measure.ml: Arith Incomplete Int List Logic Relational Set

@@ -1,0 +1,1 @@
+lib/core/alt_measure.mli: Arith Logic Relational

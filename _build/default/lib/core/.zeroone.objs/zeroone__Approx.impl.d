@@ -1,0 +1,1 @@
+lib/core/approx.ml: Arith Incomplete Logic Relational

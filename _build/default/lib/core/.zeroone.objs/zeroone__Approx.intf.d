@@ -1,0 +1,1 @@
+lib/core/approx.mli: Arith Logic Relational

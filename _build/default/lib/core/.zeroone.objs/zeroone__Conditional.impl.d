@@ -1,0 +1,1 @@
+lib/core/conditional.ml: Arith Constraints Incomplete Int List Logic Relational Support_poly

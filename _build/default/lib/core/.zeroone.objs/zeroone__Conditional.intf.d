@@ -1,0 +1,1 @@
+lib/core/conditional.mli: Arith Constraints Logic Relational

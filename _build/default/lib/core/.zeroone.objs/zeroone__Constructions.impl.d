@@ -1,0 +1,1 @@
+lib/core/constructions.ml: Arith Constraints List Logic Relational

@@ -1,0 +1,1 @@
+lib/core/generic.ml: Arith Datalog Incomplete Int List Logic Relational

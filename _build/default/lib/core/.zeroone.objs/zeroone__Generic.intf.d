@@ -1,0 +1,1 @@
+lib/core/generic.mli: Arith Datalog Incomplete Logic Relational

@@ -1,0 +1,1 @@
+lib/core/measure.ml: Arith Format Incomplete Logic Relational Support_poly

@@ -1,0 +1,1 @@
+lib/core/owa.ml: Arith Incomplete List Logic Printf Relational Set

@@ -1,0 +1,1 @@
+lib/core/owa.mli: Arith Logic Relational

@@ -1,0 +1,1 @@
+lib/core/support_poly.ml: Arith Incomplete Int List Logic Relational

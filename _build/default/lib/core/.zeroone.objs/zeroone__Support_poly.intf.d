@@ -1,0 +1,1 @@
+lib/core/support_poly.mli: Arith Incomplete Logic Relational

@@ -1,0 +1,1 @@
+lib/core/weighted.ml: Arith Incomplete Int List Logic Relational

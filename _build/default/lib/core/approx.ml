@@ -1,0 +1,60 @@
+module Instance = Relational.Instance
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Query = Logic.Query
+module Rat = Arith.Rat
+
+type scheme = Instance.t -> Query.t -> Relation.t
+
+let sql_scheme inst q = Logic.Sql3vl.answers inst q
+
+let naive_null_free_scheme inst q =
+  Relation.filter
+    (fun t -> not (Tuple.has_null t))
+    (Incomplete.Naive.answers inst q)
+
+type report = {
+  certain : Relation.t;
+  returned : Relation.t;
+  missed : Relation.t;
+  spurious_benign : Relation.t;
+  spurious_harmful : Relation.t;
+}
+
+let evaluate scheme inst q =
+  let certain = Incomplete.Certain.certain_answers inst q in
+  let returned = scheme inst q in
+  let spurious = Relation.diff returned certain in
+  let benign, harmful =
+    Relation.fold
+      (fun t (benign, harmful) ->
+        if Incomplete.Naive.tuple_in inst q t then (Relation.add t benign, harmful)
+        else (benign, Relation.add t harmful))
+      spurious
+      (Relation.empty (Query.arity q), Relation.empty (Query.arity q))
+  in
+  { certain;
+    returned;
+    missed = Relation.diff certain returned;
+    spurious_benign = benign;
+    spurious_harmful = harmful
+  }
+
+let sound r =
+  Relation.is_empty r.spurious_benign && Relation.is_empty r.spurious_harmful
+
+let complete r = Relation.is_empty r.missed
+
+let recall r =
+  if Relation.is_empty r.certain then Rat.one
+  else
+    Rat.of_ints
+      (Relation.cardinal (Relation.inter r.certain r.returned))
+      (Relation.cardinal r.certain)
+
+let precision r =
+  if Relation.is_empty r.returned then Rat.one
+  else
+    Rat.of_ints
+      (Relation.cardinal (Relation.inter r.certain r.returned))
+      (Relation.cardinal r.returned)

@@ -1,0 +1,57 @@
+(** Quality of certain-answer approximations (paper §6, "Quality of
+    Approximations").
+
+    Computing certain answers is intractable for relational algebra, so
+    practical systems run cheap {e approximation schemes} — e.g. SQL's
+    three-valued evaluation, or naïve evaluation restricted to
+    null-free tuples. The paper proposes using the measure [µ] to
+    quantify how good such schemes are: answers an approximation misses
+    and answers it wrongly returns can each be classified by their
+    likelihood. This module implements that proposal:
+
+    - {b missed}: certain answers the scheme fails to return
+      (completeness defects — each has [µ = 1] by definition);
+    - {b spurious} returns split by the 0–1 law into {e benign}
+      ([µ = 1]: not certain, but almost certainly true — a user would
+      usually be happy to see them) and {e harmful} ([µ = 0]: almost
+      certainly false).
+
+    Two classic schemes are provided: SQL 3VL evaluation
+    ({!sql_scheme}) and null-free naïve evaluation
+    ({!naive_null_free_scheme}). *)
+
+type scheme =
+  Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
+
+val sql_scheme : scheme
+(** SQL's WHERE semantics: tuples whose condition is 3VL-[True]. *)
+
+val naive_null_free_scheme : scheme
+(** Naïve evaluation restricted to null-free tuples. *)
+
+type report = {
+  certain : Relational.Relation.t;
+  returned : Relational.Relation.t;  (** what the scheme produced *)
+  missed : Relational.Relation.t;  (** certain ∖ returned *)
+  spurious_benign : Relational.Relation.t;
+      (** returned ∖ certain with [µ = 1] *)
+  spurious_harmful : Relational.Relation.t;
+      (** returned ∖ certain with [µ = 0] *)
+}
+
+val evaluate : scheme -> Relational.Instance.t -> Logic.Query.t -> report
+(** Exact comparison against the certain answers (exponential in the
+    number of nulls — this is an offline quality-assessment tool). *)
+
+val sound : report -> bool
+(** No spurious answers at all ([returned ⊆ certain]). *)
+
+val complete : report -> bool
+(** Nothing missed ([certain ⊆ returned]). *)
+
+val recall : report -> Arith.Rat.t
+(** [|certain ∩ returned| / |certain|]; 1 when there are no certain
+    answers. *)
+
+val precision : report -> Arith.Rat.t
+(** [|certain ∩ returned| / |returned|]; 1 when nothing is returned. *)

@@ -1,0 +1,99 @@
+module Instance = Relational.Instance
+module Tuple = Relational.Tuple
+module Query = Logic.Query
+module Formula = Logic.Formula
+module Enumerate = Incomplete.Enumerate
+module Support = Incomplete.Support
+module Poly = Arith.Poly
+module Rat = Arith.Rat
+module B = Arith.Bigint
+
+type report = { numerator : Poly.t; denominator : Poly.t; value : Rat.t }
+
+let limit num den =
+  match Poly.limit_ratio num den with
+  | Poly.Finite r -> r
+  | Poly.Undefined -> Rat.zero (* Σ unsatisfiable in D: convention µ = 0 *)
+  | Poly.Infinite ->
+      (* impossible: Supp(Σ∧Q) ⊆ Supp(Σ) gives deg num ≤ deg den *)
+      assert false
+
+let mu_cond_report ~sigma inst q tuple =
+  let answer = Query.instantiate q tuple in
+  let sp =
+    Support_poly.of_sentences inst [ Formula.And (sigma, answer); sigma ]
+  in
+  match sp.Support_poly.polys with
+  | [ numerator; denominator ] ->
+      { numerator; denominator; value = limit numerator denominator }
+  | _ -> assert false
+
+let mu_cond ~sigma inst q tuple = (mu_cond_report ~sigma inst q tuple).value
+
+let mu_cond_boolean ~sigma inst q =
+  if Query.arity q <> 0 then
+    invalid_arg "Conditional.mu_cond_boolean: query not Boolean"
+  else mu_cond ~sigma inst q Tuple.empty
+
+let mu_cond_deps schema deps inst q tuple =
+  mu_cond ~sigma:(Constraints.Dependency.set_to_formula schema deps) inst q tuple
+
+let mu_cond_deps_direct deps inst q tuple =
+  let answer = Query.instantiate q tuple in
+  (* Dependencies mention no constants, so the anchor set only needs the
+     database's constants and those of Q(ā). *)
+  let anchor_set = Incomplete.Support.anchor_set_sentences inst [ answer ] in
+  let nulls =
+    List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
+  in
+  let sigma_holds _v complete = Constraints.Dependency.all_hold complete deps in
+  let answer_holds v _complete =
+    Incomplete.Support.sentence_in_support inst answer v
+  in
+  let both v complete = sigma_holds v complete && answer_holds v complete in
+  let sp =
+    Support_poly.of_predicates ~anchor_set ~nulls inst [ both; sigma_holds ]
+  in
+  match sp.Support_poly.polys with
+  | [ numerator; denominator ] -> limit numerator denominator
+  | _ -> assert false
+
+let mu_cond_k ~sigma inst q tuple ~k =
+  let answer = Query.instantiate q tuple in
+  let nulls =
+    List.sort_uniq Int.compare
+      (Instance.nulls inst @ Tuple.nulls tuple @ Formula.nulls sigma)
+  in
+  let num, den =
+    Enumerate.fold_valuations ~nulls ~k
+      (fun (num, den) v ->
+        if Support.sentence_in_support inst sigma v then
+          let num =
+            if Support.sentence_in_support inst answer v then B.succ num
+            else num
+          in
+          (num, B.succ den)
+        else (num, den))
+      (B.zero, B.zero)
+  in
+  if B.is_zero den then Rat.zero else Rat.make num den
+
+let mu_implication ~sigma inst q tuple =
+  let answer = Query.instantiate q tuple in
+  let sp =
+    Support_poly.of_sentences inst
+      [ Formula.Or (Formula.Not sigma, answer) ]
+  in
+  match sp.Support_poly.polys with
+  | [ p ] -> limit p sp.Support_poly.total
+  | _ -> assert false
+
+let mu_cond_fds fds inst q tuple =
+  if Tuple.has_null tuple then
+    invalid_arg "Conditional.mu_cond_fds: tuple must be null-free"
+  else begin
+    match Constraints.Chase.chase fds inst with
+    | Constraints.Chase.Failure _ -> Rat.zero
+    | Constraints.Chase.Success chased ->
+        if Incomplete.Naive.tuple_in chased q tuple then Rat.one else Rat.zero
+  end

@@ -1,0 +1,96 @@
+(** Conditional measures of certainty under constraints (paper §4).
+
+    [µ(Q|Σ,D,ā) = lim_k |Supp^k(Σ ∧ Q(ā),D)| / |Supp^k(Σ,D)|] — the
+    probability that a random valuation satisfying the constraints also
+    witnesses the answer. Theorem 3: the limit always exists and is a
+    rational in [0,1] (computed here as a ratio of leading coefficients
+    of support polynomials). By convention the measure is 0 when [Σ] is
+    unsatisfiable in [D].
+
+    Also provided: the degenerate implication measure [µ(Σ → Q, D)]
+    (Proposition 3), and the chase shortcut for sets of functional
+    dependencies (Theorem 5 / Corollary 4), under which the 0–1 law is
+    recovered. *)
+
+type report = {
+  numerator : Arith.Poly.t;  (** [|Supp^k(Σ ∧ Q(ā), D)|] *)
+  denominator : Arith.Poly.t;  (** [|Supp^k(Σ, D)|] *)
+  value : Arith.Rat.t;  (** the limit [µ(Q|Σ,D,ā)] *)
+}
+
+val mu_cond :
+  sigma:Logic.Formula.t ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  Arith.Rat.t
+(** [µ(Q|Σ,D,ā)] for a constraint sentence [Σ]. *)
+
+val mu_cond_boolean :
+  sigma:Logic.Formula.t ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Arith.Rat.t
+
+val mu_cond_report :
+  sigma:Logic.Formula.t ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  report
+(** The polynomials behind the limit, for inspection (experiment E7). *)
+
+val mu_cond_deps :
+  Relational.Schema.t ->
+  Constraints.Dependency.t list ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  Arith.Rat.t
+(** Constraints given as dependencies; compiled through
+    {!Constraints.Dependency.set_to_formula}. *)
+
+val mu_cond_deps_direct :
+  Constraints.Dependency.t list ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  Arith.Rat.t
+(** Same value as {!mu_cond_deps} but checks the constraints
+    structurally on each class representative
+    ({!Constraints.Dependency.holds}) instead of evaluating a compiled
+    [∀…∀]-sentence — typically orders of magnitude faster for FDs and
+    keys on wider relations. Agreement with {!mu_cond_deps} is
+    property-tested. *)
+
+val mu_cond_k :
+  sigma:Logic.Formula.t ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  k:int ->
+  Arith.Rat.t
+(** Brute-force [µ^k(Q|Σ,D,ā)] for cross-checking; 0 when no valuation
+    in [V^k] satisfies [Σ]. *)
+
+val mu_implication :
+  sigma:Logic.Formula.t ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  Arith.Rat.t
+(** [µ(Σ → Q(ā), D)] — by Proposition 3, 1 when [µ(Σ,D) = 0] and
+    [µ(Q,D,ā)] otherwise. Computed symbolically. *)
+
+val mu_cond_fds :
+  Constraints.Dependency.fd list ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  Arith.Rat.t
+(** Theorem 5 / Corollary 4: for FDs and a tuple of constants,
+    [µ(Q|Σ,D,ā) = µ(Q, chase_Σ(D), ā)] — i.e. 1 if the chase succeeds
+    and [ā ∈ Q^naïve(chase_Σ(D))], else 0. Polynomial in the size of
+    [D] (given the query).
+    @raise Invalid_argument if [ā] contains nulls (the chase renames
+    nulls, so the statement only makes sense for constant tuples). *)

@@ -1,0 +1,166 @@
+module Instance = Relational.Instance
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+module F = Logic.Formula
+module Query = Logic.Query
+module Dependency = Constraints.Dependency
+module Rat = Arith.Rat
+
+let num i = Value.named (string_of_int i)
+
+type rational_witness = {
+  rw_instance : Instance.t;
+  rw_schema : Schema.t;
+  rw_sigma : F.t;
+  rw_deps : Dependency.t list;
+  rw_query : Query.t;
+  rw_expected : Rat.t;
+}
+
+let rational_witness ~p ~r =
+  if p <= 0 || p > r then
+    invalid_arg "Constructions.rational_witness: need 0 < p <= r"
+  else begin
+    let schema = Schema.make [ ("R", 2); ("S", 2); ("U", 1) ] in
+    let diag = List.init (p - 1) (fun i -> [ num (i + 1); num (i + 1) ]) in
+    let inst =
+      Instance.of_rows schema
+        [ ("R", diag @ [ [ Value.null 0; num p ] ]);
+          ("S", [ [ Value.null 0; Value.null 0 ] ]);
+          ("U", List.init r (fun i -> [ num (i + 1) ]))
+        ]
+    in
+    let deps = [ Dependency.ind "R" [ 0 ] "U" [ 0 ] ] in
+    let sigma = Dependency.set_to_formula schema deps in
+    let query =
+      Query.boolean
+        (F.exists [ "x"; "y" ]
+           (F.And
+              ( F.Atom ("R", [ F.var "x"; F.var "y" ]),
+                F.Atom ("S", [ F.var "x"; F.var "y" ]) )))
+    in
+    { rw_instance = inst;
+      rw_schema = schema;
+      rw_sigma = sigma;
+      rw_deps = deps;
+      rw_query = query;
+      rw_expected = Rat.of_ints p r
+    }
+  end
+
+type section4_example = {
+  s4_instance : Instance.t;
+  s4_schema : Schema.t;
+  s4_sigma : F.t;
+  s4_query : Query.t;
+  s4_tuple_third : Tuple.t;
+  s4_tuple_two_thirds : Tuple.t;
+}
+
+let section4_example () =
+  let schema = Schema.make [ ("R", 2); ("U", 1) ] in
+  let inst =
+    Instance.of_rows schema
+      [ ("R", [ [ num 2; num 1 ]; [ Value.null 0; Value.null 0 ] ]);
+        ("U", [ [ num 1 ]; [ num 2 ]; [ num 3 ] ])
+      ]
+  in
+  let sigma =
+    Dependency.set_to_formula schema [ Dependency.ind "R" [ 0 ] "U" [ 0 ] ]
+  in
+  let query = Query.make [ "x"; "y" ] (F.Atom ("R", [ F.var "x"; F.var "y" ])) in
+  { s4_instance = inst;
+    s4_schema = schema;
+    s4_sigma = sigma;
+    s4_query = query;
+    s4_tuple_third = Tuple.of_list [ num 1; Value.null 0 ];
+    s4_tuple_two_thirds = Tuple.of_list [ num 2; Value.null 0 ]
+  }
+
+type naive_breaks = {
+  nb_instance : Instance.t;
+  nb_schema : Schema.t;
+  nb_sigma : F.t;
+  nb_query : Query.t;
+}
+
+let naive_breaks () =
+  let schema = Schema.make [ ("R", 1); ("S", 1); ("U", 1); ("V", 1) ] in
+  let inst =
+    Instance.of_rows schema
+      [ ("R", [ [ Value.null 0 ] ]);
+        ("S", [ [ Value.null 1 ] ]);
+        ("U", [ [ Value.null 0 ] ]);
+        ("V", [ [ num 1 ] ])
+      ]
+  in
+  let sigma =
+    Dependency.set_to_formula schema
+      [ Dependency.ind "R" [ 0 ] "V" [ 0 ]; Dependency.ind "S" [ 0 ] "V" [ 0 ] ]
+  in
+  let query =
+    Query.boolean
+      (F.Forall
+         ( "x",
+           F.Implies
+             ( F.Atom ("U", [ F.var "x" ]),
+               F.And (F.Atom ("R", [ F.var "x" ]), F.Not (F.Atom ("S", [ F.var "x" ])))
+             ) ))
+  in
+  { nb_instance = inst; nb_schema = schema; nb_sigma = sigma; nb_query = query }
+
+type owa_witness = {
+  ow_instance : Instance.t;
+  ow_schema : Schema.t;
+  ow_q1 : Query.t;
+  ow_q2 : Query.t;
+}
+
+let owa_witness () =
+  let schema = Schema.make [ ("U", 1) ] in
+  let inst = Instance.empty schema in
+  let q1 = Query.boolean ~name:"Q1" (F.Not (F.Exists ("x", F.Atom ("U", [ F.var "x" ])))) in
+  let q2 = Query.boolean ~name:"Q2" (F.Exists ("x", F.Atom ("U", [ F.var "x" ]))) in
+  { ow_instance = inst; ow_schema = schema; ow_q1 = q1; ow_q2 = q2 }
+
+type orthogonality_witness = {
+  og_base_instance : Instance.t;
+  og_base_query : Query.t;
+  og_ext_instance : Instance.t;
+  og_ext_query : Query.t;
+  og_schema : Schema.t;
+  og_a : Tuple.t;
+  og_b : Tuple.t;
+  og_g : Tuple.t;
+}
+
+let orthogonality_witness () =
+  let schema = Schema.make [ ("A", 1); ("B", 1); ("G", 1); ("R", 2) ] in
+  let a = Value.named "a" and b = Value.named "b" and g = Value.named "g" in
+  let base =
+    Instance.of_rows schema
+      [ ("A", [ [ a ] ]);
+        ("B", [ [ b ] ]);
+        ("R", [ [ Value.null 0; Value.null 1 ] ])
+      ]
+  in
+  let ext = Instance.of_rows (Instance.schema base) [ ("G", [ [ g ] ]) ] in
+  let ext = Instance.union base ext in
+  let loop = F.Exists ("y", F.Atom ("R", [ F.var "y"; F.var "y" ])) in
+  let q_body =
+    F.Or
+      ( F.And (F.Atom ("B", [ F.var "x" ]), loop),
+        F.And (F.Atom ("A", [ F.var "x" ]), F.Not loop) )
+  in
+  let q = Query.make ~name:"Q" [ "x" ] q_body in
+  let q' = Query.make ~name:"Q'" [ "x" ] (F.Or (F.Atom ("G", [ F.var "x" ]), q_body)) in
+  { og_base_instance = base;
+    og_base_query = q;
+    og_ext_instance = ext;
+    og_ext_query = q';
+    og_schema = schema;
+    og_a = Tuple.of_list [ a ];
+    og_b = Tuple.of_list [ b ];
+    og_g = Tuple.of_list [ g ]
+  }

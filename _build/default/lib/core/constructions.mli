@@ -1,0 +1,77 @@
+(** The paper's witness constructions, packaged as generators.
+
+    Each function builds the exact database/constraints/query used in
+    the corresponding proof, so the claimed values can be recomputed and
+    asserted (tests) and printed (benchmark experiments). *)
+
+(** Proposition 4: for every rational [s = p/r ∈ (0,1]] there are [D],
+    a single inclusion dependency [Σ] and a Boolean conjunctive query
+    [Q] with [µ(Q|Σ,D) = s]. *)
+type rational_witness = {
+  rw_instance : Relational.Instance.t;
+  rw_schema : Relational.Schema.t;
+  rw_sigma : Logic.Formula.t;
+  rw_deps : Constraints.Dependency.t list;
+  rw_query : Logic.Query.t;
+  rw_expected : Arith.Rat.t;
+}
+
+val rational_witness : p:int -> r:int -> rational_witness
+(** @raise Invalid_argument unless [0 < p ≤ r]. *)
+
+(** The worked example of §4 (conditional probabilities 1/3 and 2/3):
+    [R = {(2,1),(⊥,⊥)}], [U = {1,2,3}], [Σ : π₁(R) ⊆ U], [Q] returns
+    [R]. *)
+type section4_example = {
+  s4_instance : Relational.Instance.t;
+  s4_schema : Relational.Schema.t;
+  s4_sigma : Logic.Formula.t;
+  s4_query : Logic.Query.t;
+  s4_tuple_third : Relational.Tuple.t;  (** [(1,⊥)], measure 1/3 *)
+  s4_tuple_two_thirds : Relational.Tuple.t;  (** [(2,⊥)], measure 2/3 *)
+}
+
+val section4_example : unit -> section4_example
+
+(** The §4.3 example where constraints break the naïve-evaluation
+    connection: [R={⊥}, S={⊥'}, U={⊥}, V={1}], [Σ: R ⊆ V, S ⊆ V],
+    [Q = ∀x U(x) → (R(x) ∧ ¬S(x))]: both [Q] and [Σ → Q] are naïvely
+    true but [µ(Q|Σ,D) = 0]. *)
+type naive_breaks = {
+  nb_instance : Relational.Instance.t;
+  nb_schema : Relational.Schema.t;
+  nb_sigma : Logic.Formula.t;
+  nb_query : Logic.Query.t;
+}
+
+val naive_breaks : unit -> naive_breaks
+
+(** Proposition 2 (open world): [D] with one empty unary relation [U];
+    [Q1 = ¬∃x U(x)] is naïvely true with [owa-m = 0], and [Q2 = ∃x U(x)]
+    is naïvely false with [owa-m = 1]. *)
+type owa_witness = {
+  ow_instance : Relational.Instance.t;
+  ow_schema : Relational.Schema.t;
+  ow_q1 : Logic.Query.t;
+  ow_q2 : Logic.Query.t;
+}
+
+val owa_witness : unit -> owa_witness
+
+(** Proposition 7: all four combinations of best/non-best ×
+    almost-certainly-true/false are realizable. The base database has
+    [A = {a}], [B = {b}], [R = {(⊥,⊥')}] and
+    [Q(x) = (B(x) ∧ ∃y R(y,y)) ∨ (A(x) ∧ ¬∃y R(y,y))]; the extension
+    adds [G = {g}] and [Q'(x) = G(x) ∨ Q(x)]. *)
+type orthogonality_witness = {
+  og_base_instance : Relational.Instance.t;
+  og_base_query : Logic.Query.t;
+  og_ext_instance : Relational.Instance.t;
+  og_ext_query : Logic.Query.t;
+  og_schema : Relational.Schema.t;
+  og_a : Relational.Tuple.t;  (** best, µ = 1 (base); non-best, µ = 1 (ext) *)
+  og_b : Relational.Tuple.t;  (** best, µ = 0 (base); non-best, µ = 0 (ext) *)
+  og_g : Relational.Tuple.t;  (** the only best answer of the extension *)
+}
+
+val orthogonality_witness : unit -> orthogonality_witness

@@ -1,0 +1,53 @@
+(** Measures for arbitrary generic queries.
+
+    Theorem 1 is stated for {e every} generic query — anything that
+    commutes with permutations of the constants fixing a finite set [C]
+    — not just first-order ones. This module packages a query as a pair
+    (evaluation function, genericity constants) and runs the full
+    measure machinery on it: naïve evaluation, brute-force [µ^k], the
+    symbolic measure, and the 0–1-law check. Datalog programs (with
+    recursion, hence beyond FO) are the motivating instance; experiment
+    E24 verifies the 0–1 law on transitive closure over incomplete
+    graphs.
+
+    {b Caller's obligation}: [eval] must be [C]-generic for the declared
+    [constants] (true for any logic-defined query, for datalog programs,
+    for relational algebra plans, …). Genericity is what makes class
+    representatives decisive; it cannot be checked mechanically here. *)
+
+type t = {
+  name : string;
+  arity : int;
+  constants : int list;  (** the genericity set [C] *)
+  eval : Relational.Instance.t -> Relational.Relation.t;
+}
+
+val of_fo : Logic.Query.t -> t
+val of_ra : Relational.Schema.t -> Logic.Ra.t -> t
+val of_datalog : Relational.Schema.t -> Datalog.Program.t -> goal:string -> t
+(** The query returning the [goal] predicate of the program's fixpoint.
+    @raise Invalid_argument if the program is ill-formed for the schema
+    or the goal is not one of its predicates. *)
+
+val naive_answers : Relational.Instance.t -> t -> Relational.Relation.t
+(** Evaluation on the incomplete instance itself — naïve evaluation. *)
+
+val in_support :
+  Relational.Instance.t ->
+  t ->
+  Relational.Tuple.t ->
+  Incomplete.Valuation.t ->
+  bool
+(** [v(ā) ∈ Q(v(D))]. *)
+
+val mu_k :
+  Relational.Instance.t -> t -> Relational.Tuple.t -> k:int -> Arith.Rat.t
+
+val mu_symbolic :
+  Relational.Instance.t -> t -> Relational.Tuple.t -> Arith.Rat.t
+(** The limit measure via the class machinery; by Theorem 1 it is 0 or
+    1 and coincides with naïve evaluation — for datalog too. *)
+
+val is_certain :
+  Relational.Instance.t -> t -> Relational.Tuple.t -> bool
+(** Exact certainty over valuation classes (exponential in nulls). *)

@@ -1,0 +1,71 @@
+module Instance = Relational.Instance
+module Tuple = Relational.Tuple
+module Query = Logic.Query
+module Formula = Logic.Formula
+module Classes = Incomplete.Classes
+module Support = Incomplete.Support
+module Poly = Arith.Poly
+
+type t = {
+  anchor_set : int list;
+  nulls : int list;
+  polys : Poly.t list;
+  total : Poly.t;
+}
+
+let of_predicates ~anchor_set ~nulls inst predicates =
+  let classes = Classes.enumerate ~anchor_set ~nulls in
+  let polys =
+    List.fold_left
+      (fun acc cls ->
+        let v = Classes.representative ~anchor_set cls in
+        let complete = Incomplete.Valuation.instance v inst in
+        let weight = Classes.count_poly ~anchor_set cls in
+        List.map2
+          (fun p predicate ->
+            if predicate v complete then Poly.add p weight else p)
+          acc predicates)
+      (List.map (fun _ -> Poly.zero) predicates)
+      classes
+  in
+  { anchor_set; nulls; polys; total = Poly.pow Poly.x (List.length nulls) }
+
+let of_sentences inst sentences =
+  let anchor_set = Support.anchor_set_sentences inst sentences in
+  let nulls =
+    List.sort_uniq Int.compare
+      (Instance.nulls inst @ List.concat_map Formula.nulls sentences)
+  in
+  let classes = Classes.enumerate ~anchor_set ~nulls in
+  let polys =
+    List.fold_left
+      (fun acc cls ->
+        let v = Classes.representative ~anchor_set cls in
+        let weight = Classes.count_poly ~anchor_set cls in
+        List.map2
+          (fun p sentence ->
+            if Support.sentence_in_support inst sentence v then
+              Poly.add p weight
+            else p)
+          acc sentences)
+      (List.map (fun _ -> Poly.zero) sentences)
+      classes
+  in
+  { anchor_set;
+    nulls;
+    polys;
+    total = Poly.pow Poly.x (List.length nulls)
+  }
+
+let of_sentence inst sentence =
+  match (of_sentences inst [ sentence ]).polys with
+  | [ p ] -> p
+  | _ -> assert false
+
+let of_query inst q tuple = of_sentence inst (Query.instantiate q tuple)
+
+let mu_k_exact t ~sentence ~k =
+  let p = List.nth t.polys sentence in
+  let total = Poly.eval_int t.total k in
+  if Arith.Rat.is_zero total then Arith.Rat.zero
+  else Arith.Rat.div (Poly.eval_int p k) total

@@ -1,0 +1,56 @@
+module Instance = Relational.Instance
+module Tuple = Relational.Tuple
+module Query = Logic.Query
+module Enumerate = Incomplete.Enumerate
+module Support = Incomplete.Support
+module Valuation = Incomplete.Valuation
+module Rat = Arith.Rat
+
+type scheme = k:int -> int -> Rat.t
+
+let uniform ~k:_ _ = Rat.one
+
+let geometric ~ratio ~k:_ code = Rat.pow ratio code
+
+let zipf ~k:_ code = Rat.of_ints 1 code
+
+let favourite ~code ~weight ~k:_ c = if c = code then weight else Rat.one
+
+let valuation_weight scheme ~k v =
+  List.fold_left
+    (fun acc (_, code) -> Rat.mul acc (scheme ~k code))
+    Rat.one (Valuation.bindings v)
+
+let mu_k scheme inst q tuple ~k =
+  let nulls =
+    List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
+  in
+  (* total mass = W^m with W = Σ_{i≤k} w(i); accumulate supporting mass
+     valuation by valuation. *)
+  let total_per_null =
+    List.fold_left
+      (fun acc code -> Rat.add acc (scheme ~k code))
+      Rat.zero
+      (Arith.Combinat.range 1 k)
+  in
+  if Rat.is_zero total_per_null || Rat.sign total_per_null < 0 then
+    invalid_arg "Weighted.mu_k: weights must be positive"
+  else begin
+    let supporting =
+      Enumerate.fold_valuations ~nulls ~k
+        (fun acc v ->
+          if Support.in_support inst q tuple v then
+            Rat.add acc (valuation_weight scheme ~k v)
+          else acc)
+        Rat.zero
+    in
+    Rat.div supporting (Rat.pow total_per_null (List.length nulls))
+  end
+
+let mu_k_boolean scheme inst q ~k =
+  if Query.arity q <> 0 then
+    invalid_arg "Weighted.mu_k_boolean: query not Boolean"
+  else mu_k scheme inst q Tuple.empty ~k
+
+let mu_k_series scheme inst q tuple ~ks =
+  List.map (fun k -> (k, mu_k scheme inst q tuple ~k)) ks

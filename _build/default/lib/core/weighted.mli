@@ -1,0 +1,56 @@
+(** Non-uniform distributions over valuations (paper §6, "Other
+    distributions" and "Preferences").
+
+    The paper's measure draws the value of each null uniformly from
+    [{c1..ck}] and lists non-uniform distributions as future work. This
+    module implements the natural generalisation: a {e weight scheme}
+    assigns each constant code a positive rational weight (possibly
+    depending on [k]); nulls draw values independently with probability
+    proportional to the weights, and
+
+    [µ_w^k(Q,D,ā) = Σ {Π_nulls w(v(⊥))/W_k | v ∈ Supp^k(Q,D,ā)}].
+
+    With uniform weights this is exactly [µ^k] (a property test). With
+    skewed weights the 0–1 law can fail: e.g. putting half the total
+    mass on one constant forever makes "the two nulls collide" have
+    limit ≥ 1/4 even though its uniform measure is 0 — the experiment
+    E21 exhibits this, quantifying the paper's remark that other
+    distributions genuinely change the theory. *)
+
+type scheme = k:int -> int -> Arith.Rat.t
+(** [scheme ~k code] is the (unnormalized) weight of constant [code]
+    when drawing from [{c1..ck}]; must be positive for [1 ≤ code ≤ k].
+    Normalization is handled internally. *)
+
+val uniform : scheme
+val geometric : ratio:Arith.Rat.t -> scheme
+(** [geometric ~ratio ~k i = ratio^i]; with [ratio < 1] most of the
+    mass sits on small codes independently of [k]. *)
+
+val zipf : scheme
+(** Weight [1/i] for code [i]. *)
+
+val favourite : code:int -> weight:Arith.Rat.t -> scheme
+(** [favourite ~code ~weight]: constant [code] gets [weight], everyone
+    else gets 1 — a crude model of a preferred interpretation. *)
+
+val mu_k :
+  scheme ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  k:int ->
+  Arith.Rat.t
+(** Weighted measure by enumeration of [V^k(D)] (exact; exponential in
+    the number of nulls). *)
+
+val mu_k_boolean :
+  scheme -> Relational.Instance.t -> Logic.Query.t -> k:int -> Arith.Rat.t
+
+val mu_k_series :
+  scheme ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  ks:int list ->
+  (int * Arith.Rat.t) list

@@ -1,0 +1,1 @@
+lib/ctable/condition.ml: Format Incomplete Int List Relational

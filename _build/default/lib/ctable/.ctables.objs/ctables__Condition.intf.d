@@ -1,0 +1,1 @@
+lib/ctable/condition.mli: Format Incomplete Relational

@@ -1,0 +1,1 @@
+lib/ctable/ctable.ml: Arith Condition Format Incomplete Int List Logic Relational

@@ -1,0 +1,1 @@
+lib/ctable/ctable.mli: Condition Format Incomplete Logic Relational

@@ -1,0 +1,104 @@
+module Value = Relational.Value
+module Valuation = Incomplete.Valuation
+
+type t =
+  | True
+  | False
+  | Eq of Value.t * Value.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let eq a b =
+  match (a, b) with
+  | Value.Const x, Value.Const y -> if x = y then True else False
+  | _, _ -> if Value.equal a b then True else Eq (a, b)
+
+let neq a b = match eq a b with True -> False | False -> True | c -> Not c
+
+let conj = function
+  | [] -> True
+  | c :: rest -> List.fold_left (fun acc d -> And (acc, d)) c rest
+
+let disj = function
+  | [] -> False
+  | c :: rest -> List.fold_left (fun acc d -> Or (acc, d)) c rest
+
+let rec simplify = function
+  | True -> True
+  | False -> False
+  | Eq (a, b) -> eq a b
+  | Not c -> (
+      match simplify c with
+      | True -> False
+      | False -> True
+      | Not d -> d
+      | c -> Not c)
+  | And (c, d) -> (
+      match (simplify c, simplify d) with
+      | False, _ | _, False -> False
+      | True, d -> d
+      | c, True -> c
+      | c, d -> And (c, d))
+  | Or (c, d) -> (
+      match (simplify c, simplify d) with
+      | True, _ | _, True -> True
+      | False, d -> d
+      | c, False -> c
+      | c, d -> Or (c, d))
+
+let rec eval v = function
+  | True -> true
+  | False -> false
+  | Eq (a, b) -> Value.equal (Valuation.value v a) (Valuation.value v b)
+  | Not c -> not (eval v c)
+  | And (c, d) -> eval v c && eval v d
+  | Or (c, d) -> eval v c || eval v d
+
+let rec fold_values f acc = function
+  | True | False -> acc
+  | Eq (a, b) -> f (f acc a) b
+  | Not c -> fold_values f acc c
+  | And (c, d) | Or (c, d) -> fold_values f (fold_values f acc c) d
+
+let nulls c =
+  fold_values
+    (fun acc v -> match Value.null_id v with Some n -> n :: acc | None -> acc)
+    [] c
+  |> List.sort_uniq Int.compare
+
+let constants c =
+  fold_values
+    (fun acc v -> match Value.const_code v with Some x -> x :: acc | None -> acc)
+    [] c
+  |> List.sort_uniq Int.compare
+
+let satisfiable c =
+  let ns = nulls c in
+  let cs = constants c in
+  (* mentioned constants plus one fresh value per null suffice: any
+     model can be renamed into this range without changing truth. *)
+  let base = List.fold_left max 0 cs in
+  let domain = cs @ List.mapi (fun i _ -> base + i + 1) ns in
+  let rec search assigned = function
+    | [] -> eval (Valuation.of_list assigned) c
+    | n :: rest ->
+        List.exists (fun d -> search ((n, d) :: assigned) rest) domain
+  in
+  if domain = [] then eval Valuation.empty c else search [] ns
+
+let valid c = not (satisfiable (Not c))
+
+let equal (a : t) (b : t) = a = b
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Eq (a, b) -> Format.fprintf fmt "%s = %s" (Value.to_string a) (Value.to_string b)
+  | Not (Eq (a, b)) ->
+      Format.fprintf fmt "%s != %s" (Value.to_string a) (Value.to_string b)
+  | Not c -> Format.fprintf fmt "!(%a)" pp c
+  | And (c, d) -> Format.fprintf fmt "(%a & %a)" pp c pp d
+  | Or (c, d) -> Format.fprintf fmt "(%a | %a)" pp c pp d
+
+let to_string c = Format.asprintf "%a" pp c

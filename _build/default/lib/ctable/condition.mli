@@ -1,0 +1,45 @@
+(** Conditions for conditional tables.
+
+    Boolean combinations of (in)equalities between values (constants
+    and nulls), attached to c-table rows. Under a valuation every
+    condition evaluates to a Boolean; no three-valued reading here —
+    c-tables quantify over valuations, they do not propagate unknowns. *)
+
+type t =
+  | True
+  | False
+  | Eq of Relational.Value.t * Relational.Value.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val eq : Relational.Value.t -> Relational.Value.t -> t
+(** Simplifies on the spot when both sides are constants or identical. *)
+
+val neq : Relational.Value.t -> Relational.Value.t -> t
+val conj : t list -> t
+val disj : t list -> t
+
+val simplify : t -> t
+(** Constant folding; no complete minimization. *)
+
+val eval : Incomplete.Valuation.t -> t -> bool
+(** @raise Invalid_argument when an unassigned null occurs. *)
+
+val nulls : t -> int list
+(** Null ids mentioned, sorted, deduplicated. *)
+
+val constants : t -> int list
+
+val satisfiable : t -> bool
+(** Is some valuation of the mentioned nulls a model? Decided by
+    enumerating valuations over the mentioned constants plus enough
+    fresh ones (exponential in the number of nulls in the condition —
+    conditions are small). *)
+
+val valid : t -> bool
+(** True under every valuation. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,162 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Instance = Relational.Instance
+module Valuation = Incomplete.Valuation
+module Ra = Logic.Ra
+
+type row = { tuple : Tuple.t; cond : Condition.t }
+type t = { arity : int; table_rows : row list }
+
+let make arity rows =
+  List.iter
+    (fun r ->
+      if Tuple.arity r.tuple <> arity then
+        invalid_arg "Ctable.make: row arity mismatch")
+    rows;
+  { arity;
+    table_rows =
+      List.filter_map
+        (fun r ->
+          let cond = Condition.simplify r.cond in
+          if Condition.satisfiable cond then Some { r with cond } else None)
+        rows
+  }
+
+let arity t = t.arity
+let rows t = t.table_rows
+
+let of_relation rel =
+  make (Relation.arity rel)
+    (List.map
+       (fun tuple -> { tuple; cond = Condition.True })
+       (Relation.to_list rel))
+
+let of_instance_relation inst name = of_relation (Instance.relation inst name)
+
+let instantiate v t =
+  List.fold_left
+    (fun acc r ->
+      if Condition.eval v r.cond then Relation.add (Valuation.tuple v r.tuple) acc
+      else acc)
+    (Relation.empty t.arity) t.table_rows
+
+let nulls t =
+  List.concat_map
+    (fun r -> Tuple.nulls r.tuple @ Condition.nulls r.cond)
+    t.table_rows
+  |> List.sort_uniq Int.compare
+
+let constants t =
+  List.concat_map
+    (fun r -> Tuple.constants r.tuple @ Condition.constants r.cond)
+    t.table_rows
+  |> List.sort_uniq Int.compare
+
+(* ------------------------------------------------------------------ *)
+(* Relational algebra (the Imieliński–Lipski closure construction)      *)
+(* ------------------------------------------------------------------ *)
+
+let rec pred_condition tuple = function
+  | Ra.Eq_col (i, j) -> Condition.eq (Tuple.get tuple i) (Tuple.get tuple j)
+  | Ra.Eq_const (i, v) -> Condition.eq (Tuple.get tuple i) v
+  | Ra.Neq_col (i, j) -> Condition.neq (Tuple.get tuple i) (Tuple.get tuple j)
+  | Ra.Neq_const (i, v) -> Condition.neq (Tuple.get tuple i) v
+  | Ra.And_p (p, q) ->
+      Condition.And (pred_condition tuple p, pred_condition tuple q)
+  | Ra.Or_p (p, q) ->
+      Condition.Or (pred_condition tuple p, pred_condition tuple q)
+
+let tuples_equal_condition u w =
+  Condition.conj
+    (List.map2 Condition.eq (Tuple.to_list u) (Tuple.to_list w))
+
+let eval inst e =
+  (match Ra.well_formed (Instance.schema inst) e with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Ctable.eval: " ^ msg));
+  let rec go = function
+    | Ra.Rel r -> of_instance_relation inst r
+    | Ra.Select (p, e1) ->
+        let t1 = go e1 in
+        make t1.arity
+          (List.map
+             (fun r ->
+               { r with cond = Condition.And (r.cond, pred_condition r.tuple p) })
+             t1.table_rows)
+    | Ra.Project (cols, e1) ->
+        let t1 = go e1 in
+        make (List.length cols)
+          (List.map
+             (fun r ->
+               { r with
+                 tuple = Tuple.of_list (List.map (Tuple.get r.tuple) cols)
+               })
+             t1.table_rows)
+    | Ra.Product (e1, e2) ->
+        let t1 = go e1 and t2 = go e2 in
+        make (t1.arity + t2.arity)
+          (List.concat_map
+             (fun r1 ->
+               List.map
+                 (fun r2 ->
+                   { tuple =
+                       Tuple.of_list (Tuple.to_list r1.tuple @ Tuple.to_list r2.tuple);
+                     cond = Condition.And (r1.cond, r2.cond)
+                   })
+                 t2.table_rows)
+             t1.table_rows)
+    | Ra.Union (e1, e2) ->
+        let t1 = go e1 and t2 = go e2 in
+        make t1.arity (t1.table_rows @ t2.table_rows)
+    | Ra.Diff (e1, e2) ->
+        let t1 = go e1 and t2 = go e2 in
+        make t1.arity
+          (List.map
+             (fun r1 ->
+               let killers =
+                 List.map
+                   (fun r2 ->
+                     Condition.Not
+                       (Condition.And
+                          (r2.cond, tuples_equal_condition r1.tuple r2.tuple)))
+                   t2.table_rows
+               in
+               { r1 with cond = Condition.conj (r1.cond :: killers) })
+             t1.table_rows)
+  in
+  go e
+
+(* ------------------------------------------------------------------ *)
+(* Certainty                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let possible_tuples t =
+  List.fold_left
+    (fun acc r -> Relation.add r.tuple acc)
+    (Relation.empty t.arity) t.table_rows
+
+let certain_tuples t =
+  let consts = List.map Value.const (constants t) in
+  let candidates =
+    List.map Tuple.of_list (Arith.Combinat.tuples consts t.arity)
+  in
+  List.fold_left
+    (fun acc cand ->
+      let covering =
+        Condition.disj
+          (List.map
+             (fun r ->
+               Condition.And (r.cond, tuples_equal_condition r.tuple cand))
+             t.table_rows)
+      in
+      if Condition.valid covering then Relation.add cand acc else acc)
+    (Relation.empty t.arity) candidates
+
+let pp fmt t =
+  Format.fprintf fmt "c-table (arity %d):@." t.arity;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %s  if  %s@." (Tuple.to_string r.tuple)
+        (Condition.to_string r.cond))
+    t.table_rows

@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Format Int List Logic Printf Relational Result String

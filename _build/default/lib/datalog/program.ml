@@ -1,0 +1,255 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module F = Logic.Formula
+
+type atom = { pred : string; args : F.term list }
+type rule = { head : atom; body : atom list }
+type t = { rules : rule list }
+
+let atom pred args = { pred; args }
+let rule head body = { head; body }
+let make rules = { rules }
+
+let all_atoms t =
+  List.concat_map (fun r -> r.head :: r.body) t.rules
+
+let idb_predicates t =
+  let heads =
+    List.map (fun r -> (r.head.pred, List.length r.head.args)) t.rules
+  in
+  let sorted = List.sort_uniq compare heads in
+  let names = List.map fst sorted in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Datalog: an IDB predicate is used with two arities"
+  else sorted
+
+let constants t =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (function
+          | F.Val (Value.Const c) -> Some c
+          | F.Val (Value.Null _) | F.Var _ -> None)
+        a.args)
+    (all_atoms t)
+  |> List.sort_uniq Int.compare
+
+let atom_vars a =
+  List.filter_map (function F.Var x -> Some x | F.Val _ -> None) a.args
+
+let well_formed schema t =
+  let idb =
+    match idb_predicates t with
+    | preds -> Ok preds
+    | exception Invalid_argument msg -> Error msg
+  in
+  Result.bind idb (fun idb ->
+      let arity_of pred =
+        match List.assoc_opt pred idb with
+        | Some a -> Some a
+        | None -> Schema.arity_opt schema pred
+      in
+      let check_rule r =
+        let head_vars = atom_vars r.head in
+        let body_vars = List.concat_map atom_vars r.body in
+        if List.exists (fun p -> Schema.mem p schema) (List.map fst idb) then
+          Error "an IDB predicate redefines an EDB relation"
+        else if List.exists (fun v -> not (List.mem v body_vars)) head_vars
+        then
+          Error
+            (Printf.sprintf "rule for %s is not range-restricted" r.head.pred)
+        else begin
+          let bad_atom =
+            List.find_opt
+              (fun a ->
+                match arity_of a.pred with
+                | None -> true
+                | Some ar -> ar <> List.length a.args)
+              (r.head :: r.body)
+          in
+          match bad_atom with
+          | Some a ->
+              Error (Printf.sprintf "unknown predicate or wrong arity: %s" a.pred)
+          | None -> Ok ()
+        end
+      in
+      List.fold_left
+        (fun acc r -> Result.bind acc (fun () -> check_rule r))
+        (Ok ()) t.rules)
+
+(* All extensions of [env] matching the body atoms against [inst]. *)
+let rec matches inst env = function
+  | [] -> [ env ]
+  | a :: rest ->
+      let rel = Instance.relation inst a.pred in
+      Relation.fold
+        (fun tuple acc ->
+          let rec unify env i = function
+            | [] -> Some env
+            | t :: ts -> (
+                let actual = Tuple.get tuple i in
+                match t with
+                | F.Val v ->
+                    if Value.equal v actual then unify env (i + 1) ts else None
+                | F.Var x -> (
+                    match List.assoc_opt x env with
+                    | Some v ->
+                        if Value.equal v actual then unify env (i + 1) ts
+                        else None
+                    | None -> unify ((x, actual) :: env) (i + 1) ts))
+          in
+          match unify env 0 a.args with
+          | Some env' -> matches inst env' rest @ acc
+          | None -> acc)
+        rel []
+
+let instantiate_head env a =
+  Tuple.of_list
+    (List.map
+       (function
+         | F.Val v -> v
+         | F.Var x -> (
+             match List.assoc_opt x env with
+             | Some v -> v
+             | None -> invalid_arg "Datalog: unbound head variable"))
+       a.args)
+
+let eval inst t =
+  (match well_formed (Instance.schema inst) t with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Datalog.eval: " ^ msg));
+  let idb = idb_predicates t in
+  let combined_schema =
+    List.fold_left
+      (fun s (p, a) -> Schema.add p a s)
+      (Instance.schema inst) idb
+  in
+  let start =
+    Instance.fold
+      (fun rel tuple acc -> Instance.add_tuple rel tuple acc)
+      inst
+      (Instance.empty combined_schema)
+  in
+  let step current =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left
+          (fun acc env ->
+            Instance.add_tuple r.head.pred (instantiate_head env r.head) acc)
+          acc
+          (matches current [] r.body))
+      current t.rules
+  in
+  let rec fixpoint current =
+    let next = step current in
+    if Instance.equal next current then current else fixpoint next
+  in
+  fixpoint start
+
+let query inst t pred =
+  let result = eval inst t in
+  Instance.relation result pred
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse_exn schema input =
+  let open Logic.Lexer in
+  let tokens = ref (tokenize input) in
+  let peek () = match !tokens with tok :: _ -> tok | [] -> EOF in
+  let next () =
+    match !tokens with
+    | tok :: rest ->
+        tokens := rest;
+        tok
+    | [] -> EOF
+  in
+  let expect tok =
+    let got = next () in
+    if got <> tok then
+      raise
+        (Parse_error
+           (Printf.sprintf "expected %s, found %s" (token_to_string tok)
+              (token_to_string got)))
+  in
+  let term () =
+    match next () with
+    | IDENT x -> F.Var x
+    | QUOTED s -> F.Val (Value.named s)
+    | INT n -> F.Val (Value.named (string_of_int n))
+    | NULLID n -> F.Val (Value.null n)
+    | tok -> raise (Parse_error ("expected a term, found " ^ token_to_string tok))
+  in
+  let parse_atom () =
+    match next () with
+    | IDENT pred ->
+        expect LPAREN;
+        let rec terms acc =
+          if peek () = RPAREN then List.rev acc
+          else begin
+            let t = term () in
+            match peek () with
+            | COMMA ->
+                ignore (next ());
+                terms (t :: acc)
+            | _ -> List.rev (t :: acc)
+          end
+        in
+        let args = terms [] in
+        expect RPAREN;
+        { pred; args }
+    | tok -> raise (Parse_error ("expected an atom, found " ^ token_to_string tok))
+  in
+  let parse_rule () =
+    let head = parse_atom () in
+    match next () with
+    | DOT -> { head; body = [] }
+    | ASSIGN ->
+        let rec body acc =
+          let a = parse_atom () in
+          match next () with
+          | COMMA -> body (a :: acc)
+          | DOT -> List.rev (a :: acc)
+          | tok ->
+              raise
+                (Parse_error ("expected , or . in rule body, found " ^ token_to_string tok))
+        in
+        { head; body = body [] }
+    | tok ->
+        raise (Parse_error ("expected := or . after rule head, found " ^ token_to_string tok))
+  in
+  let rec rules acc =
+    if peek () = EOF then List.rev acc else rules (parse_rule () :: acc)
+  in
+  let program = { rules = rules [] } in
+  match well_formed schema program with
+  | Ok () -> program
+  | Error msg -> raise (Parse_error msg)
+
+let parse schema input =
+  match parse_exn schema input with
+  | p -> Ok p
+  | exception Parse_error msg -> Error msg
+  | exception Logic.Lexer.Lex_error (msg, pos) ->
+      Error (Printf.sprintf "%s (at offset %d)" msg pos)
+
+let pp fmt t =
+  let pp_atom fmt a =
+    Format.fprintf fmt "%s(%s)" a.pred
+      (String.concat ", "
+         (List.map (Format.asprintf "%a" F.pp_term) a.args))
+  in
+  List.iter
+    (fun r ->
+      if r.body = [] then Format.fprintf fmt "%a.@." pp_atom r.head
+      else
+        Format.fprintf fmt "%a := %s.@." pp_atom r.head
+          (String.concat ", "
+             (List.map (Format.asprintf "%a" pp_atom) r.body)))
+    t.rules

@@ -1,0 +1,72 @@
+(** Positive datalog.
+
+    The paper's Theorem 1 is {e not} limited to first-order logic: it
+    holds for every generic query, and the text stresses that this makes
+    it "quite different from 0–1 laws in logic" — fixed-point queries
+    qualify, even though FO does not express them. This engine provides
+    such queries: positive datalog programs with recursion, evaluated by
+    naïve fixpoint iteration. Programs are generic (their constants are
+    the genericity set [C]), so all measure machinery applies through
+    {!Zeroone.Generic}; experiment E24 checks the 0–1 law on transitive
+    closure over incomplete graphs.
+
+    Rules are range-restricted: every head variable must occur in the
+    body. IDB predicates (those appearing in heads) must not collide
+    with EDB relations. Evaluation over an incomplete instance treats
+    nulls as constants — exactly naïve evaluation, as everywhere else in
+    this library. *)
+
+type atom = { pred : string; args : Logic.Formula.term list }
+
+type rule = { head : atom; body : atom list }
+(** [head :- body]. An empty body makes the rule a fact (its arguments
+    must then be values). *)
+
+type t = { rules : rule list }
+
+(** {1 Convenience constructors} *)
+
+val atom : string -> Logic.Formula.term list -> atom
+val rule : atom -> atom list -> rule
+val make : rule list -> t
+
+(** {1 Static structure} *)
+
+val idb_predicates : t -> (string * int) list
+(** Head predicates with their arities, sorted by name.
+    @raise Invalid_argument if a predicate is used with two arities. *)
+
+val constants : t -> int list
+(** Constant codes mentioned by the program (its genericity set). *)
+
+val well_formed : Relational.Schema.t -> t -> (unit, string) result
+(** Checks range restriction, arity consistency, EDB arities against
+    the schema, and that no IDB predicate redefines an EDB relation. *)
+
+(** {1 Evaluation} *)
+
+val eval : Relational.Instance.t -> t -> Relational.Instance.t
+(** Least fixpoint: the instance over the combined EDB + IDB schema
+    containing the input and every derivable IDB fact.
+    @raise Invalid_argument if the program is not well-formed for the
+    instance's schema. *)
+
+val query : Relational.Instance.t -> t -> string -> Relational.Relation.t
+(** The relation computed for one IDB predicate (or an EDB relation,
+    returned as-is).
+    @raise Not_found for unknown predicates. *)
+
+(** {1 Parsing} *)
+
+val parse : Relational.Schema.t -> string -> (t, string) result
+(** Surface syntax, one rule per [.]-terminated clause, with [:=]
+    between head and body (facts omit the body):
+    {v
+      TC(x, y) := E(x, y).
+      TC(x, z) := E(x, y), TC(y, z).
+      Source('a').
+    v} *)
+
+val parse_exn : Relational.Schema.t -> string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/incomplete/certain.ml: Arith Classes Fun Int List Logic Relational Support

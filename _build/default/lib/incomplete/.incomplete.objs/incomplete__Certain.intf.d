@@ -1,0 +1,1 @@
+lib/incomplete/certain.mli: Classes Logic Relational

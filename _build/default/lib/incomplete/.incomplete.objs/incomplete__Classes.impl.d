@@ -1,0 +1,1 @@
+lib/incomplete/classes.ml: Arith Array Format Fun Int List Option Relational String Valuation

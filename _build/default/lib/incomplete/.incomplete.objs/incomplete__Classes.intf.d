@@ -1,0 +1,1 @@
+lib/incomplete/classes.mli: Arith Format Valuation

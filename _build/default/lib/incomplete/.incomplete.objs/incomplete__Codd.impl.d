@@ -1,0 +1,1 @@
+lib/incomplete/codd.ml: Array Hashtbl Int List Option Relational

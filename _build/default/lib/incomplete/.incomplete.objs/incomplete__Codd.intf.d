@@ -1,0 +1,1 @@
+lib/incomplete/codd.mli: Relational

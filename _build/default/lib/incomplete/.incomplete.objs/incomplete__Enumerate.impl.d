@@ -1,0 +1,1 @@
+lib/incomplete/enumerate.ml: Arith List Valuation

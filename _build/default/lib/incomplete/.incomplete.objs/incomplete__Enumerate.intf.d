@@ -1,0 +1,1 @@
+lib/incomplete/enumerate.mli: Arith Valuation

@@ -1,0 +1,1 @@
+lib/incomplete/naive.ml: Arith Enumerate Int List Logic Relational Valuation

@@ -1,0 +1,1 @@
+lib/incomplete/naive.mli: Logic Relational Valuation

@@ -1,0 +1,1 @@
+lib/incomplete/support.ml: Arith Enumerate Int List Logic Relational Valuation

@@ -1,0 +1,1 @@
+lib/incomplete/support.mli: Arith Logic Relational Valuation

@@ -1,0 +1,1 @@
+lib/incomplete/valuation.ml: Format Int List Map Printf Relational

@@ -1,0 +1,1 @@
+lib/incomplete/valuation.mli: Format Relational

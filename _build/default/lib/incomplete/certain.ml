@@ -1,0 +1,60 @@
+module Instance = Relational.Instance
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Query = Logic.Query
+module Formula = Logic.Formula
+
+let all_nulls inst tuple =
+  List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
+
+let witnessing_classes inst q tuple =
+  (* Anchor on the constants of the instantiated sentence Q(ā) too, so
+     tuples carrying constants from outside the database are handled. *)
+  let anchor_set =
+    Support.anchor_set_sentences inst [ Query.instantiate q tuple ]
+  in
+  let nulls = all_nulls inst tuple in
+  List.map
+    (fun c ->
+      let v = Classes.representative ~anchor_set c in
+      (c, Support.in_support inst q tuple v))
+    (Classes.enumerate ~anchor_set ~nulls)
+
+let is_certain inst q tuple =
+  List.for_all snd (witnessing_classes inst q tuple)
+
+let is_possible inst q tuple =
+  List.exists snd (witnessing_classes inst q tuple)
+
+let candidates inst m =
+  List.map Tuple.of_list (Arith.Combinat.tuples (Instance.adom inst) m)
+
+let filter_candidates pred inst q =
+  let m = Query.arity q in
+  List.fold_left
+    (fun acc t -> if pred inst q t then Relation.add t acc else acc)
+    (Relation.empty m) (candidates inst m)
+
+let certain_answers inst q = filter_candidates is_certain inst q
+
+let certain_answers_null_free inst q =
+  Relation.filter (fun t -> not (Tuple.has_null t)) (certain_answers inst q)
+
+let possible_answers inst q = filter_candidates is_possible inst q
+
+let sentence_classes inst sentence =
+  let anchor_set = Support.anchor_set_sentences inst [ sentence ] in
+  let nulls =
+    List.sort_uniq Int.compare (Instance.nulls inst @ Formula.nulls sentence)
+  in
+  List.map
+    (fun c ->
+      let v = Classes.representative ~anchor_set c in
+      Support.sentence_in_support inst sentence v)
+    (Classes.enumerate ~anchor_set ~nulls)
+
+let is_certain_sentence inst sentence =
+  List.for_all Fun.id (sentence_classes inst sentence)
+
+let is_possible_sentence inst sentence =
+  List.exists Fun.id (sentence_classes inst sentence)

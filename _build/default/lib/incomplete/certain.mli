@@ -1,0 +1,48 @@
+(** Certain and possible answers, decided exactly.
+
+    A tuple [ā] is a certain answer ([ā ∈ □(Q,D)]) iff
+    [Supp(Q,D,ā) = V(D)], and a possible answer iff
+    [Supp(Q,D,ā) ≠ ∅] (paper §2). Although [V(D)] is infinite, by
+    [C]-genericity the truth of [v(ā) ∈ Q(v(D))] is constant on each
+    valuation equivalence class ({!Classes}), and every class is
+    non-empty; hence certainty is universality over class
+    representatives and possibility is existence of one. This is exact
+    for {e every} generic query — including full first-order queries,
+    where naïve evaluation is unsound for certainty — at exponential
+    cost in the number of nulls (coNP-hardness is Theorem 6's
+    territory; no polynomial algorithm is expected). *)
+
+val is_certain :
+  Relational.Instance.t -> Logic.Query.t -> Relational.Tuple.t -> bool
+
+val certain_answers :
+  Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
+(** [□(Q,D)]: all certain answers among tuples over the active domain
+    (certain answers {e with nulls}, after [Lipski 1984]). *)
+
+val certain_answers_null_free :
+  Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
+(** The classical intersection-based certain answers: the restriction
+    of [□(Q,D)] to null-free tuples (paper §1: "this is simply the
+    restriction of □(Q,D) to tuples without nulls"). *)
+
+val is_possible :
+  Relational.Instance.t -> Logic.Query.t -> Relational.Tuple.t -> bool
+
+val possible_answers :
+  Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
+
+val is_certain_sentence : Relational.Instance.t -> Logic.Formula.t -> bool
+(** Certain truth of a Boolean query: [Q(D') = true] for all
+    [D' ∈ [[D]]]. *)
+
+val is_possible_sentence : Relational.Instance.t -> Logic.Formula.t -> bool
+
+val witnessing_classes :
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  (Classes.t * bool) list
+(** Every valuation class together with the truth of
+    [v(ā) ∈ Q(v(D))] on it — the raw data behind all the decisions
+    above (and behind the measure computations in [Zeroone]). *)

@@ -1,0 +1,59 @@
+module Instance = Relational.Instance
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+
+let occurrence_counts inst =
+  let counts = Hashtbl.create 16 in
+  Instance.fold
+    (fun _ tuple () ->
+      Array.iter
+        (function
+          | Value.Null n ->
+              Hashtbl.replace counts n
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts n))
+          | Value.Const _ -> ())
+        (Tuple.to_array tuple))
+    inst ();
+  counts
+
+let repeated_nulls inst =
+  let counts = occurrence_counts inst in
+  Hashtbl.fold (fun n c acc -> if c > 1 then n :: acc else acc) counts []
+  |> List.sort Int.compare
+
+let is_codd inst = repeated_nulls inst = []
+
+let coddify inst =
+  let repeated = repeated_nulls inst in
+  if repeated = [] then inst
+  else begin
+    let next = ref (List.fold_left max (-1) (Instance.nulls inst)) in
+    let fresh () =
+      incr next;
+      !next
+    in
+    (* Walk the instance relation by relation, rewriting each occurrence
+       of a repeated null to a fresh id. Tuples are rebuilt value by
+       value so two occurrences within one tuple also split. *)
+    let rewrite_tuple tuple =
+      Tuple.of_list
+        (List.map
+           (function
+             | Value.Null n when List.mem n repeated -> Value.null (fresh ())
+             | v -> v)
+           (Tuple.to_list tuple))
+    in
+    List.fold_left
+      (fun acc name ->
+        let rel = Instance.relation inst name in
+        let rewritten =
+          Relation.fold
+            (fun t r -> Relation.add (rewrite_tuple t) r)
+            rel
+            (Relation.empty (Relation.arity rel))
+        in
+        Instance.set_relation name rewritten acc)
+      inst
+      (Relational.Schema.relations (Instance.schema inst))
+  end

@@ -1,0 +1,25 @@
+(** Codd nulls (paper §2 and §6).
+
+    Codd nulls are marked nulls that occur {e at most once} in the
+    database — the usual simplified model of SQL's [NULL]. Marked nulls
+    are strictly more expressive: repeating a null across positions
+    asserts that the same unknown value occurs there. Forgetting that
+    assertion ("coddification") relaxes the semantics:
+    [[D]] ⊆ [[coddify D]], so certain truth can only be lost and
+    possible truth can only be gained — both facts are property-tested.
+
+    The paper's results hold for both models; this module provides the
+    bridge used by those tests and by downstream users who want the
+    weaker Codd reading of their data. *)
+
+val is_codd : Relational.Instance.t -> bool
+(** Does every null occur exactly once? *)
+
+val coddify : Relational.Instance.t -> Relational.Instance.t
+(** Replaces every occurrence of a repeated null with a fresh null id
+    (distinct per occurrence; ids chosen above all existing ones). The
+    result {!is_codd}. Instances already in Codd form are returned
+    unchanged (same null ids). *)
+
+val repeated_nulls : Relational.Instance.t -> int list
+(** The null ids occurring more than once, sorted. *)

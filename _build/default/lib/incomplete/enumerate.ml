@@ -1,0 +1,40 @@
+module B = Arith.Bigint
+
+let fold_valuations ~nulls ~k f acc =
+  let rec go acc assigned = function
+    | [] -> f acc (Valuation.of_list assigned)
+    | n :: rest ->
+        let acc = ref acc in
+        for c = 1 to k do
+          acc := go !acc ((n, c) :: assigned) rest
+        done;
+        !acc
+  in
+  if k < 0 then invalid_arg "Enumerate.fold_valuations: negative k"
+  else go acc [] nulls
+
+let all_valuations ~nulls ~k =
+  List.rev (fold_valuations ~nulls ~k (fun acc v -> v :: acc) [])
+
+let count ~nulls ~k = Arith.Combinat.power k (List.length nulls)
+
+let fold_bijective ~nulls ~avoid ~k f acc =
+  let rec go acc used assigned = function
+    | [] -> f acc (Valuation.of_list assigned)
+    | n :: rest ->
+        let acc = ref acc in
+        for c = 1 to k do
+          if (not (List.mem c avoid)) && not (List.mem c used) then
+            acc := go !acc (c :: used) ((n, c) :: assigned) rest
+        done;
+        !acc
+  in
+  go acc [] [] nulls
+
+let count_bijective ~nulls ~avoid ~k =
+  let a = List.length (List.filter (fun c -> c <= k && c >= 1) avoid) in
+  Arith.Combinat.falling_factorial (k - a) (List.length nulls)
+
+let fresh_bijective ~nulls ~avoid =
+  let base = List.fold_left max 0 avoid in
+  Valuation.of_list (List.mapi (fun i n -> (n, base + i + 1)) nulls)

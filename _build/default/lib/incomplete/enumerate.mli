@@ -1,0 +1,30 @@
+(** Enumeration of the finite valuation spaces [V^k(D)].
+
+    [V^k(D)] is the set of valuations whose range lies in the first [k]
+    constants [{c1,…,ck}] (represented by codes [1..k]); it has [k^m]
+    elements for [m] nulls. These enumerations drive the brute-force
+    computation of [µ^k] that cross-checks the symbolic machinery. *)
+
+val fold_valuations :
+  nulls:int list -> k:int -> ('a -> Valuation.t -> 'a) -> 'a -> 'a
+(** Folds over all of [V^k(D)] without materializing the list. *)
+
+val all_valuations : nulls:int list -> k:int -> Valuation.t list
+(** Materialized version; beware the [k^m] blow-up. *)
+
+val count : nulls:int list -> k:int -> Arith.Bigint.t
+(** [k^m]. *)
+
+val fold_bijective :
+  nulls:int list -> avoid:int list -> k:int -> ('a -> Valuation.t -> 'a) -> 'a -> 'a
+(** Folds over the [C]-bijective valuations with range in [{c1..ck}]:
+    injective, range disjoint from [avoid]. *)
+
+val count_bijective : nulls:int list -> avoid:int list -> k:int -> Arith.Bigint.t
+(** Number of the above: the falling factorial [(k−a)·…] where [a] is
+    the number of codes of [avoid] that are [≤ k]. *)
+
+val fresh_bijective : nulls:int list -> avoid:int list -> Valuation.t
+(** One canonical [C]-bijective valuation assigning to each null a
+    distinct constant beyond [max(avoid)] — the witness used by naïve
+    evaluation (Definition 3). *)

@@ -1,0 +1,41 @@
+module Instance = Relational.Instance
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Eval = Logic.Eval
+module Query = Logic.Query
+module Formula = Logic.Formula
+
+let answers inst q = Eval.answers inst q
+let boolean inst q = Eval.boolean_answer inst q
+let tuple_in inst q tuple = Eval.tuple_in_answer inst q tuple
+
+let answers_via_bijective ?valuation inst (q : Query.t) =
+  let avoid =
+    List.sort_uniq Int.compare (Query.constants q @ Instance.constants inst)
+  in
+  let nulls = Instance.nulls inst in
+  let v =
+    match valuation with
+    | Some v ->
+        if not (Valuation.defined_on v nulls) then
+          invalid_arg "Naive.answers_via_bijective: valuation misses nulls"
+        else if not (Valuation.is_bijective_for ~avoid v) then
+          invalid_arg "Naive.answers_via_bijective: valuation not C-bijective"
+        else v
+    | None -> Enumerate.fresh_bijective ~nulls ~avoid
+  in
+  let complete = Valuation.instance v inst in
+  let concrete_answers = Eval.answers complete q in
+  (* v⁻¹(Q(v(D))): tuples over adom(D) whose image is an answer. *)
+  let m = Query.arity q in
+  let candidates =
+    Relation.of_list m
+      (List.map Tuple.of_list
+         (Arith.Combinat.tuples (Instance.adom inst) m))
+  in
+  Valuation.preimage_relation v candidates concrete_answers
+
+let sentence inst f =
+  if not (Formula.is_sentence f) then
+    invalid_arg "Naive.sentence: formula has free variables"
+  else Eval.sentence_holds inst f

@@ -1,0 +1,56 @@
+module Instance = Relational.Instance
+module Tuple = Relational.Tuple
+module Query = Logic.Query
+module Formula = Logic.Formula
+module Eval = Logic.Eval
+module B = Arith.Bigint
+module Rat = Arith.Rat
+
+let anchor_set inst q =
+  List.sort_uniq Int.compare (Query.constants q @ Instance.constants inst)
+
+let anchor_set_sentences inst sentences =
+  List.sort_uniq Int.compare
+    (Instance.constants inst @ List.concat_map Formula.constants sentences)
+
+let sentence_in_support inst sentence v =
+  let complete = Valuation.instance v inst in
+  let concrete = Formula.map_values (Valuation.value v) sentence in
+  Eval.sentence_holds complete concrete
+
+let in_support inst q tuple v =
+  if Tuple.arity tuple <> Query.arity q then
+    invalid_arg "Support.in_support: arity mismatch"
+  else sentence_in_support inst (Query.instantiate q tuple) v
+
+let supp_count inst q tuple ~k =
+  let nulls =
+    List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
+  in
+  Enumerate.fold_valuations ~nulls ~k
+    (fun acc v -> if in_support inst q tuple v then B.succ acc else acc)
+    B.zero
+
+let mu_k inst q tuple ~k =
+  let nulls =
+    List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
+  in
+  let total = Enumerate.count ~nulls ~k in
+  if B.is_zero total then Rat.zero
+  else Rat.make (supp_count inst q tuple ~k) total
+
+let mu_k_boolean inst q ~k =
+  if Query.arity q <> 0 then invalid_arg "Support.mu_k_boolean: query not Boolean"
+  else mu_k inst q Tuple.empty ~k
+
+let mu_k_series inst q tuple ~ks =
+  List.map (fun k -> (k, mu_k inst q tuple ~k)) ks
+
+let support_valuations inst q tuple ~k =
+  let nulls =
+    List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
+  in
+  List.rev
+    (Enumerate.fold_valuations ~nulls ~k
+       (fun acc v -> if in_support inst q tuple v then v :: acc else acc)
+       [])

@@ -1,0 +1,70 @@
+(** Supports of query answers and the finite measures [µ^k].
+
+    [Supp(Q,D,ā)] is the set of valuations [v] with [v(ā) ∈ Q(v(D))];
+    [µ^k(Q,D,ā) = |Supp^k(Q,D,ā)| / |V^k(D)|] is the probability that a
+    valuation drawn uniformly from [V^k(D)] witnesses [ā] (paper §3.2).
+    This module computes these quantities by brute-force enumeration —
+    the ground truth against which the symbolic machinery
+    ([Zeroone.Support_poly]) is verified. *)
+
+val anchor_set : Relational.Instance.t -> Logic.Query.t -> int list
+(** [C ∪ Const(D)]: the query's genericity constants plus the
+    database's constants, sorted. *)
+
+val anchor_set_sentences :
+  Relational.Instance.t -> Logic.Formula.t list -> int list
+(** Anchor set for a family of sentences evaluated on the same
+    database (e.g. [Σ ∧ Q(ā)] and [Σ]). *)
+
+val in_support :
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  Valuation.t ->
+  bool
+(** [v ∈ Supp(Q,D,ā)], i.e. [v(ā) ∈ Q(v(D))].
+    @raise Invalid_argument on arity mismatch or if the valuation
+    misses a null of [D] or [ā]. *)
+
+val sentence_in_support :
+  Relational.Instance.t -> Logic.Formula.t -> Valuation.t -> bool
+(** [v(D) ⊨ φ[v]] for a sentence [φ] (whose nulls, if any, are replaced
+    through [v] as well). *)
+
+val supp_count :
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  k:int ->
+  Arith.Bigint.t
+(** [|Supp^k(Q,D,ā)|] by enumeration of all [k^m] valuations. *)
+
+val mu_k :
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  k:int ->
+  Arith.Rat.t
+(** [µ^k(Q,D,ā)]. By convention 1 when [D] has no nulls and the tuple
+    is an answer, 0 when it is not ([V^k(D)] is the singleton empty
+    valuation). *)
+
+val mu_k_boolean : Relational.Instance.t -> Logic.Query.t -> k:int -> Arith.Rat.t
+(** [µ^k(Q,D)] for Boolean [Q]. *)
+
+val mu_k_series :
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  ks:int list ->
+  (int * Arith.Rat.t) list
+(** The convergence series [(k, µ^k)] — the paper's limit object,
+    sampled. *)
+
+val support_valuations :
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  k:int ->
+  Valuation.t list
+(** The materialized [Supp^k(Q,D,ā)] (for small [k] and few nulls). *)

@@ -1,0 +1,1 @@
+lib/logic/fragment.ml: Formula Fun List Option String

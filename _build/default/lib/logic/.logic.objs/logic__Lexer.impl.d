@@ -1,0 +1,1 @@
+lib/logic/lexer.ml: List Printf String

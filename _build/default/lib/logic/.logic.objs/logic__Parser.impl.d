@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Formula Lexer List Printf Query Relational

@@ -1,0 +1,1 @@
+lib/logic/query.ml: Format Formula List String

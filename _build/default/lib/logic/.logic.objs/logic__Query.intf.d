@@ -1,0 +1,1 @@
+lib/logic/query.mli: Format Formula Relational

@@ -1,0 +1,1 @@
+lib/logic/ra.ml: Format Formula List Printf Query Relational Result String

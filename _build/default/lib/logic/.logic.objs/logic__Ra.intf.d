@@ -1,0 +1,1 @@
+lib/logic/ra.mli: Format Query Relational

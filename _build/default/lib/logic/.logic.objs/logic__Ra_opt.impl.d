@@ -1,0 +1,1 @@
+lib/logic/ra_opt.ml: Fun List Ra

@@ -1,0 +1,1 @@
+lib/logic/ra_opt.mli: Ra Relational

@@ -1,0 +1,1 @@
+lib/logic/sql3vl.ml: Eval Formula List Query Relational

@@ -1,0 +1,1 @@
+lib/logic/sql3vl.mli: Formula Query Relational

@@ -1,0 +1,1 @@
+lib/logic/ucq.ml: Format Formula List Option Printf Query Relational String

@@ -1,0 +1,84 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Instance = Relational.Instance
+
+type env = (string * Value.t) list
+
+let domain inst f =
+  let adom = Instance.adom inst in
+  let from_formula =
+    List.filter_map
+      (fun c ->
+        let v = Value.const c in
+        if List.exists (Value.equal v) adom then None else Some v)
+      (Formula.constants f)
+  in
+  adom @ from_formula
+
+let term_value env = function
+  | Formula.Val v -> v
+  | Formula.Var x -> (
+      match List.assoc_opt x env with
+      | Some v -> v
+      | None -> invalid_arg ("Eval: unbound variable " ^ x))
+
+let holds ?domain:dom inst env f =
+  let dom = match dom with Some d -> d | None -> domain inst f in
+  let rec go env f =
+    match f with
+    | Formula.True -> true
+    | Formula.False -> false
+    | Formula.Atom (r, ts) ->
+        let tuple = Tuple.of_list (List.map (term_value env) ts) in
+        Relation.mem tuple (Instance.relation inst r)
+    | Formula.Eq (a, b) -> Value.equal (term_value env a) (term_value env b)
+    | Formula.Not g -> not (go env g)
+    | Formula.And (g, h) -> go env g && go env h
+    | Formula.Or (g, h) -> go env g || go env h
+    | Formula.Implies (g, h) -> (not (go env g)) || go env h
+    | Formula.Exists (x, g) -> List.exists (fun v -> go ((x, v) :: env) g) dom
+    | Formula.Forall (x, g) -> List.for_all (fun v -> go ((x, v) :: env) g) dom
+  in
+  go env f
+
+let sentence_holds ?domain inst f = holds ?domain inst [] f
+
+let answers ?domain:dom inst (q : Query.t) =
+  let dom = match dom with Some d -> d | None -> domain inst q.Query.body in
+  (* Answer variables range over adom(D) only — an m-ary query returns a
+     subset of adom(D)^m (§2); quantified variables additionally see the
+     query's own constants. *)
+  let adom = Instance.adom inst in
+  let m = Query.arity q in
+  let result = ref (Relation.empty m) in
+  let rec assign env = function
+    | [] -> begin
+        if holds ~domain:dom inst env q.Query.body then
+          let tuple =
+            Tuple.of_list (List.map (fun x -> List.assoc x env) q.Query.free)
+          in
+          result := Relation.add tuple !result
+      end
+    | x :: rest -> List.iter (fun v -> assign ((x, v) :: env) rest) adom
+  in
+  assign [] q.Query.free;
+  !result
+
+let boolean_answer ?domain inst q =
+  if Query.arity q <> 0 then invalid_arg "Eval.boolean_answer: query not Boolean"
+  else sentence_holds ?domain inst q.Query.body
+
+let tuple_in_answer ?domain:dom inst (q : Query.t) tuple =
+  if Tuple.arity tuple <> Query.arity q then
+    invalid_arg "Eval.tuple_in_answer: arity mismatch"
+  else begin
+    let sentence = Query.instantiate q tuple in
+    let dom = match dom with Some d -> d | None -> domain inst sentence in
+    (* An answer tuple must come from the active domain (queries do not
+       invent values), so reject tuples outside it up front. *)
+    let adom = Instance.adom inst in
+    let in_dom v = List.exists (Value.equal v) adom in
+    Array.for_all in_dom (Tuple.to_array tuple)
+    && sentence_holds ~domain:dom inst sentence
+  end

@@ -1,0 +1,53 @@
+(** Active-domain evaluation of first-order formulas on instances.
+
+    Quantifiers range over the {e evaluation domain}: the active domain
+    of the instance plus the constants mentioned in the formula. This is
+    the standard generic semantics of relational calculus; queries never
+    invent values (paper §2, "Query languages").
+
+    Evaluation is defined uniformly on complete and incomplete
+    instances. On an incomplete instance, values compare by structural
+    equality — a null equals itself and differs from every constant and
+    every other null — so evaluating directly on [D] {e is} naïve
+    evaluation in the sense of Definition 3 (this coincidence with the
+    bijective-valuation definition is Proposition 1, and is verified in
+    the test suite). *)
+
+type env = (string * Relational.Value.t) list
+
+val domain : Relational.Instance.t -> Formula.t -> Relational.Value.t list
+(** The evaluation domain: [adom(D)] plus the formula's constants. *)
+
+val holds :
+  ?domain:Relational.Value.t list ->
+  Relational.Instance.t ->
+  env ->
+  Formula.t ->
+  bool
+(** Truth of a formula under an environment binding its free variables.
+    @raise Invalid_argument if a free variable is unbound. *)
+
+val sentence_holds :
+  ?domain:Relational.Value.t list -> Relational.Instance.t -> Formula.t -> bool
+
+val answers :
+  ?domain:Relational.Value.t list ->
+  Relational.Instance.t ->
+  Query.t ->
+  Relational.Relation.t
+(** All tuples over the evaluation domain satisfying the query body.
+    For a Boolean query the result is the nullary relation containing
+    the empty tuple iff the sentence holds. *)
+
+val boolean_answer :
+  ?domain:Relational.Value.t list -> Relational.Instance.t -> Query.t -> bool
+(** @raise Invalid_argument if the query is not Boolean. *)
+
+val tuple_in_answer :
+  ?domain:Relational.Value.t list ->
+  Relational.Instance.t ->
+  Query.t ->
+  Relational.Tuple.t ->
+  bool
+(** [tuple_in_answer D Q ā]: does [ā ∈ Q(D)]? Cheaper than computing all
+    answers. @raise Invalid_argument on arity mismatch. *)

@@ -1,0 +1,67 @@
+open Formula
+
+let rec is_conjunctive = function
+  | True | Atom _ -> true
+  | And (g, h) -> is_conjunctive g && is_conjunctive h
+  | Exists (_, g) -> is_conjunctive g
+  | False | Eq _ | Not _ | Or _ | Implies _ | Forall _ -> false
+
+let rec is_ucq = function
+  | True | False | Atom _ -> true
+  | And (g, h) | Or (g, h) -> is_ucq g && is_ucq h
+  | Exists (_, g) -> is_ucq g
+  | Eq _ | Not _ | Implies _ | Forall _ -> false
+
+let rec is_positive = function
+  | True | False | Atom _ | Eq _ -> true
+  | And (g, h) | Or (g, h) -> is_positive g && is_positive h
+  | Exists (_, g) | Forall (_, g) -> is_positive g
+  | Not _ | Implies _ -> false
+
+let guard_vars_if_valid ts =
+  (* The guard must be an atom over pairwise distinct variables. *)
+  let vars = List.map (function Var x -> Some x | Val _ -> None) ts in
+  if List.for_all Option.is_some vars then begin
+    let names = List.filter_map Fun.id vars in
+    if List.length (List.sort_uniq String.compare names) = List.length names
+    then Some names
+    else None
+  end
+  else None
+
+let is_pos_forall_guard f =
+  (* The guarded rule is ∀x̄ (α(x̄) → φ): the guard's variables are
+     exactly the universally quantified tuple, so a guard mentioning a
+     variable bound further out (or free) does NOT qualify — such
+     formulas genuinely escape the fragment (and naïve evaluation can
+     then fail to compute certain answers). *)
+  let rec go = function
+    | True | False | Atom _ | Eq _ -> true
+    | And (g, h) | Or (g, h) -> go g && go h
+    | Exists (_, g) -> go g
+    | Forall (_, body) as f -> begin
+        match strip_foralls f with
+        | prefix, Implies (Atom (_, ts), phi) -> begin
+            match guard_vars_if_valid ts with
+            | Some guard_vars
+              when List.for_all (fun v -> List.mem v prefix) guard_vars ->
+                go phi
+            | Some _ | None -> go body
+          end
+        | _, _ -> go body
+      end
+    | Not _ | Implies _ -> false
+  and strip_foralls = function
+    | Forall (x, g) ->
+        let xs, body = strip_foralls g in
+        (x :: xs, body)
+    | f -> ([], f)
+  in
+  go f
+
+let rec is_quantifier_free = function
+  | True | False | Atom _ | Eq _ -> true
+  | Not g -> is_quantifier_free g
+  | And (g, h) | Or (g, h) | Implies (g, h) ->
+      is_quantifier_free g && is_quantifier_free h
+  | Exists _ | Forall _ -> false

@@ -1,0 +1,24 @@
+(** Syntactic fragments of first-order logic used in the paper.
+
+    - conjunctive queries (CQ): the [∃,∧]-fragment over relational atoms;
+    - unions of conjunctive queries (UCQ): the [∃,∧,∨]-fragment;
+    - Pos∀G (Compton's positive FO with universal guards): atomic
+      formulas closed under [∧], [∨], [∃], [∀] and the guarded rule
+      [∀x̄ (α(x̄) → φ)] with [α] an atom over distinct variables.
+      For Pos∀G queries naïve evaluation computes certain answers
+      (Gheerbrant–Libkin–Sirangelo), which gives the paper's
+      Corollary 3. *)
+
+val is_conjunctive : Formula.t -> bool
+(** Built from relational atoms and [True] with [∧] and [∃] only. *)
+
+val is_ucq : Formula.t -> bool
+(** Built from relational atoms, [True], [False] with [∧], [∨], [∃]. *)
+
+val is_positive : Formula.t -> bool
+(** No negation and no implication (quantifiers unrestricted). *)
+
+val is_pos_forall_guard : Formula.t -> bool
+(** Membership in Pos∀G. *)
+
+val is_quantifier_free : Formula.t -> bool

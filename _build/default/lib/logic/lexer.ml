@@ -1,0 +1,165 @@
+type token =
+  | IDENT of string
+  | QUOTED of string
+  | INT of int
+  | NULLID of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  | AMP
+  | BAR
+  | BANG
+  | EQUAL
+  | NEQ
+  | ARROW
+  | LEQ
+  | ASSIGN
+  | KW_EXISTS
+  | KW_FORALL
+  | KW_TRUE
+  | KW_FALSE
+  | EOF
+
+exception Lex_error of string * int
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword = function
+  | "exists" -> Some KW_EXISTS
+  | "forall" -> Some KW_FORALL
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | _ -> None
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let take_while p =
+    let start = !pos in
+    while !pos < n && p input.[!pos] do
+      advance ()
+    done;
+    String.sub input start (!pos - start)
+  in
+  let skip_line () =
+    while !pos < n && input.[!pos] <> '\n' do
+      advance ()
+    done
+  in
+  while !pos < n do
+    let c = input.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance ()
+    else if c = '#' then skip_line ()
+    else if c = '-' && !pos + 1 < n && input.[!pos + 1] = '-' then skip_line ()
+    else if c = '-' && !pos + 1 < n && input.[!pos + 1] = '>' then begin
+      advance ();
+      advance ();
+      emit ARROW
+    end
+    else if is_ident_start c then begin
+      let word = take_while is_ident_char in
+      match keyword word with Some t -> emit t | None -> emit (IDENT word)
+    end
+    else if is_digit c then begin
+      let digits = take_while is_digit in
+      emit (INT (int_of_string digits))
+    end
+    else if c = '\'' then begin
+      advance ();
+      let content = take_while (fun c -> c <> '\'') in
+      match peek () with
+      | Some '\'' ->
+          advance ();
+          emit (QUOTED content)
+      | Some _ | None -> raise (Lex_error ("unterminated quoted constant", !pos))
+    end
+    else if c = '~' then begin
+      advance ();
+      let digits = take_while is_digit in
+      if digits = "" then raise (Lex_error ("null id expected after ~", !pos))
+      else emit (NULLID (int_of_string digits))
+    end
+    else begin
+      advance ();
+      match c with
+      | '(' -> emit LPAREN
+      | ')' -> emit RPAREN
+      | '{' -> emit LBRACE
+      | '}' -> emit RBRACE
+      | '[' -> emit LBRACKET
+      | ']' -> emit RBRACKET
+      | ',' -> emit COMMA
+      | ';' -> emit SEMI
+      | '.' -> emit DOT
+      | '&' -> emit AMP
+      | '|' -> emit BAR
+      | '=' -> emit EQUAL
+      | ':' ->
+          if peek () = Some '=' then begin
+            advance ();
+            emit ASSIGN
+          end
+          else emit COLON
+      | '!' ->
+          if peek () = Some '=' then begin
+            advance ();
+            emit NEQ
+          end
+          else emit BANG
+      | '<' ->
+          if peek () = Some '=' then begin
+            advance ();
+            emit LEQ
+          end
+          else raise (Lex_error ("unexpected character <", !pos - 1))
+      | _ ->
+          raise
+            (Lex_error (Printf.sprintf "unexpected character %c" c, !pos - 1))
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+let token_to_string = function
+  | IDENT s -> s
+  | QUOTED s -> "'" ^ s ^ "'"
+  | INT n -> string_of_int n
+  | NULLID n -> "~" ^ string_of_int n
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | DOT -> "."
+  | AMP -> "&"
+  | BAR -> "|"
+  | BANG -> "!"
+  | EQUAL -> "="
+  | NEQ -> "!="
+  | ARROW -> "->"
+  | LEQ -> "<="
+  | ASSIGN -> ":="
+  | KW_EXISTS -> "exists"
+  | KW_FORALL -> "forall"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | EOF -> "<eof>"

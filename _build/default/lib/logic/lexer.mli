@@ -1,0 +1,53 @@
+(** Hand-rolled lexer for the query/database surface language.
+
+    The surface syntax (used by the CLI, the examples and the tests):
+    {v
+      formulas:   R(x, y) & !S(x, y)
+                  exists y. E('c', y) & E(y, x)
+                  forall x. U(x) -> (R(x) & !S(x))
+      queries:    Q(x, y) := R(x, y) & !S(x, y)
+      constants:  'alice'  or  42   (integer literals are names too)
+      nulls:      ~1 ~2              (marked nulls, in database literals)
+      databases:  R = { ('c1', ~1), ('c2', ~2) }; S = { ... }
+      schemas:    R(customer, product); U(name)
+      FDs:        R : customer -> product
+      INDs:       R[2] <= U[1]       (1-based column lists)
+    v} *)
+
+type token =
+  | IDENT of string
+  | QUOTED of string  (** ['name'] constant literal *)
+  | INT of int
+  | NULLID of int  (** [~i] *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  | AMP
+  | BAR
+  | BANG
+  | EQUAL
+  | NEQ
+  | ARROW  (** [->] *)
+  | LEQ  (** [<=] *)
+  | ASSIGN  (** [:=] *)
+  | KW_EXISTS
+  | KW_FORALL
+  | KW_TRUE
+  | KW_FALSE
+  | EOF
+
+exception Lex_error of string * int
+(** Message and character offset. *)
+
+val tokenize : string -> token list
+(** @raise Lex_error on invalid input. Comments run from [--] or [#] to
+    end of line. *)
+
+val token_to_string : token -> string

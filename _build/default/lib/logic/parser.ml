@@ -1,0 +1,275 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+open Lexer
+
+exception Parse_error of string
+
+type state = { mutable tokens : token list }
+
+let fail msg = raise (Parse_error msg)
+
+let peek st = match st.tokens with t :: _ -> t | [] -> EOF
+
+let next st =
+  match st.tokens with
+  | t :: rest ->
+      st.tokens <- rest;
+      t
+  | [] -> EOF
+
+let expect st t =
+  let got = next st in
+  if got <> t then
+    fail
+      (Printf.sprintf "expected %s but found %s" (token_to_string t)
+         (token_to_string got))
+
+let ident st =
+  match next st with
+  | IDENT s -> s
+  | t -> fail ("expected identifier, found " ^ token_to_string t)
+
+(* A value literal: quoted constant, integer constant, bare-identifier
+   constant (only where [allow_bare] — database literals), or null. *)
+let value_literal ~allow_bare st =
+  match next st with
+  | QUOTED s -> Value.named s
+  | INT n -> Value.named (string_of_int n)
+  | NULLID n -> Value.null n
+  | IDENT s when allow_bare -> Value.named s
+  | t -> fail ("expected a value, found " ^ token_to_string t)
+
+(* Terms in formulas: bare identifiers are variables. *)
+let term st =
+  match peek st with
+  | IDENT x ->
+      ignore (next st);
+      Formula.Var x
+  | QUOTED _ | INT _ | NULLID _ -> Formula.Val (value_literal ~allow_bare:false st)
+  | t -> fail ("expected a term, found " ^ token_to_string t)
+
+let rec comma_separated st parse_one stop =
+  if peek st = stop then []
+  else begin
+    let first = parse_one st in
+    match peek st with
+    | COMMA ->
+        ignore (next st);
+        first :: comma_separated st parse_one stop
+    | _ -> [ first ]
+  end
+
+(* formula   := implies
+   implies   := or [ -> implies ]
+   or        := and ( | and )*
+   and       := unary ( & unary )*
+   unary     := ! unary | quantifier | atomic [ (=|!=) term ]
+   quantifier:= (exists|forall) ident+ . implies *)
+let rec parse_formula st = parse_implies st
+
+and parse_implies st =
+  let lhs = parse_or st in
+  match peek st with
+  | ARROW ->
+      ignore (next st);
+      Formula.Implies (lhs, parse_implies st)
+  | _ -> lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec go acc =
+    match peek st with
+    | BAR ->
+        ignore (next st);
+        go (Formula.Or (acc, parse_and st))
+    | _ -> acc
+  in
+  go lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  let rec go acc =
+    match peek st with
+    | AMP ->
+        ignore (next st);
+        go (Formula.And (acc, parse_unary st))
+    | _ -> acc
+  in
+  go lhs
+
+and parse_unary st =
+  match peek st with
+  | BANG ->
+      ignore (next st);
+      Formula.Not (parse_unary st)
+  | KW_EXISTS | KW_FORALL ->
+      let quant = next st in
+      let rec vars acc =
+        match peek st with
+        | IDENT x ->
+            ignore (next st);
+            vars (x :: acc)
+        | DOT ->
+            ignore (next st);
+            List.rev acc
+        | t -> fail ("expected variable or '.', found " ^ token_to_string t)
+      in
+      let xs = vars [] in
+      if xs = [] then fail "quantifier binds no variables"
+      else begin
+        let body = parse_implies st in
+        if quant = KW_EXISTS then Formula.exists xs body
+        else Formula.forall xs body
+      end
+  | _ -> parse_atomic st
+
+and parse_atomic st =
+  match peek st with
+  | KW_TRUE ->
+      ignore (next st);
+      Formula.True
+  | KW_FALSE ->
+      ignore (next st);
+      Formula.False
+  | LPAREN ->
+      ignore (next st);
+      let f = parse_formula st in
+      expect st RPAREN;
+      f
+  | IDENT name when (match st.tokens with _ :: LPAREN :: _ -> true | _ -> false)
+    ->
+      ignore (next st);
+      expect st LPAREN;
+      let ts = comma_separated st term RPAREN in
+      expect st RPAREN;
+      Formula.Atom (name, ts)
+  | IDENT _ | QUOTED _ | INT _ | NULLID _ -> begin
+      let lhs = term st in
+      match next st with
+      | EQUAL -> Formula.Eq (lhs, term st)
+      | NEQ -> Formula.Not (Formula.Eq (lhs, term st))
+      | t -> fail ("expected = or != after term, found " ^ token_to_string t)
+    end
+  | t -> fail ("expected a formula, found " ^ token_to_string t)
+
+let parse_formula_string input =
+  let st = { tokens = tokenize input } in
+  let f = parse_formula st in
+  expect st EOF;
+  f
+
+let parse_query_string input =
+  let st = { tokens = tokenize input } in
+  (* Try the headed form  Name(x, y) := body. *)
+  let headed =
+    match st.tokens with
+    | IDENT _ :: LPAREN :: _ ->
+        let rec find_assign depth = function
+          | LPAREN :: rest -> find_assign (depth + 1) rest
+          | RPAREN :: rest -> if depth = 1 then rest else find_assign (depth - 1) rest
+          | _ :: rest when depth > 0 -> find_assign depth rest
+          | ASSIGN :: _ -> []
+          | toks -> toks
+        in
+        (* headed iff after the closing paren of the head comes := *)
+        (match find_assign 1 (List.tl (List.tl st.tokens)) with
+        | ASSIGN :: _ -> true
+        | _ -> false)
+    | _ -> false
+  in
+  if headed then begin
+    let name = ident st in
+    expect st LPAREN;
+    let vars = comma_separated st (fun st -> ident st) RPAREN in
+    expect st RPAREN;
+    expect st ASSIGN;
+    let body = parse_formula st in
+    expect st EOF;
+    Query.make ~name vars body
+  end
+  else begin
+    let body = parse_formula st in
+    expect st EOF;
+    Query.make (Formula.free_vars body) body
+  end
+
+let parse_value_string input =
+  let st = { tokens = tokenize input } in
+  let v = value_literal ~allow_bare:true st in
+  expect st EOF;
+  v
+
+let parse_tuple st =
+  expect st LPAREN;
+  let vs = comma_separated st (value_literal ~allow_bare:true) RPAREN in
+  expect st RPAREN;
+  Tuple.of_list vs
+
+let parse_tuple_string input =
+  let st = { tokens = tokenize input } in
+  let t = parse_tuple st in
+  expect st EOF;
+  t
+
+let parse_schema_string input =
+  let st = { tokens = tokenize input } in
+  let rec decls acc =
+    match peek st with
+    | EOF -> List.rev acc
+    | SEMI ->
+        ignore (next st);
+        decls acc
+    | IDENT _ ->
+        let name = ident st in
+        expect st LPAREN;
+        let attrs = comma_separated st (fun st -> ident st) RPAREN in
+        expect st RPAREN;
+        decls ((name, attrs) :: acc)
+    | t -> fail ("expected a relation declaration, found " ^ token_to_string t)
+  in
+  Schema.make_with_attrs (decls [])
+
+let parse_instance_string schema input =
+  let st = { tokens = tokenize input } in
+  let rec entries inst =
+    match peek st with
+    | EOF -> inst
+    | SEMI ->
+        ignore (next st);
+        entries inst
+    | IDENT _ ->
+        let name = ident st in
+        expect st EQUAL;
+        expect st LBRACE;
+        let tuples = comma_separated st parse_tuple RBRACE in
+        expect st RBRACE;
+        let inst =
+          List.fold_left (fun inst t -> Instance.add_tuple name t inst) inst tuples
+        in
+        entries inst
+    | t -> fail ("expected a relation assignment, found " ^ token_to_string t)
+  in
+  entries (Instance.empty schema)
+
+let wrap f input =
+  match f input with
+  | result -> Ok result
+  | exception Parse_error msg -> Error msg
+  | exception Lex_error (msg, pos) ->
+      Error (Printf.sprintf "%s (at offset %d)" msg pos)
+  | exception Invalid_argument msg -> Error msg
+
+let formula = wrap parse_formula_string
+let formula_exn = parse_formula_string
+let query = wrap parse_query_string
+let query_exn = parse_query_string
+let value = wrap parse_value_string
+let value_exn = parse_value_string
+let tuple = wrap parse_tuple_string
+let tuple_exn = parse_tuple_string
+let schema = wrap parse_schema_string
+let schema_exn = parse_schema_string
+let instance s = wrap (parse_instance_string s)
+let instance_exn = parse_instance_string

@@ -1,0 +1,42 @@
+(** Recursive-descent parser for the surface language (see {!Lexer}).
+
+    Entry points return [Result] values; the [_exn] variants raise
+    {!Parse_error} and are convenient in examples and tests. *)
+
+exception Parse_error of string
+
+val formula : string -> (Formula.t, string) result
+val formula_exn : string -> Formula.t
+
+val query : string -> (Query.t, string) result
+(** Either ["Q(x, y) := body"] or a bare formula, in which case the
+    answer variables are the free variables in order of first
+    occurrence (a sentence yields a Boolean query). *)
+
+val query_exn : string -> Query.t
+
+val value : string -> (Relational.Value.t, string) result
+(** A constant literal (['name'], [42], bare identifier) or a null
+    ([~i]). *)
+
+val value_exn : string -> Relational.Value.t
+
+val tuple : string -> (Relational.Tuple.t, string) result
+(** [("('a', ~1, 42)")], parentheses required; [()] is the empty
+    tuple. *)
+
+val tuple_exn : string -> Relational.Tuple.t
+
+val schema : string -> (Relational.Schema.t, string) result
+(** ["R(customer, product); U(name)"] — semicolon- or
+    whitespace-separated declarations with named attributes. *)
+
+val schema_exn : string -> Relational.Schema.t
+
+val instance :
+  Relational.Schema.t -> string -> (Relational.Instance.t, string) result
+(** ["R = { ('c1', ~1), ('c2', ~2) }; S = { }"]. Relations not
+    mentioned are empty. In database literals, bare identifiers are
+    named constants (there are no variables in data). *)
+
+val instance_exn : Relational.Schema.t -> string -> Relational.Instance.t

@@ -1,0 +1,35 @@
+type t = { name : string; free : string list; body : Formula.t }
+
+let make ?(name = "Q") free body =
+  let sorted = List.sort String.compare free in
+  let rec has_dup = function
+    | a :: (b :: _ as rest) -> a = b || has_dup rest
+    | _ -> false
+  in
+  if has_dup sorted then invalid_arg "Query.make: duplicate answer variable"
+  else begin
+    let fv = Formula.free_vars body in
+    match List.find_opt (fun x -> not (List.mem x free)) fv with
+    | Some x -> invalid_arg ("Query.make: unbound variable " ^ x)
+    | None -> { name; free; body }
+  end
+
+let boolean ?(name = "Q") body =
+  if not (Formula.is_sentence body) then
+    invalid_arg "Query.boolean: formula has free variables"
+  else { name; free = []; body }
+
+let arity q = List.length q.free
+let constants q = Formula.constants q.body
+let negate q = { q with name = "not_" ^ q.name; body = Formula.Not q.body }
+let instantiate q tuple = Formula.instantiate q.free tuple q.body
+let well_formed schema q = Formula.well_formed schema q.body
+
+let pp fmt q =
+  if q.free = [] then Format.fprintf fmt "%s() := %a" q.name Formula.pp q.body
+  else
+    Format.fprintf fmt "%s(%s) := %a" q.name
+      (String.concat ", " q.free)
+      Formula.pp q.body
+
+let to_string q = Format.asprintf "%a" pp q

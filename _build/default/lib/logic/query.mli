@@ -1,0 +1,36 @@
+(** Queries: formulas with an ordered list of answer variables.
+
+    An [m]-ary query maps a database [D] to a subset of [adom(D)^m]
+    (paper §2); a Boolean query has [m = 0]. Queries in this library are
+    generic by construction (they are logical formulas), with genericity
+    constants [C] given by {!constants}. *)
+
+type t = { name : string; free : string list; body : Formula.t }
+
+val make : ?name:string -> string list -> Formula.t -> t
+(** [make free body]. The free variables of [body] must all be listed in
+    [free] (extra answer variables are allowed and range over the
+    domain).
+    @raise Invalid_argument if [body] has a free variable not in [free]
+    or if [free] contains duplicates. *)
+
+val boolean : ?name:string -> Formula.t -> t
+(** A Boolean (0-ary) query. @raise Invalid_argument if not a sentence. *)
+
+val arity : t -> int
+
+val constants : t -> int list
+(** The genericity constants [C] of the query. *)
+
+val negate : t -> t
+(** Same free variables, negated body. (The complement query; note the
+    complement of a generic query is generic — used in the proof of
+    Theorem 1.) *)
+
+val instantiate : t -> Relational.Tuple.t -> Formula.t
+(** [instantiate q ā] is the sentence [Q(ā)].
+    @raise Invalid_argument on arity mismatch. *)
+
+val well_formed : Relational.Schema.t -> t -> (unit, string) result
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

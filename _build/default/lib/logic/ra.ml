@@ -1,0 +1,212 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+
+type pred =
+  | Eq_col of int * int
+  | Eq_const of int * Value.t
+  | Neq_col of int * int
+  | Neq_const of int * Value.t
+  | And_p of pred * pred
+  | Or_p of pred * pred
+
+type t =
+  | Rel of string
+  | Select of pred * t
+  | Project of int list * t
+  | Product of t * t
+  | Union of t * t
+  | Diff of t * t
+
+(* ------------------------------------------------------------------ *)
+(* Static checks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec pred_max_col = function
+  | Eq_col (i, j) | Neq_col (i, j) -> max i j
+  | Eq_const (i, _) | Neq_const (i, _) -> i
+  | And_p (p, q) | Or_p (p, q) -> max (pred_max_col p) (pred_max_col q)
+
+let rec pred_min_col = function
+  | Eq_col (i, j) | Neq_col (i, j) -> min i j
+  | Eq_const (i, _) | Neq_const (i, _) -> i
+  | And_p (p, q) | Or_p (p, q) -> min (pred_min_col p) (pred_min_col q)
+
+let rec arity schema = function
+  | Rel r -> (
+      match Schema.arity_opt schema r with
+      | Some a -> Ok a
+      | None -> Error (Printf.sprintf "unknown relation %s" r))
+  | Select (p, e) -> (
+      match arity schema e with
+      | Error _ as err -> err
+      | Ok a ->
+          if pred_min_col p < 0 || pred_max_col p >= a then
+            Error "selection predicate references a column out of range"
+          else Ok a)
+  | Project (cols, e) -> (
+      match arity schema e with
+      | Error _ as err -> err
+      | Ok a ->
+          if List.exists (fun c -> c < 0 || c >= a) cols then
+            Error "projection references a column out of range"
+          else Ok (List.length cols))
+  | Product (e1, e2) -> (
+      match (arity schema e1, arity schema e2) with
+      | Ok a1, Ok a2 -> Ok (a1 + a2)
+      | (Error _ as err), _ | _, (Error _ as err) -> err)
+  | Union (e1, e2) | Diff (e1, e2) -> (
+      match (arity schema e1, arity schema e2) with
+      | Ok a1, Ok a2 ->
+          if a1 = a2 then Ok a1
+          else Error (Printf.sprintf "arity mismatch: %d vs %d" a1 a2)
+      | (Error _ as err), _ | _, (Error _ as err) -> err)
+
+let well_formed schema e = Result.map (fun _ -> ()) (arity schema e)
+
+let rec positive_pred = function
+  | Eq_col _ | Eq_const _ -> true
+  | Neq_col _ | Neq_const _ -> false
+  | And_p (p, q) | Or_p (p, q) -> positive_pred p && positive_pred q
+
+let rec is_spju = function
+  | Rel _ -> true
+  | Select (p, e) -> positive_pred p && is_spju e
+  | Project (_, e) -> is_spju e
+  | Product (e1, e2) | Union (e1, e2) -> is_spju e1 && is_spju e2
+  | Diff _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Direct evaluation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_pred tuple = function
+  | Eq_col (i, j) -> Value.equal (Tuple.get tuple i) (Tuple.get tuple j)
+  | Eq_const (i, v) -> Value.equal (Tuple.get tuple i) v
+  | Neq_col (i, j) -> not (Value.equal (Tuple.get tuple i) (Tuple.get tuple j))
+  | Neq_const (i, v) -> not (Value.equal (Tuple.get tuple i) v)
+  | And_p (p, q) -> eval_pred tuple p && eval_pred tuple q
+  | Or_p (p, q) -> eval_pred tuple p || eval_pred tuple q
+
+let product r1 r2 =
+  let a = Relation.arity r1 + Relation.arity r2 in
+  Relation.fold
+    (fun t1 acc ->
+      Relation.fold
+        (fun t2 acc ->
+          Relation.add
+            (Tuple.of_list (Tuple.to_list t1 @ Tuple.to_list t2))
+            acc)
+        r2 acc)
+    r1 (Relation.empty a)
+
+let eval inst e =
+  (match well_formed (Instance.schema inst) e with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Ra.eval: " ^ msg));
+  let rec go = function
+    | Rel r -> Instance.relation inst r
+    | Select (p, e) -> Relation.filter (fun t -> eval_pred t p) (go e)
+    | Project (cols, e) -> Relation.project cols (go e)
+    | Product (e1, e2) -> product (go e1) (go e2)
+    | Union (e1, e2) -> Relation.union (go e1) (go e2)
+    | Diff (e1, e2) -> Relation.diff (go e1) (go e2)
+  in
+  go e
+
+(* ------------------------------------------------------------------ *)
+(* Compilation to first-order logic                                     *)
+(* ------------------------------------------------------------------ *)
+
+let to_query ?(name = "RA") schema e =
+  (match well_formed schema e with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Ra.to_query: " ^ msg));
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "v%d" !counter
+  in
+  let pred_formula vars p =
+    let col i = Formula.Var (List.nth vars i) in
+    let rec go = function
+      | Eq_col (i, j) -> Formula.Eq (col i, col j)
+      | Eq_const (i, v) -> Formula.Eq (col i, Formula.Val v)
+      | Neq_col (i, j) -> Formula.Not (Formula.Eq (col i, col j))
+      | Neq_const (i, v) -> Formula.Not (Formula.Eq (col i, Formula.Val v))
+      | And_p (p, q) -> Formula.And (go p, go q)
+      | Or_p (p, q) -> Formula.Or (go p, go q)
+    in
+    go p
+  in
+  (* compile returns (column variables, body). *)
+  let rec compile = function
+    | Rel r ->
+        let a = Schema.arity schema r in
+        let vars = List.init a (fun _ -> fresh ()) in
+        (vars, Formula.Atom (r, List.map (fun x -> Formula.Var x) vars))
+    | Select (p, e) ->
+        let vars, body = compile e in
+        (vars, Formula.And (body, pred_formula vars p))
+    | Project (cols, e) ->
+        let vars, body = compile e in
+        let out = List.map (fun _ -> fresh ()) cols in
+        let equalities =
+          List.map2
+            (fun z c -> Formula.Eq (Formula.Var z, Formula.Var (List.nth vars c)))
+            out cols
+        in
+        (out, Formula.exists vars (Formula.conj (body :: equalities)))
+    | Product (e1, e2) ->
+        let vars1, body1 = compile e1 in
+        let vars2, body2 = compile e2 in
+        (vars1 @ vars2, Formula.And (body1, body2))
+    | Union (e1, e2) ->
+        let vars1, body1 = compile e1 in
+        let vars2, body2 = compile e2 in
+        (* align e2's columns with e1's variables *)
+        let body2 =
+          Formula.subst
+            (List.map2 (fun x2 x1 -> (x2, Formula.Var x1)) vars2 vars1)
+            body2
+        in
+        (vars1, Formula.Or (body1, body2))
+    | Diff (e1, e2) ->
+        let vars1, body1 = compile e1 in
+        let vars2, body2 = compile e2 in
+        let body2 =
+          Formula.subst
+            (List.map2 (fun x2 x1 -> (x2, Formula.Var x1)) vars2 vars1)
+            body2
+        in
+        (vars1, Formula.And (body1, Formula.Not body2))
+  in
+  let vars, body = compile e in
+  Query.make ~name vars body
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_pred fmt = function
+  | Eq_col (i, j) -> Format.fprintf fmt "#%d = #%d" i j
+  | Eq_const (i, v) -> Format.fprintf fmt "#%d = %s" i (Value.to_string v)
+  | Neq_col (i, j) -> Format.fprintf fmt "#%d != #%d" i j
+  | Neq_const (i, v) -> Format.fprintf fmt "#%d != %s" i (Value.to_string v)
+  | And_p (p, q) -> Format.fprintf fmt "(%a & %a)" pp_pred p pp_pred q
+  | Or_p (p, q) -> Format.fprintf fmt "(%a | %a)" pp_pred p pp_pred q
+
+let rec pp fmt = function
+  | Rel r -> Format.pp_print_string fmt r
+  | Select (p, e) -> Format.fprintf fmt "select[%a](%a)" pp_pred p pp e
+  | Project (cols, e) ->
+      Format.fprintf fmt "project[%s](%a)"
+        (String.concat "," (List.map string_of_int cols))
+        pp e
+  | Product (e1, e2) -> Format.fprintf fmt "(%a x %a)" pp e1 pp e2
+  | Union (e1, e2) -> Format.fprintf fmt "(%a union %a)" pp e1 pp e2
+  | Diff (e1, e2) -> Format.fprintf fmt "(%a minus %a)" pp e1 pp e2
+
+let to_string e = Format.asprintf "%a" pp e

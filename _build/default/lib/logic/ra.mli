@@ -1,0 +1,59 @@
+(** Relational algebra.
+
+    The paper treats relational calculus and relational algebra as
+    interchangeable (§2: conjunctive queries are the select-project-join
+    fragment, UCQs add union; §5 speaks of "queries in relational
+    algebra/calculus"). This module provides the algebraic side: an AST
+    with a direct set-at-a-time evaluator, and a compiler into
+    first-order {!Query}s so that all the measure/comparison machinery
+    applies to algebra plans unchanged. Direct evaluation and the
+    compiled query agree on every instance — a property the test suite
+    checks on randomized inputs.
+
+    Selection predicates compare columns (0-based) and constants.
+    Evaluating an expression directly over an {e incomplete} instance
+    compares nulls structurally, which is exactly naïve evaluation. *)
+
+type pred =
+  | Eq_col of int * int  (** column = column *)
+  | Eq_const of int * Relational.Value.t  (** column = value *)
+  | Neq_col of int * int
+  | Neq_const of int * Relational.Value.t
+  | And_p of pred * pred
+  | Or_p of pred * pred
+
+type t =
+  | Rel of string  (** a base relation *)
+  | Select of pred * t
+  | Project of int list * t  (** keep these columns, in order *)
+  | Product of t * t
+  | Union of t * t
+  | Diff of t * t
+
+(** {1 Static checks} *)
+
+val arity : Relational.Schema.t -> t -> (int, string) result
+(** Output arity; [Error] on unknown relations, column references out
+    of range, or arity mismatches in [Union]/[Diff]. *)
+
+val well_formed : Relational.Schema.t -> t -> (unit, string) result
+
+val is_spju : t -> bool
+(** Select–project–join–union fragment (no difference; selections
+    positive): the algebraic counterpart of UCQs. *)
+
+(** {1 Evaluation} *)
+
+val eval : Relational.Instance.t -> t -> Relational.Relation.t
+(** Direct set-at-a-time evaluation.
+    @raise Invalid_argument on ill-formed expressions. *)
+
+(** {1 Compilation to first-order logic} *)
+
+val to_query : ?name:string -> Relational.Schema.t -> t -> Query.t
+(** An FO query equivalent to the expression (answer variables in
+    column order).
+    @raise Invalid_argument on ill-formed expressions. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

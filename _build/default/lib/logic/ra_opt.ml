@@ -1,0 +1,120 @@
+open Ra
+
+(* --- predicate column manipulation --------------------------------- *)
+
+let rec map_pred_cols f = function
+  | Eq_col (i, j) -> Eq_col (f i, f j)
+  | Eq_const (i, v) -> Eq_const (f i, v)
+  | Neq_col (i, j) -> Neq_col (f i, f j)
+  | Neq_const (i, v) -> Neq_const (f i, v)
+  | And_p (p, q) -> And_p (map_pred_cols f p, map_pred_cols f q)
+  | Or_p (p, q) -> Or_p (map_pred_cols f p, map_pred_cols f q)
+
+let rec pred_cols = function
+  | Eq_col (i, j) | Neq_col (i, j) -> [ i; j ]
+  | Eq_const (i, _) | Neq_const (i, _) -> [ i ]
+  | And_p (p, q) | Or_p (p, q) -> pred_cols p @ pred_cols q
+
+(* Split a predicate into its top-level conjuncts. *)
+let rec conjuncts = function
+  | And_p (p, q) -> conjuncts p @ conjuncts q
+  | p -> [ p ]
+
+let conj_of = function
+  | [] -> None
+  | p :: rest -> Some (List.fold_left (fun acc q -> And_p (acc, q)) p rest)
+
+(* --- one bottom-up rewriting pass ----------------------------------- *)
+
+let rewrite_once schema e =
+  let arity_exn e =
+    match Ra.arity schema e with
+    | Ok a -> a
+    | Error msg -> invalid_arg ("Ra_opt: " ^ msg)
+  in
+  let rec go e =
+    let e =
+      match e with
+      | Rel _ -> e
+      | Select (p, e1) -> Select (p, go e1)
+      | Project (cols, e1) -> Project (cols, go e1)
+      | Product (e1, e2) -> Product (go e1, go e2)
+      | Union (e1, e2) -> Union (go e1, go e2)
+      | Diff (e1, e2) -> Diff (go e1, go e2)
+    in
+    match e with
+    (* selection cascade *)
+    | Select (p, Select (q, e1)) -> Select (And_p (p, q), e1)
+    (* push selection through union / difference (left side) *)
+    | Select (p, Union (e1, e2)) -> Union (Select (p, e1), Select (p, e2))
+    | Select (p, Diff (e1, e2)) -> Diff (Select (p, e1), e2)
+    (* push selection through projection: remap columns *)
+    | Select (p, Project (cols, e1)) ->
+        let remap i =
+          match List.nth_opt cols i with
+          | Some c -> c
+          | None -> invalid_arg "Ra_opt: selection column out of range"
+        in
+        Project (cols, Select (map_pred_cols remap p, e1))
+    (* split a conjunctive selection across a product *)
+    | Select (p, Product (e1, e2)) -> begin
+        let a1 = arity_exn e1 in
+        let left, rest =
+          List.partition
+            (fun c -> List.for_all (fun i -> i < a1) (pred_cols c))
+            (conjuncts p)
+        in
+        let right, mixed =
+          List.partition
+            (fun c -> List.for_all (fun i -> i >= a1) (pred_cols c))
+            rest
+        in
+        if left = [] && right = [] then Select (p, Product (e1, e2))
+        else begin
+          let e1' =
+            match conj_of left with None -> e1 | Some q -> Select (q, e1)
+          in
+          let e2' =
+            match conj_of right with
+            | None -> e2
+            | Some q -> Select (map_pred_cols (fun i -> i - a1) q, e2)
+          in
+          let core = Product (e1', e2') in
+          match conj_of mixed with None -> core | Some q -> Select (q, core)
+        end
+      end
+    (* projection fusion *)
+    | Project (outer, Project (inner, e1)) ->
+        Project (List.map (fun i -> List.nth inner i) outer, e1)
+    (* identity projection removal *)
+    | Project (cols, e1) when cols = List.init (arity_exn e1) Fun.id -> e1
+    | e -> e
+  in
+  go e
+
+let size e =
+  let rec go = function
+    | Rel _ -> 1
+    | Select (_, e) | Project (_, e) -> 1 + go e
+    | Product (e1, e2) | Union (e1, e2) | Diff (e1, e2) -> 1 + go e1 + go e2
+  in
+  go e
+
+let selection_depths e =
+  let rec go = function
+    | Rel _ -> []
+    | Select (_, e1) -> (size e1 :: go e1)
+    | Project (_, e1) -> go e1
+    | Product (e1, e2) | Union (e1, e2) | Diff (e1, e2) -> go e1 @ go e2
+  in
+  go e
+
+let optimize schema e =
+  (match Ra.well_formed schema e with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Ra_opt.optimize: " ^ msg));
+  let rec fixpoint e n =
+    let e' = rewrite_once schema e in
+    if e' = e || n > 100 then e else fixpoint e' (n + 1)
+  in
+  fixpoint e 0

@@ -1,0 +1,25 @@
+(** Algebraic rewriting for relational-algebra plans.
+
+    Classic equivalence-preserving rewrites — selection cascading and
+    pushdown (through projection, union, difference, and into the sides
+    of a product), projection fusion, identity-projection removal —
+    applied bottom-up to a fixpoint. On set semantics over [Const ∪
+    Null] every rule preserves {!Ra.eval} exactly (property-tested on
+    random complete and incomplete instances), so optimized plans can be
+    fed to the measure machinery interchangeably with their originals.
+
+    The optimizer is deliberately small: it is the substrate for the
+    "ablation" comparisons in the benchmark (evaluate a plan before and
+    after pushdown), not a cost-based planner. *)
+
+val optimize : Relational.Schema.t -> Ra.t -> Ra.t
+(** Fixpoint of all rewrites; idempotent; preserves {!Ra.eval}.
+    @raise Invalid_argument if the plan is not well-formed for the
+    schema. *)
+
+val size : Ra.t -> int
+(** Number of operators, for before/after comparisons. *)
+
+val selection_depths : Ra.t -> int list
+(** For each selection in the plan, the number of operators below it —
+    pushdown drives these numbers down; used by the ablation bench. *)

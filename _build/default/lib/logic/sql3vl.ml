@@ -1,0 +1,96 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Instance = Relational.Instance
+
+type bool3 = True | False | Unknown
+
+let band a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | Unknown, (True | Unknown) | True, Unknown -> Unknown
+
+let bor a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | Unknown, (False | Unknown) | False, Unknown -> Unknown
+
+let bnot = function True -> False | False -> True | Unknown -> Unknown
+let of_bool b = if b then True else False
+
+let to_string3 = function
+  | True -> "true"
+  | False -> "false"
+  | Unknown -> "unknown"
+
+let eq_value a b =
+  match (a, b) with
+  | Value.Null _, _ | _, Value.Null _ -> Unknown
+  | Value.Const x, Value.Const y -> of_bool (x = y)
+
+let tuple_match candidate stored =
+  let n = Tuple.arity candidate in
+  let rec go acc i =
+    if i >= n then acc
+    else
+      match band acc (eq_value (Tuple.get candidate i) (Tuple.get stored i)) with
+      | False -> False
+      | acc -> go acc (i + 1)
+  in
+  go True 0
+
+let membership rel candidate =
+  Relation.fold (fun stored acc -> bor acc (tuple_match candidate stored)) rel False
+
+let term_value env = function
+  | Formula.Val v -> v
+  | Formula.Var x -> (
+      match List.assoc_opt x env with
+      | Some v -> v
+      | None -> invalid_arg ("Sql3vl: unbound variable " ^ x))
+
+let holds inst env f =
+  let domain = Eval.domain inst f in
+  let rec go env = function
+    | Formula.True -> True
+    | Formula.False -> False
+    | Formula.Atom (r, ts) ->
+        let candidate = Tuple.of_list (List.map (term_value env) ts) in
+        membership (Instance.relation inst r) candidate
+    | Formula.Eq (a, b) -> eq_value (term_value env a) (term_value env b)
+    | Formula.Not g -> bnot (go env g)
+    | Formula.And (g, h) -> band (go env g) (go env h)
+    | Formula.Or (g, h) -> bor (go env g) (go env h)
+    | Formula.Implies (g, h) -> bor (bnot (go env g)) (go env h)
+    | Formula.Exists (x, g) ->
+        List.fold_left (fun acc v -> bor acc (go ((x, v) :: env) g)) False domain
+    | Formula.Forall (x, g) ->
+        List.fold_left (fun acc v -> band acc (go ((x, v) :: env) g)) True domain
+  in
+  go env f
+
+let sentence_holds inst f =
+  if not (Formula.is_sentence f) then
+    invalid_arg "Sql3vl.sentence_holds: formula has free variables"
+  else holds inst [] f
+
+let answers_with verdict inst (q : Query.t) =
+  let m = Query.arity q in
+  let result = ref (Relation.empty m) in
+  let adom = Instance.adom inst in
+  let rec assign env = function
+    | [] ->
+        if holds inst env q.Query.body = verdict then
+          result :=
+            Relation.add
+              (Tuple.of_list (List.map (fun x -> List.assoc x env) q.Query.free))
+              !result
+    | x :: rest -> List.iter (fun v -> assign ((x, v) :: env) rest) adom
+  in
+  assign [] q.Query.free;
+  !result
+
+let answers inst q = answers_with True inst q
+let maybe_answers inst q = answers_with Unknown inst q

@@ -1,0 +1,55 @@
+(** SQL-style three-valued evaluation (paper §6, "SQL nulls").
+
+    The paper's future-work section asks how its results read under SQL
+    nulls, which are neither marked nor Codd nulls: SQL evaluates
+    conditions in a three-valued logic where any comparison touching a
+    null is [Unknown], and a query returns the tuples whose condition is
+    [True] (so both [False] and [Unknown] are filtered out).
+
+    This module implements that semantics over our instances so the
+    regimes can be compared executably:
+
+    - on complete databases, 3VL evaluation coincides with the ordinary
+      Boolean semantics (a test);
+    - on incomplete databases it differs from naïve evaluation with
+      marked nulls: naïvely [⊥1 = ⊥1] is true and [⊥1 = ⊥2] is false,
+      while SQL makes both [Unknown];
+    - returning only [True] tuples makes SQL evaluation {e sound but
+      incomplete} for certain answers on positive queries, and unsound
+      in general (Libkin, "SQL's three-valued logic and certain
+      answers", 2016) — the test suite exhibits both phenomena.
+
+    Atom membership: a tuple belongs to a relation if some stored tuple
+    matches it with all comparisons [True]; if no [True] match exists
+    but some match is [Unknown] (i.e. agrees on all non-null positions),
+    membership is [Unknown]. *)
+
+type bool3 = True | False | Unknown
+
+val band : bool3 -> bool3 -> bool3
+val bor : bool3 -> bool3 -> bool3
+val bnot : bool3 -> bool3
+val of_bool : bool -> bool3
+val to_string3 : bool3 -> string
+
+val eq_value : Relational.Value.t -> Relational.Value.t -> bool3
+(** SQL comparison: [Unknown] as soon as either side is a null. *)
+
+val holds :
+  Relational.Instance.t ->
+  (string * Relational.Value.t) list ->
+  Formula.t ->
+  bool3
+(** Three-valued truth under an environment; quantifiers fold [bor] /
+    [band] over the active domain (plus the formula's constants).
+    @raise Invalid_argument on unbound variables. *)
+
+val sentence_holds : Relational.Instance.t -> Formula.t -> bool3
+
+val answers : Relational.Instance.t -> Query.t -> Relational.Relation.t
+(** The tuples over the active domain whose condition evaluates to
+    [True] — SQL's WHERE semantics. *)
+
+val maybe_answers : Relational.Instance.t -> Query.t -> Relational.Relation.t
+(** The tuples evaluating to [Unknown] (SQL discards them; surfacing
+    them is one of the paper's suggested refinements). *)

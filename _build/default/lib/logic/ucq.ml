@@ -1,0 +1,147 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Instance = Relational.Instance
+
+type cq = { exvars : string list; atoms : (string * Formula.term list) list }
+type t = { free : string list; disjuncts : cq list }
+
+(* Rename every quantified variable to a globally fresh name so that
+   disjunct combination never captures. *)
+let standardize_apart f =
+  let counter = ref 0 in
+  let fresh base =
+    incr counter;
+    Printf.sprintf "%s~%d" base !counter
+  in
+  let rec go ren f =
+    let rename_term = function
+      | Formula.Var x as t -> (
+          match List.assoc_opt x ren with
+          | Some x' -> Formula.Var x'
+          | None -> t)
+      | Formula.Val _ as t -> t
+    in
+    match f with
+    | Formula.True | Formula.False -> f
+    | Formula.Atom (r, ts) -> Formula.Atom (r, List.map rename_term ts)
+    | Formula.Eq (a, b) -> Formula.Eq (rename_term a, rename_term b)
+    | Formula.Not g -> Formula.Not (go ren g)
+    | Formula.And (g, h) -> Formula.And (go ren g, go ren h)
+    | Formula.Or (g, h) -> Formula.Or (go ren g, go ren h)
+    | Formula.Implies (g, h) -> Formula.Implies (go ren g, go ren h)
+    | Formula.Exists (x, g) ->
+        let x' = fresh x in
+        Formula.Exists (x', go ((x, x') :: ren) g)
+    | Formula.Forall (x, g) ->
+        let x' = fresh x in
+        Formula.Forall (x', go ((x, x') :: ren) g)
+  in
+  go [] f
+
+(* Normalization into a list of disjuncts; assumes bound variables are
+   standardized apart and the formula is in the ∃,∧,∨ fragment. *)
+let rec norm f : cq list option =
+  match f with
+  | Formula.True -> Some [ { exvars = []; atoms = [] } ]
+  | Formula.False -> Some []
+  | Formula.Atom (r, ts) -> Some [ { exvars = []; atoms = [ (r, ts) ] } ]
+  | Formula.Or (g, h) -> (
+      match (norm g, norm h) with
+      | Some dg, Some dh -> Some (dg @ dh)
+      | _, _ -> None)
+  | Formula.And (g, h) -> (
+      match (norm g, norm h) with
+      | Some dg, Some dh ->
+          Some
+            (List.concat_map
+               (fun cg ->
+                 List.map
+                   (fun ch ->
+                     { exvars = cg.exvars @ ch.exvars;
+                       atoms = cg.atoms @ ch.atoms
+                     })
+                   dh)
+               dg)
+      | _, _ -> None)
+  | Formula.Exists (x, g) ->
+      Option.map
+        (List.map (fun c ->
+             (* Drop the variable if the disjunct does not mention it
+                (∃ over ∨ may leave some disjuncts without x). *)
+             let mentions =
+               List.exists
+                 (fun (_, ts) -> List.mem (Formula.Var x) ts)
+                 c.atoms
+             in
+             if mentions then { c with exvars = x :: c.exvars } else c))
+        (norm g)
+  | Formula.Eq _ | Formula.Not _ | Formula.Implies _ | Formula.Forall _ -> None
+
+let of_query (q : Query.t) =
+  match norm (standardize_apart q.Query.body) with
+  | None -> None
+  | Some disjuncts -> Some { free = q.Query.free; disjuncts }
+
+let max_atoms t =
+  List.fold_left (fun m c -> max m (List.length c.atoms)) 0 t.disjuncts
+
+let to_query ?(name = "Q") t =
+  let cq_formula c =
+    Formula.exists c.exvars
+      (Formula.conj (List.map (fun (r, ts) -> Formula.Atom (r, ts)) c.atoms))
+  in
+  Query.make ~name t.free (Formula.disj (List.map cq_formula t.disjuncts))
+
+let cq_holds inst c env =
+  (* Backtracking homomorphism search: process atoms left to right,
+     extending the partial assignment of existential variables by
+     matching each atom against the tuples of its relation. *)
+  let value_of env = function
+    | Formula.Val v -> Some v
+    | Formula.Var x -> List.assoc_opt x env
+  in
+  let match_atom env (r, ts) k =
+    let rel = Instance.relation inst r in
+    Relation.exists
+      (fun tuple ->
+        let rec unify env i = function
+          | [] -> k env
+          | t :: rest -> (
+              let actual = Tuple.get tuple i in
+              match value_of env t with
+              | Some v -> Value.equal v actual && unify env (i + 1) rest
+              | None -> (
+                  match t with
+                  | Formula.Var x -> unify ((x, actual) :: env) (i + 1) rest
+                  | Formula.Val _ -> assert false))
+        in
+        unify env 0 ts)
+      rel
+  in
+  let rec go env = function
+    | [] -> true
+    | atom :: rest -> match_atom env atom (fun env' -> go env' rest)
+  in
+  go env c.atoms
+
+let pp fmt t =
+  let pp_cq fmt c =
+    let atoms =
+      String.concat " & "
+        (List.map
+           (fun (r, ts) ->
+             Printf.sprintf "%s(%s)" r
+               (String.concat ", "
+                  (List.map (Format.asprintf "%a" Formula.pp_term) ts)))
+           c.atoms)
+    in
+    let atoms = if atoms = "" then "true" else atoms in
+    if c.exvars = [] then Format.pp_print_string fmt atoms
+    else Format.fprintf fmt "exists %s. %s" (String.concat " " c.exvars) atoms
+  in
+  if t.disjuncts = [] then Format.pp_print_string fmt "false"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "  |  ")
+      pp_cq fmt t.disjuncts

@@ -1,0 +1,44 @@
+(** Structured unions of conjunctive queries.
+
+    Theorem 8's polynomial-time algorithms need the query as an explicit
+    union [Q1 ∨ … ∨ Qr] where each [Qi(x̄) = ∃ȳ α1 ∧ … ∧ αp] with
+    relational atoms [αj]. This module normalizes any formula of the
+    [∃,∧,∨]-fragment into that shape (pushing [∃] through [∨] and
+    distributing [∧] over [∨], after standardizing bound variables
+    apart) and exposes the parameter [p = max_i p_i] used by the
+    small-witness bound [p + k] of the theorem. *)
+
+type cq = {
+  exvars : string list;  (** existentially quantified variables [ȳ] *)
+  atoms : (string * Formula.term list) list;  (** the conjuncts *)
+}
+
+type t = {
+  free : string list;  (** answer variables [x̄], shared by disjuncts *)
+  disjuncts : cq list;
+}
+
+val of_query : Query.t -> t option
+(** [None] if the query body is not in the [∃,∧,∨]-fragment over
+    relational atoms. An unsatisfiable body ([False]) yields an empty
+    disjunct list; a trivially true Boolean body yields a disjunct with
+    no atoms. *)
+
+val max_atoms : t -> int
+(** The parameter [p]: the largest number of atoms in a disjunct
+    (0 for the empty union). *)
+
+val to_query : ?name:string -> t -> Query.t
+(** Rebuilds a {!Query.t} in the normalized shape. *)
+
+val cq_holds :
+  Relational.Instance.t ->
+  cq ->
+  (string * Relational.Value.t) list ->
+  bool
+(** Satisfaction of one disjunct under a binding of the free variables:
+    does some assignment of the existential variables into the active
+    domain make all atoms hold? Implemented by backtracking over atoms
+    (homomorphism search), not by enumerating assignments. *)
+
+val pp : Format.formatter -> t -> unit

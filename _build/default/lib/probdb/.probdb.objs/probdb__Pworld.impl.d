@@ -1,0 +1,1 @@
+lib/probdb/pworld.ml: Arith Incomplete List Logic Map Option Relational

@@ -1,0 +1,1 @@
+lib/probdb/pworld.mli: Arith Logic Relational

@@ -1,0 +1,83 @@
+module Instance = Relational.Instance
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Query = Logic.Query
+module Eval = Logic.Eval
+module Enumerate = Incomplete.Enumerate
+module Valuation = Incomplete.Valuation
+module Rat = Arith.Rat
+
+module DMap = Map.Make (Instance)
+
+type t = Rat.t DMap.t
+
+let of_worlds pairs =
+  let merged =
+    List.fold_left
+      (fun m (inst, p) ->
+        if Rat.sign p < 0 then
+          invalid_arg "Pworld.of_worlds: negative probability"
+        else if Rat.is_zero p then m
+        else
+          DMap.update inst
+            (fun existing ->
+              Some (Rat.add p (Option.value ~default:Rat.zero existing)))
+            m)
+      DMap.empty pairs
+  in
+  let total = DMap.fold (fun _ p acc -> Rat.add p acc) merged Rat.zero in
+  if not (Rat.is_one total) then
+    invalid_arg
+      ("Pworld.of_worlds: probabilities sum to " ^ Rat.to_string total)
+  else merged
+
+let of_incomplete inst ~k =
+  let nulls = Instance.nulls inst in
+  let m = List.length nulls in
+  if m > 0 && k < 1 then
+    invalid_arg "Pworld.of_incomplete: k must be at least 1"
+  else begin
+    let p = Rat.inv (Rat.of_bigint (Arith.Combinat.power k m)) in
+    let merged =
+      Enumerate.fold_valuations ~nulls ~k
+        (fun acc v ->
+          DMap.update (Valuation.instance v inst)
+            (fun existing ->
+              Some (Rat.add p (Option.value ~default:Rat.zero existing)))
+            acc)
+        DMap.empty
+    in
+    merged
+  end
+
+let worlds t = DMap.bindings t
+let world_count t = DMap.cardinal t
+
+let prob_sentence t sentence =
+  DMap.fold
+    (fun inst p acc ->
+      if Eval.sentence_holds inst sentence then Rat.add p acc else acc)
+    t Rat.zero
+
+let prob_tuple t q tuple =
+  if Tuple.has_null tuple then
+    invalid_arg "Pworld.prob_tuple: tuple must be null-free"
+  else
+    DMap.fold
+      (fun inst p acc ->
+        if Eval.tuple_in_answer inst q tuple then Rat.add p acc else acc)
+      t Rat.zero
+
+let expected_answer_count t q =
+  DMap.fold
+    (fun inst p acc ->
+      Rat.add acc (Rat.mul_int p (Relation.cardinal (Eval.answers inst q))))
+    t Rat.zero
+
+let map_worlds f t =
+  DMap.fold
+    (fun inst p acc ->
+      DMap.update (f inst)
+        (fun existing -> Some (Rat.add p (Option.value ~default:Rat.zero existing)))
+        acc)
+    t DMap.empty

@@ -1,0 +1,44 @@
+(** A small possible-worlds probabilistic database engine.
+
+    The paper remarks (§3.2) that each individual value [µ^k(Q,D)] can
+    be cast as query evaluation over a probabilistic database. This
+    module realizes the remark: an incomplete database [D] with the
+    uniform distribution over [V^k(D)] induces a finite distribution
+    over complete databases (worlds), and [µ^k] is the probability of
+    the query's truth under it. It serves as a third, independent
+    computation of [µ^k] (besides brute-force valuation counting and
+    the support polynomial), used for cross-validation in experiment
+    E20. *)
+
+type t
+(** A finite distribution over complete instances. Probabilities are
+    exact rationals summing to 1 (enforced at construction). *)
+
+val of_worlds : (Relational.Instance.t * Arith.Rat.t) list -> t
+(** Merges duplicate worlds, drops zero-probability ones.
+    @raise Invalid_argument if probabilities are negative or do not sum
+    to 1. *)
+
+val of_incomplete : Relational.Instance.t -> k:int -> t
+(** The distribution of [v(D)] for [v] uniform on [V^k(D)]. Worlds
+    reachable by several valuations aggregate their probabilities, so
+    the world count can be far below [k^m].
+    @raise Invalid_argument if [k < 1] and the database has nulls. *)
+
+val worlds : t -> (Relational.Instance.t * Arith.Rat.t) list
+val world_count : t -> int
+
+val prob_sentence : t -> Logic.Formula.t -> Arith.Rat.t
+(** Probability that a Boolean query is true. *)
+
+val prob_tuple :
+  t -> Logic.Query.t -> Relational.Tuple.t -> Arith.Rat.t
+(** Probability that a (null-free) tuple is an answer.
+    @raise Invalid_argument if the tuple contains nulls — a world has
+    no nulls left, so null-carrying answers are a property of the
+    valuation, not of the world; use {!Incomplete.Support} for those. *)
+
+val expected_answer_count : t -> Logic.Query.t -> Arith.Rat.t
+(** Expected cardinality of the answer relation. *)
+
+val map_worlds : (Relational.Instance.t -> Relational.Instance.t) -> t -> t

@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Arith Array Format Int List Map Relation Schema String Tuple Value

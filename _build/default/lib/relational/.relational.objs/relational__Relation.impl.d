@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Format Int List Printf Set Tuple

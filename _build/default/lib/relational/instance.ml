@@ -1,0 +1,147 @@
+module SMap = Map.Make (String)
+
+type t = { schema : Schema.t; relations : Relation.t SMap.t }
+
+let empty schema =
+  let relations =
+    List.fold_left
+      (fun m name -> SMap.add name (Relation.empty (Schema.arity schema name)) m)
+      SMap.empty (Schema.relations schema)
+  in
+  { schema; relations }
+
+let schema t = t.schema
+
+let relation t name =
+  match SMap.find_opt name t.relations with
+  | Some r -> r
+  | None -> raise Not_found
+
+let set_relation name r t =
+  match Schema.arity_opt t.schema name with
+  | None -> invalid_arg ("Instance.set_relation: unknown relation " ^ name)
+  | Some a when a <> Relation.arity r ->
+      invalid_arg ("Instance.set_relation: arity mismatch for " ^ name)
+  | Some _ -> { t with relations = SMap.add name r t.relations }
+
+let add_tuple name tuple t =
+  match SMap.find_opt name t.relations with
+  | None -> invalid_arg ("Instance.add_tuple: unknown relation " ^ name)
+  | Some r -> { t with relations = SMap.add name (Relation.add tuple r) t.relations }
+
+let of_rows schema rows =
+  List.fold_left
+    (fun inst (name, tuples) ->
+      List.fold_left
+        (fun inst row -> add_tuple name (Tuple.of_list row) inst)
+        inst tuples)
+    (empty schema) rows
+
+let mem t name tuple = Relation.mem tuple (relation t name)
+
+let fold f t acc =
+  SMap.fold
+    (fun name r acc -> Relation.fold (fun tuple acc -> f name tuple acc) r acc)
+    t.relations acc
+
+let total_tuples t = fold (fun _ _ n -> n + 1) t 0
+
+let nulls t =
+  SMap.fold (fun _ r acc -> Relation.nulls r @ acc) t.relations []
+  |> List.sort_uniq Int.compare
+
+let constants t =
+  SMap.fold (fun _ r acc -> Relation.constants r @ acc) t.relations []
+  |> List.sort_uniq Int.compare
+
+let adom t =
+  List.map Value.const (constants t) @ List.map Value.null (nulls t)
+
+let null_count t = List.length (nulls t)
+let is_complete t = nulls t = []
+let max_constant t = List.fold_left max 0 (constants t)
+
+let map_values f t =
+  { t with relations = SMap.map (Relation.map_values f) t.relations }
+
+let subst_nulls f t =
+  map_values (function Value.Const _ as c -> c | Value.Null i -> f i) t
+
+let union a b =
+  if not (Schema.equal a.schema b.schema) then
+    invalid_arg "Instance.union: different schemas"
+  else
+    { a with
+      relations =
+        SMap.merge
+          (fun _ ra rb ->
+            match (ra, rb) with
+            | Some ra, Some rb -> Some (Relation.union ra rb)
+            | Some r, None | None, Some r -> Some r
+            | None, None -> None)
+          a.relations b.relations
+    }
+
+let equal a b = SMap.equal Relation.equal a.relations b.relations
+
+let compare a b =
+  SMap.compare Relation.compare a.relations b.relations
+
+let isomorphic a b =
+  let na = nulls a and nb = nulls b in
+  List.length na = List.length nb
+  && begin
+       let try_map assoc =
+         let f i = Value.null (List.assoc i assoc) in
+         equal (subst_nulls f a) b
+       in
+       List.exists
+         (fun perm -> try_map (List.combine na perm))
+         (Arith.Combinat.permutations nb)
+     end
+
+let pp fmt t =
+  let names = Schema.relations t.schema in
+  let non_empty = List.filter (fun n -> not (Relation.is_empty (relation t n))) names in
+  if non_empty = [] then Format.fprintf fmt "(empty instance)"
+  else
+    List.iteri
+      (fun idx name ->
+        if idx > 0 then Format.pp_print_newline fmt ();
+        let r = relation t name in
+        let rows =
+          List.map
+            (fun tup -> List.map Value.to_string (Tuple.to_list tup))
+            (Relation.to_list r)
+        in
+        let arity = Relation.arity r in
+        let header =
+          match Schema.attrs t.schema name with
+          | Some attrs -> attrs
+          | None -> List.init arity (fun i -> "col" ^ string_of_int i)
+        in
+        let widths = Array.of_list (List.map String.length header) in
+        List.iter
+          (fun row ->
+            List.iteri
+              (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+              row)
+          rows;
+        let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+        Format.fprintf fmt "%s:@." name;
+        if arity > 0 then begin
+          Format.fprintf fmt "  | %s |@."
+            (String.concat " | " (List.mapi pad header));
+          Format.fprintf fmt "  |%s|@."
+            (String.concat "+"
+               (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)));
+          List.iter
+            (fun row ->
+              Format.fprintf fmt "  | %s |@."
+                (String.concat " | " (List.mapi pad row)))
+            rows
+        end
+        else Format.fprintf fmt "  (nullary, %d tuple(s))@." (Relation.cardinal r))
+      non_empty
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,81 @@
+(** Incomplete database instances.
+
+    An instance interprets every relation name of its schema as a finite
+    relation over [Const ∪ Null] (paper, §2). An instance with no nulls
+    is {e complete}. The semantics [[D]] of an incomplete instance is
+    the set of complete instances [v(D)] for valuations [v] — that
+    machinery lives in [certainty.incomplete]; this module is the purely
+    structural substrate. *)
+
+type t
+
+(** {1 Construction} *)
+
+val empty : Schema.t -> t
+
+val of_rows : Schema.t -> (string * Value.t list list) list -> t
+(** [of_rows schema [("R", rows); …]]. Relations not listed are empty.
+    @raise Invalid_argument on unknown relations or arity mismatches. *)
+
+val add_tuple : string -> Tuple.t -> t -> t
+(** @raise Invalid_argument on unknown relation or arity mismatch. *)
+
+val set_relation : string -> Relation.t -> t -> t
+(** @raise Invalid_argument on unknown relation or arity mismatch. *)
+
+(** {1 Access} *)
+
+val schema : t -> Schema.t
+
+val relation : t -> string -> Relation.t
+(** @raise Not_found on unknown relation names. *)
+
+val mem : t -> string -> Tuple.t -> bool
+val fold : (string -> Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val total_tuples : t -> int
+
+(** {1 Domains} *)
+
+val nulls : t -> int list
+(** [Null(D)]: identifiers of nulls occurring, sorted, deduplicated. *)
+
+val constants : t -> int list
+(** [Const(D)]: codes of constants occurring, sorted, deduplicated. *)
+
+val adom : t -> Value.t list
+(** Active domain: all values occurring, constants first. *)
+
+val null_count : t -> int
+val is_complete : t -> bool
+
+val max_constant : t -> int
+(** Largest constant code occurring; [0] when none. *)
+
+(** {1 Transformation} *)
+
+val map_values : (Value.t -> Value.t) -> t -> t
+
+val subst_nulls : (int -> Value.t) -> t -> t
+(** Replaces each null [⊥i] by the image of [i] (constants unchanged). *)
+
+val union : t -> t -> t
+(** Relation-wise union; schemas must be equal.
+    @raise Invalid_argument otherwise. *)
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val isomorphic : t -> t -> bool
+(** Equality up to a bijective renaming of nulls (used, e.g., to state
+    chase confluence; the paper notes the chase result is unique "up to
+    renaming of nulls"). Exponential in the number of nulls; intended
+    for small instances and tests. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering with one table per non-empty relation. *)
+
+val to_string : t -> string

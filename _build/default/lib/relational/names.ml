@@ -1,0 +1,30 @@
+let table : (string, int) Hashtbl.t = Hashtbl.create 64
+let reverse : (int, string) Hashtbl.t = Hashtbl.create 64
+let next = ref 1
+
+let intern name =
+  match Hashtbl.find_opt table name with
+  | Some code -> code
+  | None ->
+      let code = !next in
+      incr next;
+      Hashtbl.add table name code;
+      Hashtbl.add reverse code name;
+      code
+
+let name_of code = Hashtbl.find_opt reverse code
+
+let to_string code =
+  match name_of code with Some n -> n | None -> "#" ^ string_of_int code
+
+let fresh () =
+  let code = !next in
+  incr next;
+  code
+
+let registered_count () = !next - 1
+
+let reset () =
+  Hashtbl.reset table;
+  Hashtbl.reset reverse;
+  next := 1

@@ -1,0 +1,78 @@
+module TSet = Set.Make (Tuple)
+
+type t = { arity : int; tuples : TSet.t }
+
+let empty arity =
+  if arity < 0 then invalid_arg "Relation.empty: negative arity"
+  else { arity; tuples = TSet.empty }
+
+let arity r = r.arity
+
+let add t r =
+  if Tuple.arity t <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation.add: tuple of arity %d into relation of arity %d"
+         (Tuple.arity t) r.arity)
+  else { r with tuples = TSet.add t r.tuples }
+
+let remove t r = { r with tuples = TSet.remove t r.tuples }
+let mem t r = TSet.mem t r.tuples
+let of_list arity ts = List.fold_left (fun r t -> add t r) (empty arity) ts
+let of_rows arity rows = of_list arity (List.map Tuple.of_list rows)
+let to_list r = TSet.elements r.tuples
+let cardinal r = TSet.cardinal r.tuples
+let is_empty r = TSet.is_empty r.tuples
+let subset a b = TSet.subset a.tuples b.tuples
+let equal a b = a.arity = b.arity && TSet.equal a.tuples b.tuples
+
+let compare a b =
+  let c = Int.compare a.arity b.arity in
+  if c <> 0 then c else TSet.compare a.tuples b.tuples
+
+let union a b = { a with tuples = TSet.union a.tuples b.tuples }
+let inter a b = { a with tuples = TSet.inter a.tuples b.tuples }
+let diff a b = { a with tuples = TSet.diff a.tuples b.tuples }
+let filter f r = { r with tuples = TSet.filter f r.tuples }
+let fold f r acc = TSet.fold f r.tuples acc
+let iter f r = TSet.iter f r.tuples
+let exists f r = TSet.exists f r.tuples
+let for_all f r = TSet.for_all f r.tuples
+
+let map f r =
+  fold
+    (fun t acc ->
+      let t' = f t in
+      if Tuple.arity t' <> r.arity then
+        invalid_arg "Relation.map: function changed tuple arity"
+      else add t' acc)
+    r (empty r.arity)
+
+let map_values f r = map (Tuple.map f) r
+
+let nulls r =
+  fold (fun t acc -> Tuple.nulls t @ acc) r []
+  |> List.sort_uniq Int.compare
+
+let constants r =
+  fold (fun t acc -> Tuple.constants t @ acc) r []
+  |> List.sort_uniq Int.compare
+
+let project positions r =
+  let width = List.length positions in
+  fold
+    (fun t acc ->
+      let projected =
+        Tuple.of_list (List.map (fun i -> Tuple.get t i) positions)
+      in
+      add projected acc)
+    r (empty width)
+
+let pp fmt r =
+  Format.fprintf fmt "{";
+  let first = ref true in
+  iter
+    (fun t ->
+      if !first then first := false else Format.pp_print_string fmt ", ";
+      Tuple.pp fmt t)
+    r;
+  Format.fprintf fmt "}"

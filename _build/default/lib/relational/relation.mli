@@ -1,0 +1,57 @@
+(** Relations: finite sets of tuples of a fixed arity.
+
+    A relation over [Const ∪ Null] — the interpretation of one relation
+    symbol in an incomplete instance (paper, §2). Backed by a balanced
+    set; all operations are purely functional. *)
+
+type t
+
+val empty : int -> t
+(** The empty relation of the given arity. @raise Invalid_argument on
+    negative arity. *)
+
+val arity : t -> int
+
+val add : Tuple.t -> t -> t
+(** @raise Invalid_argument on arity mismatch. *)
+
+val remove : Tuple.t -> t -> t
+val mem : Tuple.t -> t -> bool
+val of_list : int -> Tuple.t list -> t
+val of_rows : int -> Value.t list list -> t
+val to_list : t -> Tuple.t list
+(** In increasing {!Tuple.compare} order. *)
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val filter : (Tuple.t -> bool) -> t -> t
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val exists : (Tuple.t -> bool) -> t -> bool
+val for_all : (Tuple.t -> bool) -> t -> bool
+
+val map : (Tuple.t -> Tuple.t) -> t -> t
+(** Applies a tuple transformation and rebuilds the set (the image may
+    be smaller when the function identifies tuples).
+    @raise Invalid_argument if the function changes the arity. *)
+
+val map_values : (Value.t -> Value.t) -> t -> t
+
+val nulls : t -> int list
+(** Null identifiers occurring, deduplicated, sorted. *)
+
+val constants : t -> int list
+(** Constant codes occurring, deduplicated, sorted. *)
+
+val project : int list -> t -> t
+(** [project positions r] keeps the given 0-based columns, in order. *)
+
+val pp : Format.formatter -> t -> unit

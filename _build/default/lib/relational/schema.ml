@@ -1,0 +1,58 @@
+module SMap = Map.Make (String)
+
+type decl = { arity : int; attrs : string list option }
+type t = decl SMap.t
+
+let empty = SMap.empty
+
+let add name arity t =
+  if arity < 0 then invalid_arg "Schema.add: negative arity"
+  else if SMap.mem name t then
+    invalid_arg ("Schema.add: duplicate relation " ^ name)
+  else SMap.add name { arity; attrs = None } t
+
+let add_with_attrs name attrs t =
+  let sorted = List.sort String.compare attrs in
+  let rec has_dup = function
+    | a :: (b :: _ as rest) -> a = b || has_dup rest
+    | _ -> false
+  in
+  if has_dup sorted then
+    invalid_arg ("Schema.add_with_attrs: duplicate attribute in " ^ name)
+  else if SMap.mem name t then
+    invalid_arg ("Schema.add_with_attrs: duplicate relation " ^ name)
+  else SMap.add name { arity = List.length attrs; attrs = Some attrs } t
+
+let make decls = List.fold_left (fun t (n, a) -> add n a t) empty decls
+
+let make_with_attrs decls =
+  List.fold_left (fun t (n, attrs) -> add_with_attrs n attrs t) empty decls
+
+let mem name t = SMap.mem name t
+let arity t name = (SMap.find name t).arity
+let arity_opt t name = Option.map (fun d -> d.arity) (SMap.find_opt name t)
+let attrs t name = (SMap.find name t).attrs
+
+let attr_index t rel attr =
+  match (SMap.find rel t).attrs with
+  | None -> raise Not_found
+  | Some names ->
+      let rec go i = function
+        | [] -> raise Not_found
+        | a :: rest -> if a = attr then i else go (i + 1) rest
+      in
+      go 0 names
+
+let relations t = SMap.bindings t |> List.map fst
+
+let equal a b =
+  SMap.equal (fun d1 d2 -> d1.arity = d2.arity && d1.attrs = d2.attrs) a b
+
+let pp fmt t =
+  SMap.iter
+    (fun name d ->
+      match d.attrs with
+      | Some attrs ->
+          Format.fprintf fmt "%s(%s)@." name (String.concat ", " attrs)
+      | None -> Format.fprintf fmt "%s/%d@." name d.arity)
+    t

@@ -1,0 +1,43 @@
+(** Relational schemas: relation names with arities and (optionally)
+    named attributes.
+
+    Attribute names are used by the constraint language (functional
+    dependencies [X → A], inclusion dependencies) and by pretty
+    printing; the logic layer addresses columns positionally. *)
+
+type t
+
+val empty : t
+
+val make : (string * int) list -> t
+(** [make [("R", 2); …]] declares relations with the given arities.
+    @raise Invalid_argument on duplicate names or negative arities. *)
+
+val make_with_attrs : (string * string list) list -> t
+(** [make_with_attrs [("R", ["customer"; "product"]); …]] declares
+    relations with named attributes (the arity is the number of
+    attributes).
+    @raise Invalid_argument on duplicate relation or attribute names. *)
+
+val add : string -> int -> t -> t
+val add_with_attrs : string -> string list -> t -> t
+
+val mem : string -> t -> bool
+
+val arity : t -> string -> int
+(** @raise Not_found for unknown relations. *)
+
+val arity_opt : t -> string -> int option
+
+val attrs : t -> string -> string list option
+(** Attribute names, if declared. *)
+
+val attr_index : t -> string -> string -> int
+(** [attr_index schema rel attr]: 0-based position of [attr] in [rel].
+    @raise Not_found if the relation or attribute is unknown. *)
+
+val relations : t -> string list
+(** Relation names in alphabetical order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type t = Const of int | Null of int
+
+let const code =
+  if code < 1 then invalid_arg "Value.const: codes are positive"
+  else Const code
+
+let named name = Const (Names.intern name)
+
+let null id =
+  if id < 0 then invalid_arg "Value.null: negative null identifier"
+  else Null id
+
+let is_null = function Null _ -> true | Const _ -> false
+let is_const = function Const _ -> true | Null _ -> false
+let const_code = function Const c -> Some c | Null _ -> None
+let null_id = function Null n -> Some n | Const _ -> None
+
+let equal a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | Null x, Null y -> x = y
+  | Const _, Null _ | Null _, Const _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Const x, Const y -> Int.compare x y
+  | Null x, Null y -> Int.compare x y
+  | Const _, Null _ -> -1
+  | Null _, Const _ -> 1
+
+let hash = function Const c -> (2 * c) land max_int | Null n -> ((2 * n) + 1) land max_int
+
+let to_string = function
+  | Const c -> Names.to_string c
+  | Null n -> Printf.sprintf "_|_%d" n
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

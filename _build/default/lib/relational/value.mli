@@ -1,0 +1,34 @@
+(** Database values: constants and marked nulls.
+
+    Following the paper (§2), databases are populated from two disjoint
+    countably infinite sets: constants [Const] (represented as positive
+    integer codes, see {!Names}) and marked nulls [Null] (represented as
+    non-negative integer identifiers, printed [⊥i]). The same null
+    identifier occurring in several positions denotes the same unknown
+    value — these are marked (labelled) nulls, not SQL/Codd nulls. *)
+
+type t =
+  | Const of int  (** a constant, identified by its code [≥ 1] *)
+  | Null of int  (** a marked null [⊥i] *)
+
+val const : int -> t
+(** @raise Invalid_argument if the code is [< 1]. *)
+
+val named : string -> t
+(** The constant whose display name is the given string (interned). *)
+
+val null : int -> t
+(** @raise Invalid_argument if the identifier is negative. *)
+
+val is_null : t -> bool
+val is_const : t -> bool
+
+val const_code : t -> int option
+val null_id : t -> int option
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

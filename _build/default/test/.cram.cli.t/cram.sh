@@ -1,0 +1,47 @@
+  $ certainty naive \
+  >   --schema "R1(customer, product); R2(customer, product)" \
+  >   --db "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) }; R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }" \
+  >   --query "Q(x,y) := R1(x,y) & !R2(x,y)"
+  $ certainty certain \
+  >   --schema "R(a, b)" \
+  >   --db "R = { ('x', ~1) }" \
+  >   --query "Q(a, b) := R(a, b)"
+  $ certainty measure \
+  >   --schema "R1(c, p); R2(c, p)" \
+  >   --db "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) }; R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }" \
+  >   --query "Q(x,y) := R1(x,y) & !R2(x,y)" \
+  >   --tuple "('c2', ~2)" --ks 3,4,6
+  $ certainty conditional \
+  >   --schema "R(a, b); U(u)" \
+  >   --db "R = { (2, 1), (~1, ~1) }; U = { (1), (2), (3) }" \
+  >   --query "Q(x, y) := R(x, y)" \
+  >   --constraints "ind R[1] <= U[1]" \
+  >   --tuple "(1, ~1)"
+  $ certainty best \
+  >   --schema "R(a, b); S(a, b)" \
+  >   --db "R = { (1, ~1), (2, ~2) }; S = { (1, ~2), (~3, ~1) }" \
+  >   --query "Q(x, y) := R(x, y) & !S(x, y)"
+  $ certainty chase \
+  >   --schema "R(k, v)" \
+  >   --db "R = { ('a', ~1), ('a', 'seen'), ('b', ~2) }" \
+  >   --constraints "fd R : k -> v"
+  $ certainty sat \
+  >   --schema "Orders(id, cust); Customers(cid)" \
+  >   --db "Orders = { ('o1', ~1) }; Customers = { ('alice') }" \
+  >   --constraints "key Orders : id; key Customers : cid; fk Orders[cust] -> Customers[cid]"
+  $ certainty sat \
+  >   --schema "Orders(id, cust); Customers(cid)" \
+  >   --db "Orders = { ('o1', ~1) }; Customers = { }" \
+  >   --constraints "key Customers : cid; fk Orders[cust] -> Customers[cid]"
+  $ certainty approx \
+  >   --schema "R(a, b); S(a, b)" \
+  >   --db "R = { (1, ~1), (2, ~2) }; S = { (1, ~2), (~3, ~1) }" \
+  >   --query "Q(x, y) := R(x, y) & !S(x, y)" \
+  >   --scheme naive
+  $ certainty naive --schema "R(a" --db "R = { }" --query "R(x)"
+  $ certainty naive --schema "R(a)" --db "R = { }" --query "S(x)"
+  $ certainty datalog \
+  >   --schema "E(src, dst)" \
+  >   --db "E = { ('a', ~1), (~1, 'c') }" \
+  >   --program "TC(x, y) := E(x, y). TC(x, z) := E(x, y), TC(y, z)." \
+  >   --goal TC

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Arith Array Fun Int List Printf QCheck QCheck_alcotest

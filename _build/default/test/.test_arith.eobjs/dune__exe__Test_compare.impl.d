@@ -1,0 +1,1 @@
+test/test_compare.ml: Alcotest Arith Compare Incomplete List Logic QCheck QCheck_alcotest Relational Zeroone

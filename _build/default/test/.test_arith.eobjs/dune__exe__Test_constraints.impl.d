@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Constraints Incomplete List Logic Option QCheck QCheck_alcotest Relational Result

@@ -1,0 +1,1 @@
+test/test_ctable.ml: Alcotest Ctables Incomplete List Logic QCheck QCheck_alcotest Relational

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Arith Datalog Format Incomplete List Logic Printf QCheck QCheck_alcotest Relational Result Zeroone

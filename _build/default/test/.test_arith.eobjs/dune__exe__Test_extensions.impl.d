@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Arith Incomplete List Logic Printf QCheck QCheck_alcotest Relational Zeroone

@@ -1,0 +1,1 @@
+test/test_incomplete.ml: Alcotest Arith Format Hashtbl Incomplete Int List Logic Option Printf QCheck QCheck_alcotest Relational

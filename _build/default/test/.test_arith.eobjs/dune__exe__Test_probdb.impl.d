@@ -1,0 +1,1 @@
+test/test_probdb.ml: Alcotest Arith Incomplete List Logic Probdb QCheck QCheck_alcotest Relational

@@ -1,0 +1,1 @@
+test/test_ra.ml: Alcotest List Logic QCheck QCheck_alcotest Relational Result

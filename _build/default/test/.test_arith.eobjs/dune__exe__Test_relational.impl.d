@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Format Fun List QCheck QCheck_alcotest Relational

@@ -1,0 +1,1 @@
+test/test_zeroone.ml: Alcotest Arith Constraints Incomplete List Logic Printf QCheck QCheck_alcotest Relational Zeroone

@@ -1,0 +1,180 @@
+The intro example of the paper: naive evaluation returns the two likely
+answers even though certain answers are empty.
+
+  $ certainty naive \
+  >   --schema "R1(customer, product); R2(customer, product)" \
+  >   --db "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) }; R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }" \
+  >   --query "Q(x,y) := R1(x,y) & !R2(x,y)"
+  query: Q(x, y) := R1(x, y) & !R2(x, y)
+  database:
+  R1:
+    | customer | product |
+    |----------+---------|
+    | c1       | _|_1    |
+    | c2       | _|_1    |
+    | c2       | _|_2    |
+  
+  R2:
+    | customer | product |
+    |----------+---------|
+    | c1       | _|_2    |
+    | c2       | _|_1    |
+    | _|_3     | _|_1    |
+  
+  naive answers (= almost certainly true, Thm 1) (2 tuples):
+    (c1, _|_1)
+    (c2, _|_2)
+
+Certain and possible answers, computed exactly.
+
+  $ certainty certain \
+  >   --schema "R(a, b)" \
+  >   --db "R = { ('x', ~1) }" \
+  >   --query "Q(a, b) := R(a, b)"
+  query: Q(a, b) := R(a, b)
+  
+  certain answers (1 tuple):
+    (x, _|_1)
+  possible answers (4 tuples):
+    (x, x)
+    (x, _|_1)
+    (_|_1, x)
+    (_|_1, _|_1)
+  naive answers (1 tuple):
+    (x, _|_1)
+
+Measuring certainty: the support polynomial and the 0-1 law verdict.
+
+  $ certainty measure \
+  >   --schema "R1(c, p); R2(c, p)" \
+  >   --db "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) }; R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }" \
+  >   --query "Q(x,y) := R1(x,y) & !R2(x,y)" \
+  >   --tuple "('c2', ~2)" --ks 3,4,6
+  query:  Q(x, y) := R1(x, y) & !R2(x, y)
+  tuple:  (c2, _|_2)
+  |Supp^k| = k^3 - k^2   (|V^k| = k^3)
+  µ(Q,D,t) = 1   [0-1 law: almost certainly true]
+  µ^k series (brute force):
+    k =   3   µ^k = 2/3          ≈ 0.666667
+    k =   4   µ^k = 3/4          ≈ 0.750000
+    k =   6   µ^k = 5/6          ≈ 0.833333
+
+Conditional measures under an inclusion dependency (1/3 from the paper,
+section 4).
+
+  $ certainty conditional \
+  >   --schema "R(a, b); U(u)" \
+  >   --db "R = { (2, 1), (~1, ~1) }; U = { (1), (2), (3) }" \
+  >   --query "Q(x, y) := R(x, y)" \
+  >   --constraints "ind R[1] <= U[1]" \
+  >   --tuple "(1, ~1)"
+  query:       Q(x, y) := R(x, y)
+  tuple:       (1, _|_1)
+  constraint:  ind R[a] <= U[u]
+  |Supp^k(Σ∧Q)| = 1
+  |Supp^k(Σ)|   = 3
+  µ(Q|Σ,D,t)    = 1/3 ≈ 0.333333   (Theorem 3: always exists, rational)
+
+Best answers for the section 5 example.
+
+  $ certainty best \
+  >   --schema "R(a, b); S(a, b)" \
+  >   --db "R = { (1, ~1), (2, ~2) }; S = { (1, ~2), (~3, ~1) }" \
+  >   --query "Q(x, y) := R(x, y) & !S(x, y)"
+  query: Q(x, y) := R(x, y) & !S(x, y)
+  
+  best answers  Best(Q,D) (1 tuple):
+    (2, _|_2)
+  best ∩ almost-certain  Best_µ(Q,D) (1 tuple):
+    (2, _|_2)
+  ranking by support (strata of the ⊴ preorder):
+    rank 0: (2, _|_2)
+    rank 1: (1, _|_1) (2, 1) (2, _|_1) (2, _|_3) (_|_1, 1) (_|_1, _|_1) (_|_1, _|_2) (_|_2, 2) (_|_2, _|_1)
+    rank 2: (1, 1) (1, 2) (1, _|_3) (2, 2) (_|_1, _|_3) (_|_2, _|_2) (_|_2, _|_3) (_|_3, _|_2)
+    rank 3: (_|_1, 2) (_|_3, 1) (_|_3, 2) (_|_3, _|_3)
+    rank 4: (1, _|_2) (_|_2, 1) (_|_3, _|_1)
+  (not a UCQ: Theorem 8 algorithm not applicable)
+
+The chase with functional dependencies.
+
+  $ certainty chase \
+  >   --schema "R(k, v)" \
+  >   --db "R = { ('a', ~1), ('a', 'seen'), ('b', ~2) }" \
+  >   --constraints "fd R : k -> v"
+  chasing with 1 functional dependency
+    step: fd R : k -> v forces _|_1 := seen
+  chase succeeded:
+  R:
+    | k | v    |
+    |---+------|
+    | a | seen |
+    | b | _|_2 |
+  
+
+Satisfiability of unary keys and foreign keys (Proposition 6).
+
+  $ certainty sat \
+  >   --schema "Orders(id, cust); Customers(cid)" \
+  >   --db "Orders = { ('o1', ~1) }; Customers = { ('alice') }" \
+  >   --constraints "key Orders : id; key Customers : cid; fk Orders[cust] -> Customers[cid]"
+  SATISFIABLE (Prop 6 polynomial procedure)
+  witness: {~1 -> alice}
+
+  $ certainty sat \
+  >   --schema "Orders(id, cust); Customers(cid)" \
+  >   --db "Orders = { ('o1', ~1) }; Customers = { }" \
+  >   --constraints "key Customers : cid; fk Orders[cust] -> Customers[cid]"
+  UNSATISFIABLE: null ~1 has no admissible foreign-key target
+
+Grading an approximation scheme.
+
+  $ certainty approx \
+  >   --schema "R(a, b); S(a, b)" \
+  >   --db "R = { (1, ~1), (2, ~2) }; S = { (1, ~2), (~3, ~1) }" \
+  >   --query "Q(x, y) := R(x, y) & !S(x, y)" \
+  >   --scheme naive
+  query:  Q(x, y) := R(x, y) & !S(x, y)
+  scheme: naive
+  
+  certain answers (0 tuples):
+    (empty)
+  returned by the scheme (2 tuples):
+    (1, _|_1)
+    (2, _|_2)
+  missed certain answers (0 tuples):
+    (empty)
+  spurious but almost certainly true (benign) (2 tuples):
+    (1, _|_1)
+    (2, _|_2)
+  spurious and almost certainly false (harmful) (0 tuples):
+    (empty)
+  recall = 1   precision = 0   sound = false   complete = true
+
+Errors are reported with a non-zero exit code.
+
+  $ certainty naive --schema "R(a" --db "R = { }" --query "R(x)"
+  error: expected ) but found <eof>
+  [2]
+
+  $ certainty naive --schema "R(a)" --db "R = { }" --query "S(x)"
+  error: ill-formed query: unknown relation S
+  [2]
+
+Recursive datalog over an incomplete graph (the 0-1 law beyond FO).
+
+  $ certainty datalog \
+  >   --schema "E(src, dst)" \
+  >   --db "E = { ('a', ~1), (~1, 'c') }" \
+  >   --program "TC(x, y) := E(x, y). TC(x, z) := E(x, y), TC(y, z)." \
+  >   --goal TC
+  program:
+  TC(x, y) := E(x, y).
+  TC(x, z) := E(x, y), TC(y, z).
+  almost certainly true TC facts (naive fixpoint, Thm 1) (3 tuples):
+    (a, c)
+    (a, _|_1)
+    (_|_1, c)
+  of these, certain under every valuation: 3
+    (a, c)
+    (a, _|_1)
+    (_|_1, c)

@@ -1,0 +1,425 @@
+(* Tests for the exact-arithmetic substrate: Bigint, Rat, Poly, Combinat. *)
+
+module B = Arith.Bigint
+module R = Arith.Rat
+module P = Arith.Poly
+module C = Arith.Combinat
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+let bigint_t = Alcotest.testable B.pp B.equal
+let rat_t = Alcotest.testable R.pp R.equal
+let poly_t = Alcotest.testable P.pp P.equal
+
+(* ------------------------------------------------------------------ *)
+(* Bigint: unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_bigint_roundtrip () =
+  List.iter
+    (fun n ->
+      check (Alcotest.option int_t) (string_of_int n) (Some n)
+        (B.to_int_opt (B.of_int n)))
+    [ 0; 1; -1; 42; -42; 999_999_999; 1_000_000_000; -1_000_000_001;
+      max_int; min_int; max_int - 1; min_int + 1 ]
+
+let test_bigint_strings () =
+  List.iter
+    (fun s -> check string_t s s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "-1"; "123456789012345678901234567890";
+      "-999999999999999999999999"; "1000000000"; "999999999" ];
+  check bigint_t "leading zeros" (B.of_int 7) (B.of_string "007");
+  check bigint_t "plus sign" (B.of_int 12) (B.of_string "+12")
+
+let test_bigint_add_sub () =
+  let a = B.of_string "99999999999999999999" in
+  let b = B.of_string "1" in
+  check bigint_t "carry chain" (B.of_string "100000000000000000000") (B.add a b);
+  check bigint_t "a - a" B.zero (B.sub a a);
+  check bigint_t "a + (-a)" B.zero (B.add a (B.neg a));
+  check bigint_t "sub to negative" (B.of_int (-5)) (B.sub (B.of_int 10) (B.of_int 15))
+
+let test_bigint_mul () =
+  let a = B.of_string "123456789123456789" in
+  let b = B.of_string "987654321987654321" in
+  check bigint_t "big product"
+    (B.of_string "121932631356500531347203169112635269")
+    (B.mul a b);
+  check bigint_t "sign" (B.of_int 6) (B.mul (B.of_int (-2)) (B.of_int (-3)));
+  check bigint_t "by zero" B.zero (B.mul a B.zero)
+
+let test_bigint_divmod () =
+  let cases =
+    [ (17, 5); (-17, 5); (17, -5); (-17, -5); (0, 3); (12, 4); (1, 7);
+      (1000000007, 97); (999999999, 1000000000) ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      check bigint_t
+        (Printf.sprintf "%d / %d" a b)
+        (B.of_int (a / b)) q;
+      check bigint_t (Printf.sprintf "%d mod %d" a b) (B.of_int (a mod b)) r)
+    cases;
+  let big = B.of_string "123456789012345678901234567890" in
+  let q, r = B.divmod big (B.of_string "987654321") in
+  check bigint_t "reconstruction" big
+    (B.add (B.mul q (B.of_string "987654321")) r);
+  Alcotest.check_raises "division by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_bigint_pow_gcd () =
+  check bigint_t "2^100"
+    (B.of_string "1267650600228229401496703205376")
+    (B.pow B.two 100);
+  check bigint_t "x^0" B.one (B.pow (B.of_int 123) 0);
+  check bigint_t "gcd" (B.of_int 6) (B.gcd (B.of_int 54) (B.of_int (-24)));
+  check bigint_t "gcd with zero" (B.of_int 5) (B.gcd B.zero (B.of_int 5));
+  check bigint_t "gcd 0 0" B.zero (B.gcd B.zero B.zero)
+
+let test_bigint_compare () =
+  check bool_t "order" true B.Infix.(B.of_int (-3) < B.of_int 2);
+  check bool_t "negative order" true B.Infix.(B.of_int (-30) < B.of_int (-3));
+  check bigint_t "min" (B.of_int (-3)) (B.min (B.of_int (-3)) (B.of_int 2));
+  check bigint_t "max" (B.of_int 2) (B.max (B.of_int (-3)) (B.of_int 2));
+  check bool_t "to_int overflow" true
+    (B.to_int_opt (B.mul (B.of_int max_int) (B.of_int 2)) = None)
+
+(* Bigint: properties against native ints (small values can't overflow). *)
+
+let small_int = QCheck.int_range (-10000) 10000
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"bigint add matches int" ~count:500
+    (QCheck.pair small_int small_int) (fun (a, b) ->
+      B.to_int_opt (B.add (B.of_int a) (B.of_int b)) = Some (a + b))
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"bigint mul matches int" ~count:500
+    (QCheck.pair small_int small_int) (fun (a, b) ->
+      B.to_int_opt (B.mul (B.of_int a) (B.of_int b)) = Some (a * b))
+
+let prop_divmod_matches_int =
+  QCheck.Test.make ~name:"bigint divmod matches int" ~count:500
+    (QCheck.pair small_int small_int) (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      B.to_int_opt q = Some (a / b) && B.to_int_opt r = Some (a mod b))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"bigint string roundtrip" ~count:500
+    (QCheck.list small_int) (fun parts ->
+      (* Build moderately large numbers by horner over random digits. *)
+      let n =
+        List.fold_left
+          (fun acc p -> B.add (B.mul acc (B.of_int 10007)) (B.of_int p))
+          B.zero parts
+      in
+      B.equal n (B.of_string (B.to_string n)))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"bigint distributivity" ~count:300
+    (QCheck.triple small_int small_int small_int) (fun (a, b, c) ->
+      let a = B.of_int a and b = B.of_int b and c = B.of_int c in
+      B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)))
+
+(* ------------------------------------------------------------------ *)
+(* Rat                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_rat_canonical () =
+  check rat_t "reduce" (R.of_ints 1 2) (R.of_ints 2 4);
+  check rat_t "sign in denominator" (R.of_ints (-1) 2) (R.of_ints 1 (-2));
+  check rat_t "zero" R.zero (R.of_ints 0 17);
+  check string_t "print" "2/3" (R.to_string (R.of_ints 4 6));
+  check string_t "print integer" "5" (R.to_string (R.of_ints 10 2));
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () ->
+      ignore (R.of_ints 1 0))
+
+let test_rat_arith () =
+  check rat_t "1/3 + 1/6" R.half (R.add (R.of_ints 1 3) (R.of_ints 1 6));
+  check rat_t "2/3 * 3/4" R.half (R.mul (R.of_ints 2 3) (R.of_ints 3 4));
+  check rat_t "div" (R.of_ints 8 9) (R.div (R.of_ints 2 3) (R.of_ints 3 4));
+  check rat_t "pow" (R.of_ints 8 27) (R.pow (R.of_ints 2 3) 3);
+  check rat_t "pow negative" (R.of_ints 9 4) (R.pow (R.of_ints 2 3) (-2));
+  check bool_t "compare" true R.Infix.(R.of_ints 1 3 < R.half);
+  check rat_t "of_string" (R.of_ints (-3) 7) (R.of_string "-3/7")
+
+let prop_rat_field =
+  QCheck.Test.make ~name:"rat field laws" ~count:300
+    (QCheck.quad small_int (QCheck.int_range 1 500) small_int
+       (QCheck.int_range 1 500)) (fun (p1, q1, p2, q2) ->
+      let a = R.of_ints p1 q1 and b = R.of_ints p2 q2 in
+      R.equal (R.add a b) (R.add b a)
+      && R.equal (R.mul a b) (R.mul b a)
+      && R.equal (R.sub (R.add a b) b) a
+      && (R.is_zero b || R.equal (R.mul (R.div a b) b) a))
+
+(* ------------------------------------------------------------------ *)
+(* Poly                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_poly_basics () =
+  let p = P.of_coeffs [ R.of_int 1; R.of_int 2; R.of_int 3 ] in
+  check int_t "degree" 2 (P.degree p);
+  check rat_t "leading" (R.of_int 3) (P.leading_coeff p);
+  check rat_t "eval" (R.of_int 17) (P.eval_int p 2);
+  check int_t "zero degree" (-1) (P.degree P.zero);
+  check poly_t "normalization"
+    (P.of_coeffs [ R.of_int 1 ])
+    (P.of_coeffs [ R.of_int 1; R.zero; R.zero ])
+
+let test_poly_falling_factorial () =
+  (* (k-2)(k-3): shift 2, length 2 *)
+  let p = P.falling_factorial ~shift:2 2 in
+  check rat_t "at k=5" (R.of_int 6) (P.eval_int p 5);
+  check rat_t "at k=3" (R.zero) (P.eval_int p 2);
+  check poly_t "length 0 is 1" P.one (P.falling_factorial ~shift:7 0);
+  (* Consistency with the numeric falling factorial. *)
+  for k = 0 to 8 do
+    let sym = P.eval_int (P.falling_factorial ~shift:3 2) k in
+    let num = C.falling_factorial (k - 3) 2 in
+    if k - 3 >= 0 then
+      check rat_t (Printf.sprintf "num vs sym at %d" k) (R.of_bigint num) sym
+  done
+
+let test_poly_limit_ratio () =
+  let p = P.of_coeffs [ R.zero; R.of_int 2; R.of_int 3 ] in
+  let q = P.of_coeffs [ R.of_int 1; R.zero; R.of_int 6 ] in
+  (match P.limit_ratio p q with
+  | P.Finite r -> check rat_t "same degree" R.half r
+  | P.Infinite | P.Undefined -> Alcotest.fail "expected finite limit");
+  (match P.limit_ratio (P.of_coeffs [ R.one ]) q with
+  | P.Finite r -> check rat_t "lower degree" R.zero r
+  | P.Infinite | P.Undefined -> Alcotest.fail "expected 0");
+  (match P.limit_ratio q (P.of_coeffs [ R.one ]) with
+  | P.Infinite -> ()
+  | P.Finite _ | P.Undefined -> Alcotest.fail "expected infinite");
+  match P.limit_ratio p P.zero with
+  | P.Undefined -> ()
+  | P.Finite _ | P.Infinite -> Alcotest.fail "expected undefined"
+
+let prop_poly_ring =
+  let small_poly =
+    QCheck.map
+      (fun l -> P.of_coeffs (List.map R.of_int l))
+      (QCheck.list_of_size (QCheck.Gen.int_range 0 5) (QCheck.int_range (-9) 9))
+  in
+  QCheck.Test.make ~name:"poly ring laws" ~count:200
+    (QCheck.triple small_poly small_poly small_poly) (fun (p, q, r) ->
+      P.equal (P.mul p (P.add q r)) (P.add (P.mul p q) (P.mul p r))
+      && P.equal (P.mul p q) (P.mul q p)
+      && P.equal (P.add p (P.neg p)) P.zero)
+
+let prop_poly_eval_hom =
+  let small_poly =
+    QCheck.map
+      (fun l -> P.of_coeffs (List.map R.of_int l))
+      (QCheck.list_of_size (QCheck.Gen.int_range 0 5) (QCheck.int_range (-9) 9))
+  in
+  QCheck.Test.make ~name:"poly evaluation is a hom" ~count:200
+    (QCheck.triple small_poly small_poly (QCheck.int_range (-20) 20))
+    (fun (p, q, k) ->
+      R.equal (P.eval_int (P.mul p q) k) (R.mul (P.eval_int p k) (P.eval_int q k))
+      && R.equal (P.eval_int (P.add p q) k)
+           (R.add (P.eval_int p k) (P.eval_int q k)))
+
+(* ------------------------------------------------------------------ *)
+(* Combinat                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_combinat_counting () =
+  check bigint_t "5!" (B.of_int 120) (C.factorial 5);
+  check bigint_t "0!" B.one (C.factorial 0);
+  check bigint_t "C(10,3)" (B.of_int 120) (C.binomial 10 3);
+  check bigint_t "C(10,0)" B.one (C.binomial 10 0);
+  check bigint_t "C(3,5)" B.zero (C.binomial 3 5);
+  check bigint_t "P(5,2)" (B.of_int 20) (C.falling_factorial 5 2);
+  check bigint_t "P(2,3)" B.zero (C.falling_factorial 2 3);
+  check bigint_t "2^10" (B.of_int 1024) (C.power 2 10);
+  check bigint_t "bell 0" B.one (C.bell 0);
+  check bigint_t "bell 5" (B.of_int 52) (C.bell 5);
+  check bigint_t "bell 8" (B.of_int 4140) (C.bell 8);
+  check bigint_t "S(4,2)" (B.of_int 7) (C.stirling2 4 2);
+  check bigint_t "S(5,3)" (B.of_int 25) (C.stirling2 5 3)
+
+let test_set_partitions () =
+  check int_t "partitions of 0" 1 (List.length (C.set_partitions []));
+  check int_t "partitions of 3" 5 (List.length (C.set_partitions [ 1; 2; 3 ]));
+  check int_t "partitions of 5" 52
+    (List.length (C.set_partitions [ 1; 2; 3; 4; 5 ]));
+  (* Each partition covers all elements exactly once. *)
+  List.iter
+    (fun p ->
+      let elts = List.concat p |> List.sort Int.compare in
+      check (Alcotest.list int_t) "cover" [ 1; 2; 3; 4 ] elts)
+    (C.set_partitions [ 1; 2; 3; 4 ])
+
+let test_injective_partial_maps () =
+  (* b slots into t targets: sum_j C(b,j) P(t,j). For b=2, t=3: 1 + 2*3 + 6 = 13. *)
+  check int_t "2 slots 3 targets" 13
+    (List.length (C.injective_partial_maps 2 [ 10; 20; 30 ]));
+  check int_t "0 slots" 1 (List.length (C.injective_partial_maps 0 [ 1 ]));
+  (* all assignments injective *)
+  List.iter
+    (fun m ->
+      let somes = Array.to_list m |> List.filter_map Fun.id in
+      check int_t "injective" (List.length somes)
+        (List.length (List.sort_uniq Int.compare somes)))
+    (C.injective_partial_maps 3 [ 1; 2; 3; 4 ])
+
+let test_enumeration_sizes () =
+  check int_t "tuples" 8 (List.length (C.tuples [ 1; 2 ] 3));
+  check int_t "tuples of arity 0" 1 (List.length (C.tuples [ 1; 2 ] 0));
+  check int_t "sublists" 16 (List.length (C.sublists [ 1; 2; 3; 4 ]));
+  check int_t "subsets_upto" 7 (List.length (C.subsets_upto 2 [ 1; 2; 3 ]));
+  check int_t "permutations" 24 (List.length (C.permutations [ 1; 2; 3; 4 ]));
+  check int_t "injections" 6 (List.length (C.injections [ 1; 2 ] [ 4; 5; 6 ]));
+  check int_t "injections too big" 0
+    (List.length (C.injections [ 1; 2; 3 ] [ 4; 5 ]));
+  check int_t "pairs" 6 (List.length (C.pairs [ 1; 2; 3 ]));
+  check (Alcotest.list int_t) "range" [ 2; 3; 4 ] (C.range 2 4);
+  check (Alcotest.list int_t) "empty range" [] (C.range 3 2)
+
+let prop_partitions_count_is_bell =
+  QCheck.Test.make ~name:"set_partitions count = Bell" ~count:20
+    (QCheck.int_range 0 6) (fun n ->
+      let elems = C.range 1 n in
+      B.equal (B.of_int (List.length (C.set_partitions elems))) (C.bell n))
+
+let prop_stirling_consistent =
+  QCheck.Test.make ~name:"stirling2 counts partitions by block count" ~count:20
+    (QCheck.pair (QCheck.int_range 0 6) (QCheck.int_range 0 6)) (fun (n, b) ->
+      let elems = C.range 1 n in
+      let count =
+        List.length
+          (List.filter (fun p -> List.length p = b) (C.set_partitions elems))
+      in
+      B.equal (B.of_int count) (C.stirling2 n b))
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bigint_edges () =
+  check bool_t "of_string rejects empty" true
+    (match B.of_string "" with exception Invalid_argument _ -> true | _ -> false);
+  check bool_t "of_string rejects junk" true
+    (match B.of_string "12x4" with exception Invalid_argument _ -> true | _ -> false);
+  check bool_t "of_string rejects bare sign" true
+    (match B.of_string "-" with exception Invalid_argument _ -> true | _ -> false);
+  check bigint_t "succ/pred" (B.of_int 5) (B.pred (B.succ (B.of_int 5)));
+  check bigint_t "mul_int" (B.of_int (-21)) (B.mul_int (B.of_int 7) (-3));
+  check bigint_t "add_int" (B.of_int 4) (B.add_int (B.of_int 7) (-3));
+  check int_t "sign of zero" 0 (B.sign B.zero);
+  check int_t "sign positive" 1 (B.sign (B.of_string "999999999999999999999"));
+  check bool_t "to_float" true (B.to_float (B.of_int (-2)) = -2.0);
+  check bool_t "hash consistent" true
+    (B.hash (B.of_string "123456789012345678")
+    = B.hash (B.add (B.of_string "123456789012345677") B.one));
+  (* exact min_int/max_int boundary round trips *)
+  let q, r = B.divmod (B.of_int min_int) (B.of_int max_int) in
+  check bigint_t "min_int reconstruction" (B.of_int min_int)
+    (B.add (B.mul q (B.of_int max_int)) r);
+  Alcotest.check_raises "negative pow"
+    (Invalid_argument "Bigint.pow: negative exponent") (fun () ->
+      ignore (B.pow B.two (-1)))
+
+let test_rat_edges () =
+  check bool_t "of_string fraction" true (R.equal (R.of_ints 2 3) (R.of_string "4/6"));
+  check rat_t "min" (R.of_ints 1 3) (R.min (R.of_ints 1 3) R.half);
+  check rat_t "max" R.half (R.max (R.of_ints 1 3) R.half);
+  check rat_t "abs" R.half (R.abs (R.neg R.half));
+  check int_t "sign" (-1) (R.sign (R.of_ints (-3) 7));
+  check bool_t "is_integer" true (R.is_integer (R.of_ints 14 7));
+  check bool_t "not integer" false (R.is_integer R.half);
+  check rat_t "mul_int" (R.of_int 3) (R.mul_int R.half 6);
+  check rat_t "div_int" (R.of_ints 1 4) (R.div_int R.half 2);
+  check bool_t "inv of zero" true
+    (match R.inv R.zero with exception Division_by_zero -> true | _ -> false);
+  check bool_t "pow 0^-1" true
+    (match R.pow R.zero (-1) with exception Division_by_zero -> true | _ -> false)
+
+let test_poly_printing () =
+  let p = P.of_coeffs [ R.zero; R.of_int (-1); R.one ] in
+  check string_t "k^2 - k" "k^2 - k" (P.to_string p);
+  check string_t "zero" "0" (P.to_string P.zero);
+  check string_t "constant" "5" (P.to_string (P.const_int 5));
+  check string_t "negative leading" "-k + 1"
+    (P.to_string (P.of_coeffs [ R.one; R.of_int (-1) ]));
+  check string_t "fractional coefficient" "1/2*k"
+    (P.to_string (P.of_coeffs [ R.zero; R.half ]));
+  check string_t "just k" "k" (P.to_string P.x)
+
+let test_poly_edges () =
+  check rat_t "coeff beyond degree" R.zero (P.coeff P.x 5);
+  check poly_t "scale by zero" P.zero (P.scale R.zero P.x);
+  check poly_t "monomial" (P.of_coeffs [ R.zero; R.zero; R.of_int 3 ])
+    (P.monomial (R.of_int 3) 2);
+  check poly_t "sum" (P.of_coeffs [ R.of_int 2 ]) (P.sum [ P.one; P.one ]);
+  check rat_t "eval_bigint" (R.of_int 100)
+    (P.eval_bigint (P.mul P.x P.x) (B.of_int 10));
+  check poly_t "pow" (P.mul P.x (P.mul P.x P.x)) (P.pow P.x 3);
+  Alcotest.check_raises "leading coeff of zero"
+    (Invalid_argument "Poly.leading_coeff: zero polynomial") (fun () ->
+      ignore (P.leading_coeff P.zero))
+
+let test_combinat_edges () =
+  check int_t "injections content" 2
+    (List.length (C.injections [ 1 ] [ 7; 8 ]));
+  List.iter
+    (fun assoc ->
+      check int_t "assoc length" 1 (List.length assoc))
+    (C.injections [ 1 ] [ 7; 8 ]);
+  check int_t "subsets_upto big n = power set" 8
+    (List.length (C.subsets_upto 99 [ 1; 2; 3 ]));
+  check int_t "permutations of empty" 1 (List.length (C.permutations []));
+  check bigint_t "stirling out of range" B.zero (C.stirling2 3 5);
+  check bigint_t "falling factorial f=0" B.one (C.falling_factorial 7 0)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_matches_int; prop_mul_matches_int; prop_divmod_matches_int;
+      prop_string_roundtrip; prop_mul_distributes; prop_rat_field;
+      prop_poly_ring; prop_poly_eval_hom; prop_partitions_count_is_bell;
+      prop_stirling_consistent ]
+
+let () =
+  Alcotest.run "arith"
+    [ ( "bigint",
+        [ Alcotest.test_case "int roundtrip" `Quick test_bigint_roundtrip;
+          Alcotest.test_case "strings" `Quick test_bigint_strings;
+          Alcotest.test_case "add/sub" `Quick test_bigint_add_sub;
+          Alcotest.test_case "mul" `Quick test_bigint_mul;
+          Alcotest.test_case "divmod" `Quick test_bigint_divmod;
+          Alcotest.test_case "pow/gcd" `Quick test_bigint_pow_gcd;
+          Alcotest.test_case "compare" `Quick test_bigint_compare
+        ] );
+      ( "rat",
+        [ Alcotest.test_case "canonical form" `Quick test_rat_canonical;
+          Alcotest.test_case "arithmetic" `Quick test_rat_arith
+        ] );
+      ( "poly",
+        [ Alcotest.test_case "basics" `Quick test_poly_basics;
+          Alcotest.test_case "falling factorial" `Quick test_poly_falling_factorial;
+          Alcotest.test_case "limit ratio" `Quick test_poly_limit_ratio
+        ] );
+      ( "combinat",
+        [ Alcotest.test_case "counting" `Quick test_combinat_counting;
+          Alcotest.test_case "set partitions" `Quick test_set_partitions;
+          Alcotest.test_case "injective partial maps" `Quick
+            test_injective_partial_maps;
+          Alcotest.test_case "enumeration sizes" `Quick test_enumeration_sizes
+        ] );
+      ( "edge-cases",
+        [ Alcotest.test_case "bigint" `Quick test_bigint_edges;
+          Alcotest.test_case "rat" `Quick test_rat_edges;
+          Alcotest.test_case "poly printing" `Quick test_poly_printing;
+          Alcotest.test_case "poly" `Quick test_poly_edges;
+          Alcotest.test_case "combinat" `Quick test_combinat_edges
+        ] );
+      ("properties", qcheck_cases)
+    ]

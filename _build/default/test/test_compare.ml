@@ -1,0 +1,361 @@
+(* Tests for support comparisons (§5): Sep, ⊴/◁ (Theorem 6), Best
+   (Theorem 7), the UCQ polynomial algorithms (Theorem 8), the §5.1
+   naive-evaluation counterexample, and the orthogonality of best vs µ
+   (Propositions 7-8). *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module F = Logic.Formula
+module Query = Logic.Query
+module Ucq = Logic.Ucq
+module Parser = Logic.Parser
+module Naive = Incomplete.Naive
+module Certain = Incomplete.Certain
+module Sep = Compare.Sep
+module Order = Compare.Order
+module Best = Compare.Best
+module Ucq_compare = Compare.Ucq_compare
+module Measure = Zeroone.Measure
+module Constructions = Zeroone.Constructions
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+
+(* ------------------------------------------------------------------ *)
+(* The §5 example: R ∖ S with Best = {(2,⊥2)}                           *)
+(* ------------------------------------------------------------------ *)
+
+let s5_schema = Schema.make [ ("R", 2); ("S", 2) ]
+
+let s5_db () =
+  Instance.of_rows s5_schema
+    [ ("R", [ [ Value.named "1"; Value.null 1 ]; [ Value.named "2"; Value.null 2 ] ]);
+      ("S", [ [ Value.named "1"; Value.null 2 ]; [ Value.null 3; Value.null 1 ] ])
+    ]
+
+let s5_query () = Parser.query_exn "Q(x, y) := R(x, y) & !S(x, y)"
+
+let test_s5_certain_empty () =
+  check relation_t "certain empty" (Relation.empty 2)
+    (Certain.certain_answers (s5_db ()) (s5_query ()))
+
+let test_s5_ordering () =
+  let d = s5_db () and q = s5_query () in
+  let a = Tuple.of_list [ Value.named "1"; Value.null 1 ] in
+  let b = Tuple.of_list [ Value.named "2"; Value.null 2 ] in
+  (* Supp(a) = {v⊥1≠v⊥2 ∧ v⊥3≠1}; Supp(b) = {v⊥1≠v⊥2 ∨ v⊥3≠2}: a ◁ b. *)
+  check bool_t "a ⊴ b" true (Order.leq d q a b);
+  check bool_t "b not ⊴ a" false (Order.leq d q b a);
+  check bool_t "a ◁ b" true (Order.lt d q a b);
+  check bool_t "not b ◁ a" false (Order.lt d q b a);
+  check bool_t "not equivalent" false (Order.equiv d q a b);
+  (* A separating valuation for (b, a) exists and is genuine. *)
+  match Sep.witness d q b a with
+  | None -> Alcotest.fail "expected a separating valuation"
+  | Some v ->
+      check bool_t "witness supports b" true
+        (Incomplete.Support.in_support d q b v);
+      check bool_t "witness rejects a" false
+        (Incomplete.Support.in_support d q a v)
+
+let test_s5_best () =
+  let d = s5_db () and q = s5_query () in
+  let b = Tuple.of_list [ Value.named "2"; Value.null 2 ] in
+  let best = Best.best d q in
+  check relation_t "Best = {(2,⊥2)}" (Relation.of_list 2 [ b ]) best;
+  check bool_t "is_best b" true (Best.is_best d q b);
+  check bool_t "not is_best a" false
+    (Best.is_best d q (Tuple.of_list [ Value.named "1"; Value.null 1 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Intro example: (c2,⊥2) is the best likely answer                     *)
+(* ------------------------------------------------------------------ *)
+
+let intro_schema = Parser.schema_exn "R1(c, p); R2(c, p)"
+
+let intro_db () =
+  Parser.instance_exn intro_schema
+    "R1 = { ('ca', ~1), ('cb', ~1), ('cb', ~2) };
+     R2 = { ('ca', ~2), ('cb', ~1), (~3, ~1) }"
+
+let test_intro_best () =
+  let d = intro_db () in
+  let q = Parser.query_exn "Q(x, y) := R1(x, y) & !R2(x, y)" in
+  let a = Tuple.of_list [ Value.named "ca"; Value.null 1 ] in
+  let b = Tuple.of_list [ Value.named "cb"; Value.null 2 ] in
+  check bool_t "a ◁ b (intro)" true (Order.lt d q a b);
+  check bool_t "b is best" true (Best.is_best d q b);
+  check bool_t "a is not best" false (Best.is_best d q a);
+  (* "no other tuple has more valuations supporting it": everything is
+     ⊴ b. *)
+  List.iter
+    (fun t -> check bool_t ("⊴ b: " ^ Tuple.to_string t) true (Order.leq d q t b))
+    (Best.candidates d q)
+
+(* ------------------------------------------------------------------ *)
+(* When certain answers exist, they are the best answers                *)
+(* ------------------------------------------------------------------ *)
+
+let test_certain_nonempty_is_best () =
+  let d = intro_db () in
+  let q = Parser.query_exn "Q(x, y) := R1(x, y)" in
+  let certain = Certain.certain_answers d q in
+  check bool_t "certain nonempty" false (Relation.is_empty certain);
+  check relation_t "Best = certain" certain (Best.best d q)
+
+(* ------------------------------------------------------------------ *)
+(* §5.1: naive evaluation does not decide ⊴                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_naive_no_help () =
+  (* D: R = {(1,⊥),(⊥,2)} (same null), Q returns R, ā=(1,2), b̄=(1,1).
+     Naive evaluation of Q(ā)→Q(b̄) is true (neither tuple is naively in
+     R), but ā ⊴ b̄ fails: Supp(ā)={⊥↦1,⊥↦2} ⊄ Supp(b̄)={⊥↦1}. *)
+  let schema = Schema.make [ ("R", 2) ] in
+  let d =
+    Instance.of_rows schema
+      [ ("R", [ [ Value.named "1"; Value.null 7 ]; [ Value.null 7; Value.named "2" ] ]) ]
+  in
+  let q = Parser.query_exn "Q(x, y) := R(x, y)" in
+  let a = Tuple.consts [ "1"; "2" ] in
+  let b = Tuple.consts [ "1"; "1" ] in
+  let implication =
+    F.Implies (Query.instantiate q a, Query.instantiate q b)
+  in
+  check bool_t "naive implication true" true (Naive.sentence d implication);
+  check bool_t "but a ⊴ b is false" false (Order.leq d q a b);
+  check bool_t "while b ⊴ a holds" true (Order.leq d q b a)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 8: UCQ polynomial algorithm = generic algorithm              *)
+(* ------------------------------------------------------------------ *)
+
+let ucq_queries =
+  [ Parser.query_exn "Q(x, y) := R(x, y)";
+    Parser.query_exn "Q(x) := exists y. R(x, y) & S(y, x)";
+    Parser.query_exn "Q(x, y) := R(x, y) | S(x, y)";
+    Parser.query_exn "Q(x) := (exists y. R(x, y)) | S(x, x)"
+  ]
+
+let value_gen =
+  QCheck.map
+    (fun i ->
+      if i >= 0 then Value.null (i mod 3)
+      else Value.named ("u" ^ string_of_int (-i mod 3)))
+    (QCheck.int_range (-6) 5)
+
+let rs_instance_gen =
+  QCheck.map
+    (fun (r_rows, s_rows) ->
+      Instance.of_rows s5_schema
+        [ ("R", List.map (fun (a, b) -> [ a; b ]) r_rows);
+          ("S", List.map (fun (a, b) -> [ a; b ]) s_rows)
+        ])
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 3)
+          (QCheck.pair value_gen value_gen))
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 2)
+          (QCheck.pair value_gen value_gen)))
+
+let prop_ucq_sep_matches_generic =
+  QCheck.Test.make ~name:"Thm 8: UCQ sep = generic sep" ~count:25
+    rs_instance_gen (fun d ->
+      List.for_all
+        (fun q ->
+          match Ucq.of_query q with
+          | None -> QCheck.assume_fail ()
+          | Some u ->
+              let adom = Instance.adom d in
+              let cands =
+                List.map Tuple.of_list
+                  (Arith.Combinat.tuples adom (Query.arity q))
+              in
+              (* compare on a sample of pairs to keep the cost down *)
+              let sample =
+                match cands with
+                | [] -> []
+                | c0 :: _ ->
+                    let last = List.nth cands (List.length cands - 1) in
+                    [ (c0, last); (last, c0); (c0, c0) ]
+              in
+              List.for_all
+                (fun (a, b) ->
+                  Ucq_compare.sep d u a b = Sep.sep d q a b)
+                sample)
+        ucq_queries)
+
+let test_ucq_best_matches_generic () =
+  let d = s5_db () in
+  List.iter
+    (fun q ->
+      match Ucq.of_query q with
+      | None -> Alcotest.fail "expected UCQ"
+      | Some u ->
+          check relation_t (Query.to_string q) (Best.best d q)
+            (Ucq_compare.best d u))
+    [ List.nth ucq_queries 0; List.nth ucq_queries 3 ]
+
+let test_ucq_s5_like_example () =
+  (* A positive-query variant of the §5 ordering. *)
+  let d = s5_db () in
+  let q = Parser.query_exn "Q(x, y) := R(x, y)" in
+  match Ucq.of_query q with
+  | None -> Alcotest.fail "expected UCQ"
+  | Some u ->
+      let in_r = Tuple.of_list [ Value.named "1"; Value.null 1 ] in
+      let not_in_r = Tuple.of_list [ Value.named "1"; Value.named "2" ] in
+      (* in_r has full support; not_in_r only some *)
+      check bool_t "partial ⊴ full" true (Ucq_compare.leq d u not_in_r in_r);
+      check bool_t "full not ⊴ partial" false (Ucq_compare.leq d u in_r not_in_r);
+      check bool_t "strict" true (Ucq_compare.lt d u not_in_r in_r)
+
+(* ------------------------------------------------------------------ *)
+(* Propositions 7-8: best vs µ are orthogonal; Best_µ                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_orthogonality () =
+  let w = Constructions.orthogonality_witness () in
+  let d = w.Constructions.og_base_instance in
+  let q = w.Constructions.og_base_query in
+  let a = w.Constructions.og_a and b = w.Constructions.og_b in
+  (* base: both a and b are best; µ(a)=1, µ(b)=0 *)
+  check bool_t "a best (base)" true (Best.is_best d q a);
+  check bool_t "b best (base)" true (Best.is_best d q b);
+  check bool_t "µ(a)=1" true
+    (Measure.is_almost_certainly_true (Measure.mu d q a));
+  check bool_t "µ(b)=0" false
+    (Measure.is_almost_certainly_true (Measure.mu d q b));
+  (* extension: only g is best; µ values unchanged *)
+  let d' = w.Constructions.og_ext_instance in
+  let q' = w.Constructions.og_ext_query in
+  check bool_t "g best (ext)" true (Best.is_best d' q' w.Constructions.og_g);
+  check bool_t "a not best (ext)" false (Best.is_best d' q' a);
+  check bool_t "b not best (ext)" false (Best.is_best d' q' b);
+  check bool_t "µ(a)=1 (ext)" true
+    (Measure.is_almost_certainly_true (Measure.mu d' q' a));
+  check bool_t "µ(b)=0 (ext)" false
+    (Measure.is_almost_certainly_true (Measure.mu d' q' b))
+
+let test_best_mu () =
+  let w = Constructions.orthogonality_witness () in
+  let d = w.Constructions.og_base_instance in
+  let q = w.Constructions.og_base_query in
+  (* Best = {a,b} but Best_µ = {a}: the best answers that are almost
+     certainly true. *)
+  check relation_t "Best_µ base" (Relation.of_list 1 [ w.Constructions.og_a ])
+    (Best.best_mu d q);
+  let d' = w.Constructions.og_ext_instance in
+  let q' = w.Constructions.og_ext_query in
+  check relation_t "Best_µ ext" (Relation.of_list 1 [ w.Constructions.og_g ])
+    (Best.best_mu d' q')
+
+(* ------------------------------------------------------------------ *)
+(* Ranking (strata of the ⊴ preorder)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_rank_strata () =
+  let d = s5_db () and q = s5_query () in
+  let b = Tuple.of_list [ Value.named "2"; Value.null 2 ] in
+  let a = Tuple.of_list [ Value.named "1"; Value.null 1 ] in
+  let strata = Compare.Rank.strata d q in
+  (* top stratum = Best *)
+  check relation_t "top = best" (Best.best d q) (List.hd strata);
+  (* strata partition the candidate space *)
+  let total = List.fold_left (fun n s -> n + Relation.cardinal s) 0 strata in
+  check Alcotest.int "partition" (List.length (Best.candidates d q)) total;
+  let disjoint =
+    let rec go seen = function
+      | [] -> true
+      | s :: rest ->
+          Relation.is_empty (Relation.inter seen s) && go (Relation.union seen s) rest
+    in
+    go (Relation.empty 2) strata
+  in
+  check bool_t "disjoint" true disjoint;
+  check Alcotest.int "rank of best" 0 (Compare.Rank.rank_of d q b);
+  check bool_t "a ranked below b" true (Compare.Rank.rank_of d q a > 0);
+  (* strictly better tuples never rank below worse ones *)
+  check bool_t "monotone" true
+    (Compare.Rank.rank_of d q b < Compare.Rank.rank_of d q a)
+
+let test_rank_top_k () =
+  let d = s5_db () and q = s5_query () in
+  let b = Tuple.of_list [ Value.named "2"; Value.null 2 ] in
+  (match Compare.Rank.top_k ~k:1 d q with
+  | [ t ] -> check bool_t "top-1 is best" true (Tuple.equal t b)
+  | other ->
+      Alcotest.failf "expected exactly the best answer, got %d" (List.length other));
+  let top5 = Compare.Rank.top_k ~k:5 d q in
+  check bool_t "at least 5" true (List.length top5 >= 5);
+  check bool_t "best first" true (Tuple.equal (List.hd top5) b)
+
+let prop_rank_consistent_with_order =
+  QCheck.Test.make ~name:"ranking refines the ◁ order" ~count:15
+    rs_instance_gen (fun d ->
+      let q = Parser.query_exn "Q(x) := exists y. R(x, y)" in
+      let cands = Best.candidates d q in
+      QCheck.assume (cands <> [] && List.length cands <= 6);
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              (not (Order.lt d q a b))
+              || Compare.Rank.rank_of d q b < Compare.Rank.rank_of d q a)
+            cands)
+        cands)
+
+let prop_best_nonempty =
+  QCheck.Test.make ~name:"Best(Q,D) nonempty on nonempty domains" ~count:30
+    rs_instance_gen (fun d ->
+      QCheck.assume (Instance.adom d <> []);
+      List.for_all
+        (fun q -> not (Relation.is_empty (Best.best d q)))
+        [ List.hd ucq_queries ])
+
+let prop_certain_subset_best =
+  QCheck.Test.make ~name:"certain ⊆ best; equal when certain nonempty"
+    ~count:20 rs_instance_gen (fun d ->
+      List.for_all
+        (fun q ->
+          let certain = Certain.certain_answers d q in
+          let best = Best.best d q in
+          Relation.subset certain best
+          && (Relation.is_empty certain || Relation.equal certain best))
+        [ Parser.query_exn "Q(x, y) := R(x, y)" ])
+
+let () =
+  Alcotest.run "compare"
+    [ ( "section-5-example",
+        [ Alcotest.test_case "certain empty" `Quick test_s5_certain_empty;
+          Alcotest.test_case "ordering a ◁ b" `Quick test_s5_ordering;
+          Alcotest.test_case "best = {(2,⊥2)}" `Quick test_s5_best
+        ] );
+      ( "intro-example",
+        [ Alcotest.test_case "best likely answer" `Quick test_intro_best;
+          Alcotest.test_case "certain nonempty = best" `Quick
+            test_certain_nonempty_is_best
+        ] );
+      ( "naive-no-help",
+        [ Alcotest.test_case "§5.1 counterexample" `Quick test_naive_no_help ] );
+      ( "theorem-8",
+        [ Alcotest.test_case "UCQ best = generic best" `Quick
+            test_ucq_best_matches_generic;
+          Alcotest.test_case "UCQ ordering example" `Quick test_ucq_s5_like_example
+        ] );
+      ( "orthogonality",
+        [ Alcotest.test_case "Prop 7: all four combos" `Quick test_orthogonality;
+          Alcotest.test_case "Prop 8: Best_µ" `Quick test_best_mu
+        ] );
+      ( "ranking",
+        [ Alcotest.test_case "strata" `Quick test_rank_strata;
+          Alcotest.test_case "top-k" `Quick test_rank_top_k
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_ucq_sep_matches_generic; prop_best_nonempty;
+            prop_certain_subset_best; prop_rank_consistent_with_order ] )
+    ]

@@ -1,0 +1,421 @@
+(* Tests for dependencies, their FO compilation, the chase, and the
+   Proposition 6 satisfiability procedure. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Parser = Logic.Parser
+module Eval = Logic.Eval
+module Naive = Incomplete.Naive
+module Dependency = Constraints.Dependency
+module Chase = Constraints.Chase
+module Sat = Constraints.Sat
+module Dep_parser = Constraints.Dep_parser
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+
+(* ------------------------------------------------------------------ *)
+(* Compilation vs direct checks                                         *)
+(* ------------------------------------------------------------------ *)
+
+let schema2 = Schema.make_with_attrs [ ("R", [ "a"; "b" ]); ("U", [ "u" ]) ]
+
+let test_fd_semantics () =
+  let fd = Dependency.fd "R" [ 0 ] 1 in
+  let good =
+    Instance.of_rows schema2
+      [ ("R", [ [ Value.named "x"; Value.named "1" ]; [ Value.named "y"; Value.named "1" ] ]) ]
+  in
+  let bad =
+    Instance.of_rows schema2
+      [ ("R", [ [ Value.named "x"; Value.named "1" ]; [ Value.named "x"; Value.named "2" ] ]) ]
+  in
+  check bool_t "fd holds" true (Dependency.holds good fd);
+  check bool_t "fd violated" false (Dependency.holds bad fd);
+  (* agreement with the FO compilation *)
+  check bool_t "fo agrees (good)" true
+    (Eval.sentence_holds good (Dependency.to_formula schema2 fd));
+  check bool_t "fo agrees (bad)" false
+    (Eval.sentence_holds bad (Dependency.to_formula schema2 fd))
+
+let test_ind_semantics () =
+  let ind = Dependency.ind "R" [ 1 ] "U" [ 0 ] in
+  let good =
+    Instance.of_rows schema2
+      [ ("R", [ [ Value.named "x"; Value.named "1" ] ]);
+        ("U", [ [ Value.named "1" ]; [ Value.named "2" ] ])
+      ]
+  in
+  let bad =
+    Instance.of_rows schema2
+      [ ("R", [ [ Value.named "x"; Value.named "3" ] ]);
+        ("U", [ [ Value.named "1" ] ])
+      ]
+  in
+  check bool_t "ind holds" true (Dependency.holds good ind);
+  check bool_t "ind violated" false (Dependency.holds bad ind);
+  check bool_t "fo agrees (good)" true
+    (Eval.sentence_holds good (Dependency.to_formula schema2 ind));
+  check bool_t "fo agrees (bad)" false
+    (Eval.sentence_holds bad (Dependency.to_formula schema2 ind))
+
+let test_key_semantics () =
+  let key = Dependency.key "R" [ 0 ] in
+  let good =
+    Instance.of_rows schema2
+      [ ("R", [ [ Value.named "k1"; Value.named "v" ]; [ Value.named "k2"; Value.named "v" ] ]) ]
+  in
+  let bad =
+    Instance.of_rows schema2
+      [ ("R", [ [ Value.named "k1"; Value.named "v" ]; [ Value.named "k1"; Value.named "w" ] ]) ]
+  in
+  check bool_t "key holds" true (Dependency.holds good key);
+  check bool_t "key violated" false (Dependency.holds bad key);
+  check bool_t "null-free ok" true (Dependency.keys_null_free good [ key ]);
+  let with_null =
+    Instance.of_rows schema2 [ ("R", [ [ Value.null 1; Value.named "v" ] ]) ]
+  in
+  check bool_t "null in key column" false
+    (Dependency.keys_null_free with_null [ key ])
+
+let prop_compiled_matches_direct =
+  (* On random complete instances, the FO compilation and the direct
+     structural checks agree for FDs and INDs. *)
+  let const_gen = QCheck.map (fun i -> Value.named ("c" ^ string_of_int i)) (QCheck.int_range 0 3) in
+  let inst_gen =
+    QCheck.map
+      (fun (r_rows, u_rows) ->
+        Instance.of_rows schema2
+          [ ("R", List.map (fun (a, b) -> [ a; b ]) r_rows);
+            ("U", List.map (fun a -> [ a ]) u_rows)
+          ])
+      (QCheck.pair
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 5)
+            (QCheck.pair const_gen const_gen))
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 3) const_gen))
+  in
+  let deps =
+    [ Dependency.fd "R" [ 0 ] 1;
+      Dependency.fd "R" [ 1 ] 0;
+      Dependency.ind "R" [ 1 ] "U" [ 0 ];
+      Dependency.ind "U" [ 0 ] "R" [ 0 ];
+      Dependency.key "R" [ 0 ]
+    ]
+  in
+  QCheck.Test.make ~name:"FO compilation = direct check" ~count:100 inst_gen
+    (fun d ->
+      List.for_all
+        (fun dep ->
+          Dependency.holds d dep
+          = Eval.sentence_holds d (Dependency.to_formula schema2 dep))
+        deps)
+
+(* ------------------------------------------------------------------ *)
+(* Chase                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let intro_schema =
+  Parser.schema_exn "R1(customer, product); R2(customer, product)"
+
+let intro_db () =
+  Parser.instance_exn intro_schema
+    "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) };
+     R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }"
+
+let test_chase_intro_fd () =
+  (* The intro's last scenario: customer determines product. Chasing
+     unifies ⊥1 and ⊥2, after which naive evaluation of R1 ∖ R2 is
+     empty — "with the constraint we know with certainty that they will
+     not be answers". *)
+  let d = intro_db () in
+  let fd = { Dependency.fd_relation = "R1"; fd_lhs = [ 0 ]; fd_rhs = 1 } in
+  match Chase.chase [ fd ] d with
+  | Chase.Failure _ -> Alcotest.fail "chase should succeed"
+  | Chase.Success chased ->
+      check int_t "R1 collapses" 2
+        (Relation.cardinal (Instance.relation chased "R1"));
+      check bool_t "fd holds naively" true
+        (Dependency.holds chased (Dependency.Fd fd));
+      let q = Parser.query_exn "Q(x, y) := R1(x, y) & !R2(x, y)" in
+      check relation_t "no more likely answers" (Relation.empty 2)
+        (Naive.answers chased q)
+
+let test_chase_failure () =
+  let d =
+    Instance.of_rows schema2
+      [ ("R", [ [ Value.named "k"; Value.named "v1" ]; [ Value.named "k"; Value.named "v2" ] ]) ]
+  in
+  let fd = { Dependency.fd_relation = "R"; fd_lhs = [ 0 ]; fd_rhs = 1 } in
+  match Chase.chase [ fd ] d with
+  | Chase.Failure (fd', _, _) ->
+      check Alcotest.string "right fd" "R" fd'.Dependency.fd_relation
+  | Chase.Success _ -> Alcotest.fail "expected failure (constant clash)"
+
+let test_chase_null_const () =
+  (* null/const violation: the null takes the constant everywhere. *)
+  let d =
+    Instance.of_rows schema2
+      [ ("R", [ [ Value.named "k"; Value.null 1 ]; [ Value.named "k"; Value.named "v" ] ]);
+        ("U", [ [ Value.null 1 ] ])
+      ]
+  in
+  let fd = { Dependency.fd_relation = "R"; fd_lhs = [ 0 ]; fd_rhs = 1 } in
+  match Chase.chase [ fd ] d with
+  | Chase.Failure _ -> Alcotest.fail "chase should succeed"
+  | Chase.Success chased ->
+      check int_t "tuples merged" 1
+        (Relation.cardinal (Instance.relation chased "R"));
+      (* the substitution is global: U was updated too *)
+      check bool_t "U updated" true
+        (Relation.mem (Tuple.consts [ "v" ]) (Instance.relation chased "U"));
+      check bool_t "complete now" true (Instance.is_complete chased)
+
+let test_chase_confluence () =
+  (* Chasing with FDs listed in different orders yields the same result
+     up to null renaming. *)
+  let schema = Schema.make [ ("R", 3) ] in
+  let d =
+    Instance.of_rows schema
+      [ ("R",
+         [ [ Value.named "k"; Value.null 1; Value.null 2 ];
+           [ Value.named "k"; Value.null 3; Value.null 4 ];
+           [ Value.named "k2"; Value.null 3; Value.null 5 ]
+         ])
+      ]
+  in
+  let fd1 = { Dependency.fd_relation = "R"; fd_lhs = [ 0 ]; fd_rhs = 1 } in
+  let fd2 = { Dependency.fd_relation = "R"; fd_lhs = [ 0 ]; fd_rhs = 2 } in
+  match (Chase.chase [ fd1; fd2 ] d, Chase.chase [ fd2; fd1 ] d) with
+  | Chase.Success a, Chase.Success b ->
+      check bool_t "isomorphic results" true (Instance.isomorphic a b)
+  | _ -> Alcotest.fail "both chases should succeed"
+
+let test_chase_trace () =
+  let d = intro_db () in
+  let fd = { Dependency.fd_relation = "R1"; fd_lhs = [ 0 ]; fd_rhs = 1 } in
+  let steps, outcome = Chase.trace [ fd ] d in
+  check int_t "one unification" 1 (List.length steps);
+  check bool_t "success" true (Option.is_some (Chase.successful outcome))
+
+let prop_chase_result_satisfies_fds =
+  let value_gen =
+    QCheck.map
+      (fun i ->
+        if i >= 0 then Value.null (i mod 4)
+        else Value.named ("cc" ^ string_of_int (-i mod 3)))
+      (QCheck.int_range (-6) 7)
+  in
+  let inst_gen =
+    QCheck.map
+      (fun rows ->
+        Instance.of_rows (Schema.make [ ("R", 2) ])
+          [ ("R", List.map (fun (a, b) -> [ a; b ]) rows) ])
+      (QCheck.list_of_size (QCheck.Gen.int_range 0 5)
+         (QCheck.pair value_gen value_gen))
+  in
+  let fd = { Dependency.fd_relation = "R"; fd_lhs = [ 0 ]; fd_rhs = 1 } in
+  QCheck.Test.make ~name:"successful chase satisfies its FDs" ~count:200
+    inst_gen (fun d ->
+      match Chase.chase [ fd ] d with
+      | Chase.Success chased -> Dependency.holds chased (Dependency.Fd fd)
+      | Chase.Failure (fd', t, u) ->
+          (* a genuine constant clash on the determined column *)
+          Value.is_const (Tuple.get t fd'.Dependency.fd_rhs)
+          && Value.is_const (Tuple.get u fd'.Dependency.fd_rhs)
+          && not
+               (Value.equal
+                  (Tuple.get t fd'.Dependency.fd_rhs)
+                  (Tuple.get u fd'.Dependency.fd_rhs)))
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 6: satisfiability of unary keys and foreign keys         *)
+(* ------------------------------------------------------------------ *)
+
+let orders_schema =
+  Schema.make_with_attrs
+    [ ("Orders", [ "id"; "customer" ]); ("Customers", [ "cid" ]) ]
+
+let test_sat_positive () =
+  let d =
+    Instance.of_rows orders_schema
+      [ ("Orders", [ [ Value.named "o1"; Value.null 1 ]; [ Value.named "o2"; Value.named "alice" ] ]);
+        ("Customers", [ [ Value.named "alice" ]; [ Value.named "bob" ] ])
+      ]
+  in
+  let cs =
+    [ Dependency.key "Orders" [ 0 ];
+      Dependency.key "Customers" [ 0 ];
+      Dependency.foreign_key "Orders" [ 1 ] "Customers" [ 0 ]
+    ]
+  in
+  match Sat.unary_keys_fks orders_schema cs d with
+  | Sat.Satisfiable v ->
+      (* the witness must actually work *)
+      let vd = Incomplete.Valuation.instance v d in
+      check bool_t "witness satisfies" true (Dependency.all_hold vd cs)
+  | Sat.Unsatisfiable reason -> Alcotest.fail ("unexpectedly unsat: " ^ reason)
+
+let test_sat_key_clash () =
+  (* Two orders share an id but have different constant customers. *)
+  let d =
+    Instance.of_rows orders_schema
+      [ ("Orders",
+         [ [ Value.named "o1"; Value.named "alice" ];
+           [ Value.named "o1"; Value.named "bob" ]
+         ]);
+        ("Customers", [ [ Value.named "alice" ]; [ Value.named "bob" ] ])
+      ]
+  in
+  let cs = [ Dependency.key "Orders" [ 0 ] ] in
+  match Sat.unary_keys_fks orders_schema cs d with
+  | Sat.Unsatisfiable _ -> ()
+  | Sat.Satisfiable _ -> Alcotest.fail "expected unsat (key clash)"
+
+let test_sat_fk_no_target () =
+  let d =
+    Instance.of_rows orders_schema
+      [ ("Orders", [ [ Value.named "o1"; Value.null 1 ] ]);
+        ("Customers", [])
+      ]
+  in
+  let cs =
+    [ Dependency.key "Customers" [ 0 ];
+      Dependency.foreign_key "Orders" [ 1 ] "Customers" [ 0 ]
+    ]
+  in
+  match Sat.unary_keys_fks orders_schema cs d with
+  | Sat.Unsatisfiable _ -> ()
+  | Sat.Satisfiable _ -> Alcotest.fail "expected unsat (empty fk target)"
+
+let test_sat_null_in_key () =
+  let d =
+    Instance.of_rows orders_schema
+      [ ("Orders", [ [ Value.null 1; Value.named "alice" ] ]);
+        ("Customers", [ [ Value.named "alice" ] ])
+      ]
+  in
+  let cs = [ Dependency.key "Orders" [ 0 ] ] in
+  match Sat.unary_keys_fks orders_schema cs d with
+  | Sat.Unsatisfiable _ -> ()
+  | Sat.Satisfiable _ -> Alcotest.fail "expected unsat (null in key)"
+
+let test_sat_rejects_non_unary () =
+  let cs = [ Dependency.key "Orders" [ 0; 1 ] ] in
+  let d = Instance.empty orders_schema in
+  Alcotest.check_raises "non-unary rejected"
+    (Invalid_argument
+       "Sat.unary_keys_fks: constraint set must contain only unary keys and \
+        unary foreign keys") (fun () ->
+      ignore (Sat.unary_keys_fks orders_schema cs d))
+
+let prop_sat_matches_generic =
+  (* The polynomial procedure agrees with the exponential generic
+     search on random small instances. *)
+  let value_gen =
+    QCheck.map
+      (fun i ->
+        if i >= 0 then Value.null (i mod 2)
+        else Value.named ("s" ^ string_of_int (-i mod 3)))
+      (QCheck.int_range (-6) 3)
+  in
+  let const_gen =
+    QCheck.map (fun i -> Value.named ("s" ^ string_of_int i)) (QCheck.int_range 0 2)
+  in
+  let inst_gen =
+    QCheck.map
+      (fun (orders, customers) ->
+        Instance.of_rows orders_schema
+          [ ("Orders", List.map (fun (a, b) -> [ a; b ]) orders);
+            ("Customers", List.map (fun c -> [ c ]) customers)
+          ])
+      (QCheck.pair
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 3)
+            (QCheck.pair const_gen value_gen))
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 2) const_gen))
+  in
+  let cs =
+    [ Dependency.key "Orders" [ 0 ];
+      Dependency.key "Customers" [ 0 ];
+      Dependency.foreign_key "Orders" [ 1 ] "Customers" [ 0 ]
+    ]
+  in
+  QCheck.Test.make ~name:"Prop 6 procedure = generic satisfiability" ~count:60
+    inst_gen (fun d ->
+      let fast =
+        match Sat.unary_keys_fks orders_schema cs d with
+        | Sat.Satisfiable _ -> true
+        | Sat.Unsatisfiable _ -> false
+      in
+      fast = Sat.satisfiable_generic orders_schema cs d)
+
+(* ------------------------------------------------------------------ *)
+(* Constraint parser                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_dep_parser () =
+  let schema =
+    Schema.make_with_attrs
+      [ ("R", [ "a"; "b"; "c" ]); ("S", [ "x" ]) ]
+  in
+  let cs =
+    Dep_parser.parse_exn schema
+      "fd R : a, b -> c; key S : x\nind R[c] <= S[x]; fk R[b] -> S[1]"
+  in
+  check int_t "four constraints" 4 (List.length cs);
+  (match cs with
+  | [ Dependency.Fd f; Dependency.Key k; Dependency.Ind i; Dependency.ForeignKey fk ] ->
+      check (Alcotest.list int_t) "fd lhs" [ 0; 1 ] f.Dependency.fd_lhs;
+      check int_t "fd rhs" 2 f.Dependency.fd_rhs;
+      check (Alcotest.list int_t) "key cols" [ 0 ] k.Dependency.key_cols;
+      check (Alcotest.list int_t) "ind src" [ 2 ] i.Dependency.ind_src_cols;
+      check (Alcotest.list int_t) "fk dst" [ 0 ] fk.Dependency.fk_dst_cols
+  | _ -> Alcotest.fail "wrong shapes");
+  check bool_t "unknown relation" true
+    (Result.is_error (Dep_parser.parse schema "fd T : a -> b"));
+  check bool_t "unknown attribute" true
+    (Result.is_error (Dep_parser.parse schema "fd R : nope -> c"));
+  check bool_t "bad position" true
+    (Result.is_error (Dep_parser.parse schema "ind R[9] <= S[1]"))
+
+let test_dep_printing () =
+  let f = Dependency.fd "R" [ 0; 1 ] 2 in
+  check Alcotest.string "fd positional" "fd R : 1, 2 -> 3" (Dependency.to_string f);
+  let schema = Schema.make_with_attrs [ ("R", [ "a"; "b"; "c" ]) ] in
+  check Alcotest.string "fd named" "fd R : a, b -> c"
+    (Dependency.to_string ~schema f)
+
+let () =
+  Alcotest.run "constraints"
+    [ ( "semantics",
+        [ Alcotest.test_case "fd" `Quick test_fd_semantics;
+          Alcotest.test_case "ind" `Quick test_ind_semantics;
+          Alcotest.test_case "key" `Quick test_key_semantics
+        ] );
+      ( "chase",
+        [ Alcotest.test_case "intro fd scenario" `Quick test_chase_intro_fd;
+          Alcotest.test_case "constant clash fails" `Quick test_chase_failure;
+          Alcotest.test_case "null/const unification" `Quick test_chase_null_const;
+          Alcotest.test_case "confluence up to renaming" `Quick test_chase_confluence;
+          Alcotest.test_case "trace" `Quick test_chase_trace
+        ] );
+      ( "satisfiability",
+        [ Alcotest.test_case "satisfiable with witness" `Quick test_sat_positive;
+          Alcotest.test_case "key clash" `Quick test_sat_key_clash;
+          Alcotest.test_case "fk without target" `Quick test_sat_fk_no_target;
+          Alcotest.test_case "null in key" `Quick test_sat_null_in_key;
+          Alcotest.test_case "non-unary rejected" `Quick test_sat_rejects_non_unary
+        ] );
+      ( "parser",
+        [ Alcotest.test_case "declarations" `Quick test_dep_parser;
+          Alcotest.test_case "printing" `Quick test_dep_printing
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_compiled_matches_direct; prop_chase_result_satisfies_fds;
+            prop_sat_matches_generic ] )
+    ]

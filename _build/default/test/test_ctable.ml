@@ -1,0 +1,215 @@
+(* Tests for conditional tables: semantics, the Imieliński–Lipski
+   closure under relational algebra (property-checked against
+   possible-world enumeration), and certainty from conditions. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Valuation = Incomplete.Valuation
+module Enumerate = Incomplete.Enumerate
+module Ra = Logic.Ra
+module Condition = Ctables.Condition
+module CT = Ctables.Ctable
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_condition_simplify () =
+  let a = Value.named "cta" and b = Value.named "ctb" in
+  check bool_t "const eq folds" true (Condition.eq a a = Condition.True);
+  check bool_t "const neq folds" true (Condition.eq a b = Condition.False);
+  check bool_t "same null folds" true
+    (Condition.eq (Value.null 1) (Value.null 1) = Condition.True);
+  check bool_t "and false" true
+    (Condition.simplify (Condition.And (Condition.True, Condition.False))
+    = Condition.False);
+  check bool_t "double negation" true
+    (Condition.simplify (Condition.Not (Condition.Not Condition.True))
+    = Condition.True)
+
+let test_condition_eval_sat () =
+  let n1 = Value.null 1 and n2 = Value.null 2 in
+  let a = Relational.Names.intern "ct1" in
+  let c = Condition.And (Condition.eq n1 n2, Condition.neq n1 (Value.const a)) in
+  let v_good = Valuation.of_list [ (1, a + 1000); (2, a + 1000) ] in
+  let v_bad = Valuation.of_list [ (1, a); (2, a) ] in
+  check bool_t "eval true" true (Condition.eval v_good c);
+  check bool_t "eval false" false (Condition.eval v_bad c);
+  check bool_t "satisfiable" true (Condition.satisfiable c);
+  check bool_t "contradiction unsat" false
+    (Condition.satisfiable (Condition.And (Condition.eq n1 n2, Condition.neq n1 n2)));
+  check bool_t "tautology valid" true
+    (Condition.valid (Condition.Or (Condition.eq n1 n2, Condition.neq n1 n2)));
+  check bool_t "not valid" false (Condition.valid (Condition.eq n1 n2))
+
+(* ------------------------------------------------------------------ *)
+(* C-table basics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_ctable_basics () =
+  let n1 = Value.null 1 in
+  let t =
+    CT.make 1
+      [ { CT.tuple = Tuple.of_list [ n1 ]; cond = Condition.True };
+        { CT.tuple = Tuple.consts [ "always" ]; cond = Condition.True };
+        { CT.tuple = Tuple.consts [ "never" ];
+          cond = Condition.And (Condition.eq n1 n1, Condition.False)
+        }
+      ]
+  in
+  (* the unsatisfiable row is dropped *)
+  check int_t "rows" 2 (List.length (CT.rows t));
+  let a = Relational.Names.intern "w1" in
+  let rel = CT.instantiate (Valuation.of_list [ (1, a) ]) t in
+  check int_t "instantiated" 2 (Relation.cardinal rel);
+  check bool_t "contains valuated null" true
+    (Relation.mem (Tuple.of_list [ Value.const a ]) rel)
+
+(* ------------------------------------------------------------------ *)
+(* The representation theorem                                           *)
+(* ------------------------------------------------------------------ *)
+
+let schema = Schema.make [ ("R", 2); ("S", 2) ]
+
+let plans =
+  [ Ra.Diff (Ra.Rel "R", Ra.Rel "S");
+    Ra.Select (Ra.Eq_col (0, 1), Ra.Rel "R");
+    Ra.Select (Ra.Neq_const (0, Value.named "ctv0"), Ra.Union (Ra.Rel "R", Ra.Rel "S"));
+    Ra.Project ([ 1 ], Ra.Diff (Ra.Rel "R", Ra.Rel "S"));
+    Ra.Project
+      ([ 0; 3 ], Ra.Select (Ra.Eq_col (1, 2), Ra.Product (Ra.Rel "R", Ra.Rel "S")));
+    Ra.Diff (Ra.Rel "R", Ra.Select (Ra.Eq_col (0, 1), Ra.Rel "S"))
+  ]
+
+let test_representation_theorem_example () =
+  (* R = {(1,⊥1)}, S = {(1,⊥2)}: R ∖ S denotes {(1,v⊥1)} exactly when
+     v⊥1 ≠ v⊥2 — not representable without conditions. *)
+  let d =
+    Instance.of_rows schema
+      [ ("R", [ [ Value.named "one"; Value.null 1 ] ]);
+        ("S", [ [ Value.named "one"; Value.null 2 ] ])
+      ]
+  in
+  let ct = CT.eval d (Ra.Diff (Ra.Rel "R", Ra.Rel "S")) in
+  check int_t "one guarded row" 1 (List.length (CT.rows ct));
+  let a = Relational.Names.intern "cx" in
+  let b = Relational.Names.intern "cy" in
+  let v_neq = Valuation.of_list [ (1, a); (2, b) ] in
+  let v_eq = Valuation.of_list [ (1, a); (2, a) ] in
+  check int_t "kept when different" 1 (Relation.cardinal (CT.instantiate v_neq ct));
+  check int_t "dropped when equal" 0 (Relation.cardinal (CT.instantiate v_eq ct))
+
+let prop_representation_theorem =
+  (* For every plan e and valuation v:
+     instantiate v (ctable-eval e) = Ra.eval e on v(D). *)
+  let value_gen =
+    QCheck.map
+      (fun i ->
+        if i >= 0 then Value.null (i mod 3)
+        else Value.named ("ctv" ^ string_of_int (-i mod 3)))
+      (QCheck.int_range (-6) 5)
+  in
+  let inst_gen =
+    QCheck.map
+      (fun (r_rows, s_rows) ->
+        Instance.of_rows schema
+          [ ("R", List.map (fun (a, b) -> [ a; b ]) r_rows);
+            ("S", List.map (fun (a, b) -> [ a; b ]) s_rows)
+          ])
+      (QCheck.pair
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 3)
+            (QCheck.pair value_gen value_gen))
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 3)
+            (QCheck.pair value_gen value_gen)))
+  in
+  QCheck.Test.make ~name:"IL84: c-table eval commutes with valuations" ~count:60
+    inst_gen (fun d ->
+      let k = Instance.max_constant d + 2 in
+      let nulls = Instance.nulls d in
+      List.for_all
+        (fun e ->
+          let ct = CT.eval d e in
+          Enumerate.fold_valuations ~nulls ~k
+            (fun acc v ->
+              acc
+              && Relation.equal
+                   (CT.instantiate v ct)
+                   (Ra.eval (Valuation.instance v d) e))
+            true)
+        plans)
+
+(* ------------------------------------------------------------------ *)
+(* Certainty from conditions                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_certain_tuples () =
+  (* R = {(a,⊥1)}, S = {(a,⊥1)}: R ∖ S is certainly empty; R ∪ S
+     certainly contains... nothing null-free; but
+     select[0='a'](R) project[0] certainly contains (a). *)
+  let d =
+    Instance.of_rows schema
+      [ ("R", [ [ Value.named "cta2"; Value.null 1 ] ]);
+        ("S", [ [ Value.named "cta2"; Value.null 1 ] ])
+      ]
+  in
+  let diff = CT.eval d (Ra.Diff (Ra.Rel "R", Ra.Rel "S")) in
+  check relation_t "difference certainly empty" (Relation.empty 2)
+    (CT.certain_tuples diff);
+  check relation_t "and not even possible" (Relation.empty 2)
+    (CT.possible_tuples diff);
+  let proj = CT.eval d (Ra.Project ([ 0 ], Ra.Rel "R")) in
+  check bool_t "projection certain" true
+    (Relation.mem (Tuple.consts [ "cta2" ]) (CT.certain_tuples proj))
+
+let test_certain_matches_class_machinery () =
+  (* c-table certainty agrees with the class-based certain answers for
+     the compiled query, on null-free tuples. *)
+  let d =
+    Instance.of_rows schema
+      [ ("R", [ [ Value.named "u"; Value.null 1 ]; [ Value.null 1; Value.named "u" ] ]);
+        ("S", [ [ Value.named "u"; Value.named "u" ] ])
+      ]
+  in
+  List.iter
+    (fun e ->
+      let ct = CT.eval d e in
+      let q = Ra.to_query schema e in
+      let from_classes =
+        Relation.filter
+          (fun t -> not (Tuple.has_null t))
+          (Incomplete.Certain.certain_answers d q)
+      in
+      let from_conditions = CT.certain_tuples ct in
+      (* certain_tuples candidates range over the c-table's constants,
+         which cover all constants of certain answers *)
+      check relation_t (Ra.to_string e) from_classes from_conditions)
+    [ Ra.Diff (Ra.Rel "R", Ra.Rel "S"); Ra.Select (Ra.Eq_col (0, 1), Ra.Rel "R") ]
+
+let () =
+  Alcotest.run "ctable"
+    [ ( "conditions",
+        [ Alcotest.test_case "simplification" `Quick test_condition_simplify;
+          Alcotest.test_case "evaluation and satisfiability" `Quick
+            test_condition_eval_sat
+        ] );
+      ( "tables",
+        [ Alcotest.test_case "basics" `Quick test_ctable_basics ] );
+      ( "representation-theorem",
+        [ Alcotest.test_case "difference example" `Quick
+            test_representation_theorem_example;
+          QCheck_alcotest.to_alcotest prop_representation_theorem
+        ] );
+      ( "certainty",
+        [ Alcotest.test_case "certain tuples" `Quick test_certain_tuples;
+          Alcotest.test_case "agrees with class machinery" `Quick
+            test_certain_matches_class_machinery
+        ] )
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the datalog engine and the generic-query measure machinery
+   (Theorem 1 beyond first-order logic). *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module F = Logic.Formula
+module Program = Datalog.Program
+module Generic = Zeroone.Generic
+module R = Arith.Rat
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+let rat_t = Alcotest.testable R.pp R.equal
+
+let graph_schema = Schema.make [ ("E", 2) ]
+
+let tc_program () =
+  Program.parse_exn graph_schema
+    "TC(x, y) := E(x, y). TC(x, z) := E(x, y), TC(y, z)."
+
+let chain_db names =
+  let rec edges = function
+    | a :: (b :: _ as rest) -> [ a; b ] :: edges rest
+    | _ -> []
+  in
+  Instance.of_rows graph_schema [ ("E", edges names) ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_transitive_closure () =
+  let d = chain_db [ Value.named "a"; Value.named "b"; Value.named "c"; Value.named "d" ] in
+  let tc = Program.query d (tc_program ()) "TC" in
+  (* chain of 4 nodes: 3+2+1 = 6 pairs *)
+  check int_t "tc size" 6 (Relation.cardinal tc);
+  check bool_t "a->d" true (Relation.mem (Tuple.consts [ "a"; "d" ]) tc);
+  check bool_t "no d->a" false (Relation.mem (Tuple.consts [ "d"; "a" ]) tc)
+
+let test_cycle () =
+  let a = Value.named "a" and b = Value.named "b" in
+  let d = Instance.of_rows graph_schema [ ("E", [ [ a; b ]; [ b; a ] ]) ] in
+  let tc = Program.query d (tc_program ()) "TC" in
+  check int_t "cycle closure" 4 (Relation.cardinal tc);
+  check bool_t "self-reachable" true (Relation.mem (Tuple.of_list [ a; a ]) tc)
+
+let test_facts_and_constants () =
+  let schema = Schema.make [ ("E", 2) ] in
+  let p =
+    Program.parse_exn schema
+      "Start('a'). Reach(x) := Start(x). Reach(y) := Reach(x), E(x, y)."
+  in
+  check int_t "one constant" 1 (List.length (Program.constants p));
+  let d = chain_db [ Value.named "a"; Value.named "b"; Value.named "c" ] in
+  let reach = Program.query d p "Reach" in
+  check int_t "reachable" 3 (Relation.cardinal reach)
+
+let test_well_formedness () =
+  let schema = Schema.make [ ("E", 2) ] in
+  check bool_t "unbound head var" true
+    (Result.is_error (Program.parse schema "P(x, y) := E(x, x)."));
+  check bool_t "unknown predicate" true
+    (Result.is_error (Program.parse schema "P(x) := Q(x)."));
+  check bool_t "wrong arity" true
+    (Result.is_error (Program.parse schema "P(x) := E(x)."));
+  check bool_t "idb shadows edb" true
+    (Result.is_error (Program.parse schema "E(x, y) := E(y, x)."));
+  check bool_t "ok program" true
+    (Result.is_ok (Program.parse schema "P(x) := E(x, y)."))
+
+let test_parser_roundtrip () =
+  let p = tc_program () in
+  let printed = Format.asprintf "%a" Program.pp p in
+  let p' = Program.parse_exn graph_schema printed in
+  check int_t "same rule count" (List.length p.Program.rules)
+    (List.length p'.Program.rules)
+
+let test_datalog_on_incomplete () =
+  (* naive datalog evaluation: nulls act as constants, so TC jumps
+     through them. *)
+  let d =
+    Instance.of_rows graph_schema
+      [ ("E", [ [ Value.named "a"; Value.null 1 ]; [ Value.null 1; Value.named "c" ] ]) ]
+  in
+  let tc = Program.query d (tc_program ()) "TC" in
+  check bool_t "a -> c through the null" true
+    (Relation.mem (Tuple.consts [ "a"; "c" ]) tc);
+  check int_t "tc size" 3 (Relation.cardinal tc)
+
+(* ------------------------------------------------------------------ *)
+(* Generic queries: the 0-1 law beyond FO                               *)
+(* ------------------------------------------------------------------ *)
+
+let tc_query () = Generic.of_datalog graph_schema (tc_program ()) ~goal:"TC"
+
+let test_generic_naive () =
+  let d =
+    Instance.of_rows graph_schema
+      [ ("E", [ [ Value.named "a"; Value.null 1 ]; [ Value.null 1; Value.named "c" ] ]) ]
+  in
+  let q = tc_query () in
+  check bool_t "naive contains (a,c)" true
+    (Relation.mem (Tuple.consts [ "a"; "c" ]) (Generic.naive_answers d q))
+
+let test_generic_zero_one_law_tc () =
+  (* (a,c) is reachable regardless of v(⊥1): certain, µ = 1.
+     (a,a) requires v(⊥1) = a on one edge... here never: µ = 0. *)
+  let d =
+    Instance.of_rows graph_schema
+      [ ("E", [ [ Value.named "a"; Value.null 1 ]; [ Value.null 1; Value.named "c" ] ]) ]
+  in
+  let q = tc_query () in
+  check rat_t "µ(a,c) = 1" R.one
+    (Generic.mu_symbolic d q (Tuple.consts [ "a"; "c" ]));
+  check bool_t "certain too" true
+    (Generic.is_certain d q (Tuple.consts [ "a"; "c" ]));
+  check rat_t "µ(c,a) = 0" R.zero
+    (Generic.mu_symbolic d q (Tuple.consts [ "c"; "a" ]));
+  (* (a,⊥1) is a naive answer but not certain (if v⊥1 = a it still is…
+     actually (a, v⊥1) ∈ TC always since edge (a,⊥1) exists): certain! *)
+  check bool_t "(a,~1) certain" true
+    (Generic.is_certain d q (Tuple.of_list [ Value.named "a"; Value.null 1 ]))
+
+let test_generic_zero_one_matches_naive () =
+  (* Theorem 1 for a recursive query: µ ∈ {0,1} and = naive membership,
+     on a database where reachability genuinely depends on nulls. *)
+  let d =
+    Instance.of_rows graph_schema
+      [ ("E",
+         [ [ Value.named "a"; Value.null 1 ];
+           [ Value.null 2; Value.named "b" ];
+           [ Value.named "b"; Value.named "b2" ]
+         ])
+      ]
+  in
+  let q = tc_query () in
+  let naive = Generic.naive_answers d q in
+  List.iter
+    (fun vals ->
+      let t = Tuple.of_list vals in
+      let mu = Generic.mu_symbolic d q t in
+      check bool_t
+        ("0-1 law for " ^ Tuple.to_string t)
+        true
+        (R.is_zero mu || R.is_one mu);
+      check bool_t
+        ("matches naive for " ^ Tuple.to_string t)
+        (Relation.mem t naive) (R.is_one mu))
+    (Arith.Combinat.tuples (Instance.adom d) 2)
+
+let test_generic_mu_k_series () =
+  (* a reaches b iff v⊥1 = b (direct edge), v⊥2 = a (direct edge), or
+     v⊥1 = v⊥2 (two-step chain): 3(k−1) of k² valuations once k covers
+     the constants, so µ^k = 3(k−1)/k² → 0. TC is not FO-expressible,
+     so this series lives genuinely beyond the paper's FO examples. *)
+  let d =
+    Instance.of_rows graph_schema
+      [ ("E", [ [ Value.named "a"; Value.null 1 ]; [ Value.null 2; Value.named "b" ] ]) ]
+  in
+  let q = tc_query () in
+  let t = Tuple.consts [ "a"; "b" ] in
+  let k0 = Instance.max_constant d in
+  List.iter
+    (fun i ->
+      let k = k0 + i in
+      check rat_t
+        (Printf.sprintf "µ^k = 3(k-1)/k² at k=%d" k)
+        (R.of_ints (3 * (k - 1)) (k * k))
+        (Generic.mu_k d q t ~k))
+    [ 1; 2; 4 ];
+  check rat_t "limit 0" R.zero (Generic.mu_symbolic d q t)
+
+let test_generic_of_fo_and_ra () =
+  let schema = Schema.make [ ("R", 2); ("S", 2) ] in
+  let d =
+    Instance.of_rows schema
+      [ ("R", [ [ Value.named "x"; Value.null 1 ] ]);
+        ("S", [ [ Value.named "x"; Value.null 2 ] ])
+      ]
+  in
+  let fo = Generic.of_fo (Logic.Parser.query_exn "Q(a, b) := R(a, b)") in
+  check relation_t "fo naive" (Instance.relation d "R") (Generic.naive_answers d fo);
+  let ra = Generic.of_ra schema (Logic.Ra.Diff (Logic.Ra.Rel "R", Logic.Ra.Rel "S")) in
+  check int_t "ra naive" 1 (Relation.cardinal (Generic.naive_answers d ra));
+  (* the difference tuple is naive but not certain: µ = 1 nonetheless *)
+  let t = Tuple.of_list [ Value.named "x"; Value.null 1 ] in
+  check rat_t "ra µ = 1" R.one (Generic.mu_symbolic d ra t);
+  check bool_t "but not certain" false (Generic.is_certain d ra t)
+
+let prop_generic_fo_matches_direct =
+  (* For FO queries the generic wrapper must agree with the dedicated
+     implementation everywhere. *)
+  let schema = Schema.make [ ("R", 2); ("S", 2) ] in
+  let value_gen =
+    QCheck.map
+      (fun i ->
+        if i >= 0 then Value.null (i mod 3)
+        else Value.named ("dg" ^ string_of_int (-i mod 3)))
+      (QCheck.int_range (-6) 5)
+  in
+  let inst_gen =
+    QCheck.map
+      (fun (r_rows, s_rows) ->
+        Instance.of_rows schema
+          [ ("R", List.map (fun (a, b) -> [ a; b ]) r_rows);
+            ("S", List.map (fun (a, b) -> [ a; b ]) s_rows)
+          ])
+      (QCheck.pair
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 3)
+            (QCheck.pair value_gen value_gen))
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 2)
+            (QCheck.pair value_gen value_gen)))
+  in
+  QCheck.Test.make ~name:"generic wrapper = dedicated FO machinery" ~count:30
+    inst_gen (fun d ->
+      List.for_all
+        (fun qs ->
+          let q = Logic.Parser.query_exn qs in
+          let g = Generic.of_fo q in
+          R.equal
+            (Generic.mu_symbolic d g Tuple.empty)
+            (Zeroone.Measure.mu_symbolic d q Tuple.empty)
+          && Generic.is_certain d g Tuple.empty
+             = Incomplete.Certain.is_certain d q Tuple.empty)
+        [ "Q() := exists x. exists y. R(x, y) & !S(x, y)";
+          "Q() := exists x. R(x, x)"
+        ])
+
+let () =
+  Alcotest.run "datalog"
+    [ ( "engine",
+        [ Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "cycles" `Quick test_cycle;
+          Alcotest.test_case "facts and constants" `Quick test_facts_and_constants;
+          Alcotest.test_case "well-formedness" `Quick test_well_formedness;
+          Alcotest.test_case "parser roundtrip" `Quick test_parser_roundtrip;
+          Alcotest.test_case "incomplete graphs" `Quick test_datalog_on_incomplete
+        ] );
+      ( "generic-0-1-law",
+        [ Alcotest.test_case "naive answers" `Quick test_generic_naive;
+          Alcotest.test_case "TC certainties" `Quick test_generic_zero_one_law_tc;
+          Alcotest.test_case "0-1 law beyond FO" `Quick
+            test_generic_zero_one_matches_naive;
+          Alcotest.test_case "µ^k series" `Quick test_generic_mu_k_series;
+          Alcotest.test_case "FO and RA wrappers" `Quick test_generic_of_fo_and_ra
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_generic_fo_matches_direct ] )
+    ]

@@ -1,0 +1,342 @@
+(* Tests for the §6 future-work extensions: SQL three-valued logic,
+   Codd nulls, non-uniform distributions, and approximation quality. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Query = Logic.Query
+module Parser = Logic.Parser
+module Sql3vl = Logic.Sql3vl
+module Eval = Logic.Eval
+module Naive = Incomplete.Naive
+module Certain = Incomplete.Certain
+module Codd = Incomplete.Codd
+module Support = Incomplete.Support
+module Weighted = Zeroone.Weighted
+module Approx = Zeroone.Approx
+module R = Arith.Rat
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let rat_t = Alcotest.testable R.pp R.equal
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+
+let rs_schema = Schema.make [ ("R", 2); ("S", 2) ]
+
+let value_gen =
+  QCheck.map
+    (fun i ->
+      if i >= 0 then Value.null (i mod 3)
+      else Value.named ("ex" ^ string_of_int (-i mod 3)))
+    (QCheck.int_range (-6) 5)
+
+let rs_instance_gen =
+  QCheck.map
+    (fun (r_rows, s_rows) ->
+      Instance.of_rows rs_schema
+        [ ("R", List.map (fun (a, b) -> [ a; b ]) r_rows);
+          ("S", List.map (fun (a, b) -> [ a; b ]) s_rows)
+        ])
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 3)
+          (QCheck.pair value_gen value_gen))
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 2)
+          (QCheck.pair value_gen value_gen)))
+
+(* ------------------------------------------------------------------ *)
+(* SQL 3-valued logic                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_bool3_tables () =
+  let open Sql3vl in
+  check bool_t "and" true (band True Unknown = Unknown);
+  check bool_t "and false dominates" true (band False Unknown = False);
+  check bool_t "or true dominates" true (bor True Unknown = True);
+  check bool_t "or" true (bor False Unknown = Unknown);
+  check bool_t "not" true (bnot Unknown = Unknown);
+  check bool_t "eq null" true (eq_value (Value.null 1) (Value.null 1) = Unknown);
+  check bool_t "eq const" true
+    (eq_value (Value.named "sq") (Value.named "sq") = True)
+
+let test_sql_vs_marked_nulls () =
+  (* The crucial difference: naive evaluation knows ⊥1 = ⊥1 and
+     ⊥1 ≠ ⊥2; SQL's 3VL says Unknown to both. *)
+  let d =
+    Instance.of_rows rs_schema
+      [ ("R", [ [ Value.null 1; Value.null 1 ] ]) ]
+  in
+  let self_join = Parser.formula_exn "exists x. R(x, x)" in
+  check bool_t "naively true" true (Naive.sentence d self_join);
+  check bool_t "SQL unknown" true
+    (Sql3vl.sentence_holds d self_join = Sql3vl.Unknown);
+  (* and in fact it IS certain: same null in both columns *)
+  check bool_t "certain" true (Certain.is_certain_sentence d self_join)
+
+let test_sql_agrees_on_complete () =
+  let d =
+    Instance.of_rows rs_schema
+      [ ("R", [ [ Value.named "x"; Value.named "y" ] ]);
+        ("S", [ [ Value.named "y"; Value.named "x" ] ])
+      ]
+  in
+  List.iter
+    (fun s ->
+      let f = Parser.formula_exn s in
+      check bool_t s
+        (Eval.sentence_holds d f)
+        (Sql3vl.sentence_holds d f = Sql3vl.True))
+    [ "exists x. exists y. R(x, y) & S(y, x)";
+      "forall x. forall y. R(x, y) -> S(x, y)";
+      "exists x. R(x, x)";
+      "exists x. exists y. R(x, y) & x != y"
+    ]
+
+let prop_sql_complete_matches_boolean =
+  QCheck.Test.make ~name:"3VL = 2VL on complete databases" ~count:100
+    (QCheck.map
+       (fun (r_rows, s_rows) ->
+         let const i = Value.named ("c3" ^ string_of_int (i mod 3)) in
+         Instance.of_rows rs_schema
+           [ ("R", List.map (fun (a, b) -> [ const a; const b ]) r_rows);
+             ("S", List.map (fun (a, b) -> [ const a; const b ]) s_rows)
+           ])
+       (QCheck.pair
+          (QCheck.list_of_size (QCheck.Gen.int_range 0 4)
+             (QCheck.pair QCheck.small_nat QCheck.small_nat))
+          (QCheck.list_of_size (QCheck.Gen.int_range 0 3)
+             (QCheck.pair QCheck.small_nat QCheck.small_nat))))
+    (fun d ->
+      List.for_all
+        (fun s ->
+          let f = Parser.formula_exn s in
+          Eval.sentence_holds d f = (Sql3vl.sentence_holds d f = Sql3vl.True))
+        [ "exists x. exists y. R(x, y) & !S(x, y)";
+          "forall x. forall y. R(x, y) -> S(x, y)"
+        ])
+
+let test_sql_maybe_answers () =
+  let d =
+    Instance.of_rows rs_schema
+      [ ("R", [ [ Value.named "a"; Value.null 1 ] ]) ]
+  in
+  let q = Parser.query_exn "Q(x) := R(x, 'a')" in
+  (* R(a,⊥): is (a) an answer to R(x,'a')? Unknown (⊥ vs 'a'). *)
+  check relation_t "no true answers" (Relation.empty 1) (Sql3vl.answers d q);
+  check bool_t "maybe answer" true
+    (Relation.mem (Tuple.consts [ "a" ]) (Sql3vl.maybe_answers d q))
+
+(* ------------------------------------------------------------------ *)
+(* Codd nulls                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_codd_detection () =
+  let codd =
+    Instance.of_rows rs_schema
+      [ ("R", [ [ Value.null 1; Value.null 2 ] ]) ]
+  in
+  let marked =
+    Instance.of_rows rs_schema
+      [ ("R", [ [ Value.null 1; Value.null 1 ] ]) ]
+  in
+  check bool_t "codd" true (Codd.is_codd codd);
+  check bool_t "marked" false (Codd.is_codd marked);
+  check (Alcotest.list int_t) "repeated" [ 1 ] (Codd.repeated_nulls marked)
+
+let test_coddify () =
+  let d =
+    Instance.of_rows rs_schema
+      [ ("R", [ [ Value.null 1; Value.null 1 ] ]);
+        ("S", [ [ Value.null 1; Value.null 2 ] ])
+      ]
+  in
+  let c = Codd.coddify d in
+  check bool_t "result is codd" true (Codd.is_codd c);
+  check int_t "same tuple count" (Instance.total_tuples d) (Instance.total_tuples c);
+  (* the unique null ~2 keeps its identity *)
+  check bool_t "singleton null preserved" true
+    (List.mem 2 (Instance.nulls c));
+  (* already-codd instances unchanged *)
+  let codd =
+    Instance.of_rows rs_schema [ ("R", [ [ Value.null 7; Value.null 8 ] ]) ]
+  in
+  check bool_t "noop" true (Instance.equal codd (Codd.coddify codd))
+
+let prop_coddify_weakens =
+  (* [[D]] ⊆ [[coddify D]]: certain truth can only be lost, possible
+     truth only gained. *)
+  QCheck.Test.make ~name:"coddify weakens the semantics" ~count:60
+    rs_instance_gen (fun d ->
+      let c = Codd.coddify d in
+      List.for_all
+        (fun s ->
+          let f = Parser.formula_exn s in
+          (* certain in coddified -> certain in original *)
+          ((not (Certain.is_certain_sentence c f))
+          || Certain.is_certain_sentence d f)
+          (* possible in original -> possible in coddified *)
+          && ((not (Certain.is_possible_sentence d f))
+             || Certain.is_possible_sentence c f))
+        [ "exists x. R(x, x)";
+          "exists x. exists y. R(x, y) & !S(x, y)";
+          "forall x. forall y. R(x, y) -> S(x, y)"
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Weighted measures                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let collision_db () =
+  Instance.of_rows rs_schema [ ("R", [ [ Value.null 1; Value.null 2 ] ]) ]
+
+let collision_q = Parser.query_exn "Q() := exists x. R(x, x)"
+
+let prop_uniform_weights_recover_mu =
+  QCheck.Test.make ~name:"uniform weighted measure = µ^k" ~count:40
+    (QCheck.pair rs_instance_gen (QCheck.int_range 1 5)) (fun (d, k) ->
+      List.for_all
+        (fun qs ->
+          let q = Parser.query_exn qs in
+          R.equal
+            (Weighted.mu_k Weighted.uniform d q Tuple.empty ~k)
+            (Support.mu_k d q Tuple.empty ~k))
+        [ "Q() := exists x. R(x, x)";
+          "Q() := exists x. exists y. R(x, y) & !S(x, y)"
+        ])
+
+let test_weighted_favourite_changes_limit () =
+  (* "The two nulls collide" has uniform measure 0, but if constant 1
+     carries weight w among k constants, the collision probability is
+     (w² + (k−1)) / (w + k − 1)², which stays ≥ some bound when w grows
+     with... — here we just check the exact finite-k values and that the
+     skewed series dominates the uniform one. *)
+  let d = collision_db () and q = collision_q in
+  List.iter
+    (fun k ->
+      let uniform = Weighted.mu_k_boolean Weighted.uniform d q ~k in
+      let skewed =
+        Weighted.mu_k_boolean (Weighted.favourite ~code:1 ~weight:(R.of_int 10)) d q ~k
+      in
+      check rat_t
+        (Printf.sprintf "uniform at %d" k)
+        (R.of_ints 1 k) uniform;
+      (* skewed = (100 + (k-1)) / (10 + k - 1)^2 *)
+      check rat_t
+        (Printf.sprintf "skewed at %d" k)
+        (R.of_ints (100 + k - 1) ((9 + k) * (9 + k)))
+        skewed;
+      check bool_t "skew increases collisions" true R.Infix.(skewed > uniform))
+    [ 2; 4; 8 ]
+
+let test_weighted_geometric_escapes_zero_one () =
+  (* With geometric weights the mass does not spread out as k grows, so
+     the collision query's measure converges to a strictly positive
+     value < 1: the 0-1 law fails for this distribution. *)
+  let d = collision_db () and q = collision_q in
+  let scheme = Weighted.geometric ~ratio:R.half in
+  let at k = Weighted.mu_k_boolean scheme d q ~k in
+  (* collision prob = Σ w_i² / (Σ w_i)²  →  (1/3)/(1)² = 1/3 for ratio 1/2 *)
+  let v16 = at 16 and v18 = at 18 in
+  check bool_t "well inside (0,1)" true
+    R.Infix.(v16 > R.of_ints 1 4 && v16 < R.half);
+  check bool_t "converging towards 1/3" true
+    R.Infix.(R.abs (R.sub v18 (R.of_ints 1 3)) < R.of_ints 1 1000)
+
+let test_weighted_zipf_runs () =
+  let d = collision_db () and q = collision_q in
+  let v = Weighted.mu_k_boolean Weighted.zipf d q ~k:6 in
+  check bool_t "in (0,1)" true R.Infix.(v > R.zero && v < R.one)
+
+(* ------------------------------------------------------------------ *)
+(* Approximation quality                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_approx_sql_on_paper_example () =
+  (* On the intro example: certain answers empty, SQL returns nothing
+     for the difference query (everything touching nulls is Unknown), so
+     SQL is sound and trivially complete here. *)
+  let schema = Parser.schema_exn "R1(c, p); R2(c, p)" in
+  let d =
+    Parser.instance_exn schema
+      "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) };
+       R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }"
+  in
+  let q = Parser.query_exn "Q(x, y) := R1(x, y) & !R2(x, y)" in
+  let report = Approx.evaluate Approx.sql_scheme d q in
+  check bool_t "sound" true (Approx.sound report);
+  check bool_t "complete" true (Approx.complete report);
+  check rat_t "recall" R.one (Approx.recall report);
+  check rat_t "precision" R.one (Approx.precision report)
+
+let test_approx_null_free_misses () =
+  (* Null-free naive evaluation misses certain answers that carry
+     nulls: Q returning R1 certainly contains (c1,~1). *)
+  let schema = Parser.schema_exn "R1(c, p); R2(c, p)" in
+  let d = Parser.instance_exn schema "R1 = { ('c1', ~1) }; R2 = { }" in
+  let q = Parser.query_exn "Q(x, y) := R1(x, y)" in
+  let report = Approx.evaluate Approx.naive_null_free_scheme d q in
+  check bool_t "incomplete" false (Approx.complete report);
+  check int_t "missed one" 1 (Relation.cardinal report.Approx.missed);
+  check rat_t "recall 0" R.zero (Approx.recall report);
+  check bool_t "but sound" true (Approx.sound report)
+
+let test_approx_classifies_spurious () =
+  (* A scheme that returns all naive answers: spurious answers (naive
+     but not certain) are classified benign (µ=1) by Theorem 1. *)
+  let schema = Parser.schema_exn "R1(c, p); R2(c, p)" in
+  let d =
+    Parser.instance_exn schema
+      "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) };
+       R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }"
+  in
+  let q = Parser.query_exn "Q(x, y) := R1(x, y) & !R2(x, y)" in
+  let report = Approx.evaluate (fun d q -> Naive.answers d q) d q in
+  check int_t "two benign spurious" 2
+    (Relation.cardinal report.Approx.spurious_benign);
+  check int_t "no harmful spurious" 0
+    (Relation.cardinal report.Approx.spurious_harmful);
+  check rat_t "recall trivially 1" R.one (Approx.recall report)
+
+let prop_sql_sound_for_positive =
+  (* SQL's True answers are certain for positive queries. *)
+  QCheck.Test.make ~name:"SQL 3VL sound on positive queries" ~count:60
+    rs_instance_gen (fun d ->
+      List.for_all
+        (fun qs ->
+          let q = Parser.query_exn qs in
+          Relation.subset (Sql3vl.answers d q) (Certain.certain_answers d q))
+        [ "Q(x) := exists y. R(x, y)"; "Q(x, y) := R(x, y) | S(x, y)" ])
+
+let () =
+  Alcotest.run "extensions"
+    [ ( "sql3vl",
+        [ Alcotest.test_case "truth tables" `Quick test_bool3_tables;
+          Alcotest.test_case "SQL vs marked nulls" `Quick test_sql_vs_marked_nulls;
+          Alcotest.test_case "complete databases" `Quick test_sql_agrees_on_complete;
+          Alcotest.test_case "maybe answers" `Quick test_sql_maybe_answers
+        ] );
+      ( "codd",
+        [ Alcotest.test_case "detection" `Quick test_codd_detection;
+          Alcotest.test_case "coddify" `Quick test_coddify
+        ] );
+      ( "weighted",
+        [ Alcotest.test_case "favourite constant" `Quick
+            test_weighted_favourite_changes_limit;
+          Alcotest.test_case "geometric escapes 0-1" `Quick
+            test_weighted_geometric_escapes_zero_one;
+          Alcotest.test_case "zipf runs" `Quick test_weighted_zipf_runs
+        ] );
+      ( "approx",
+        [ Alcotest.test_case "SQL on the intro example" `Quick
+            test_approx_sql_on_paper_example;
+          Alcotest.test_case "null-free misses" `Quick test_approx_null_free_misses;
+          Alcotest.test_case "spurious classification" `Quick
+            test_approx_classifies_spurious
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sql_complete_matches_boolean; prop_coddify_weakens;
+            prop_uniform_weights_recover_mu; prop_sql_sound_for_positive ] )
+    ]

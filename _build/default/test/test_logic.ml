@@ -1,0 +1,455 @@
+(* Tests for the logic layer: formulas, evaluation, queries, fragments,
+   UCQ normalization, and the parser. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module F = Logic.Formula
+module Query = Logic.Query
+module Eval = Logic.Eval
+module Fragment = Logic.Fragment
+module Ucq = Logic.Ucq
+module Parser = Logic.Parser
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let formula_t = Alcotest.testable F.pp F.equal
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+
+(* ------------------------------------------------------------------ *)
+(* Formula structure                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_free_vars () =
+  let f =
+    F.And
+      ( F.Atom ("R", [ F.var "x"; F.var "y" ]),
+        F.Exists ("y", F.Atom ("S", [ F.var "y"; F.var "z" ])) )
+  in
+  check (Alcotest.list Alcotest.string) "free vars" [ "x"; "y"; "z" ]
+    (F.free_vars f);
+  check bool_t "not a sentence" false (F.is_sentence f);
+  check bool_t "sentence" true (F.is_sentence (F.exists [ "x"; "y"; "z" ] f))
+
+let test_constants_of_formula () =
+  let f = F.And (F.Atom ("R", [ F.cst "a"; F.var "x" ]), F.Eq (F.var "x", F.cst "b")) in
+  check int_t "two constants" 2 (List.length (F.constants f));
+  check (Alcotest.list int_t) "no nulls" [] (F.nulls f);
+  let g = F.Atom ("R", [ F.vl (Value.null 7); F.var "x" ]) in
+  check (Alcotest.list int_t) "nulls" [ 7 ] (F.nulls g)
+
+let test_subst () =
+  let f = F.Exists ("y", F.Atom ("R", [ F.var "x"; F.var "y" ])) in
+  let g = F.subst [ ("x", F.cst "a") ] f in
+  check formula_t "simple subst"
+    (F.Exists ("y", F.Atom ("R", [ F.cst "a"; F.var "y" ])))
+    g;
+  (* Capture avoidance: substituting y for x under a binder of y must
+     rename the binder. *)
+  let h = F.subst [ ("x", F.var "y") ] f in
+  check bool_t "capture avoided" true
+    (match h with
+    | F.Exists (b, F.Atom ("R", [ F.Var v; F.Var b' ])) ->
+        b <> "y" && v = "y" && b' = b
+    | _ -> false);
+  (* Bound variables shadow. *)
+  let shadowed = F.Exists ("x", F.Atom ("R", [ F.var "x" ])) in
+  check formula_t "shadowing" shadowed (F.subst [ ("x", F.cst "a") ] shadowed)
+
+let test_instantiate () =
+  let f = F.Atom ("R", [ F.var "x"; F.var "y" ]) in
+  let t = Tuple.of_list [ Value.named "a"; Value.null 1 ] in
+  check formula_t "instantiate"
+    (F.Atom ("R", [ F.vl (Value.named "a"); F.vl (Value.null 1) ]))
+    (F.instantiate [ "x"; "y" ] t f)
+
+let test_well_formed () =
+  let schema = Schema.make [ ("R", 2) ] in
+  check bool_t "ok" true
+    (Result.is_ok (F.well_formed schema (F.Atom ("R", [ F.var "x"; F.var "y" ]))));
+  check bool_t "bad arity" true
+    (Result.is_error (F.well_formed schema (F.Atom ("R", [ F.var "x" ]))));
+  check bool_t "unknown relation" true
+    (Result.is_error (F.well_formed schema (F.Atom ("S", [ F.var "x" ]))))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let graph_schema = Schema.make [ ("E", 2) ]
+
+let path_db () =
+  (* c -> c' -> ⊥  (the example after Definition 3 in the paper) *)
+  Instance.of_rows graph_schema
+    [ ("E",
+       [ [ Value.named "c"; Value.named "c'" ];
+         [ Value.named "c'"; Value.null 0 ]
+       ])
+    ]
+
+let test_eval_basic () =
+  let d = path_db () in
+  check bool_t "edge exists" true
+    (Eval.sentence_holds d (F.Atom ("E", [ F.cst "c"; F.cst "c'" ])));
+  check bool_t "no self loop" false
+    (Eval.sentence_holds d
+       (F.exists [ "x" ] (F.Atom ("E", [ F.var "x"; F.var "x" ]))));
+  check bool_t "forall has outgoing is false" false
+    (Eval.sentence_holds d
+       (F.forall [ "x" ]
+          (F.exists [ "y" ] (F.Atom ("E", [ F.var "x"; F.var "y" ])))))
+
+let test_eval_distance2 () =
+  (* φ(x) = ∃y E(c,y) ∧ E(y,x): on the incomplete db this is naive
+     evaluation and must return {⊥} (paper's example). *)
+  let d = path_db () in
+  let q =
+    Query.make [ "x" ]
+      (F.exists [ "y" ]
+         (F.And
+            ( F.Atom ("E", [ F.cst "c"; F.var "y" ]),
+              F.Atom ("E", [ F.var "y"; F.var "x" ]) )))
+  in
+  let expected = Relation.of_list 1 [ Tuple.of_list [ Value.null 0 ] ] in
+  check relation_t "distance 2" expected (Eval.answers d q)
+
+let test_eval_negation () =
+  let d = path_db () in
+  (* nodes with no outgoing edge: just ⊥ *)
+  let q =
+    Query.make [ "x" ]
+      (F.Not (F.exists [ "y" ] (F.Atom ("E", [ F.var "x"; F.var "y" ]))))
+  in
+  let expected = Relation.of_list 1 [ Tuple.of_list [ Value.null 0 ] ] in
+  check relation_t "sinks" expected (Eval.answers d q)
+
+let test_eval_constants_outside_db () =
+  (* A constant mentioned in the query but absent from the database
+     participates in quantification but cannot be an answer. *)
+  let d = path_db () in
+  let q = Query.make [ "x" ] (F.Eq (F.var "x", F.cst "zzz")) in
+  check relation_t "no invented answers" (Relation.empty 1) (Eval.answers d q);
+  check bool_t "but quantifiable" true
+    (Eval.sentence_holds d
+       (F.exists [ "x" ] (F.Eq (F.var "x", F.cst "zzz"))))
+
+let test_tuple_in_answer () =
+  let d = path_db () in
+  let q = Query.make [ "x"; "y" ] (F.Atom ("E", [ F.var "x"; F.var "y" ])) in
+  check bool_t "present" true
+    (Eval.tuple_in_answer d q (Tuple.of_list [ Value.named "c'"; Value.null 0 ]));
+  check bool_t "absent" false
+    (Eval.tuple_in_answer d q (Tuple.of_list [ Value.null 0; Value.named "c" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Fragments                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_fragments () =
+  let cq =
+    F.exists [ "y" ]
+      (F.And (F.Atom ("R", [ F.var "x"; F.var "y" ]), F.Atom ("S", [ F.var "y" ])))
+  in
+  check bool_t "cq" true (Fragment.is_conjunctive cq);
+  check bool_t "cq is ucq" true (Fragment.is_ucq cq);
+  check bool_t "cq is positive" true (Fragment.is_positive cq);
+  let ucq = F.Or (cq, F.Atom ("T", [ F.var "x" ])) in
+  check bool_t "union not cq" false (Fragment.is_conjunctive ucq);
+  check bool_t "ucq" true (Fragment.is_ucq ucq);
+  let neg = F.Not cq in
+  check bool_t "negation not ucq" false (Fragment.is_ucq neg);
+  check bool_t "negation not positive" false (Fragment.is_positive neg);
+  (* Pos∀G: ∀x (U(x) → R(x)) is in the fragment; with negation it is not. *)
+  let guarded =
+    F.Forall ("x", F.Implies (F.Atom ("U", [ F.var "x" ]), F.Atom ("R", [ F.var "x" ])))
+  in
+  check bool_t "guarded universal" true (Fragment.is_pos_forall_guard guarded);
+  let bad =
+    F.Forall
+      ("x", F.Implies (F.Atom ("U", [ F.var "x" ]), F.Not (F.Atom ("R", [ F.var "x" ]))))
+  in
+  check bool_t "negation under guard rejected" false
+    (Fragment.is_pos_forall_guard bad);
+  let non_atom_guard =
+    F.Forall ("x", F.Implies (F.Not (F.Atom ("U", [ F.var "x" ])), F.Atom ("R", [ F.var "x" ])))
+  in
+  check bool_t "non-atomic guard rejected" false
+    (Fragment.is_pos_forall_guard non_atom_guard);
+  (* A guard mentioning a variable that is not universally quantified at
+     that point is NOT a Pos∀G guard (and the naive-evaluation theorem
+     genuinely fails for such queries). *)
+  let free_in_guard =
+    F.Forall
+      ( "y",
+        F.Implies
+          ( F.Atom ("S", [ F.var "x"; F.var "y" ]),
+            F.Exists ("z", F.Atom ("R", [ F.var "x"; F.var "z" ])) ) )
+  in
+  check bool_t "free variable in guard rejected" false
+    (Fragment.is_pos_forall_guard free_in_guard);
+  let proper_guard =
+    F.forall [ "y"; "z" ]
+      (F.Implies
+         (F.Atom ("S", [ F.var "y"; F.var "z" ]), F.Atom ("R", [ F.var "x"; F.var "y" ])))
+  in
+  check bool_t "fully quantified guard accepted" true
+    (Fragment.is_pos_forall_guard proper_guard);
+  check bool_t "plain forall allowed" true
+    (Fragment.is_pos_forall_guard (F.Forall ("x", F.Atom ("U", [ F.var "x" ]))));
+  check bool_t "quantifier free" true
+    (Fragment.is_quantifier_free (F.And (F.True, F.Not F.False)))
+
+(* ------------------------------------------------------------------ *)
+(* UCQ normalization                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_ucq_normalization () =
+  (* ∃x (A(x) ∨ B(x)) ∧ C(u)  normalizes to two disjuncts. *)
+  let body =
+    F.And
+      ( F.Exists ("x", F.Or (F.Atom ("A", [ F.var "x" ]), F.Atom ("B", [ F.var "x" ]))),
+        F.Atom ("C", [ F.var "u" ]) )
+  in
+  let q = Query.make [ "u" ] body in
+  match Ucq.of_query q with
+  | None -> Alcotest.fail "expected UCQ"
+  | Some u ->
+      check int_t "two disjuncts" 2 (List.length u.Ucq.disjuncts);
+      check int_t "max atoms" 2 (Ucq.max_atoms u);
+      (* Round trip: the normalized query is equivalent on instances. *)
+      let schema = Schema.make [ ("A", 1); ("B", 1); ("C", 1) ] in
+      let d =
+        Instance.of_rows schema
+          [ ("A", [ [ Value.named "a" ] ]); ("C", [ [ Value.named "u1" ] ]) ]
+      in
+      let q' = Ucq.to_query u in
+      check relation_t "roundtrip evaluation" (Eval.answers d q) (Eval.answers d q')
+
+let test_ucq_rejects_negation () =
+  let q = Query.make [ "x" ] (F.Not (F.Atom ("A", [ F.var "x" ]))) in
+  check bool_t "not a ucq" true (Ucq.of_query q = None)
+
+let test_ucq_cq_holds () =
+  let schema = Schema.make [ ("E", 2) ] in
+  let d =
+    Instance.of_rows schema
+      [ ("E", [ [ Value.named "a"; Value.named "b" ]; [ Value.named "b"; Value.named "c" ] ]) ]
+  in
+  (* ∃y E(x,y) ∧ E(y,z): homomorphism search *)
+  let c =
+    { Ucq.exvars = [ "y" ];
+      atoms = [ ("E", [ F.var "x"; F.var "y" ]); ("E", [ F.var "y"; F.var "z" ]) ]
+    }
+  in
+  check bool_t "path a-c" true
+    (Ucq.cq_holds d c [ ("x", Value.named "a"); ("z", Value.named "c") ]);
+  check bool_t "no path c-a" false
+    (Ucq.cq_holds d c [ ("x", Value.named "c"); ("z", Value.named "a") ])
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_formula () =
+  let f = Parser.formula_exn "R(x, y) & !S(x, y)" in
+  check formula_t "conj with negation"
+    (F.And (F.Atom ("R", [ F.var "x"; F.var "y" ]), F.Not (F.Atom ("S", [ F.var "x"; F.var "y" ]))))
+    f;
+  let g = Parser.formula_exn "exists y . E('c', y) & E(y, x)" in
+  check formula_t "existential"
+    (F.Exists ("y", F.And (F.Atom ("E", [ F.cst "c"; F.var "y" ]), F.Atom ("E", [ F.var "y"; F.var "x" ]))))
+    g;
+  let h = Parser.formula_exn "forall x. U(x) -> R(x) | S(x)" in
+  check bool_t "implication under forall" true
+    (match h with F.Forall ("x", F.Implies (_, F.Or (_, _))) -> true | _ -> false);
+  let eq = Parser.formula_exn "x != 'a'" in
+  check formula_t "inequality" (F.neq (F.var "x") (F.cst "a")) eq;
+  check bool_t "precedence: & over |" true
+    (match Parser.formula_exn "A(x) | B(x) & C(x)" with
+    | F.Or (_, F.And (_, _)) -> true
+    | _ -> false)
+
+let test_parse_query () =
+  let q = Parser.query_exn "Q(x, y) := R1(x, y) & !R2(x, y)" in
+  check Alcotest.string "name" "Q" q.Query.name;
+  check (Alcotest.list Alcotest.string) "head vars" [ "x"; "y" ] q.Query.free;
+  let q2 = Parser.query_exn "R1(x, y)" in
+  check (Alcotest.list Alcotest.string) "inferred vars" [ "x"; "y" ] q2.Query.free;
+  let q3 = Parser.query_exn "exists x. U(x)" in
+  check int_t "boolean" 0 (Query.arity q3);
+  check bool_t "bad input is an error" true (Result.is_error (Parser.query "Q(x :="))
+
+let test_parse_values_tuples () =
+  check bool_t "null" true (Value.equal (Value.null 3) (Parser.value_exn "~3"));
+  check bool_t "quoted" true
+    (Value.equal (Value.named "hello world") (Parser.value_exn "'hello world'"));
+  check bool_t "int literal" true
+    (Value.equal (Value.named "42") (Parser.value_exn "42"));
+  let t = Parser.tuple_exn "('c1', ~1)" in
+  check bool_t "tuple" true
+    (Tuple.equal (Tuple.of_list [ Value.named "c1"; Value.null 1 ]) t);
+  check int_t "empty tuple" 0 (Tuple.arity (Parser.tuple_exn "()"))
+
+let test_parse_schema_instance () =
+  let schema = Parser.schema_exn "R1(customer, product); R2(customer, product)" in
+  check int_t "arity" 2 (Schema.arity schema "R1");
+  let d =
+    Parser.instance_exn schema
+      "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) }; R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }"
+  in
+  check int_t "tuples" 6 (Instance.total_tuples d);
+  check (Alcotest.list int_t) "nulls" [ 1; 2; 3 ] (Instance.nulls d);
+  (* comments and whitespace *)
+  let d2 =
+    Parser.instance_exn schema
+      "-- supplier 1\nR1 = { ('c1', ~1) }\n# supplier 2\nR2 = { }"
+  in
+  check int_t "with comments" 1 (Instance.total_tuples d2)
+
+let test_parser_errors () =
+  check bool_t "unterminated quote" true (Result.is_error (Parser.formula "R('a"));
+  check bool_t "dangling operator" true (Result.is_error (Parser.formula "R(x) &"));
+  check bool_t "unbalanced" true (Result.is_error (Parser.formula "(R(x)"));
+  check bool_t "unknown char" true (Result.is_error (Parser.formula "R(x) $ S(x)"))
+
+let test_formula_printing_roundtrip () =
+  let samples =
+    [ "R(x, y) & !S(x, y)";
+      "exists x. exists y. R(x, y) | S(y, x)";
+      "forall x. U(x) -> (R(x) & !S(x))";
+      "x = y | x != 'a'";
+      "true & false";
+      "exists x. (A(x) | B(x)) & C(x)"
+    ]
+  in
+  List.iter
+    (fun s ->
+      let f = Parser.formula_exn s in
+      let printed = F.to_string f in
+      let f' = Parser.formula_exn printed in
+      check formula_t ("roundtrip: " ^ s) f f')
+    samples
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_formula_misc () =
+  let f = Parser.formula_exn "exists x. R(x, x) & !S(x, 'a')" in
+  check int_t "size" 5 (F.size f);
+  (* map_values renames constants *)
+  let renamed =
+    F.map_values
+      (function
+        | Value.Const _ -> Value.named "b"
+        | Value.Null _ as v -> v)
+      f
+  in
+  check (Alcotest.list int_t) "renamed constants"
+    [ Relational.Names.intern "b" ]
+    (F.constants renamed);
+  Alcotest.check_raises "instantiate arity"
+    (Invalid_argument "Formula.instantiate: arity mismatch") (fun () ->
+      ignore (F.instantiate [ "x" ] (Tuple.consts [ "a"; "b" ]) F.True))
+
+let test_eval_empty_domain () =
+  (* On an empty instance with no constants in the formula, quantifiers
+     range over the empty domain. *)
+  let schema = Schema.make [ ("R", 1) ] in
+  let d = Instance.empty schema in
+  check bool_t "forall over empty" true
+    (Eval.sentence_holds d (Parser.formula_exn "forall x. R(x)"));
+  check bool_t "exists over empty" false
+    (Eval.sentence_holds d (Parser.formula_exn "exists x. R(x)"));
+  (* a constant in the formula populates the domain *)
+  check bool_t "constant enters domain" false
+    (Eval.sentence_holds d (Parser.formula_exn "forall x. R(x) | x != 'c0'"))
+
+let test_query_construction_errors () =
+  check bool_t "duplicate head var" true
+    (match Query.make [ "x"; "x" ] (F.Atom ("R", [ F.var "x"; F.var "x" ])) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check bool_t "unbound variable" true
+    (match Query.make [ "x" ] (F.Atom ("R", [ F.var "x"; F.var "y" ])) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check bool_t "boolean rejects free vars" true
+    (match Query.boolean (F.Atom ("R", [ F.var "x" ])) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* extra answer variables are allowed and range over the domain *)
+  let q = Query.make [ "x"; "y" ] (F.Atom ("U", [ F.var "x" ])) in
+  check int_t "extra variable arity" 2 (Query.arity q)
+
+let test_parser_niceties () =
+  (* comments inside input *)
+  let f = Parser.formula_exn "R(x, y) -- trailing comment\n& S(y, x)" in
+  check bool_t "comment skipped" true
+    (match f with F.And (_, _) -> true | _ -> false);
+  (* nullary query head *)
+  let q = Parser.query_exn "Q() := exists x. R(x, x)" in
+  check int_t "explicit boolean head" 0 (Query.arity q);
+  (* deeply nested quantifiers parse and print *)
+  let g =
+    Parser.formula_exn
+      "forall x. (exists y. R(x, y)) -> (exists z. S(z, x) & z != x)"
+  in
+  check bool_t "nested roundtrip" true
+    (F.equal g (Parser.formula_exn (F.to_string g)))
+
+let test_ucq_max_atoms_and_empty () =
+  let q = Parser.query_exn "Q() := false" in
+  (match Ucq.of_query q with
+  | Some u ->
+      check int_t "false has no disjuncts" 0 (List.length u.Ucq.disjuncts);
+      check int_t "max atoms 0" 0 (Ucq.max_atoms u)
+  | None -> Alcotest.fail "false is a UCQ");
+  let q2 = Parser.query_exn "Q() := true" in
+  match Ucq.of_query q2 with
+  | Some u -> check int_t "true: one empty disjunct" 1 (List.length u.Ucq.disjuncts)
+  | None -> Alcotest.fail "true is a UCQ"
+
+let () =
+  Alcotest.run "logic"
+    [ ( "formula",
+        [ Alcotest.test_case "free vars" `Quick test_free_vars;
+          Alcotest.test_case "constants/nulls" `Quick test_constants_of_formula;
+          Alcotest.test_case "substitution" `Quick test_subst;
+          Alcotest.test_case "instantiate" `Quick test_instantiate;
+          Alcotest.test_case "well-formedness" `Quick test_well_formed
+        ] );
+      ( "eval",
+        [ Alcotest.test_case "basics" `Quick test_eval_basic;
+          Alcotest.test_case "distance-2 example" `Quick test_eval_distance2;
+          Alcotest.test_case "negation" `Quick test_eval_negation;
+          Alcotest.test_case "query constants" `Quick test_eval_constants_outside_db;
+          Alcotest.test_case "tuple membership" `Quick test_tuple_in_answer
+        ] );
+      ( "fragments", [ Alcotest.test_case "recognition" `Quick test_fragments ] );
+      ( "ucq",
+        [ Alcotest.test_case "normalization" `Quick test_ucq_normalization;
+          Alcotest.test_case "rejects negation" `Quick test_ucq_rejects_negation;
+          Alcotest.test_case "homomorphism search" `Quick test_ucq_cq_holds
+        ] );
+      ( "parser",
+        [ Alcotest.test_case "formulas" `Quick test_parse_formula;
+          Alcotest.test_case "queries" `Quick test_parse_query;
+          Alcotest.test_case "values and tuples" `Quick test_parse_values_tuples;
+          Alcotest.test_case "schema and instance" `Quick test_parse_schema_instance;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "printing roundtrip" `Quick
+            test_formula_printing_roundtrip
+        ] );
+      ( "edge-cases",
+        [ Alcotest.test_case "formula misc" `Quick test_formula_misc;
+          Alcotest.test_case "empty domains" `Quick test_eval_empty_domain;
+          Alcotest.test_case "query construction" `Quick
+            test_query_construction_errors;
+          Alcotest.test_case "parser niceties" `Quick test_parser_niceties;
+          Alcotest.test_case "ucq corner cases" `Quick test_ucq_max_atoms_and_empty
+        ] )
+    ]

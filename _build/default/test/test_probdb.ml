@@ -1,0 +1,132 @@
+(* Tests for the possible-worlds probabilistic engine and its agreement
+   with µ^k (the §3.2 remark, experiment E20). *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Query = Logic.Query
+module Parser = Logic.Parser
+module Support = Incomplete.Support
+module Pworld = Probdb.Pworld
+module R = Arith.Rat
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let rat_t = Alcotest.testable R.pp R.equal
+
+let rs_schema = Schema.make [ ("R", 2); ("S", 2) ]
+
+let test_of_worlds_validation () =
+  let schema = Schema.make [ ("U", 1) ] in
+  let d1 = Instance.of_rows schema [ ("U", [ [ Value.named "a" ] ]) ] in
+  let d2 = Instance.empty schema in
+  let t = Pworld.of_worlds [ (d1, R.half); (d2, R.half) ] in
+  check int_t "two worlds" 2 (Pworld.world_count t);
+  (* duplicates merge *)
+  let t2 = Pworld.of_worlds [ (d1, R.half); (d1, R.half) ] in
+  check int_t "merged" 1 (Pworld.world_count t2);
+  check bool_t "bad sum rejected" true
+    (match Pworld.of_worlds [ (d1, R.half) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check bool_t "negative rejected" true
+    (match Pworld.of_worlds [ (d1, R.of_ints (-1) 2); (d2, R.of_ints 3 2) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_world_collapse () =
+  (* R = {(1,⊥),(1,⊥')}: valuations k², distinct worlds k(k+1)/2. *)
+  let d =
+    Instance.of_rows rs_schema
+      [ ("R", [ [ Value.named "one"; Value.null 1 ]; [ Value.named "one"; Value.null 2 ] ]) ]
+  in
+  let k = Instance.max_constant d + 4 in
+  let t = Pworld.of_incomplete d ~k in
+  check int_t "collapsed world count" (k * (k + 1) / 2) (Pworld.world_count t);
+  (* all probabilities positive and summing to one *)
+  let total =
+    List.fold_left (fun acc (_, p) -> R.add acc p) R.zero (Pworld.worlds t)
+  in
+  check rat_t "total mass" R.one total
+
+let prop_prob_equals_mu_k =
+  let value_gen =
+    QCheck.map
+      (fun i ->
+        if i >= 0 then Value.null (i mod 3)
+        else Value.named ("pw" ^ string_of_int (-i mod 3)))
+      (QCheck.int_range (-6) 5)
+  in
+  let inst_gen =
+    QCheck.map
+      (fun (r_rows, s_rows) ->
+        Instance.of_rows rs_schema
+          [ ("R", List.map (fun (a, b) -> [ a; b ]) r_rows);
+            ("S", List.map (fun (a, b) -> [ a; b ]) s_rows)
+          ])
+      (QCheck.pair
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 3)
+            (QCheck.pair value_gen value_gen))
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 2)
+            (QCheck.pair value_gen value_gen)))
+  in
+  let queries =
+    [ Parser.query_exn "Q() := exists x. exists y. R(x, y) & !S(x, y)";
+      Parser.query_exn "Q() := exists x. R(x, x)";
+      Parser.query_exn "Q() := forall x. forall y. R(x, y) -> S(x, y)"
+    ]
+  in
+  QCheck.Test.make ~name:"probabilistic evaluation = µ^k (§3.2 remark)"
+    ~count:40 inst_gen (fun d ->
+      let k = Instance.max_constant d + 3 in
+      let t = Pworld.of_incomplete d ~k in
+      List.for_all
+        (fun q ->
+          R.equal
+            (Pworld.prob_sentence t q.Query.body)
+            (Support.mu_k_boolean d q ~k))
+        queries)
+
+let test_prob_tuple_and_expectation () =
+  let d =
+    Instance.of_rows rs_schema
+      [ ("R", [ [ Value.named "one"; Value.null 1 ] ]) ]
+  in
+  let k = Instance.max_constant d + 3 in
+  let t = Pworld.of_incomplete d ~k in
+  let q = Parser.query_exn "Q(x, y) := R(x, y)" in
+  (* ("one","one") is an answer iff v⊥ = "one": probability 1/k. *)
+  check rat_t "tuple probability" (R.of_ints 1 k)
+    (Pworld.prob_tuple t q (Tuple.consts [ "one"; "one" ]));
+  (* exactly one answer in every world *)
+  check rat_t "expected count" R.one (Pworld.expected_answer_count t q);
+  check bool_t "null tuple rejected" true
+    (match Pworld.prob_tuple t q (Tuple.of_list [ Value.null 1; Value.null 1 ]) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_map_worlds () =
+  let schema = Schema.make [ ("U", 1) ] in
+  let d1 = Instance.of_rows schema [ ("U", [ [ Value.named "a" ] ]) ] in
+  let d2 = Instance.of_rows schema [ ("U", [ [ Value.named "b" ] ]) ] in
+  let t = Pworld.of_worlds [ (d1, R.half); (d2, R.half) ] in
+  (* collapse both worlds to the empty instance *)
+  let collapsed = Pworld.map_worlds (fun _ -> Instance.empty schema) t in
+  check int_t "one world after map" 1 (Pworld.world_count collapsed)
+
+let () =
+  Alcotest.run "probdb"
+    [ ( "construction",
+        [ Alcotest.test_case "validation" `Quick test_of_worlds_validation;
+          Alcotest.test_case "world collapse" `Quick test_world_collapse
+        ] );
+      ( "queries",
+        [ Alcotest.test_case "tuple prob and expectation" `Quick
+            test_prob_tuple_and_expectation;
+          Alcotest.test_case "map worlds" `Quick test_map_worlds
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_prob_equals_mu_k ] )
+    ]

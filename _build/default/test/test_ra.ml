@@ -1,0 +1,298 @@
+(* Tests for the relational algebra front end: direct evaluation, FO
+   compilation, and their agreement (including as naive evaluation on
+   incomplete instances). *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Ra = Logic.Ra
+module Eval = Logic.Eval
+module Fragment = Logic.Fragment
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+
+let schema = Schema.make [ ("R", 2); ("S", 2); ("U", 1) ]
+
+let sample_db () =
+  Instance.of_rows schema
+    [ ("R", [ [ Value.named "a"; Value.named "b" ]; [ Value.named "b"; Value.named "c" ] ]);
+      ("S", [ [ Value.named "a"; Value.named "b" ] ]);
+      ("U", [ [ Value.named "a" ]; [ Value.named "c" ] ])
+    ]
+
+let test_eval_basic () =
+  let d = sample_db () in
+  check int_t "base relation" 2 (Relation.cardinal (Ra.eval d (Ra.Rel "R")));
+  let diff = Ra.Diff (Ra.Rel "R", Ra.Rel "S") in
+  check int_t "difference" 1 (Relation.cardinal (Ra.eval d diff));
+  check bool_t "difference content" true
+    (Relation.mem (Tuple.consts [ "b"; "c" ]) (Ra.eval d diff));
+  let proj = Ra.Project ([ 1 ], Ra.Rel "R") in
+  check int_t "projection" 2 (Relation.cardinal (Ra.eval d proj));
+  let sel = Ra.Select (Ra.Eq_const (0, Value.named "a"), Ra.Rel "R") in
+  check int_t "selection" 1 (Relation.cardinal (Ra.eval d sel));
+  let prod = Ra.Product (Ra.Rel "U", Ra.Rel "U") in
+  check int_t "product" 4 (Relation.cardinal (Ra.eval d prod));
+  let union = Ra.Union (Ra.Rel "R", Ra.Rel "S") in
+  check int_t "union" 2 (Relation.cardinal (Ra.eval d union));
+  (* join via product + select: R ⋈ R on second = first gives the
+     2-step path (a,b,c) *)
+  let join =
+    Ra.Project
+      ( [ 0; 1; 3 ],
+        Ra.Select (Ra.Eq_col (1, 2), Ra.Product (Ra.Rel "R", Ra.Rel "R")) )
+  in
+  check int_t "join" 1 (Relation.cardinal (Ra.eval d join));
+  check bool_t "join content" true
+    (Relation.mem (Tuple.consts [ "a"; "b"; "c" ]) (Ra.eval d join))
+
+let test_eval_duplicate_projection () =
+  let d = sample_db () in
+  let dup = Ra.Project ([ 0; 0 ], Ra.Rel "U") in
+  let r = Ra.eval d dup in
+  check int_t "arity" 2 (Relation.arity r);
+  check bool_t "content" true (Relation.mem (Tuple.consts [ "a"; "a" ]) r)
+
+let test_eval_nullary_projection () =
+  let d = sample_db () in
+  let nullary = Ra.Project ([], Ra.Rel "U") in
+  check int_t "nonempty gives one empty tuple" 1
+    (Relation.cardinal (Ra.eval d nullary));
+  let empty_base =
+    Instance.of_rows schema [ ("U", []) ]
+  in
+  check int_t "empty gives none" 0
+    (Relation.cardinal (Ra.eval empty_base nullary))
+
+let test_static_checks () =
+  check bool_t "unknown relation" true
+    (Result.is_error (Ra.well_formed schema (Ra.Rel "Nope")));
+  check bool_t "column out of range" true
+    (Result.is_error (Ra.well_formed schema (Ra.Project ([ 5 ], Ra.Rel "R"))));
+  check bool_t "union arity mismatch" true
+    (Result.is_error (Ra.well_formed schema (Ra.Union (Ra.Rel "R", Ra.Rel "U"))));
+  check bool_t "selection out of range" true
+    (Result.is_error
+       (Ra.well_formed schema (Ra.Select (Ra.Eq_col (0, 3), Ra.Rel "R"))));
+  check (Alcotest.result int_t Alcotest.string) "arity of product" (Ok 3)
+    (Ra.arity schema (Ra.Product (Ra.Rel "R", Ra.Rel "U")))
+
+let test_spju () =
+  check bool_t "spju" true
+    (Ra.is_spju
+       (Ra.Union
+          ( Ra.Project ([ 0 ], Ra.Select (Ra.Eq_col (0, 1), Ra.Rel "R")),
+            Ra.Rel "U" )));
+  check bool_t "difference not spju" false
+    (Ra.is_spju (Ra.Diff (Ra.Rel "R", Ra.Rel "S")));
+  check bool_t "negative selection not spju" false
+    (Ra.is_spju (Ra.Select (Ra.Neq_col (0, 1), Ra.Rel "R")))
+
+let test_compilation_agrees () =
+  let d = sample_db () in
+  let expressions =
+    [ Ra.Rel "R";
+      Ra.Diff (Ra.Rel "R", Ra.Rel "S");
+      Ra.Union (Ra.Rel "R", Ra.Rel "S");
+      Ra.Project ([ 1 ], Ra.Rel "R");
+      Ra.Project ([ 1; 0 ], Ra.Rel "S");
+      Ra.Select (Ra.Eq_const (0, Value.named "a"), Ra.Rel "R");
+      Ra.Select (Ra.Neq_col (0, 1), Ra.Rel "R");
+      Ra.Project
+        ( [ 0; 3 ],
+          Ra.Select (Ra.Eq_col (1, 2), Ra.Product (Ra.Rel "R", Ra.Rel "R")) );
+      Ra.Product (Ra.Rel "U", Ra.Rel "U");
+      Ra.Project ([], Ra.Rel "U")
+    ]
+  in
+  List.iter
+    (fun e ->
+      let q = Ra.to_query schema e in
+      check relation_t (Ra.to_string e) (Ra.eval d e) (Eval.answers d q))
+    expressions
+
+let prop_compilation_agrees_incomplete =
+  (* On incomplete instances, direct RA evaluation (structural null
+     comparison) is naive evaluation; the compiled FO query evaluated
+     directly must agree. *)
+  let value_gen =
+    QCheck.map
+      (fun i ->
+        if i >= 0 then Value.null (i mod 3)
+        else Value.named ("ra" ^ string_of_int (-i mod 3)))
+      (QCheck.int_range (-6) 5)
+  in
+  let inst_gen =
+    QCheck.map
+      (fun (r_rows, s_rows, u_rows) ->
+        Instance.of_rows schema
+          [ ("R", List.map (fun (a, b) -> [ a; b ]) r_rows);
+            ("S", List.map (fun (a, b) -> [ a; b ]) s_rows);
+            ("U", List.map (fun a -> [ a ]) u_rows)
+          ])
+      (QCheck.triple
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 4)
+            (QCheck.pair value_gen value_gen))
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 3)
+            (QCheck.pair value_gen value_gen))
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 3) value_gen))
+  in
+  let expressions =
+    [ Ra.Diff (Ra.Rel "R", Ra.Rel "S");
+      Ra.Project ([ 0 ], Ra.Select (Ra.Eq_col (0, 1), Ra.Rel "R"));
+      Ra.Union (Ra.Project ([ 0 ], Ra.Rel "R"), Ra.Rel "U");
+      Ra.Project
+        ([ 0; 3 ], Ra.Select (Ra.Eq_col (1, 2), Ra.Product (Ra.Rel "R", Ra.Rel "S")))
+    ]
+  in
+  QCheck.Test.make ~name:"RA direct eval = compiled FO query" ~count:100
+    inst_gen (fun d ->
+      List.for_all
+        (fun e ->
+          Relation.equal (Ra.eval d e)
+            (Eval.answers d (Ra.to_query schema e)))
+        expressions)
+
+let test_spju_compiles_to_ucq () =
+  (* The SPJU fragment compiles into the ∃,∧,∨ fragment (UCQ modulo the
+     equality atoms introduced by projection/selection). *)
+  let e = Ra.Union (Ra.Project ([ 0 ], Ra.Rel "R"), Ra.Rel "U") in
+  let q = Ra.to_query schema e in
+  check bool_t "positive formula" true (Fragment.is_positive q.Logic.Query.body)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Opt = Logic.Ra_opt
+
+let test_opt_rules () =
+  (* selection cascade *)
+  let cascaded =
+    Opt.optimize schema
+      (Ra.Select (Ra.Eq_col (0, 1), Ra.Select (Ra.Eq_const (0, Value.named "a"), Ra.Rel "R")))
+  in
+  (match cascaded with
+  | Ra.Select (Ra.And_p (_, _), Ra.Rel "R") -> ()
+  | other -> Alcotest.failf "expected cascaded selection, got %s" (Ra.to_string other));
+  (* identity projection removal *)
+  check bool_t "identity projection removed" true
+    (Opt.optimize schema (Ra.Project ([ 0; 1 ], Ra.Rel "R")) = Ra.Rel "R");
+  (* projection fusion *)
+  let fused = Opt.optimize schema (Ra.Project ([ 0 ], Ra.Project ([ 1; 0 ], Ra.Rel "R"))) in
+  check bool_t "projections fused" true (fused = Ra.Project ([ 1 ], Ra.Rel "R"));
+  (* push through union *)
+  (match Opt.optimize schema (Ra.Select (Ra.Eq_col (0, 1), Ra.Union (Ra.Rel "R", Ra.Rel "S"))) with
+  | Ra.Union (Ra.Select (_, Ra.Rel "R"), Ra.Select (_, Ra.Rel "S")) -> ()
+  | other -> Alcotest.failf "expected pushed union, got %s" (Ra.to_string other));
+  (* split across product: left conjunct + right conjunct + mixed *)
+  let p =
+    Ra.And_p
+      ( Ra.Eq_const (0, Value.named "a"),
+        Ra.And_p (Ra.Eq_const (2, Value.named "b"), Ra.Eq_col (1, 2)) )
+  in
+  let optimized = Opt.optimize schema (Ra.Select (p, Ra.Product (Ra.Rel "R", Ra.Rel "S"))) in
+  (match optimized with
+  | Ra.Select (Ra.Eq_col (1, 2), Ra.Product (Ra.Select (_, Ra.Rel "R"), Ra.Select (q2, Ra.Rel "S")))
+    ->
+      check bool_t "right predicate shifted" true (q2 = Ra.Eq_const (0, Value.named "b"))
+  | other -> Alcotest.failf "unexpected shape: %s" (Ra.to_string other));
+  (* pushdown puts selections directly on base relations *)
+  let rec on_base = function
+    | Ra.Select (_, Ra.Rel _) -> 1
+    | Ra.Rel _ -> 0
+    | Ra.Select (_, e) | Ra.Project (_, e) -> on_base e
+    | Ra.Product (a, b) | Ra.Union (a, b) | Ra.Diff (a, b) -> on_base a + on_base b
+  in
+  let before = Ra.Select (p, Ra.Product (Ra.Rel "R", Ra.Rel "S")) in
+  check int_t "no base selections before" 0 (on_base before);
+  check int_t "two base selections after" 2 (on_base optimized);
+  (* each remaining selection sits over a smaller subplan than the
+     original monolith *)
+  check bool_t "depth info available" true
+    (List.length (Opt.selection_depths optimized)
+    >= List.length (Opt.selection_depths before))
+
+let test_opt_idempotent () =
+  let e =
+    Ra.Select
+      ( Ra.Eq_col (0, 1),
+        Ra.Project ([ 0; 1 ], Ra.Union (Ra.Rel "R", Ra.Diff (Ra.Rel "S", Ra.Rel "R"))) )
+  in
+  let once = Opt.optimize schema e in
+  check bool_t "idempotent" true (Opt.optimize schema once = once)
+
+let prop_optimize_preserves_semantics =
+  let value_gen =
+    QCheck.map
+      (fun i ->
+        if i >= 0 then Value.null (i mod 3)
+        else Value.named ("ro" ^ string_of_int (-i mod 3)))
+      (QCheck.int_range (-6) 5)
+  in
+  let inst_gen =
+    QCheck.map
+      (fun (r_rows, s_rows, u_rows) ->
+        Instance.of_rows schema
+          [ ("R", List.map (fun (a, b) -> [ a; b ]) r_rows);
+            ("S", List.map (fun (a, b) -> [ a; b ]) s_rows);
+            ("U", List.map (fun a -> [ a ]) u_rows)
+          ])
+      (QCheck.triple
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 4)
+            (QCheck.pair value_gen value_gen))
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 3)
+            (QCheck.pair value_gen value_gen))
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 3) value_gen))
+  in
+  let plans =
+    [ Ra.Select (Ra.Eq_col (0, 1), Ra.Union (Ra.Rel "R", Ra.Rel "S"));
+      Ra.Select
+        ( Ra.And_p (Ra.Eq_const (0, Value.named "ro1"), Ra.Eq_col (1, 2)),
+          Ra.Product (Ra.Rel "R", Ra.Rel "S") );
+      Ra.Select (Ra.Neq_col (0, 1), Ra.Project ([ 1; 0 ], Ra.Diff (Ra.Rel "R", Ra.Rel "S")));
+      Ra.Project ([ 0 ], Ra.Project ([ 1; 0 ], Ra.Select (Ra.Eq_col (0, 0), Ra.Rel "R")));
+      Ra.Select
+        ( Ra.Or_p (Ra.Eq_col (0, 1), Ra.Neq_const (0, Value.named "ro0")),
+          Ra.Diff (Ra.Rel "R", Ra.Select (Ra.Eq_col (0, 1), Ra.Rel "S")) )
+    ]
+  in
+  QCheck.Test.make ~name:"optimizer preserves Ra.eval" ~count:100 inst_gen
+    (fun d ->
+      List.for_all
+        (fun e -> Relation.equal (Ra.eval d e) (Ra.eval d (Opt.optimize schema e)))
+        plans)
+
+let () =
+  Alcotest.run "ra"
+    [ ( "evaluation",
+        [ Alcotest.test_case "operators" `Quick test_eval_basic;
+          Alcotest.test_case "duplicate projection" `Quick
+            test_eval_duplicate_projection;
+          Alcotest.test_case "nullary projection" `Quick
+            test_eval_nullary_projection
+        ] );
+      ( "static",
+        [ Alcotest.test_case "checks" `Quick test_static_checks;
+          Alcotest.test_case "spju fragment" `Quick test_spju
+        ] );
+      ( "compilation",
+        [ Alcotest.test_case "agrees on complete db" `Quick
+            test_compilation_agrees;
+          Alcotest.test_case "spju is positive FO" `Quick
+            test_spju_compiles_to_ucq
+        ] );
+      ( "optimizer",
+        [ Alcotest.test_case "rewrite rules" `Quick test_opt_rules;
+          Alcotest.test_case "idempotence" `Quick test_opt_idempotent
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_compilation_agrees_incomplete;
+          QCheck_alcotest.to_alcotest prop_optimize_preserves_semantics
+        ] )
+    ]

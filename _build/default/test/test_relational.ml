@@ -1,0 +1,188 @@
+(* Tests for the relational substrate: values, tuples, relations,
+   schemas, instances. *)
+
+module Names = Relational.Names
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let value_t = Alcotest.testable Value.pp Value.equal
+let tuple_t = Alcotest.testable Tuple.pp Tuple.equal
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+
+let instance_t =
+  Alcotest.testable (fun fmt i -> Format.fprintf fmt "%s" (Instance.to_string i))
+    Instance.equal
+
+(* ------------------------------------------------------------------ *)
+
+let test_names () =
+  let a = Names.intern "alice" in
+  let a' = Names.intern "alice" in
+  let b = Names.intern "bob" in
+  check int_t "idempotent" a a';
+  check bool_t "distinct" true (a <> b);
+  check (Alcotest.option Alcotest.string) "reverse" (Some "alice") (Names.name_of a);
+  check Alcotest.string "to_string known" "alice" (Names.to_string a);
+  let f = Names.fresh () in
+  check Alcotest.string "to_string fresh" ("#" ^ string_of_int f) (Names.to_string f)
+
+let test_values () =
+  check bool_t "null is null" true (Value.is_null (Value.null 0));
+  check bool_t "const is const" true (Value.is_const (Value.named "x"));
+  check bool_t "const <> null" false (Value.equal (Value.const 1) (Value.null 1));
+  check value_t "named interning" (Value.named "carol") (Value.named "carol");
+  check bool_t "ordering consts before nulls" true
+    (Value.compare (Value.const 99) (Value.null 0) < 0);
+  Alcotest.check_raises "bad const" (Invalid_argument "Value.const: codes are positive")
+    (fun () -> ignore (Value.const 0));
+  Alcotest.check_raises "bad null"
+    (Invalid_argument "Value.null: negative null identifier") (fun () ->
+      ignore (Value.null (-1)))
+
+let test_tuples () =
+  let t = Tuple.of_list [ Value.named "a"; Value.null 1; Value.null 1; Value.null 2 ] in
+  check int_t "arity" 4 (Tuple.arity t);
+  check (Alcotest.list int_t) "nulls dedup ordered" [ 1; 2 ] (Tuple.nulls t);
+  check bool_t "has null" true (Tuple.has_null t);
+  check bool_t "no null" false (Tuple.has_null (Tuple.consts [ "x"; "y" ]));
+  check tuple_t "map identity" t (Tuple.map Fun.id t);
+  check int_t "empty arity" 0 (Tuple.arity Tuple.empty);
+  let t2 = Tuple.of_list [ Value.named "a"; Value.null 1; Value.null 1; Value.null 3 ] in
+  check bool_t "compare distinguishes" true (Tuple.compare t t2 <> 0)
+
+let test_relations () =
+  let t1 = Tuple.consts [ "a"; "b" ] in
+  let t2 = Tuple.consts [ "c"; "d" ] in
+  let r = Relation.of_list 2 [ t1; t2; t1 ] in
+  check int_t "set semantics" 2 (Relation.cardinal r);
+  check bool_t "mem" true (Relation.mem t1 r);
+  check relation_t "union idempotent" r (Relation.union r r);
+  check relation_t "diff self" (Relation.empty 2) (Relation.diff r r);
+  check relation_t "inter" r (Relation.inter r r);
+  check bool_t "subset" true (Relation.subset (Relation.of_list 2 [ t1 ]) r);
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Relation.add: tuple of arity 1 into relation of arity 2")
+    (fun () -> ignore (Relation.add (Tuple.consts [ "z" ]) r));
+  let projected = Relation.project [ 1 ] r in
+  check int_t "project arity" 1 (Relation.arity projected);
+  check bool_t "project content" true
+    (Relation.mem (Tuple.consts [ "b" ]) projected);
+  let nr =
+    Relation.of_list 2 [ Tuple.of_list [ Value.null 3; Value.named "a" ] ]
+  in
+  check (Alcotest.list int_t) "relation nulls" [ 3 ] (Relation.nulls nr)
+
+let test_schema () =
+  let s = Schema.make_with_attrs [ ("R", [ "customer"; "product" ]); ("U", [ "name" ]) ] in
+  check int_t "arity" 2 (Schema.arity s "R");
+  check int_t "attr index" 1 (Schema.attr_index s "R" "product");
+  check (Alcotest.list Alcotest.string) "relations sorted" [ "R"; "U" ]
+    (Schema.relations s);
+  check bool_t "mem" true (Schema.mem "U" s);
+  check bool_t "not mem" false (Schema.mem "V" s);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Schema.add: duplicate relation R") (fun () ->
+      ignore (Schema.add "R" 3 (Schema.make [ ("R", 2) ])))
+
+let intro_schema () =
+  Schema.make_with_attrs
+    [ ("R1", [ "customer"; "product" ]); ("R2", [ "customer"; "product" ]) ]
+
+(* The database of the paper's introduction. *)
+let intro_db () =
+  let c1 = Value.named "c1" and c2 = Value.named "c2" in
+  let n1 = Value.null 1 and n2 = Value.null 2 and n3 = Value.null 3 in
+  Instance.of_rows (intro_schema ())
+    [ ("R1", [ [ c1; n1 ]; [ c2; n1 ]; [ c2; n2 ] ]);
+      ("R2", [ [ c1; n2 ]; [ c2; n1 ]; [ n3; n1 ] ])
+    ]
+
+let test_instance_basics () =
+  let d = intro_db () in
+  check int_t "tuple count" 6 (Instance.total_tuples d);
+  check (Alcotest.list int_t) "nulls" [ 1; 2; 3 ] (Instance.nulls d);
+  check int_t "null count" 3 (Instance.null_count d);
+  check bool_t "incomplete" false (Instance.is_complete d);
+  check int_t "adom size" 5 (List.length (Instance.adom d));
+  let consts = Instance.constants d in
+  check int_t "two constants" 2 (List.length consts)
+
+let test_instance_subst () =
+  let d = intro_db () in
+  let v = Value.named "widget" in
+  let complete = Instance.subst_nulls (fun _ -> v) d in
+  check bool_t "complete after subst" true (Instance.is_complete complete);
+  (* R2 tuples (c2,~1) and (~3,~1) may collapse under substitution. *)
+  check bool_t "R2 may shrink" true
+    (Relation.cardinal (Instance.relation complete "R2") <= 3)
+
+let test_instance_union_equal () =
+  let d = intro_db () in
+  check instance_t "union self" d (Instance.union d d);
+  let d2 = Instance.add_tuple "R1" (Tuple.consts [ "x"; "y" ]) d in
+  check bool_t "not equal" false (Instance.equal d d2);
+  check bool_t "compare nonzero" true (Instance.compare d d2 <> 0)
+
+let test_instance_isomorphic () =
+  let schema = Schema.make [ ("R", 2) ] in
+  let mk a b =
+    Instance.of_rows schema [ ("R", [ [ Value.null a; Value.null b ] ]) ]
+  in
+  check bool_t "renamed nulls isomorphic" true
+    (Instance.isomorphic (mk 1 2) (mk 5 9));
+  let d1 = mk 1 2 in
+  let d2 = Instance.of_rows schema [ ("R", [ [ Value.null 1; Value.null 1 ] ]) ] in
+  check bool_t "different null structure" false (Instance.isomorphic d1 d2);
+  check bool_t "reflexive" true (Instance.isomorphic d1 d1)
+
+let test_instance_errors () =
+  let d = intro_db () in
+  Alcotest.check_raises "unknown relation"
+    (Invalid_argument "Instance.add_tuple: unknown relation Nope") (fun () ->
+      ignore (Instance.add_tuple "Nope" Tuple.empty d));
+  Alcotest.check_raises "not found" Not_found (fun () ->
+      ignore (Instance.relation d "Nope"))
+
+let prop_relation_union_commutes =
+  let tuple_gen =
+    QCheck.map
+      (fun (a, b) ->
+        let v i = if i >= 0 then Value.null i else Value.named (string_of_int i) in
+        Tuple.of_list [ v a; v b ])
+      (QCheck.pair (QCheck.int_range (-3) 3) (QCheck.int_range (-3) 3))
+  in
+  let rel_gen =
+    QCheck.map (fun ts -> Relation.of_list 2 ts)
+      (QCheck.list_of_size (QCheck.Gen.int_range 0 6) tuple_gen)
+  in
+  QCheck.Test.make ~name:"relation set laws" ~count:200
+    (QCheck.pair rel_gen rel_gen) (fun (r, s) ->
+      Relation.equal (Relation.union r s) (Relation.union s r)
+      && Relation.equal (Relation.inter r s) (Relation.inter s r)
+      && Relation.subset (Relation.diff r s) r
+      && Relation.equal (Relation.union (Relation.inter r s) (Relation.diff r s)) r)
+
+let () =
+  Alcotest.run "relational"
+    [ ( "names", [ Alcotest.test_case "interning" `Quick test_names ] );
+      ("values", [ Alcotest.test_case "basics" `Quick test_values ]);
+      ("tuples", [ Alcotest.test_case "basics" `Quick test_tuples ]);
+      ("relations", [ Alcotest.test_case "basics" `Quick test_relations ]);
+      ("schema", [ Alcotest.test_case "basics" `Quick test_schema ]);
+      ( "instance",
+        [ Alcotest.test_case "basics" `Quick test_instance_basics;
+          Alcotest.test_case "substitution" `Quick test_instance_subst;
+          Alcotest.test_case "union/equality" `Quick test_instance_union_equal;
+          Alcotest.test_case "isomorphism" `Quick test_instance_isomorphic;
+          Alcotest.test_case "errors" `Quick test_instance_errors
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_relation_union_commutes ] )
+    ]
