@@ -1,12 +1,16 @@
 (* Benchmark harness: regenerates every experiment E1-E20 (the paper's
-   theorems, propositions and worked examples — see EXPERIMENTS.md) and
-   then runs bechamel micro-benchmarks over the computational kernels.
+   theorems, propositions and worked examples — see EXPERIMENTS.md),
+   runs bechamel micro-benchmarks over the computational kernels, and
+   benchmarks the parallel measure engine against its sequential
+   fallback, recording the trajectory in BENCH_parallel.json.
 
    Run with:  dune exec bench/main.exe
-   Only experiments: dune exec bench/main.exe -- --experiments
-   Only timings:     dune exec bench/main.exe -- --timings *)
+   Only experiments:       dune exec bench/main.exe -- --experiments
+   Only timings:           dune exec bench/main.exe -- --timings
+   Parallel engine + JSON: dune exec bench/main.exe -- --parallel [--jobs N] *)
 
 module RInstance = Relational.Instance
+module Relation = Relational.Relation
 module Value = Relational.Value
 module Tuple = Relational.Tuple
 module Parser = Logic.Parser
@@ -154,6 +158,192 @@ let run_timings () =
       Printf.printf "  %-40s %s ns/run\n" name estimate)
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel measure engine: speedup + cache benchmarks, JSON output    *)
+(* ------------------------------------------------------------------ *)
+
+(* Each variant runs one counting workload and returns a printable
+   digest of its result, so the harness can assert that every (jobs,
+   cache) configuration produced exactly the same answer. *)
+type variant = { jobs : int; cached : bool; run : unit -> string }
+
+type row = { v : variant; ns_per_op : float; speedup : float }
+
+type pkernel_result = {
+  name : string;
+  params : string;
+  identical : bool;
+  rows : row list;
+}
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let best_of ~reps f =
+  let r, t0 = wall f in
+  let best = ref t0 in
+  for _ = 2 to reps do
+    let _, t = wall f in
+    if t < !best then best := t
+  done;
+  (r, !best)
+
+let measure_kernel ~name ~params variants =
+  let timed =
+    List.map
+      (fun v ->
+        let digest, secs = best_of ~reps:3 v.run in
+        (v, digest, secs *. 1e9))
+      variants
+  in
+  let baseline_ns =
+    match timed with (_, _, ns) :: _ -> ns | [] -> invalid_arg "no variants"
+  in
+  let digests = List.map (fun (_, d, _) -> d) timed in
+  let identical =
+    List.for_all (fun d -> d = List.hd digests) digests
+  in
+  let rows =
+    List.map
+      (fun (v, _, ns) -> { v; ns_per_op = ns; speedup = baseline_ns /. ns })
+      timed
+  in
+  { name; params; identical; rows }
+
+let jobs_variants ~jobs_list run =
+  List.map (fun jobs -> { jobs; cached = false; run = run ~jobs }) jobs_list
+
+let intro_tuple = lazy (Parser.tuple_exn "('c1', ~1)")
+
+let pk_mu_k ~jobs () =
+  let d = Lazy.force intro_db and q = Lazy.force intro_q in
+  Arith.Rat.to_string
+    (Incomplete.Support.mu_k ~jobs d q (Lazy.force intro_tuple) ~k:32)
+
+let pk_mu_cond_k ~jobs () =
+  let e = Lazy.force section4 in
+  Arith.Rat.to_string
+    (Zeroone.Conditional.mu_cond_k ~jobs
+       ~sigma:e.Zeroone.Constructions.s4_sigma e.Zeroone.Constructions.s4_instance
+       e.Zeroone.Constructions.s4_query e.Zeroone.Constructions.s4_tuple_third
+       ~k:20000)
+
+let pk_certain ~jobs () =
+  let d = Lazy.force intro_db and q = Lazy.force intro_q in
+  let rel = Incomplete.Certain.certain_answers ~jobs d q in
+  String.concat ";" (List.map Tuple.to_string (Relation.to_list rel))
+
+(* A universally quantified Boolean query: each verdict costs a full
+   |dom|^2 evaluation sweep (no existential short-circuit), which is
+   what makes memoizing verdicts worthwhile. The µ^k spaces are nested
+   (V^4 ⊆ V^6 ⊆ …), so with a shared cache every verdict of a smaller
+   k is a hit at the larger ones. *)
+let series_query =
+  lazy
+    (Parser.query_exn
+       "Q() := forall x. forall y. (R2(x, y) -> (R1(x, y) | R1(y, x)))")
+
+let pk_series ~cached () =
+  let d = Lazy.force intro_db and q = Lazy.force series_query in
+  let cache = if cached then Some (Incomplete.Support.create_cache ()) else None in
+  let series =
+    Incomplete.Support.mu_k_series ~jobs:1 ?cache d q Tuple.empty
+      ~ks:(List.init 11 (fun i -> i + 4))
+  in
+  String.concat ";"
+    (List.map
+       (fun (k, v) -> Printf.sprintf "%d=%s" k (Arith.Rat.to_string v))
+       series)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_json path results =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema_version\": 1,\n";
+  out "  \"generated_by\": \"bench/main.exe --parallel\",\n";
+  out "  \"recommended_domain_count\": %d,\n" (Exec.Pool.default_jobs ());
+  out "  \"kernels\": [\n";
+  List.iteri
+    (fun i r ->
+      out "    {\n";
+      out "      \"name\": \"%s\",\n" (json_escape r.name);
+      out "      \"params\": \"%s\",\n" (json_escape r.params);
+      out "      \"identical\": %b,\n" r.identical;
+      out "      \"results\": [\n";
+      List.iteri
+        (fun j row ->
+          out
+            "        {\"jobs\": %d, \"cache\": %b, \"ns_per_op\": %.1f, \
+             \"speedup_vs_baseline\": %.3f}%s\n"
+            row.v.jobs row.v.cached row.ns_per_op row.speedup
+            (if j = List.length r.rows - 1 then "" else ","))
+        r.rows;
+      out "      ]\n";
+      out "    }%s\n" (if i = List.length results - 1 then "" else ","))
+    results;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let run_parallel ~max_jobs ~out () =
+  let jobs_list =
+    List.sort_uniq compare
+      (List.filter (fun j -> j >= 1 && j <= max_jobs) [ 1; 2; 4; max_jobs ])
+  in
+  Printf.printf
+    "\n== parallel measure engine (jobs: %s; recommended domains: %d) ==\n%!"
+    (String.concat "," (List.map string_of_int jobs_list))
+    (Exec.Pool.default_jobs ());
+  let results =
+    [ measure_kernel ~name:"mu_k_bruteforce"
+        ~params:"intro example, k=32, 3 nulls (32768 valuations)"
+        (jobs_variants ~jobs_list pk_mu_k);
+      measure_kernel ~name:"mu_cond_k_bruteforce"
+        ~params:"section-4 example, k=20000, 1 null (numerator+denominator in one pass)"
+        (jobs_variants ~jobs_list pk_mu_cond_k);
+      measure_kernel ~name:"certain_answers_sweep"
+        ~params:"intro example, 25 candidate tuples over adom^2"
+        (jobs_variants ~jobs_list pk_certain);
+      measure_kernel ~name:"mu_k_series_eval_cache"
+        ~params:"intro example, ks=4..14, sequential, cache off vs on"
+        [ { jobs = 1; cached = false; run = pk_series ~cached:false };
+          { jobs = 1; cached = true; run = pk_series ~cached:true }
+        ]
+    ]
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "  %-24s %s\n" r.name
+        (if r.identical then "[results identical]" else "[RESULTS DIFFER!]");
+      List.iter
+        (fun row ->
+          Printf.printf "    jobs=%d cache=%-5b %12.1f ns/op   %5.2fx\n"
+            row.v.jobs row.v.cached row.ns_per_op row.speedup)
+        r.rows)
+    results;
+  emit_json out results;
+  Printf.printf "wrote %s\n%!" out;
+  if List.exists (fun r -> not r.identical) results then begin
+    prerr_endline "FATAL: a parallel/cached run disagreed with the baseline";
+    exit 1
+  end
+
 let run_experiments () =
   print_endline "=====================================================";
   print_endline " Certain Answers Meet Zero-One Laws  --  experiments";
@@ -171,9 +361,34 @@ let () =
   let args = Array.to_list Sys.argv in
   let experiments = List.mem "--experiments" args in
   let timings = List.mem "--timings" args in
-  match (experiments, timings) with
-  | true, false -> run_experiments ()
-  | false, true -> run_timings ()
-  | _, _ ->
-      run_experiments ();
-      run_timings ()
+  let parallel = List.mem "--parallel" args in
+  let rec flag_value key = function
+    | k :: v :: _ when k = key -> Some v
+    | _ :: rest -> flag_value key rest
+    | [] -> None
+  in
+  let max_jobs =
+    match flag_value "--jobs" args with
+    | None -> 4
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> n
+        | _ ->
+            Printf.eprintf "error: --jobs expects a positive integer, got %S\n"
+              v;
+            exit 2)
+  in
+  let out =
+    match flag_value "--out" args with
+    | Some p -> p
+    | None -> "BENCH_parallel.json"
+  in
+  match (experiments, timings, parallel) with
+  | true, false, false -> run_experiments ()
+  | false, true, false -> run_timings ()
+  | false, false, true -> run_parallel ~max_jobs ~out ()
+  | _, _, _ ->
+      if experiments || not (timings || parallel) then run_experiments ();
+      if timings || not (experiments || parallel) then run_timings ();
+      if parallel || not (experiments || timings) then
+        run_parallel ~max_jobs ~out ()

@@ -83,6 +83,26 @@ let ks_arg =
   let doc = "Domain sizes k at which to sample µ^k (comma-separated)." in
   Arg.(value & opt (some string) None & info [ "k"; "ks" ] ~docv:"K,K,..." ~doc)
 
+let jobs_arg =
+  let doc =
+    "Parallel domains for the valuation sweeps: 0 picks the number the \
+     runtime recommends for this machine, 1 forces sequential evaluation. \
+     All accumulation is exact, so the answers are identical for every \
+     value of $(docv)."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Disable the evaluation cache (completed instances and per-valuation \
+     verdicts are then recomputed from scratch every time)."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let jobs_opt n = if n <= 0 then None else Some n
+let cache_opt no_cache =
+  if no_cache then None else Some (Incomplete.Support.create_cache ())
+
 let load_schema s = or_die (Parser.schema (read_input s))
 let load_db schema s = or_die (Parser.instance schema (read_input s))
 let load_query s = or_die (Parser.query (read_input s))
@@ -137,11 +157,14 @@ let naive_cmd =
     Term.(const run $ schema_arg $ db_arg $ query_arg)
 
 let certain_cmd =
-  let run schema db query =
+  let run schema db query jobs no_cache =
     with_context schema db query (fun _ inst q ->
+        let jobs = jobs_opt jobs and cache = cache_opt no_cache in
         Printf.printf "query: %s\n\n" (Query.to_string q);
-        print_relation "certain answers" (Incomplete.Certain.certain_answers inst q);
-        print_relation "possible answers" (Incomplete.Certain.possible_answers inst q);
+        print_relation "certain answers"
+          (Incomplete.Certain.certain_answers ?jobs ?cache inst q);
+        print_relation "possible answers"
+          (Incomplete.Certain.possible_answers ?jobs ?cache inst q);
         print_relation "naive answers" (Incomplete.Naive.answers inst q))
   in
   let doc =
@@ -149,11 +172,12 @@ let certain_cmd =
      of nulls)."
   in
   Cmd.v (Cmd.info "certain" ~doc)
-    Term.(const run $ schema_arg $ db_arg $ query_arg)
+    Term.(const run $ schema_arg $ db_arg $ query_arg $ jobs_arg $ no_cache_arg)
 
 let measure_cmd =
-  let run schema db query tuple ks =
+  let run schema db query tuple ks jobs no_cache =
     with_context schema db query (fun _ inst q ->
+        let jobs = jobs_opt jobs and cache = cache_opt no_cache in
         let tuple =
           match load_tuple tuple with
           | Some t -> t
@@ -179,18 +203,20 @@ let measure_cmd =
           (fun (k, v) ->
             Printf.printf "  k = %3d   µ^k = %-12s ≈ %.6f\n" k (R.to_string v)
               (R.to_float v))
-          (Incomplete.Support.mu_k_series inst q tuple ~ks))
+          (Incomplete.Support.mu_k_series ?jobs ?cache inst q tuple ~ks))
   in
   let doc =
     "Measure how close an answer is to certainty: the support polynomial, the \
      asymptotic measure µ (0 or 1 by the 0-1 law), and a µ^k series."
   in
   Cmd.v (Cmd.info "measure" ~doc)
-    Term.(const run $ schema_arg $ db_arg $ query_arg $ tuple_arg $ ks_arg)
+    Term.(const run $ schema_arg $ db_arg $ query_arg $ tuple_arg $ ks_arg
+          $ jobs_arg $ no_cache_arg)
 
 let conditional_cmd =
-  let run schema db query cstr tuple ks =
+  let run schema db query cstr tuple ks jobs no_cache =
     with_context schema db query (fun sch inst q ->
+        let jobs = jobs_opt jobs and cache = cache_opt no_cache in
         let deps = load_constraints sch cstr in
         let sigma = Constraints.Dependency.set_to_formula sch deps in
         let tuple =
@@ -210,7 +236,9 @@ let conditional_cmd =
             Printf.printf "constraint:  %s\n"
               (Constraints.Dependency.to_string ~schema:sch d))
           deps;
-        let report = Zeroone.Conditional.mu_cond_report ~sigma inst q tuple in
+        let report =
+          Zeroone.Conditional.mu_cond_report ?jobs ?cache ~sigma inst q tuple
+        in
         Printf.printf "|Supp^k(Σ∧Q)| = %s\n"
           (P.to_string report.Zeroone.Conditional.numerator);
         Printf.printf "|Supp^k(Σ)|   = %s\n"
@@ -237,7 +265,10 @@ let conditional_cmd =
             print_endline "µ^k(Q|Σ) series (brute force):";
             List.iter
               (fun k ->
-                let v = Zeroone.Conditional.mu_cond_k ~sigma inst q tuple ~k in
+                let v =
+                  Zeroone.Conditional.mu_cond_k ?jobs ?cache ~sigma inst q
+                    tuple ~k
+                in
                 Printf.printf "  k = %3d   %-12s ≈ %.6f\n" k (R.to_string v)
                   (R.to_float v))
               (parse_ks inst ks))
@@ -248,7 +279,7 @@ let conditional_cmd =
   in
   Cmd.v (Cmd.info "conditional" ~doc)
     Term.(const run $ schema_arg $ db_arg $ query_arg $ constraints_arg
-          $ tuple_arg $ ks_arg)
+          $ tuple_arg $ ks_arg $ jobs_arg $ no_cache_arg)
 
 let best_cmd =
   let run schema db query tuple tuple2 =

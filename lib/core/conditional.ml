@@ -18,27 +18,33 @@ let limit num den =
       (* impossible: Supp(Σ∧Q) ⊆ Supp(Σ) gives deg num ≤ deg den *)
       assert false
 
-let mu_cond_report ~sigma inst q tuple =
+let mu_cond_report ?jobs ?cache ~sigma inst q tuple =
   let answer = Query.instantiate q tuple in
+  (* One class pass counts |Supp^k(Σ∧Q)| and |Supp^k(Σ)| together; with
+     ?jobs the pass is chunked over domains, so the numerator and
+     denominator polynomials are accumulated concurrently. *)
   let sp =
-    Support_poly.of_sentences inst [ Formula.And (sigma, answer); sigma ]
+    Support_poly.of_sentences ?jobs ?cache inst
+      [ Formula.And (sigma, answer); sigma ]
   in
   match sp.Support_poly.polys with
   | [ numerator; denominator ] ->
       { numerator; denominator; value = limit numerator denominator }
   | _ -> assert false
 
-let mu_cond ~sigma inst q tuple = (mu_cond_report ~sigma inst q tuple).value
+let mu_cond ?jobs ?cache ~sigma inst q tuple =
+  (mu_cond_report ?jobs ?cache ~sigma inst q tuple).value
 
-let mu_cond_boolean ~sigma inst q =
+let mu_cond_boolean ?jobs ?cache ~sigma inst q =
   if Query.arity q <> 0 then
     invalid_arg "Conditional.mu_cond_boolean: query not Boolean"
-  else mu_cond ~sigma inst q Tuple.empty
+  else mu_cond ?jobs ?cache ~sigma inst q Tuple.empty
 
-let mu_cond_deps schema deps inst q tuple =
-  mu_cond ~sigma:(Constraints.Dependency.set_to_formula schema deps) inst q tuple
+let mu_cond_deps ?jobs ?cache schema deps inst q tuple =
+  mu_cond ?jobs ?cache
+    ~sigma:(Constraints.Dependency.set_to_formula schema deps) inst q tuple
 
-let mu_cond_deps_direct deps inst q tuple =
+let mu_cond_deps_direct ?jobs deps inst q tuple =
   let answer = Query.instantiate q tuple in
   (* Dependencies mention no constants, so the anchor set only needs the
      database's constants and those of Q(ā). *)
@@ -52,36 +58,47 @@ let mu_cond_deps_direct deps inst q tuple =
   in
   let both v complete = sigma_holds v complete && answer_holds v complete in
   let sp =
-    Support_poly.of_predicates ~anchor_set ~nulls inst [ both; sigma_holds ]
+    Support_poly.of_predicates ?jobs ~anchor_set ~nulls inst
+      [ both; sigma_holds ]
   in
   match sp.Support_poly.polys with
   | [ numerator; denominator ] -> limit numerator denominator
   | _ -> assert false
 
-let mu_cond_k ~sigma inst q tuple ~k =
+let mu_cond_k ?jobs ?cache ~sigma inst q tuple ~k =
   let answer = Query.instantiate q tuple in
   let nulls =
     List.sort_uniq Int.compare
       (Instance.nulls inst @ Tuple.nulls tuple @ Formula.nulls sigma)
   in
+  let step (num, den) v =
+    if Support.sentence_in_support ?cache inst sigma v then
+      let num =
+        if Support.sentence_in_support ?cache inst answer v then B.succ num
+        else num
+      in
+      (num, B.succ den)
+    else (num, den)
+  in
   let num, den =
-    Enumerate.fold_valuations ~nulls ~k
-      (fun (num, den) v ->
-        if Support.sentence_in_support inst sigma v then
-          let num =
-            if Support.sentence_in_support inst answer v then B.succ num
-            else num
-          in
-          (num, B.succ den)
-        else (num, den))
-      (B.zero, B.zero)
+    match Enumerate.space_size ~nulls ~k with
+    | Some n ->
+        (* Both counts fold in the same chunked pass; bigint partial
+           sums are exact, so any chunking gives the sequential pair. *)
+        Exec.Pool.fold_range ?jobs ~min_work:512 ~n
+          ~chunk:(fun lo hi ->
+            Enumerate.fold_valuations_range ~nulls ~k ~lo ~hi step
+              (B.zero, B.zero))
+          ~combine:(fun (n1, d1) (n2, d2) -> (B.add n1 n2, B.add d1 d2))
+          (B.zero, B.zero)
+    | None -> Enumerate.fold_valuations ~nulls ~k step (B.zero, B.zero)
   in
   if B.is_zero den then Rat.zero else Rat.make num den
 
-let mu_implication ~sigma inst q tuple =
+let mu_implication ?jobs ?cache ~sigma inst q tuple =
   let answer = Query.instantiate q tuple in
   let sp =
-    Support_poly.of_sentences inst
+    Support_poly.of_sentences ?jobs ?cache inst
       [ Formula.Or (Formula.Not sigma, answer) ]
   in
   match sp.Support_poly.polys with

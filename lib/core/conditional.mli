@@ -10,7 +10,14 @@
     Also provided: the degenerate implication measure [µ(Σ → Q, D)]
     (Proposition 3), and the chase shortcut for sets of functional
     dependencies (Theorem 5 / Corollary 4), under which the 0–1 law is
-    recovered. *)
+    recovered.
+
+    [?jobs] runs the underlying support counts — numerator and
+    denominator together, in one chunked pass — on parallel domains
+    ({!Exec.Pool}); all accumulation is exact bigint/rational
+    arithmetic, so results are identical for any [jobs]. [?cache]
+    shares an {!Incomplete.Support.cache} of completed instances and
+    evaluation verdicts across calls on the same database. *)
 
 type report = {
   numerator : Arith.Poly.t;  (** [|Supp^k(Σ ∧ Q(ā), D)|] *)
@@ -19,6 +26,8 @@ type report = {
 }
 
 val mu_cond :
+  ?jobs:int ->
+  ?cache:Incomplete.Support.cache ->
   sigma:Logic.Formula.t ->
   Relational.Instance.t ->
   Logic.Query.t ->
@@ -27,12 +36,16 @@ val mu_cond :
 (** [µ(Q|Σ,D,ā)] for a constraint sentence [Σ]. *)
 
 val mu_cond_boolean :
+  ?jobs:int ->
+  ?cache:Incomplete.Support.cache ->
   sigma:Logic.Formula.t ->
   Relational.Instance.t ->
   Logic.Query.t ->
   Arith.Rat.t
 
 val mu_cond_report :
+  ?jobs:int ->
+  ?cache:Incomplete.Support.cache ->
   sigma:Logic.Formula.t ->
   Relational.Instance.t ->
   Logic.Query.t ->
@@ -41,6 +54,8 @@ val mu_cond_report :
 (** The polynomials behind the limit, for inspection (experiment E7). *)
 
 val mu_cond_deps :
+  ?jobs:int ->
+  ?cache:Incomplete.Support.cache ->
   Relational.Schema.t ->
   Constraints.Dependency.t list ->
   Relational.Instance.t ->
@@ -51,6 +66,7 @@ val mu_cond_deps :
     {!Constraints.Dependency.set_to_formula}. *)
 
 val mu_cond_deps_direct :
+  ?jobs:int ->
   Constraints.Dependency.t list ->
   Relational.Instance.t ->
   Logic.Query.t ->
@@ -64,6 +80,8 @@ val mu_cond_deps_direct :
     property-tested. *)
 
 val mu_cond_k :
+  ?jobs:int ->
+  ?cache:Incomplete.Support.cache ->
   sigma:Logic.Formula.t ->
   Relational.Instance.t ->
   Logic.Query.t ->
@@ -74,6 +92,8 @@ val mu_cond_k :
     in [V^k] satisfies [Σ]. *)
 
 val mu_implication :
+  ?jobs:int ->
+  ?cache:Incomplete.Support.cache ->
   sigma:Logic.Formula.t ->
   Relational.Instance.t ->
   Logic.Query.t ->

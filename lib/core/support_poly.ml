@@ -13,11 +13,23 @@ type t = {
   total : Poly.t;
 }
 
-let of_predicates ~anchor_set ~nulls inst predicates =
+(* Both constructors fold one pass over the equivalence classes,
+   accumulating one polynomial per sentence/predicate. The class list
+   is carved into contiguous chunks on pool domains; per-chunk partial
+   sums are merged with Poly.add, whose bigint-rational coefficients
+   make the sum exact and order-independent — parallel results are
+   bit-identical to sequential ones. Classes below don't share work, so
+   even short class lists benefit from a second domain. *)
+let sum_over_classes ?jobs ~width classes weigh =
+  let zero = List.map (fun _ -> Poly.zero) width in
+  Exec.Pool.fold_list ?jobs ~min_work:8
+    ~chunk:(fun chunk -> List.fold_left weigh zero chunk)
+    ~combine:(List.map2 Poly.add) zero classes
+
+let of_predicates ?jobs ~anchor_set ~nulls inst predicates =
   let classes = Classes.enumerate ~anchor_set ~nulls in
   let polys =
-    List.fold_left
-      (fun acc cls ->
+    sum_over_classes ?jobs ~width:predicates classes (fun acc cls ->
         let v = Classes.representative ~anchor_set cls in
         let complete = Incomplete.Valuation.instance v inst in
         let weight = Classes.count_poly ~anchor_set cls in
@@ -25,12 +37,10 @@ let of_predicates ~anchor_set ~nulls inst predicates =
           (fun p predicate ->
             if predicate v complete then Poly.add p weight else p)
           acc predicates)
-      (List.map (fun _ -> Poly.zero) predicates)
-      classes
   in
   { anchor_set; nulls; polys; total = Poly.pow Poly.x (List.length nulls) }
 
-let of_sentences inst sentences =
+let of_sentences ?jobs ?cache inst sentences =
   let anchor_set = Support.anchor_set_sentences inst sentences in
   let nulls =
     List.sort_uniq Int.compare
@@ -38,18 +48,15 @@ let of_sentences inst sentences =
   in
   let classes = Classes.enumerate ~anchor_set ~nulls in
   let polys =
-    List.fold_left
-      (fun acc cls ->
+    sum_over_classes ?jobs ~width:sentences classes (fun acc cls ->
         let v = Classes.representative ~anchor_set cls in
         let weight = Classes.count_poly ~anchor_set cls in
         List.map2
           (fun p sentence ->
-            if Support.sentence_in_support inst sentence v then
+            if Support.sentence_in_support ?cache inst sentence v then
               Poly.add p weight
             else p)
           acc sentences)
-      (List.map (fun _ -> Poly.zero) sentences)
-      classes
   in
   { anchor_set;
     nulls;
@@ -57,12 +64,13 @@ let of_sentences inst sentences =
     total = Poly.pow Poly.x (List.length nulls)
   }
 
-let of_sentence inst sentence =
-  match (of_sentences inst [ sentence ]).polys with
+let of_sentence ?jobs ?cache inst sentence =
+  match (of_sentences ?jobs ?cache inst [ sentence ]).polys with
   | [ p ] -> p
   | _ -> assert false
 
-let of_query inst q tuple = of_sentence inst (Query.instantiate q tuple)
+let of_query ?jobs ?cache inst q tuple =
+  of_sentence ?jobs ?cache inst (Query.instantiate q tuple)
 
 let mu_k_exact t ~sentence ~k =
   let p = List.nth t.polys sentence in

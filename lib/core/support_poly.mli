@@ -20,16 +20,28 @@ type t = {
 }
 
 val of_sentences :
+  ?jobs:int ->
+  ?cache:Incomplete.Support.cache ->
   Relational.Instance.t -> Logic.Formula.t list -> t
 (** Computes the support polynomials of several sentences over the same
     database in one pass over the valuation classes (sharing the anchor
     set, as required when forming conditional measures). Cost:
-    [Bell(m) · Σ_j C(m,j)·P(|A|,j)] class evaluations. *)
+    [Bell(m) · Σ_j C(m,j)·P(|A|,j)] class evaluations.
 
-val of_sentence : Relational.Instance.t -> Logic.Formula.t -> Arith.Poly.t
+    [?jobs] chunks the class list over pool domains; the per-chunk
+    partial polynomial sums have exact coefficients, so the result is
+    identical to the sequential one for any [jobs]. [?cache] memoizes
+    the completed representatives and verdicts across calls. *)
+
+val of_sentence :
+  ?jobs:int ->
+  ?cache:Incomplete.Support.cache ->
+  Relational.Instance.t -> Logic.Formula.t -> Arith.Poly.t
 (** [|Supp^k(φ,D)|] for one sentence. *)
 
 val of_query :
+  ?jobs:int ->
+  ?cache:Incomplete.Support.cache ->
   Relational.Instance.t ->
   Logic.Query.t ->
   Relational.Tuple.t ->
@@ -41,6 +53,7 @@ val mu_k_exact : t -> sentence:int -> k:int -> Arith.Rat.t
     (valid for [k ≥ max(anchor codes)]). *)
 
 val of_predicates :
+  ?jobs:int ->
   anchor_set:int list ->
   nulls:int list ->
   Relational.Instance.t ->

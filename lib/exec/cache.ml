@@ -1,0 +1,40 @@
+type ('k, 'v) t = {
+  table : ('k, 'v) Hashtbl.t;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int; entries : int }
+
+let create ?(size = 256) () =
+  { table = Hashtbl.create size; lock = Mutex.create (); hits = 0; misses = 0 }
+
+let find_or_add t key compute =
+  let cached =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some v ->
+            t.hits <- t.hits + 1;
+            Some v
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      Mutex.protect t.lock (fun () ->
+          if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v);
+      v
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table })
+
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0)

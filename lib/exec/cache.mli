@@ -1,0 +1,28 @@
+(** Domain-safe memoization tables for the evaluation hot paths.
+
+    A cache maps keys to computed values behind a mutex, so a single
+    cache can be shared by all the domains of a {!Pool} fold (the
+    critical section is a hash-table probe; the memoized computation
+    itself runs outside the lock). Hit/miss counters are kept for
+    benchmark reporting.
+
+    Keys are compared with structural equality and hashed with
+    [Hashtbl.hash]; do not use keys containing functions or cyclic
+    values. *)
+
+type ('k, 'v) t
+
+type stats = { hits : int; misses : int; entries : int }
+
+val create : ?size:int -> unit -> ('k, 'v) t
+(** [size] is the initial hash-table capacity (default 256). *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_add t key compute] returns the cached value for [key], or
+    runs [compute ()], stores the result, and returns it. [compute]
+    runs outside the lock: two domains racing on the same fresh key may
+    both compute it (the first store wins), which is harmless for the
+    pure evaluations cached here. *)
+
+val stats : _ t -> stats
+val clear : _ t -> unit

@@ -1,0 +1,46 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Chunk i of [0,n) over j chunks is [i*n/j, (i+1)*n/j): contiguous,
+   sizes differ by at most one, independent of how many domains
+   actually run — the partition (and hence the combine order) is a
+   function of (n, jobs) only. *)
+let bounds ~n ~jobs i = i * n / jobs
+
+let fold_range ?jobs ?(min_work = 1024) ~n ~chunk ~combine init =
+  if n < 0 then invalid_arg "Pool.fold_range: negative n";
+  let jobs =
+    match jobs with Some j -> (if j < 1 then 1 else j) | None -> default_jobs ()
+  in
+  let jobs = min jobs n in
+  if jobs <= 1 || n < min_work then
+    if n = 0 then init else combine init (chunk 0 n)
+  else begin
+    let workers =
+      Array.init (jobs - 1) (fun i ->
+          let lo = bounds ~n ~jobs (i + 1) and hi = bounds ~n ~jobs (i + 2) in
+          Domain.spawn (fun () -> chunk lo hi))
+    in
+    (* Chunk 0 runs on the calling domain while the others work. *)
+    let first =
+      match chunk (bounds ~n ~jobs 0) (bounds ~n ~jobs 1) with
+      | v -> Ok v
+      | exception e -> Error e
+    in
+    (* Join every domain before raising anything, so no domain leaks. *)
+    let rest =
+      Array.map
+        (fun d -> match Domain.join d with v -> Ok v | exception e -> Error e)
+        workers
+    in
+    let get = function Ok v -> v | Error e -> raise e in
+    Array.fold_left
+      (fun acc r -> combine acc (get r))
+      (combine init (get first))
+      rest
+  end
+
+let fold_list ?jobs ?min_work ~chunk ~combine init xs =
+  let arr = Array.of_list xs in
+  fold_range ?jobs ?min_work ~n:(Array.length arr)
+    ~chunk:(fun lo hi -> chunk (Array.to_list (Array.sub arr lo (hi - lo))))
+    ~combine init

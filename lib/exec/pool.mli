@@ -1,0 +1,56 @@
+(** Deterministic fork-join parallelism over OCaml 5 domains.
+
+    The measures of the paper ([µ^k], [µ(Q|Σ,D)], the support
+    polynomials) are all folds over large finite spaces — [k^m]
+    valuations or the equivalence classes of §3.3. This module splits
+    such a fold into contiguous chunks, runs the chunks on separate
+    domains, and combines the partial results {e in chunk order}.
+
+    Determinism: the partial results are always combined left-to-right
+    in increasing chunk order, so [fold_range] is reproducible run to
+    run for any [combine]. Moreover every accumulator used in this
+    code base ({!Arith.Bigint} addition, {!Arith.Rat} addition,
+    {!Arith.Poly} addition, relation union) is exact and
+    associative-commutative, so the result is {e bit-identical} to the
+    sequential fold regardless of the number of domains — this is
+    property-tested in [test/test_parallel.ml].
+
+    Fallback: when [jobs <= 1], when the range is smaller than
+    [min_work], or when fewer than two items remain, no domain is
+    spawned and the fold runs sequentially on the calling domain. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [?jobs] defaults to. *)
+
+val fold_range :
+  ?jobs:int ->
+  ?min_work:int ->
+  n:int ->
+  chunk:(int -> int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a ->
+  'a
+(** [fold_range ~jobs ~min_work ~n ~chunk ~combine init] evaluates
+    [chunk lo hi] over a partition of [\[0,n)] into at most [jobs]
+    contiguous half-open intervals (sizes differing by at most one) and
+    folds the results with [combine], seeded with [init], in interval
+    order. With one interval this is [combine init (chunk 0 n)].
+
+    [jobs] defaults to {!default_jobs}; values [< 1] are treated as 1.
+    [min_work] (default [1024]) is the smallest [n] worth spawning
+    domains for; below it the fold is sequential.
+
+    If any chunk raises, all spawned domains are still joined and the
+    first exception (in chunk order) is re-raised.
+    @raise Invalid_argument if [n < 0]. *)
+
+val fold_list :
+  ?jobs:int ->
+  ?min_work:int ->
+  chunk:('b list -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a ->
+  'b list ->
+  'a
+(** Same, over contiguous sublists of a list. [chunk] receives each
+    sublist in original order; partials are combined in list order. *)

@@ -7,7 +7,7 @@ module Formula = Logic.Formula
 let all_nulls inst tuple =
   List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
 
-let witnessing_classes inst q tuple =
+let witnessing_classes ?cache inst q tuple =
   (* Anchor on the constants of the instantiated sentence Q(ā) too, so
      tuples carrying constants from outside the database are handled. *)
   let anchor_set =
@@ -17,32 +17,47 @@ let witnessing_classes inst q tuple =
   List.map
     (fun c ->
       let v = Classes.representative ~anchor_set c in
-      (c, Support.in_support inst q tuple v))
+      (c, Support.in_support ?cache inst q tuple v))
     (Classes.enumerate ~anchor_set ~nulls)
 
-let is_certain inst q tuple =
-  List.for_all snd (witnessing_classes inst q tuple)
+let is_certain ?cache inst q tuple =
+  List.for_all snd (witnessing_classes ?cache inst q tuple)
 
-let is_possible inst q tuple =
-  List.exists snd (witnessing_classes inst q tuple)
+let is_possible ?cache inst q tuple =
+  List.exists snd (witnessing_classes ?cache inst q tuple)
 
 let candidates inst m =
   List.map Tuple.of_list (Arith.Combinat.tuples (Instance.adom inst) m)
 
-let filter_candidates pred inst q =
+(* The candidate sweep is embarrassingly parallel: each candidate's
+   certainty check is independent, and the per-chunk result relations
+   are merged with set union (commutative), combined in chunk order.
+   Candidates are few but each check enumerates all equivalence
+   classes, so even tiny ranges are worth a domain. *)
+let filter_candidates ?jobs ?cache pred inst q =
   let m = Query.arity q in
-  List.fold_left
-    (fun acc t -> if pred inst q t then Relation.add t acc else acc)
-    (Relation.empty m) (candidates inst m)
+  let cands = Array.of_list (candidates inst m) in
+  Exec.Pool.fold_range ?jobs ~min_work:4 ~n:(Array.length cands)
+    ~chunk:(fun lo hi ->
+      let rel = ref (Relation.empty m) in
+      for i = lo to hi - 1 do
+        if pred ?cache inst q cands.(i) then rel := Relation.add cands.(i) !rel
+      done;
+      !rel)
+    ~combine:Relation.union (Relation.empty m)
 
-let certain_answers inst q = filter_candidates is_certain inst q
+let certain_answers ?jobs ?cache inst q =
+  filter_candidates ?jobs ?cache is_certain inst q
 
-let certain_answers_null_free inst q =
-  Relation.filter (fun t -> not (Tuple.has_null t)) (certain_answers inst q)
+let certain_answers_null_free ?jobs ?cache inst q =
+  Relation.filter
+    (fun t -> not (Tuple.has_null t))
+    (certain_answers ?jobs ?cache inst q)
 
-let possible_answers inst q = filter_candidates is_possible inst q
+let possible_answers ?jobs ?cache inst q =
+  filter_candidates ?jobs ?cache is_possible inst q
 
-let sentence_classes inst sentence =
+let sentence_classes ?cache inst sentence =
   let anchor_set = Support.anchor_set_sentences inst [ sentence ] in
   let nulls =
     List.sort_uniq Int.compare (Instance.nulls inst @ Formula.nulls sentence)
@@ -50,11 +65,11 @@ let sentence_classes inst sentence =
   List.map
     (fun c ->
       let v = Classes.representative ~anchor_set c in
-      Support.sentence_in_support inst sentence v)
+      Support.sentence_in_support ?cache inst sentence v)
     (Classes.enumerate ~anchor_set ~nulls)
 
-let is_certain_sentence inst sentence =
-  List.for_all Fun.id (sentence_classes inst sentence)
+let is_certain_sentence ?cache inst sentence =
+  List.for_all Fun.id (sentence_classes ?cache inst sentence)
 
-let is_possible_sentence inst sentence =
-  List.exists Fun.id (sentence_classes inst sentence)
+let is_possible_sentence ?cache inst sentence =
+  List.exists Fun.id (sentence_classes ?cache inst sentence)

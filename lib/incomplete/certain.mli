@@ -10,35 +10,53 @@
     for {e every} generic query — including full first-order queries,
     where naïve evaluation is unsound for certainty — at exponential
     cost in the number of nulls (coNP-hardness is Theorem 6's
-    territory; no polynomial algorithm is expected). *)
+    territory; no polynomial algorithm is expected).
+
+    The answer sweeps take [?jobs] to check candidate tuples on
+    parallel domains (each candidate is independent; chunk results are
+    merged by set union, so the answer set is identical for any
+    [jobs]), and [?cache] to share one {!Support.cache} across all
+    candidates — the class representatives recur from candidate to
+    candidate, so their completed instances [v(D)] are computed once. *)
 
 val is_certain :
+  ?cache:Support.cache ->
   Relational.Instance.t -> Logic.Query.t -> Relational.Tuple.t -> bool
 
 val certain_answers :
+  ?jobs:int ->
+  ?cache:Support.cache ->
   Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
 (** [□(Q,D)]: all certain answers among tuples over the active domain
     (certain answers {e with nulls}, after [Lipski 1984]). *)
 
 val certain_answers_null_free :
+  ?jobs:int ->
+  ?cache:Support.cache ->
   Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
 (** The classical intersection-based certain answers: the restriction
     of [□(Q,D)] to null-free tuples (paper §1: "this is simply the
     restriction of □(Q,D) to tuples without nulls"). *)
 
 val is_possible :
+  ?cache:Support.cache ->
   Relational.Instance.t -> Logic.Query.t -> Relational.Tuple.t -> bool
 
 val possible_answers :
+  ?jobs:int ->
+  ?cache:Support.cache ->
   Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
 
-val is_certain_sentence : Relational.Instance.t -> Logic.Formula.t -> bool
+val is_certain_sentence :
+  ?cache:Support.cache -> Relational.Instance.t -> Logic.Formula.t -> bool
 (** Certain truth of a Boolean query: [Q(D') = true] for all
     [D' ∈ [[D]]]. *)
 
-val is_possible_sentence : Relational.Instance.t -> Logic.Formula.t -> bool
+val is_possible_sentence :
+  ?cache:Support.cache -> Relational.Instance.t -> Logic.Formula.t -> bool
 
 val witnessing_classes :
+  ?cache:Support.cache ->
   Relational.Instance.t ->
   Logic.Query.t ->
   Relational.Tuple.t ->

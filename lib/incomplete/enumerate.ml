@@ -18,6 +18,44 @@ let all_valuations ~nulls ~k =
 
 let count ~nulls ~k = Arith.Combinat.power k (List.length nulls)
 
+let space_size ~nulls ~k =
+  if k < 0 then invalid_arg "Enumerate.space_size: negative k"
+  else begin
+    let m = List.length nulls in
+    if k = 0 then Some (if m = 0 then 1 else 0)
+    else begin
+      let rec go acc i =
+        if i = m then Some acc
+        else if acc > max_int / k then None
+        else go (acc * k) (i + 1)
+      in
+      go 1 0
+    end
+  end
+
+let valuation_of_rank ~nulls ~k rank =
+  if k < 1 then invalid_arg "Enumerate.valuation_of_rank: k < 1"
+  else if rank < 0 then invalid_arg "Enumerate.valuation_of_rank: negative rank"
+  else begin
+    (* Mixed-radix decoding, last null least significant, so rank order
+       coincides with the visit order of [fold_valuations]. *)
+    let rec go r acc = function
+      | [] ->
+          if r <> 0 then
+            invalid_arg "Enumerate.valuation_of_rank: rank out of range"
+          else acc
+      | n :: rest -> go (r / k) ((n, (r mod k) + 1) :: acc) rest
+    in
+    Valuation.of_list (go rank [] (List.rev nulls))
+  end
+
+let fold_valuations_range ~nulls ~k ~lo ~hi f acc =
+  let acc = ref acc in
+  for r = lo to hi - 1 do
+    acc := f !acc (valuation_of_rank ~nulls ~k r)
+  done;
+  !acc
+
 let fold_bijective ~nulls ~avoid ~k f acc =
   let rec go acc used assigned = function
     | [] -> f acc (Valuation.of_list assigned)

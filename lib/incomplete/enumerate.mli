@@ -15,6 +15,25 @@ val all_valuations : nulls:int list -> k:int -> Valuation.t list
 val count : nulls:int list -> k:int -> Arith.Bigint.t
 (** [k^m]. *)
 
+val space_size : nulls:int list -> k:int -> int option
+(** [k^m] as a machine integer, or [None] when it overflows (in which
+    case rank-based chunking — and any exhaustive enumeration — is
+    hopeless anyway). *)
+
+val valuation_of_rank : nulls:int list -> k:int -> int -> Valuation.t
+(** The [r]-th valuation of [V^k(D)] in the visit order of
+    {!fold_valuations} (the last null of [nulls] is the least
+    significant mixed-radix digit). Ranks index [\[0, k^m)]; this is
+    what lets a work pool carve the valuation space into contiguous,
+    disjoint chunks.
+    @raise Invalid_argument if [k < 1] or the rank is out of range. *)
+
+val fold_valuations_range :
+  nulls:int list -> k:int -> lo:int -> hi:int -> ('a -> Valuation.t -> 'a) -> 'a -> 'a
+(** Folds over the valuations of ranks [\[lo, hi)], in rank order. The
+    full-range call [~lo:0 ~hi:(k^m)] visits exactly the valuations of
+    {!fold_valuations}, in the same order. *)
+
 val fold_bijective :
   nulls:int list -> avoid:int list -> k:int -> ('a -> Valuation.t -> 'a) -> 'a -> 'a
 (** Folds over the [C]-bijective valuations with range in [{c1..ck}]:

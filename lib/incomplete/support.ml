@@ -13,44 +13,119 @@ let anchor_set_sentences inst sentences =
   List.sort_uniq Int.compare
     (Instance.constants inst @ List.concat_map Formula.constants sentences)
 
-let sentence_in_support inst sentence v =
+(* ------------------------------------------------------------------ *)
+(* Evaluation cache                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type cache = {
+  completed : ((int * int) list, Instance.t) Exec.Cache.t;
+      (* valuation bindings ↦ v(D): completing the instance is the
+         expensive part of a support check and depends only on v. *)
+  verdicts : ((int * int) list * Formula.t, bool) Exec.Cache.t;
+      (* (valuation bindings, sentence) ↦ v(D) ⊨ sentence[v]. The
+         bindings come first: Hashtbl.hash only samples the first few
+         nodes of a key, and the bindings are what distinguishes the
+         thousands of keys sharing one sentence. *)
+}
+
+type cache_stats = {
+  completed_instances : Exec.Cache.stats;
+  eval_verdicts : Exec.Cache.stats;
+}
+
+let create_cache () =
+  { completed = Exec.Cache.create (); verdicts = Exec.Cache.create () }
+
+let cache_stats c =
+  {
+    completed_instances = Exec.Cache.stats c.completed;
+    eval_verdicts = Exec.Cache.stats c.verdicts;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Support checks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sentence_in_support_uncached inst sentence v =
   let complete = Valuation.instance v inst in
   let concrete = Formula.map_values (Valuation.value v) sentence in
   Eval.sentence_holds complete concrete
 
-let in_support inst q tuple v =
+let sentence_in_support ?cache inst sentence v =
+  match cache with
+  | None -> sentence_in_support_uncached inst sentence v
+  | Some c ->
+      let key = Valuation.bindings v in
+      Exec.Cache.find_or_add c.verdicts (key, sentence) (fun () ->
+          let complete =
+            Exec.Cache.find_or_add c.completed key (fun () ->
+                Valuation.instance v inst)
+          in
+          let concrete = Formula.map_values (Valuation.value v) sentence in
+          Eval.sentence_holds complete concrete)
+
+let in_support ?cache inst q tuple v =
   if Tuple.arity tuple <> Query.arity q then
     invalid_arg "Support.in_support: arity mismatch"
-  else sentence_in_support inst (Query.instantiate q tuple) v
+  else sentence_in_support ?cache inst (Query.instantiate q tuple) v
 
-let supp_count inst q tuple ~k =
-  let nulls =
-    List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
-  in
-  Enumerate.fold_valuations ~nulls ~k
-    (fun acc v -> if in_support inst q tuple v then B.succ acc else acc)
-    B.zero
+(* ------------------------------------------------------------------ *)
+(* µ^k by (possibly parallel) enumeration                              *)
+(* ------------------------------------------------------------------ *)
 
-let mu_k inst q tuple ~k =
-  let nulls =
-    List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
-  in
+(* Below this many valuations the domain-spawn overhead dominates and
+   the fold stays on the calling domain. *)
+let parallel_threshold = 512
+
+let all_nulls inst tuple =
+  List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
+
+(* Count the valuations of V^k satisfying [test], splitting the rank
+   space across domains. Per-chunk subcounts fit in [int] because the
+   whole space does; they are summed as bigints in chunk order —
+   bit-identical to the sequential count since addition is exact. *)
+let count_satisfying ?jobs ~nulls ~k test =
+  match Enumerate.space_size ~nulls ~k with
+  | Some n ->
+      Exec.Pool.fold_range ?jobs ~min_work:parallel_threshold ~n
+        ~chunk:(fun lo hi ->
+          let count = ref 0 in
+          for r = lo to hi - 1 do
+            if test (Enumerate.valuation_of_rank ~nulls ~k r) then incr count
+          done;
+          B.of_int !count)
+        ~combine:B.add B.zero
+  | None ->
+      (* Space too large for rank indexing; the sequential fold is
+         equally hopeless but at least semantically right. *)
+      Enumerate.fold_valuations ~nulls ~k
+        (fun acc v -> if test v then B.succ acc else acc)
+        B.zero
+
+let supp_count ?jobs ?cache inst q tuple ~k =
+  if Tuple.arity tuple <> Query.arity q then
+    invalid_arg "Support.in_support: arity mismatch";
+  let nulls = all_nulls inst tuple in
+  let sentence = Query.instantiate q tuple in
+  count_satisfying ?jobs ~nulls ~k (fun v ->
+      sentence_in_support ?cache inst sentence v)
+
+let mu_k ?jobs ?cache inst q tuple ~k =
+  let nulls = all_nulls inst tuple in
   let total = Enumerate.count ~nulls ~k in
   if B.is_zero total then Rat.zero
-  else Rat.make (supp_count inst q tuple ~k) total
+  else Rat.make (supp_count ?jobs ?cache inst q tuple ~k) total
 
-let mu_k_boolean inst q ~k =
+let mu_k_boolean ?jobs ?cache inst q ~k =
   if Query.arity q <> 0 then invalid_arg "Support.mu_k_boolean: query not Boolean"
-  else mu_k inst q Tuple.empty ~k
+  else mu_k ?jobs ?cache inst q Tuple.empty ~k
 
-let mu_k_series inst q tuple ~ks =
-  List.map (fun k -> (k, mu_k inst q tuple ~k)) ks
+let mu_k_series ?jobs ?cache inst q tuple ~ks =
+  List.map (fun k -> (k, mu_k ?jobs ?cache inst q tuple ~k)) ks
 
-let support_valuations inst q tuple ~k =
-  let nulls =
-    List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
-  in
+let support_valuations ?cache inst q tuple ~k =
+  let nulls = all_nulls inst tuple in
   List.rev
     (Enumerate.fold_valuations ~nulls ~k
-       (fun acc v -> if in_support inst q tuple v then v :: acc else acc)
+       (fun acc v -> if in_support ?cache inst q tuple v then v :: acc else acc)
        [])

@@ -5,7 +5,22 @@
     valuation drawn uniformly from [V^k(D)] witnesses [ā] (paper §3.2).
     This module computes these quantities by brute-force enumeration —
     the ground truth against which the symbolic machinery
-    ([Zeroone.Support_poly]) is verified. *)
+    ([Zeroone.Support_poly]) is verified.
+
+    The enumeration is the [FP^#P]-hard counting workload of the
+    measures, so every counting entry point takes two optional knobs,
+    off by default:
+
+    - [?jobs] — split the [k^m]-valuation space into contiguous rank
+      chunks folded on separate OCaml 5 domains ({!Exec.Pool}).
+      Defaults to {!Exec.Pool.default_jobs}; chunk subcounts are summed
+      exactly in chunk order, so the result is bit-identical to the
+      sequential count for any [jobs].
+    - [?cache] — a {!cache} memoizing completed instances [v(D)] and
+      evaluation verdicts across calls. Sharing one cache over a
+      [µ^k]-series pays off because the spaces [V^k ⊆ V^{k'}] are
+      nested. A cache is tied to the instance it was first used with —
+      never reuse it across databases. *)
 
 val anchor_set : Relational.Instance.t -> Logic.Query.t -> int list
 (** [C ∪ Const(D)]: the query's genericity constants plus the
@@ -16,7 +31,25 @@ val anchor_set_sentences :
 (** Anchor set for a family of sentences evaluated on the same
     database (e.g. [Σ ∧ Q(ā)] and [Σ]). *)
 
+(** {1 Evaluation cache} *)
+
+type cache
+(** Memoizes, behind mutexes (safe to share across pool domains):
+    completed instances [v(D)] keyed by the valuation's bindings, and
+    sentence verdicts keyed by (sentence, bindings). *)
+
+type cache_stats = {
+  completed_instances : Exec.Cache.stats;
+  eval_verdicts : Exec.Cache.stats;
+}
+
+val create_cache : unit -> cache
+val cache_stats : cache -> cache_stats
+
+(** {1 Support checks} *)
+
 val in_support :
+  ?cache:cache ->
   Relational.Instance.t ->
   Logic.Query.t ->
   Relational.Tuple.t ->
@@ -27,11 +60,16 @@ val in_support :
     misses a null of [D] or [ā]. *)
 
 val sentence_in_support :
+  ?cache:cache ->
   Relational.Instance.t -> Logic.Formula.t -> Valuation.t -> bool
 (** [v(D) ⊨ φ[v]] for a sentence [φ] (whose nulls, if any, are replaced
     through [v] as well). *)
 
+(** {1 Counting} *)
+
 val supp_count :
+  ?jobs:int ->
+  ?cache:cache ->
   Relational.Instance.t ->
   Logic.Query.t ->
   Relational.Tuple.t ->
@@ -40,6 +78,8 @@ val supp_count :
 (** [|Supp^k(Q,D,ā)|] by enumeration of all [k^m] valuations. *)
 
 val mu_k :
+  ?jobs:int ->
+  ?cache:cache ->
   Relational.Instance.t ->
   Logic.Query.t ->
   Relational.Tuple.t ->
@@ -49,19 +89,26 @@ val mu_k :
     is an answer, 0 when it is not ([V^k(D)] is the singleton empty
     valuation). *)
 
-val mu_k_boolean : Relational.Instance.t -> Logic.Query.t -> k:int -> Arith.Rat.t
+val mu_k_boolean :
+  ?jobs:int ->
+  ?cache:cache ->
+  Relational.Instance.t -> Logic.Query.t -> k:int -> Arith.Rat.t
 (** [µ^k(Q,D)] for Boolean [Q]. *)
 
 val mu_k_series :
+  ?jobs:int ->
+  ?cache:cache ->
   Relational.Instance.t ->
   Logic.Query.t ->
   Relational.Tuple.t ->
   ks:int list ->
   (int * Arith.Rat.t) list
 (** The convergence series [(k, µ^k)] — the paper's limit object,
-    sampled. *)
+    sampled. Passing a shared [?cache] makes later, larger [k]s reuse
+    every verdict already computed for smaller [k]s. *)
 
 val support_valuations :
+  ?cache:cache ->
   Relational.Instance.t ->
   Logic.Query.t ->
   Relational.Tuple.t ->

@@ -75,6 +75,55 @@ section 4).
   |Supp^k(Σ)|   = 3
   µ(Q|Σ,D,t)    = 1/3 ≈ 0.333333   (Theorem 3: always exists, rational)
 
+Parallel evaluation (--jobs) and the evaluation cache (--no-cache) never
+change results: the work pool combines chunk partials in a fixed order and
+all accumulation is exact, so the output is identical to the sequential run.
+
+  $ certainty certain \
+  >   --schema "R(a, b)" \
+  >   --db "R = { ('x', ~1) }" \
+  >   --query "Q(a, b) := R(a, b)" \
+  >   --jobs 2
+  query: Q(a, b) := R(a, b)
+  
+  certain answers (1 tuple):
+    (x, _|_1)
+  possible answers (4 tuples):
+    (x, x)
+    (x, _|_1)
+    (_|_1, x)
+    (_|_1, _|_1)
+  naive answers (1 tuple):
+    (x, _|_1)
+
+
+  $ certainty measure \
+  >   --schema "R1(c, p); R2(c, p)" \
+  >   --db "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) }; R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }" \
+  >   --query "Q(x,y) := R1(x,y) & !R2(x,y)" \
+  >   --tuple "('c2', ~2)" --ks 3,4,6 --jobs 2 --no-cache
+  query:  Q(x, y) := R1(x, y) & !R2(x, y)
+  tuple:  (c2, _|_2)
+  |Supp^k| = k^3 - k^2   (|V^k| = k^3)
+  µ(Q,D,t) = 1   [0-1 law: almost certainly true]
+  µ^k series (brute force):
+    k =   3   µ^k = 2/3          ≈ 0.666667
+    k =   4   µ^k = 3/4          ≈ 0.750000
+    k =   6   µ^k = 5/6          ≈ 0.833333
+
+  $ certainty conditional \
+  >   --schema "R(a, b); U(u)" \
+  >   --db "R = { (2, 1), (~1, ~1) }; U = { (1), (2), (3) }" \
+  >   --query "Q(x, y) := R(x, y)" \
+  >   --constraints "ind R[1] <= U[1]" \
+  >   --tuple "(1, ~1)" --jobs 2
+  query:       Q(x, y) := R(x, y)
+  tuple:       (1, _|_1)
+  constraint:  ind R[a] <= U[u]
+  |Supp^k(Σ∧Q)| = 1
+  |Supp^k(Σ)|   = 3
+  µ(Q|Σ,D,t)    = 1/3 ≈ 0.333333   (Theorem 3: always exists, rational)
+
 Best answers for the section 5 example.
 
   $ certainty best \
