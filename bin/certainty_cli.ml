@@ -99,6 +99,17 @@ let no_cache_arg =
   in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let strict_arg =
+  let doc =
+    "Treat static-analysis errors as fatal: exit with a nonzero status \
+     instead of proceeding (the default merely prints them)."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let json_arg =
+  let doc = "Emit the report as JSON instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let jobs_opt n = if n <= 0 then None else Some n
 let cache_opt no_cache =
   if no_cache then None else Some (Incomplete.Support.create_cache ())
@@ -140,6 +151,31 @@ let with_context schema db query f =
       exit 2);
   f schema inst q
 
+(* The static-analysis gate of the evaluating subcommands: report
+   errors and warnings (never hints) on stderr; under --strict, errors
+   abort before any evaluation starts. *)
+let precheck ?deps ?tuple ~strict schema inst q =
+  let report = Analysis.Report.analyze ~inst ?deps ?tuple schema q in
+  let visible =
+    List.filter
+      (fun d -> d.Analysis.Diag.severity <> Analysis.Diag.Hint)
+      (report.Analysis.Report.diags @ report.Analysis.Report.hints)
+  in
+  let abort = strict && Analysis.Report.has_errors report in
+  List.iter
+    (fun d ->
+      Printf.eprintf "analysis %s[%s] %s: %s\n"
+        (if abort then Analysis.Diag.severity_string d.Analysis.Diag.severity
+         else "warning")
+        d.Analysis.Diag.code d.Analysis.Diag.loc d.Analysis.Diag.message)
+    (Analysis.Diag.sort visible);
+  if abort then begin
+    Printf.eprintf
+      "error: static analysis failed (--strict); run 'certainty analyze' \
+       for the full report\n";
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -157,8 +193,9 @@ let naive_cmd =
     Term.(const run $ schema_arg $ db_arg $ query_arg)
 
 let certain_cmd =
-  let run schema db query jobs no_cache =
-    with_context schema db query (fun _ inst q ->
+  let run schema db query jobs no_cache strict =
+    with_context schema db query (fun sch inst q ->
+        precheck ~strict sch inst q;
         let jobs = jobs_opt jobs and cache = cache_opt no_cache in
         Printf.printf "query: %s\n\n" (Query.to_string q);
         print_relation "certain answers"
@@ -172,11 +209,12 @@ let certain_cmd =
      of nulls)."
   in
   Cmd.v (Cmd.info "certain" ~doc)
-    Term.(const run $ schema_arg $ db_arg $ query_arg $ jobs_arg $ no_cache_arg)
+    Term.(const run $ schema_arg $ db_arg $ query_arg $ jobs_arg $ no_cache_arg
+          $ strict_arg)
 
 let measure_cmd =
-  let run schema db query tuple ks jobs no_cache =
-    with_context schema db query (fun _ inst q ->
+  let run schema db query tuple ks jobs no_cache strict =
+    with_context schema db query (fun sch inst q ->
         let jobs = jobs_opt jobs and cache = cache_opt no_cache in
         let tuple =
           match load_tuple tuple with
@@ -188,6 +226,7 @@ let measure_cmd =
                 exit 2
               end
         in
+        precheck ~tuple ~strict sch inst q;
         Printf.printf "query:  %s\n" (Query.to_string q);
         Printf.printf "tuple:  %s\n" (Tuple.to_string tuple);
         let sp = Zeroone.Support_poly.of_query inst q tuple in
@@ -211,10 +250,10 @@ let measure_cmd =
   in
   Cmd.v (Cmd.info "measure" ~doc)
     Term.(const run $ schema_arg $ db_arg $ query_arg $ tuple_arg $ ks_arg
-          $ jobs_arg $ no_cache_arg)
+          $ jobs_arg $ no_cache_arg $ strict_arg)
 
 let conditional_cmd =
-  let run schema db query cstr tuple ks jobs no_cache =
+  let run schema db query cstr tuple ks jobs no_cache strict =
     with_context schema db query (fun sch inst q ->
         let jobs = jobs_opt jobs and cache = cache_opt no_cache in
         let deps = load_constraints sch cstr in
@@ -229,6 +268,7 @@ let conditional_cmd =
                 exit 2
               end
         in
+        precheck ~deps ~tuple ~strict sch inst q;
         Printf.printf "query:       %s\n" (Query.to_string q);
         Printf.printf "tuple:       %s\n" (Tuple.to_string tuple);
         List.iter
@@ -246,19 +286,14 @@ let conditional_cmd =
         Printf.printf "µ(Q|Σ,D,t)    = %s ≈ %.6f   (Theorem 3: always exists, rational)\n"
           (R.to_string report.Zeroone.Conditional.value)
           (R.to_float report.Zeroone.Conditional.value);
-        let fds = Constraints.Dependency.fds_of_schema sch deps in
-        let only_fds =
-          List.for_all
-            (function
-              | Constraints.Dependency.Fd _ | Constraints.Dependency.Key _ -> true
-              | Constraints.Dependency.Ind _ | Constraints.Dependency.ForeignKey _ ->
-                  false)
-            deps
-        in
-        if only_fds && not (Tuple.has_null tuple) then begin
-          let via_chase = Zeroone.Conditional.mu_cond_fds fds inst q tuple in
-          Printf.printf "via chase (Thm 5) = %s\n" (R.to_string via_chase)
-        end;
+        (* The classifier, not an ad hoc scan, decides whether the
+           Theorem 5 chase shortcut applies. *)
+        (match Zeroone.Conditional.strategy deps tuple with
+        | Zeroone.Conditional.Chase_fds ->
+            let fds = Constraints.Dependency.fds_of_schema sch deps in
+            let via_chase = Zeroone.Conditional.mu_cond_fds fds inst q tuple in
+            Printf.printf "via chase (Thm 5) = %s\n" (R.to_string via_chase)
+        | Zeroone.Conditional.Symbolic -> ());
         match ks with
         | None -> ()
         | Some _ ->
@@ -279,7 +314,7 @@ let conditional_cmd =
   in
   Cmd.v (Cmd.info "conditional" ~doc)
     Term.(const run $ schema_arg $ db_arg $ query_arg $ constraints_arg
-          $ tuple_arg $ ks_arg $ jobs_arg $ no_cache_arg)
+          $ tuple_arg $ ks_arg $ jobs_arg $ no_cache_arg $ strict_arg)
 
 let best_cmd =
   let run schema db query tuple tuple2 =
@@ -352,17 +387,11 @@ let sat_cmd =
     let sch = load_schema schema in
     let inst = load_db sch db in
     let deps = load_constraints sch cstr in
-    let unary_only =
-      List.for_all
-        (function
-          | Constraints.Dependency.Key { Constraints.Dependency.key_cols = [ _ ]; _ }
-          | Constraints.Dependency.ForeignKey
-              { Constraints.Dependency.fk_src_cols = [ _ ]; fk_dst_cols = [ _ ]; _ } ->
-              true
-          | _ -> false)
-        deps
-    in
-    if unary_only then begin
+    (* Route through the static classifier: the Proposition 6 polynomial
+       procedure fires automatically whenever the dependency set
+       qualifies. *)
+    let cclass = Analysis.Classify.constraint_class deps in
+    if cclass.Analysis.Classify.unary_keys_fks then begin
       match Constraints.Sat.unary_keys_fks sch deps inst with
       | Constraints.Sat.Satisfiable v ->
           Printf.printf "SATISFIABLE (Prop 6 polynomial procedure)\nwitness: %s\n"
@@ -470,6 +499,52 @@ let datalog_cmd =
   Cmd.v (Cmd.info "datalog" ~doc)
     Term.(const run $ schema_arg $ db_arg $ program_arg $ goal_arg)
 
+let analyze_cmd =
+  let db_opt_arg =
+    let doc =
+      "Database instance (optional): enables the k^m cost analysis."
+    in
+    Arg.(value & opt (some string) None & info [ "d"; "db" ] ~docv:"DB" ~doc)
+  in
+  let constraints_opt_arg =
+    let doc =
+      "Constraints (optional): enables the constraint-class verdict \
+       (FD-only, unary keys+FKs)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "c"; "constraints" ] ~docv:"CONSTRAINTS" ~doc)
+  in
+  let k_arg =
+    let doc =
+      "Domain size k for the concrete cost bound (default: the largest k of \
+       the µ^k series, max-constant + 16)."
+    in
+    Arg.(value & opt (some int) None & info [ "domain-size" ] ~docv:"K" ~doc)
+  in
+  let run schema db query cstr tuple k json strict =
+    let sch = load_schema schema in
+    let q = load_query query in
+    let inst = Option.map (load_db sch) db in
+    let deps = Option.map (load_constraints sch) cstr in
+    let tuple = load_tuple tuple in
+    let report = Analysis.Report.analyze ?inst ?deps ?tuple ?k sch q in
+    if json then print_endline (Analysis.Report.to_json report)
+    else print_string (Analysis.Report.to_text report);
+    if strict && Analysis.Report.has_errors report then exit 1
+  in
+  let doc =
+    "Statically analyze a query (and optionally constraints) without \
+     evaluating anything: tightest fragment (CQ/UCQ/Pos∀G/FO), \
+     safety/range-restriction and genericity verdicts, schema conformance, \
+     constraint class, the k^m valuation-space cost bound, and the \
+     paper-backed dispatch consequences — with stable diagnostic codes, as \
+     text or JSON. With --strict, exit nonzero when errors are found (the \
+     CI lint gate)."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ schema_arg $ db_opt_arg $ query_arg
+          $ constraints_opt_arg $ tuple_arg $ k_arg $ json_arg $ strict_arg)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -482,5 +557,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ naive_cmd; certain_cmd; measure_cmd; conditional_cmd; best_cmd; approx_cmd; datalog_cmd;
-            chase_cmd; sat_cmd ]))
+          [ analyze_cmd; naive_cmd; certain_cmd; measure_cmd; conditional_cmd; best_cmd;
+            approx_cmd; datalog_cmd; chase_cmd; sat_cmd ]))

@@ -1,0 +1,77 @@
+module Fragment = Logic.Fragment
+module Dep = Constraints.Dependency
+
+type fragment = Fragment.fragment
+
+let fragment (q : Logic.Query.t) = Fragment.classify q.Logic.Query.body
+
+type constraint_class = {
+  n_constraints : int;
+  fd_only : bool;
+  unary_keys_fks : bool;
+}
+
+let constraint_class deps =
+  let fd_only =
+    List.for_all
+      (function Dep.Fd _ | Dep.Key _ -> true | Dep.Ind _ | Dep.ForeignKey _ -> false)
+      deps
+  in
+  let unary_keys_fks =
+    List.for_all
+      (function
+        | Dep.Key { Dep.key_cols = [ _ ]; _ }
+        | Dep.ForeignKey { Dep.fk_src_cols = [ _ ]; fk_dst_cols = [ _ ]; _ } ->
+            true
+        | _ -> false)
+      deps
+  in
+  { n_constraints = List.length deps; fd_only; unary_keys_fks }
+
+let dispatch_hints ?deps q =
+  let fr = fragment q in
+  let query_hints =
+    (if Fragment.naive_eval_sound fr then
+       [ Diag.hint ~code:"ANL301" ~loc:"dispatch"
+           (Printf.sprintf
+              "%s ⊆ Pos∀G: naive evaluation computes certain answers \
+               (Corollary 3) — no valuation enumeration needed"
+              (Fragment.fragment_name fr))
+       ]
+     else [])
+    @
+    if Fragment.leq fr Fragment.Ucq then
+      [ Diag.hint ~code:"ANL302" ~loc:"dispatch"
+          (Printf.sprintf
+             "%s ⊆ UCQ: support comparisons and best answers run in \
+              polynomial time (Theorem 8)"
+             (Fragment.fragment_name fr))
+      ]
+    else []
+  in
+  let constraint_hints =
+    match deps with
+    | None -> []
+    | Some deps ->
+        let c = constraint_class deps in
+        (if c.fd_only then
+           [ Diag.hint ~code:"ANL303" ~loc:"dispatch"
+               "constraints are FD-only: the chase computes µ(Q|Σ) for \
+                null-free tuples (Theorem 5) — no support counting"
+           ]
+         else [])
+        @ (if c.unary_keys_fks then
+             [ Diag.hint ~code:"ANL304" ~loc:"dispatch"
+                 "unary keys + foreign keys: satisfiability is decidable in \
+                  polynomial time (Proposition 6)"
+             ]
+           else [])
+        @
+        if (not c.fd_only) && not c.unary_keys_fks then
+          [ Diag.hint ~code:"ANL305" ~loc:"dispatch"
+              "constraint set is neither FD-only nor unary keys+FKs: only \
+               the generic (exponential) procedures apply"
+          ]
+        else []
+  in
+  query_hints @ constraint_hints

@@ -1,0 +1,34 @@
+(** The fragment classifier and its dispatch consequences.
+
+    This is the routing brain of the system: it names the tightest
+    syntactic fragment a query lives in and the tractable class a
+    constraint set falls into, and spells out which of the paper's
+    algorithmic shortcuts those memberships unlock. Engine code
+    ({!Incomplete.Certain}, {!Zeroone.Conditional}, the CLI) consults
+    this module instead of re-deriving fragment facts ad hoc. *)
+
+type fragment = Logic.Fragment.fragment
+
+val fragment : Logic.Query.t -> fragment
+(** Tightest fragment of the query body ({!Logic.Fragment.classify}). *)
+
+type constraint_class = {
+  n_constraints : int;
+  fd_only : bool;
+      (** only functional dependencies and keys: the chase shortcut of
+          Theorem 5 computes [µ(Q|Σ)] for null-free tuples *)
+  unary_keys_fks : bool;
+      (** only unary keys and unary foreign keys: satisfiability is
+          polynomial (Proposition 6, {!Constraints.Sat.unary_keys_fks}) *)
+}
+
+val constraint_class : Constraints.Dependency.t list -> constraint_class
+(** Both flags hold vacuously for the empty set. *)
+
+val dispatch_hints :
+  ?deps:Constraints.Dependency.t list -> Logic.Query.t -> Diag.t list
+(** The paper-backed consequences as hint diagnostics: ANL301 (naïve
+    evaluation sound, Corollary 3), ANL302 (UCQ polynomial comparisons,
+    Theorem 8), and — when [?deps] is given — ANL303 (chase shortcut,
+    Theorem 5), ANL304 (Proposition 6 satisfiability) or ANL305
+    (generic procedures only). *)

@@ -1,0 +1,60 @@
+module Instance = Relational.Instance
+module Tuple = Relational.Tuple
+module Enumerate = Incomplete.Enumerate
+module B = Arith.Bigint
+
+type t = {
+  nulls : int;
+  k : int;
+  space : B.t;
+  machine : int option;
+}
+
+let big_space_threshold = 1_000_000
+
+let analyse ?k ?tuple inst =
+  let nulls =
+    List.sort_uniq Int.compare
+      (Instance.nulls inst
+      @ match tuple with None -> [] | Some t -> Tuple.nulls t)
+  in
+  let k =
+    match k with Some k -> max 1 k | None -> Instance.max_constant inst + 16
+  in
+  { nulls = List.length nulls;
+    k;
+    space = Enumerate.count ~nulls ~k;
+    machine = Enumerate.space_size ~nulls ~k
+  }
+
+let diagnostics c =
+  match c.machine with
+  | None ->
+      [ Diag.warning ~code:"ANL201" ~loc:"cost"
+          ~hint:
+            "exhaustive enumeration cannot terminate; use the symbolic \
+             support-polynomial path (measure's µ_symbolic) which is \
+             polynomial in k"
+          (Printf.sprintf
+             "valuation space blows up: k^m = %d^%d = %s overflows machine \
+              integers"
+             c.k c.nulls (B.to_string c.space))
+      ]
+  | Some n when n > big_space_threshold ->
+      [ Diag.hint ~code:"ANL202" ~loc:"cost"
+          ~hint:"pass --jobs 0 to sweep valuations on parallel domains"
+          (Printf.sprintf
+             "large valuation space: k^m = %d^%d = %d valuations per sweep"
+             c.k c.nulls n)
+      ]
+  | Some _ -> []
+
+let to_json c =
+  Printf.sprintf
+    "{\"nulls\": %d, \"k\": %d, \"space\": %s, \"overflow\": %b%s}" c.nulls
+    c.k
+    (Diag.json_string (B.to_string c.space))
+    (c.machine = None)
+    (match c.machine with
+    | None -> ""
+    | Some n -> Printf.sprintf ", \"machine\": %d" n)

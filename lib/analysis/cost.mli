@@ -1,0 +1,31 @@
+(** Cost analysis of the brute-force valuation sweeps.
+
+    The exhaustive computations ([µ^k], certain/possible answers by
+    class enumeration, generic satisfiability) visit up to [k^m]
+    valuations for [m] nulls. This module bounds that space through
+    {!Incomplete.Enumerate.space_size}/{!Incomplete.Enumerate.count}
+    and turns the bound into diagnostics: a blow-up warning when [k^m]
+    overflows machine integers (exhaustive enumeration is hopeless;
+    the symbolic support-polynomial path is the only exact option) and
+    a parallelism hint when the space is large but tractable. *)
+
+type t = {
+  nulls : int;  (** [m], counting nulls of the database and the tuple *)
+  k : int;  (** the sampled domain size for the concrete bound *)
+  space : Arith.Bigint.t;  (** [k^m], exact *)
+  machine : int option;  (** [k^m] as a machine int, [None] on overflow *)
+}
+
+val big_space_threshold : int
+(** Above this many valuations the ANL202 parallelism hint fires. *)
+
+val analyse :
+  ?k:int -> ?tuple:Relational.Tuple.t -> Relational.Instance.t -> t
+(** [k] defaults to [Instance.max_constant + 16], the largest domain of
+    the CLI's default [µ^k] series. *)
+
+val diagnostics : t -> Diag.t list
+(** ANL201 (overflow) or ANL202 (large but machine-representable);
+    empty when the space is small. *)
+
+val to_json : t -> string

@@ -1,0 +1,109 @@
+module Fragment = Logic.Fragment
+module Query = Logic.Query
+module B = Arith.Bigint
+
+type t = {
+  query : Query.t;
+  fragment : Fragment.fragment;
+  safe : bool;
+  generic : bool;
+  cclass : Classify.constraint_class option;
+  cost : Cost.t option;
+  diags : Diag.t list;
+  hints : Diag.t list;
+}
+
+let analyze ?inst ?deps ?tuple ?k schema q =
+  let cost = Option.map (fun inst -> Cost.analyse ?k ?tuple inst) inst in
+  { query = q;
+    fragment = Classify.fragment q;
+    safe = Safety.is_safe q;
+    generic = Query.constants q = [];
+    cclass = Option.map Classify.constraint_class deps;
+    cost;
+    diags = Safety.check_query schema q;
+    hints =
+      Classify.dispatch_hints ?deps q
+      @ (match cost with None -> [] | Some c -> Cost.diagnostics c)
+  }
+
+let has_errors r = Diag.has_errors r.diags
+
+let all_diags r = Diag.sort (r.diags @ r.hints)
+
+let yesno b = if b then "yes" else "no"
+
+let to_text r =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "query:       %s" (Query.to_string r.query);
+  line "fragment:    %s   (CQ ⊆ UCQ ⊆ Pos∀G ⊆ FO)"
+    (Fragment.fragment_name r.fragment);
+  line "safe:        %s" (yesno r.safe);
+  line "generic:     %s" (yesno r.generic);
+  (match r.cclass with
+  | None -> ()
+  | Some c ->
+      line "constraints: %d dependenc%s; FD-only: %s; unary keys+FKs: %s"
+        c.Classify.n_constraints
+        (if c.Classify.n_constraints = 1 then "y" else "ies")
+        (yesno c.Classify.fd_only)
+        (yesno c.Classify.unary_keys_fks));
+  (match r.cost with
+  | None -> ()
+  | Some c ->
+      line "cost:        |V^k| = k^%d; at k = %d: %s valuation%s%s"
+        c.Cost.nulls c.Cost.k (B.to_string c.Cost.space)
+        (if B.equal c.Cost.space B.one then "" else "s")
+        (match c.Cost.machine with
+        | None -> " (overflows machine integers)"
+        | Some _ -> ""));
+  let errors = Diag.count Diag.Error r.diags
+  and warnings = Diag.count Diag.Warning r.diags in
+  line "verdict:     %s (%d error%s, %d warning%s)"
+    (if errors > 0 then "issues found" else "ok")
+    errors
+    (if errors = 1 then "" else "s")
+    warnings
+    (if warnings = 1 then "" else "s");
+  (match Diag.sort r.diags with
+  | [] -> line "diagnostics: none"
+  | ds ->
+      line "diagnostics:";
+      List.iter (fun d -> line "  %s" (String.concat "\n  " (String.split_on_char '\n' (Diag.to_string d)))) ds);
+  (match Diag.sort r.hints with
+  | [] -> ()
+  | ds ->
+      line "dispatch:";
+      List.iter (fun d -> line "  %s" (String.concat "\n  " (String.split_on_char '\n' (Diag.to_string d)))) ds);
+  Buffer.contents buf
+
+let to_json r =
+  let fields =
+    [ ("query", Diag.json_string (Query.to_string r.query));
+      ("fragment", Diag.json_string (Fragment.fragment_name r.fragment));
+      ("safe", string_of_bool r.safe);
+      ("generic", string_of_bool r.generic)
+    ]
+    @ (match r.cclass with
+      | None -> []
+      | Some c ->
+          [ ( "constraints",
+              Printf.sprintf
+                "{\"count\": %d, \"fd_only\": %b, \"unary_keys_fks\": %b}"
+                c.Classify.n_constraints c.Classify.fd_only
+                c.Classify.unary_keys_fks )
+          ])
+    @ (match r.cost with
+      | None -> []
+      | Some c -> [ ("cost", Cost.to_json c) ])
+    @ [ ("errors", string_of_int (Diag.count Diag.Error r.diags));
+        ("warnings", string_of_int (Diag.count Diag.Warning r.diags));
+        ("hints", string_of_int (List.length r.hints));
+        ("diagnostics", Diag.render_json (all_diags r))
+      ]
+  in
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Diag.json_string k ^ ": " ^ v) fields)
+  ^ "}"

@@ -1,0 +1,36 @@
+(** The aggregate static-analysis report: one call runs every check and
+    bundles verdicts, dispatch consequences and diagnostics, with text
+    and JSON renderers. This is what the [analyze] CLI subcommand and
+    the pre-evaluation gate of [certain]/[measure]/[conditional]
+    consume. *)
+
+type t = {
+  query : Logic.Query.t;
+  fragment : Logic.Fragment.fragment;
+  safe : bool;
+  generic : bool;
+  cclass : Classify.constraint_class option;  (** when constraints given *)
+  cost : Cost.t option;  (** when a database is given *)
+  diags : Diag.t list;  (** checks: errors and warnings *)
+  hints : Diag.t list;  (** dispatch consequences and cost hints *)
+}
+
+val analyze :
+  ?inst:Relational.Instance.t ->
+  ?deps:Constraints.Dependency.t list ->
+  ?tuple:Relational.Tuple.t ->
+  ?k:int ->
+  Relational.Schema.t ->
+  Logic.Query.t ->
+  t
+
+val has_errors : t -> bool
+
+val all_diags : t -> Diag.t list
+(** Checks and hints together, sorted. *)
+
+val to_text : t -> string
+(** The human-facing report (fragment, verdicts, cost bound,
+    diagnostics, dispatch). *)
+
+val to_json : t -> string

@@ -105,6 +105,15 @@ let mu_implication ?jobs ?cache ~sigma inst q tuple =
   | [ p ] -> limit p sp.Support_poly.total
   | _ -> assert false
 
+type strategy = Chase_fds | Symbolic
+
+let strategy deps tuple =
+  if
+    (Analysis.Classify.constraint_class deps).Analysis.Classify.fd_only
+    && not (Tuple.has_null tuple)
+  then Chase_fds
+  else Symbolic
+
 let mu_cond_fds fds inst q tuple =
   if Tuple.has_null tuple then
     invalid_arg "Conditional.mu_cond_fds: tuple must be null-free"
@@ -114,3 +123,10 @@ let mu_cond_fds fds inst q tuple =
     | Constraints.Chase.Success chased ->
         if Incomplete.Naive.tuple_in chased q tuple then Rat.one else Rat.zero
   end
+
+let mu_cond_auto ?jobs ?cache schema deps inst q tuple =
+  match strategy deps tuple with
+  | Chase_fds ->
+      let fds = Constraints.Dependency.fds_of_schema schema deps in
+      (Chase_fds, mu_cond_fds fds inst q tuple)
+  | Symbolic -> (Symbolic, mu_cond_deps ?jobs ?cache schema deps inst q tuple)

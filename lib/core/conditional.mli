@@ -114,3 +114,27 @@ val mu_cond_fds :
     [D] (given the query).
     @raise Invalid_argument if [ā] contains nulls (the chase renames
     nulls, so the statement only makes sense for constant tuples). *)
+
+(** {1 Classifier-driven dispatch} *)
+
+type strategy =
+  | Chase_fds  (** the Theorem 5 chase shortcut applies *)
+  | Symbolic  (** support-polynomial counting over valuation classes *)
+
+val strategy : Constraints.Dependency.t list -> Relational.Tuple.t -> strategy
+(** Consults {!Analysis.Classify.constraint_class}: [Chase_fds] exactly
+    when the dependency set is FD-only and the tuple is null-free. *)
+
+val mu_cond_auto :
+  ?jobs:int ->
+  ?cache:Incomplete.Support.cache ->
+  Relational.Schema.t ->
+  Constraints.Dependency.t list ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  strategy * Arith.Rat.t
+(** [µ(Q|Σ,D,ā)] by the cheapest sound algorithm: routes through
+    {!strategy} and returns the route taken together with the value.
+    Both routes compute the same measure (Theorem 5); agreement is
+    property-tested. *)

@@ -46,8 +46,22 @@ let filter_candidates ?jobs ?cache pred inst q =
       !rel)
     ~combine:Relation.union (Relation.empty m)
 
-let certain_answers ?jobs ?cache inst q =
+let certain_answers_enumerated ?jobs ?cache inst q =
   filter_candidates ?jobs ?cache is_certain inst q
+
+(* Fragment dispatch (Corollary 3): for queries within Pos∀G naïve
+   evaluation computes certain answers, so the class enumeration is
+   unnecessary. Restricted to constant-free queries so that the naïve
+   evaluation domain (adom + query constants) coincides with the
+   candidate space adom^m of the enumeration path; queries with
+   constants keep the exact path. *)
+let certain_answers ?jobs ?cache inst q =
+  if
+    Logic.Fragment.naive_eval_sound
+      (Logic.Fragment.classify q.Query.body)
+    && Query.constants q = []
+  then Naive.answers inst q
+  else certain_answers_enumerated ?jobs ?cache inst q
 
 let certain_answers_null_free ?jobs ?cache inst q =
   Relation.filter

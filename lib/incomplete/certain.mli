@@ -28,7 +28,22 @@ val certain_answers :
   ?cache:Support.cache ->
   Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
 (** [□(Q,D)]: all certain answers among tuples over the active domain
-    (certain answers {e with nulls}, after [Lipski 1984]). *)
+    (certain answers {e with nulls}, after [Lipski 1984]).
+
+    Dispatches on {!Logic.Fragment.classify}: for constant-free queries
+    within Pos∀G, naïve evaluation computes certain answers (Corollary
+    3), so the class enumeration is skipped entirely — certain answers
+    then cost one query evaluation instead of exponentially many. All
+    other queries take the exact enumeration path
+    ({!certain_answers_enumerated}). The two paths agree wherever both
+    apply — a property the test suite checks. *)
+
+val certain_answers_enumerated :
+  ?jobs:int ->
+  ?cache:Support.cache ->
+  Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
+(** The class-enumeration path, unconditionally: ground truth for every
+    generic query, exponential in the number of nulls. *)
 
 val certain_answers_null_free :
   ?jobs:int ->

@@ -34,7 +34,32 @@ let is_pos_forall_guard f =
      exactly the universally quantified tuple, so a guard mentioning a
      variable bound further out (or free) does NOT qualify — such
      formulas genuinely escape the fragment (and naïve evaluation can
-     then fail to compute certain answers). *)
+     then fail to compute certain answers).
+
+     Audited corner cases (regression-tested in test_logic.ml):
+
+     - Guard variables not pairwise distinct (∀x R(x,x) → φ):
+       [guard_vars_if_valid] rejects the guard, we fall back to [go] on
+       the body, and the bare implication makes the check fail. Correct:
+       the guarded rule requires an atom over distinct variables.
+     - Guarded ∀ under ∨ ((∀x R(x) → S(x)) ∨ ∃z T(z)): the fragment is
+       closed under ∨, and [go] descends into both disjuncts; accepted.
+     - Guard variables a strict subset of the ∀-prefix
+       (∀x∀y R(y) → S(x,y)): accepted, and soundly so — universal
+       quantifiers commute, so the formula rewrites to
+       ∀ȳ (α(ȳ) → ∀z̄ φ) with the unguarded universals pushed into the
+       (positive, hence Pos∀G) body.
+     - Vacuous guards (0-ary guard atom, ∀x P() → S(x)): accepted. The
+       guard's truth value is valuation-independent — a valuation never
+       adds or removes a 0-ary fact — so naïve evaluation of the
+       implication remains exact.
+     - Guards mentioning constants (∀x R(x,'a') → φ): rejected; the
+       guard must be an atom over variables only.
+     - Guards mentioning a variable bound further out
+       (∃y ∀x R(x,y) → φ): rejected, per the contract above. This is
+       deliberately conservative: the classifier's verdict gates the
+       naïve-evaluation fast path, so under-approximating the fragment
+       is safe while over-approximating would be unsound. *)
   let rec go = function
     | True | False | Atom _ | Eq _ -> true
     | And (g, h) | Or (g, h) -> go g && go h
@@ -58,6 +83,25 @@ let is_pos_forall_guard f =
     | f -> ([], f)
   in
   go f
+
+type fragment = Cq | Ucq | PosForallG | Fo
+
+let fragment_name = function
+  | Cq -> "CQ"
+  | Ucq -> "UCQ"
+  | PosForallG -> "Pos∀G"
+  | Fo -> "FO"
+
+let rank = function Cq -> 0 | Ucq -> 1 | PosForallG -> 2 | Fo -> 3
+let leq a b = rank a <= rank b
+
+let classify f =
+  if is_conjunctive f then Cq
+  else if is_ucq f then Ucq
+  else if is_pos_forall_guard f then PosForallG
+  else Fo
+
+let naive_eval_sound fr = leq fr PosForallG
 
 let rec is_quantifier_free = function
   | True | False | Atom _ | Eq _ -> true

@@ -9,6 +9,30 @@
       (Gheerbrant–Libkin–Sirangelo), which gives the paper's
       Corollary 3. *)
 
+type fragment =
+  | Cq  (** conjunctive queries *)
+  | Ucq  (** unions of conjunctive queries *)
+  | PosForallG  (** Compton's Pos∀G *)
+  | Fo  (** full first-order logic *)
+
+val fragment_name : fragment -> string
+(** ["CQ"], ["UCQ"], ["Pos∀G"], ["FO"]. *)
+
+val leq : fragment -> fragment -> bool
+(** The (linear) inclusion order [CQ ⊆ UCQ ⊆ Pos∀G ⊆ FO]. *)
+
+val classify : Formula.t -> fragment
+(** The tightest fragment containing the formula. This is the single
+    source of fragment facts for dispatch decisions: naïve evaluation
+    computes certain answers when [leq (classify f) PosForallG]
+    (Corollary 3), and the Theorem 8 polynomial comparison algorithms
+    apply when [leq (classify f) Ucq]. *)
+
+val naive_eval_sound : fragment -> bool
+(** [leq fragment PosForallG]: naïve evaluation computes certain
+    answers for queries in the fragment (Corollary 3, via
+    Gheerbrant–Libkin–Sirangelo). *)
+
 val is_conjunctive : Formula.t -> bool
 (** Built from relational atoms and [True] with [∧] and [∃] only. *)
 

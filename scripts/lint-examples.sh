@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Static-analysis lint gate over the example inputs.
+#
+# Every examples/data/<name>.query is analyzed with `certainty analyze
+# --strict` against its <name>.schema (and <name>.db / <name>.deps when
+# present). Any ANL error — unsafe query, non-generic query, schema
+# mismatch — fails the gate. CI runs this after `dune build @check`;
+# run it locally the same way:
+#
+#   dune build && scripts/lint-examples.sh
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+for q in examples/data/*.query; do
+  base="${q%.query}"
+  # --flag=value form throughout: the data files open with `--`
+  # comments, which a space-separated argument would turn into options.
+  args=(--schema="$(cat "$base.schema")" --query="$(cat "$q")")
+  [ -f "$base.db" ] && args+=(--db="$(cat "$base.db")")
+  [ -f "$base.deps" ] && args+=(--constraints="$(cat "$base.deps")")
+  if output=$(dune exec -- certainty analyze --strict "${args[@]}" 2>&1); then
+    echo "lint ok: $base"
+  else
+    echo "lint FAILED: $base"
+    echo "$output" | sed 's/^/  /'
+    fail=1
+  fi
+done
+exit "$fail"

@@ -227,3 +227,82 @@ Recursive datalog over an incomplete graph (the 0-1 law beyond FO).
     (a, c)
     (a, _|_1)
     (_|_1, c)
+
+Static analysis of the §4 running example: tightest fragment, safety
+and genericity verdicts, constraint class, and the k^m cost bound.
+
+  $ certainty analyze \
+  >   --schema "R(a, b); U(u)" \
+  >   --db "R = { (2, 1), (~1, ~1) }; U = { (1), (2), (3) }" \
+  >   --query "Q(x, y) := R(x, y)" \
+  >   --constraints "ind R[1] <= U[1]"
+  query:       Q(x, y) := R(x, y)
+  fragment:    CQ   (CQ ⊆ UCQ ⊆ Pos∀G ⊆ FO)
+  safe:        yes
+  generic:     yes
+  constraints: 1 dependency; FD-only: no; unary keys+FKs: no
+  cost:        |V^k| = k^1; at k = 19: 19 valuations
+  verdict:     ok (0 errors, 0 warnings)
+  diagnostics: none
+  dispatch:
+    hint[ANL301] dispatch: CQ ⊆ Pos∀G: naive evaluation computes certain answers (Corollary 3) — no valuation enumeration needed
+    hint[ANL302] dispatch: CQ ⊆ UCQ: support comparisons and best answers run in polynomial time (Theorem 8)
+    hint[ANL305] dispatch: constraint set is neither FD-only nor unary keys+FKs: only the generic (exponential) procedures apply
+
+The same report as JSON, here for a non-generic query (error ANL002).
+Without --strict the exit code stays zero.
+
+  $ certainty analyze --schema "R(a, b)" --query "Q(x) := R(x, 'c')" --json
+  {"query": "Q(x) := R(x, 'c')", "fragment": "CQ", "safe": true, "generic": false, "errors": 1, "warnings": 0, "hints": 2, "diagnostics": [{"code": "ANL002", "severity": "error", "loc": "query", "message": "not generic: mentions constant 'c'", "hint": "Theorem 1's 0-1 law needs generic queries; with constants the measures are relative to the genericity set C (anchored valuation classes)"}, {"code": "ANL301", "severity": "hint", "loc": "dispatch", "message": "CQ ⊆ Pos∀G: naive evaluation computes certain answers (Corollary 3) — no valuation enumeration needed"}, {"code": "ANL302", "severity": "hint", "loc": "dispatch", "message": "CQ ⊆ UCQ: support comparisons and best answers run in polynomial time (Theorem 8)"}]}
+
+Under --strict, errors make the exit code non-zero: ANL002 for a
+non-generic query, ANL001 for an unsafe one — distinct stable codes.
+
+  $ certainty analyze --schema "R(a, b)" --query "Q(x) := R(x, 'c')" --strict
+  query:       Q(x) := R(x, 'c')
+  fragment:    CQ   (CQ ⊆ UCQ ⊆ Pos∀G ⊆ FO)
+  safe:        yes
+  generic:     no
+  verdict:     issues found (1 error, 0 warnings)
+  diagnostics:
+    error[ANL002] query: not generic: mentions constant 'c'
+      = Theorem 1's 0-1 law needs generic queries; with constants the measures are relative to the genericity set C (anchored valuation classes)
+  dispatch:
+    hint[ANL301] dispatch: CQ ⊆ Pos∀G: naive evaluation computes certain answers (Corollary 3) — no valuation enumeration needed
+    hint[ANL302] dispatch: CQ ⊆ UCQ: support comparisons and best answers run in polynomial time (Theorem 8)
+  [1]
+
+  $ certainty analyze --schema "R(a, b)" --query "Q(x) := !R(x, x)" --strict
+  query:       Q(x) := !R(x, x)
+  fragment:    FO   (CQ ⊆ UCQ ⊆ Pos∀G ⊆ FO)
+  safe:        no
+  generic:     yes
+  verdict:     issues found (1 error, 0 warnings)
+  diagnostics:
+    error[ANL001] query: unsafe query: answer variable x not range-restricted
+      = bind every answer variable by a relational atom (or equate it with one that is); unsafe answers are domain-dependent
+  [1]
+
+The evaluation commands run the same precheck: findings appear as
+warnings on stderr and the computation proceeds…
+
+  $ certainty certain --schema "R(a, b)" --db "R = { ('a', ~1) }" \
+  >   --query "Q(x) := R(x, 'b')" 2>precheck.stderr
+  query: Q(x) := R(x, 'b')
+  
+  certain answers (0 tuples):
+    (empty)
+  possible answers (1 tuple):
+    (a)
+  naive answers (0 tuples):
+    (empty)
+  $ cat precheck.stderr
+  analysis warning[ANL002] query: not generic: mentions constant 'b'
+
+…while --strict aborts before evaluating.
+
+  $ certainty certain --schema "R(a, b)" --db "R = { ('a', ~1) }" \
+  >   --query "Q(x) := R(x, 'b')" --strict
+  analysis error[ANL002] query: not generic: mentions constant 'b'
+  error: static analysis failed (--strict); run 'certainty analyze' for the full report
+  [1]

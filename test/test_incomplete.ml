@@ -420,10 +420,15 @@ let prop_ucq_certain_is_naive =
       Parser.query_exn "Q(x) := exists y. R(x, y) & S(y, x)"
     ]
   in
+  (* certain_answers_enumerated, not certain_answers: the dispatching
+     entry point would route UCQs through naive evaluation and make the
+     equality a tautology. *)
   QCheck.Test.make ~name:"UCQ: certain = naive" ~count:40 inst_gen (fun d ->
       List.for_all
         (fun q ->
-          Relation.equal (Certain.certain_answers d q) (Naive.answers d q))
+          Relation.equal
+            (Certain.certain_answers_enumerated d q)
+            (Naive.answers d q))
         queries)
 
 (* ------------------------------------------------------------------ *)
@@ -544,7 +549,9 @@ let prop_posforallg_certain_is_naive =
     (fun d ->
       List.for_all
         (fun q ->
-          Relation.equal (Certain.certain_answers d q) (Naive.answers d q))
+          Relation.equal
+            (Certain.certain_answers_enumerated d q)
+            (Naive.answers d q))
         queries)
 
 let () =

@@ -202,6 +202,92 @@ let test_fragments () =
   check bool_t "quantifier free" true
     (Fragment.is_quantifier_free (F.And (F.True, F.Not F.False)))
 
+(* Regression tests for the guard-shape corner cases of
+   [is_pos_forall_guard] (audited for this release): the recognizer must
+   stay conservative exactly where Corollary 3's proof needs it, and no
+   stricter elsewhere. *)
+let test_pos_forall_guard_audit () =
+  (* Repeated guard variables: ∀x (S(x,x) → R(x)) — the guard atom does
+     not list distinct fresh variables, so the guarded-fragment shape is
+     violated; must be rejected. *)
+  let repeated =
+    F.Forall
+      ( "x",
+        F.Implies
+          (F.Atom ("S", [ F.var "x"; F.var "x" ]), F.Atom ("R", [ F.var "x" ])) )
+  in
+  check bool_t "repeated guard variables rejected" false
+    (Fragment.is_pos_forall_guard repeated);
+  (* Guarded universal under a disjunction: Pos∀G is closed under ∨, so
+     T(u) ∨ ∀x (U(x) → R(x,u)) is in the fragment. *)
+  let under_or =
+    F.Or
+      ( F.Atom ("T", [ F.var "u" ]),
+        F.Forall
+          ( "x",
+            F.Implies
+              ( F.Atom ("U", [ F.var "x" ]),
+                F.Atom ("R", [ F.var "x"; F.var "u" ]) ) ) )
+  in
+  check bool_t "guarded forall under disjunction accepted" true
+    (Fragment.is_pos_forall_guard under_or);
+  (* Guard covering a strict subset of the ∀-prefix: ∀x∀y (U(x) → R(x,y))
+     is equivalent to ∀x (U(x) → ∀y R(x,y)) because universals commute,
+     so the subset guard is sound and accepted. *)
+  let subset_prefix =
+    F.forall [ "x"; "y" ]
+      (F.Implies (F.Atom ("U", [ F.var "x" ]), F.Atom ("R", [ F.var "x"; F.var "y" ])))
+  in
+  check bool_t "guard over subset of prefix accepted" true
+    (Fragment.is_pos_forall_guard subset_prefix);
+  (* Vacuous 0-ary guard: ∀x (P() → R(x)). Valuations never change 0-ary
+     facts, so the guarded semantics degenerates soundly; accepted. *)
+  let vacuous =
+    F.Forall ("x", F.Implies (F.Atom ("P", []), F.Atom ("R", [ F.var "x" ])))
+  in
+  check bool_t "zero-ary guard accepted" true
+    (Fragment.is_pos_forall_guard vacuous);
+  (* Constants in the guard atom break the fresh-variables requirement. *)
+  let const_guard =
+    F.Forall
+      ( "x",
+        F.Implies
+          ( F.Atom ("S", [ F.var "x"; F.cst "a" ]),
+            F.Atom ("R", [ F.var "x" ]) ) )
+  in
+  check bool_t "constant in guard rejected" false
+    (Fragment.is_pos_forall_guard const_guard)
+
+let test_classify () =
+  let cq =
+    F.exists [ "y" ]
+      (F.And (F.Atom ("R", [ F.var "x"; F.var "y" ]), F.Atom ("S", [ F.var "y" ])))
+  in
+  let ucq = F.Or (cq, F.Atom ("T", [ F.var "x" ])) in
+  let guarded =
+    F.Forall ("y", F.Implies (F.Atom ("U", [ F.var "y" ]), F.Atom ("R", [ F.var "x"; F.var "y" ])))
+  in
+  let fo = F.Not cq in
+  let frag_t =
+    Alcotest.testable
+      (fun ppf f -> Format.pp_print_string ppf (Fragment.fragment_name f))
+      ( = )
+  in
+  check frag_t "cq classified tightest" Fragment.Cq (Fragment.classify cq);
+  check frag_t "ucq classified" Fragment.Ucq (Fragment.classify ucq);
+  check frag_t "guarded classified" Fragment.PosForallG (Fragment.classify guarded);
+  check frag_t "negation falls to FO" Fragment.Fo (Fragment.classify fo);
+  (* The lattice is linear: CQ ⊆ UCQ ⊆ Pos∀G ⊆ FO. *)
+  check bool_t "cq ≤ ucq" true (Fragment.leq Fragment.Cq Fragment.Ucq);
+  check bool_t "ucq ≤ posforallg" true (Fragment.leq Fragment.Ucq Fragment.PosForallG);
+  check bool_t "posforallg ≤ fo" true (Fragment.leq Fragment.PosForallG Fragment.Fo);
+  check bool_t "fo ≰ cq" false (Fragment.leq Fragment.Fo Fragment.Cq);
+  (* Naive evaluation is sound up to and including Pos∀G (Cor. 3). *)
+  check bool_t "naive sound for ucq" true (Fragment.naive_eval_sound Fragment.Ucq);
+  check bool_t "naive sound for posforallg" true
+    (Fragment.naive_eval_sound Fragment.PosForallG);
+  check bool_t "naive unsound for fo" false (Fragment.naive_eval_sound Fragment.Fo)
+
 (* ------------------------------------------------------------------ *)
 (* UCQ normalization                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -429,7 +515,11 @@ let () =
           Alcotest.test_case "query constants" `Quick test_eval_constants_outside_db;
           Alcotest.test_case "tuple membership" `Quick test_tuple_in_answer
         ] );
-      ( "fragments", [ Alcotest.test_case "recognition" `Quick test_fragments ] );
+      ( "fragments",
+        [ Alcotest.test_case "recognition" `Quick test_fragments;
+          Alcotest.test_case "guard audit" `Quick test_pos_forall_guard_audit;
+          Alcotest.test_case "classification" `Quick test_classify
+        ] );
       ( "ucq",
         [ Alcotest.test_case "normalization" `Quick test_ucq_normalization;
           Alcotest.test_case "rejects negation" `Quick test_ucq_rejects_negation;
