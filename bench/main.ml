@@ -7,7 +7,7 @@
    Run with:  dune exec bench/main.exe
    Only experiments:       dune exec bench/main.exe -- --experiments
    Only timings:           dune exec bench/main.exe -- --timings
-   Parallel engine + JSON: dune exec bench/main.exe -- --parallel [--jobs N] *)
+   Parallel engine + JSON: dune exec bench/main.exe -- --parallel [--jobs N] [--smoke] *)
 
 module RInstance = Relational.Instance
 module Relation = Relational.Relation
@@ -163,9 +163,18 @@ let run_timings () =
 (* ------------------------------------------------------------------ *)
 
 (* Each variant runs one counting workload and returns a printable
-   digest of its result, so the harness can assert that every (jobs,
-   cache) configuration produced exactly the same answer. *)
-type variant = { jobs : int; cached : bool; run : unit -> string }
+   digest of its result, so the harness can assert that every (engine,
+   jobs, cache) configuration produced exactly the same answer. The
+   first variant of every kernel is the uncompiled naive reference —
+   the seed's engine — so [identical] certifies the compiled kernel
+   against the original semantics and [speedup_vs_baseline] reads as
+   "times faster than the naive engine". *)
+type variant = {
+  engine : string;  (* "naive" or "kernel" *)
+  jobs : int;
+  cached : bool;
+  run : unit -> string;
+}
 
 type row = { v : variant; ns_per_op : float; speedup : float }
 
@@ -190,11 +199,11 @@ let best_of ~reps f =
   done;
   (r, !best)
 
-let measure_kernel ~name ~params variants =
+let measure_kernel ~reps ~name ~params variants =
   let timed =
     List.map
       (fun v ->
-        let digest, secs = best_of ~reps:3 v.run in
+        let digest, secs = best_of ~reps v.run in
         (v, digest, secs *. 1e9))
       variants
   in
@@ -213,27 +222,122 @@ let measure_kernel ~name ~params variants =
   { name; params; identical; rows }
 
 let jobs_variants ~jobs_list run =
-  List.map (fun jobs -> { jobs; cached = false; run = run ~jobs }) jobs_list
+  List.map
+    (fun jobs -> { engine = "kernel"; jobs; cached = false; run = run ~jobs })
+    jobs_list
 
 let intro_tuple = lazy (Parser.tuple_exn "('c1', ~1)")
 
-let pk_mu_k ~jobs () =
+(* --- naive references: the seed's engine, reimplemented on
+   sentence_in_support_naive so the compiled kernel is certified
+   against the original complete-then-interpret semantics --- *)
+
+let naive_mu_k d q tuple ~k =
+  let sentence = Query.instantiate q tuple in
+  let nulls =
+    List.sort_uniq Int.compare (RInstance.nulls d @ Tuple.nulls tuple)
+  in
+  let count, total =
+    Incomplete.Enumerate.fold_valuations ~nulls ~k
+      (fun (c, t) v ->
+        ( (if Incomplete.Support.sentence_in_support_naive d sentence v then
+             c + 1
+           else c),
+          t + 1 ))
+      (0, 0)
+  in
+  if total = 0 then Arith.Rat.zero else Arith.Rat.of_ints count total
+
+let naive_mu_cond_k ~sigma d q tuple ~k =
+  let answer = Query.instantiate q tuple in
+  let nulls =
+    List.sort_uniq Int.compare
+      (RInstance.nulls d @ Tuple.nulls tuple @ Logic.Formula.nulls sigma)
+  in
+  let num, den =
+    Incomplete.Enumerate.fold_valuations ~nulls ~k
+      (fun (num, den) v ->
+        if Incomplete.Support.sentence_in_support_naive d sigma v then
+          ( (if Incomplete.Support.sentence_in_support_naive d answer v then
+               num + 1
+             else num),
+            den + 1 )
+        else (num, den))
+      (0, 0)
+  in
+  if den = 0 then Arith.Rat.zero else Arith.Rat.of_ints num den
+
+let naive_certain_answers d q =
+  let m = Query.arity q in
+  let cands = List.map Tuple.of_list (Arith.Combinat.tuples (RInstance.adom d) m) in
+  let certain tuple =
+    let sentence = Query.instantiate q tuple in
+    let anchor_set = Incomplete.Support.anchor_set_sentences d [ sentence ] in
+    let nulls =
+      List.sort_uniq Int.compare (RInstance.nulls d @ Tuple.nulls tuple)
+    in
+    List.for_all
+      (fun c ->
+        Incomplete.Support.sentence_in_support_naive d sentence
+          (Incomplete.Classes.representative ~anchor_set c))
+      (Incomplete.Classes.enumerate ~anchor_set ~nulls)
+  in
+  List.fold_left
+    (fun rel t -> if certain t then Relation.add t rel else rel)
+    (Relation.empty m) cands
+
+(* --- workloads; sizes shrink under --smoke so CI stays fast --- *)
+
+type workload = { mu_k_k : int; cond_k : int; series_ks : int list; reps : int }
+
+let full_workload =
+  { mu_k_k = 32; cond_k = 20000; series_ks = List.init 11 (fun i -> i + 4);
+    reps = 3 }
+
+let smoke_workload =
+  { mu_k_k = 16; cond_k = 2000; series_ks = List.init 5 (fun i -> i + 4);
+    reps = 1 }
+
+let digest_rel rel =
+  String.concat ";" (List.map Tuple.to_string (Relation.to_list rel))
+
+let digest_series series =
+  String.concat ";"
+    (List.map
+       (fun (k, v) -> Printf.sprintf "%d=%s" k (Arith.Rat.to_string v))
+       series)
+
+let pk_mu_k_naive ~w () =
+  let d = Lazy.force intro_db and q = Lazy.force intro_q in
+  Arith.Rat.to_string (naive_mu_k d q (Lazy.force intro_tuple) ~k:w.mu_k_k)
+
+let pk_mu_k ~w ~jobs () =
   let d = Lazy.force intro_db and q = Lazy.force intro_q in
   Arith.Rat.to_string
-    (Incomplete.Support.mu_k ~jobs d q (Lazy.force intro_tuple) ~k:32)
+    (Incomplete.Support.mu_k ~jobs d q (Lazy.force intro_tuple) ~k:w.mu_k_k)
 
-let pk_mu_cond_k ~jobs () =
+let pk_mu_cond_k_naive ~w () =
+  let e = Lazy.force section4 in
+  Arith.Rat.to_string
+    (naive_mu_cond_k ~sigma:e.Zeroone.Constructions.s4_sigma
+       e.Zeroone.Constructions.s4_instance e.Zeroone.Constructions.s4_query
+       e.Zeroone.Constructions.s4_tuple_third ~k:w.cond_k)
+
+let pk_mu_cond_k ~w ~jobs () =
   let e = Lazy.force section4 in
   Arith.Rat.to_string
     (Zeroone.Conditional.mu_cond_k ~jobs
        ~sigma:e.Zeroone.Constructions.s4_sigma e.Zeroone.Constructions.s4_instance
        e.Zeroone.Constructions.s4_query e.Zeroone.Constructions.s4_tuple_third
-       ~k:20000)
+       ~k:w.cond_k)
+
+let pk_certain_naive () =
+  let d = Lazy.force intro_db and q = Lazy.force intro_q in
+  digest_rel (naive_certain_answers d q)
 
 let pk_certain ~jobs () =
   let d = Lazy.force intro_db and q = Lazy.force intro_q in
-  let rel = Incomplete.Certain.certain_answers ~jobs d q in
-  String.concat ";" (List.map Tuple.to_string (Relation.to_list rel))
+  digest_rel (Incomplete.Certain.certain_answers ~jobs d q)
 
 (* A universally quantified Boolean query: each verdict costs a full
    |dom|^2 evaluation sweep (no existential short-circuit), which is
@@ -245,17 +349,17 @@ let series_query =
     (Parser.query_exn
        "Q() := forall x. forall y. (R2(x, y) -> (R1(x, y) | R1(y, x)))")
 
-let pk_series ~cached () =
+let pk_series_naive ~w () =
+  let d = Lazy.force intro_db and q = Lazy.force series_query in
+  digest_series
+    (List.map (fun k -> (k, naive_mu_k d q Tuple.empty ~k)) w.series_ks)
+
+let pk_series ~w ~cached () =
   let d = Lazy.force intro_db and q = Lazy.force series_query in
   let cache = if cached then Some (Incomplete.Support.create_cache ()) else None in
-  let series =
-    Incomplete.Support.mu_k_series ~jobs:1 ?cache d q Tuple.empty
-      ~ks:(List.init 11 (fun i -> i + 4))
-  in
-  String.concat ";"
-    (List.map
-       (fun (k, v) -> Printf.sprintf "%d=%s" k (Arith.Rat.to_string v))
-       series)
+  digest_series
+    (Incomplete.Support.mu_k_series ~jobs:1 ?cache d q Tuple.empty
+       ~ks:w.series_ks)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -271,12 +375,13 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let emit_json path results =
+let emit_json ~smoke path results =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema_version\": 1,\n";
-  out "  \"generated_by\": \"bench/main.exe --parallel\",\n";
+  out "  \"schema_version\": 2,\n";
+  out "  \"generated_by\": \"bench/main.exe --parallel%s\",\n"
+    (if smoke then " --smoke" else "");
   out "  \"recommended_domain_count\": %d,\n" (Exec.Pool.default_jobs ());
   out "  \"kernels\": [\n";
   List.iteri
@@ -289,9 +394,10 @@ let emit_json path results =
       List.iteri
         (fun j row ->
           out
-            "        {\"jobs\": %d, \"cache\": %b, \"ns_per_op\": %.1f, \
-             \"speedup_vs_baseline\": %.3f}%s\n"
-            row.v.jobs row.v.cached row.ns_per_op row.speedup
+            "        {\"engine\": \"%s\", \"jobs\": %d, \"cache\": %b, \
+             \"ns_per_op\": %.1f, \"speedup_vs_baseline\": %.3f}%s\n"
+            (json_escape row.v.engine) row.v.jobs row.v.cached row.ns_per_op
+            row.speedup
             (if j = List.length r.rows - 1 then "" else ","))
         r.rows;
       out "      ]\n";
@@ -301,29 +407,45 @@ let emit_json path results =
   out "}\n";
   close_out oc
 
-let run_parallel ~max_jobs ~out () =
+let run_parallel ~smoke ~max_jobs ~out () =
+  let w = if smoke then smoke_workload else full_workload in
   let jobs_list =
     List.sort_uniq compare
       (List.filter (fun j -> j >= 1 && j <= max_jobs) [ 1; 2; 4; max_jobs ])
   in
   Printf.printf
-    "\n== parallel measure engine (jobs: %s; recommended domains: %d) ==\n%!"
+    "\n== parallel measure engine (%s; jobs: %s; recommended domains: %d) ==\n%!"
+    (if smoke then "smoke" else "full")
     (String.concat "," (List.map string_of_int jobs_list))
     (Exec.Pool.default_jobs ());
+  let naive run = { engine = "naive"; jobs = 1; cached = false; run } in
+  let measure = measure_kernel ~reps:w.reps in
   let results =
-    [ measure_kernel ~name:"mu_k_bruteforce"
-        ~params:"intro example, k=32, 3 nulls (32768 valuations)"
-        (jobs_variants ~jobs_list pk_mu_k);
-      measure_kernel ~name:"mu_cond_k_bruteforce"
-        ~params:"section-4 example, k=20000, 1 null (numerator+denominator in one pass)"
-        (jobs_variants ~jobs_list pk_mu_cond_k);
-      measure_kernel ~name:"certain_answers_sweep"
+    [ measure ~name:"mu_k_bruteforce"
+        ~params:
+          (Printf.sprintf "intro example, k=%d, 3 nulls (%d valuations)"
+             w.mu_k_k (w.mu_k_k * w.mu_k_k * w.mu_k_k))
+        (naive (pk_mu_k_naive ~w) :: jobs_variants ~jobs_list (pk_mu_k ~w));
+      measure ~name:"mu_cond_k_bruteforce"
+        ~params:
+          (Printf.sprintf
+             "section-4 example, k=%d, 1 null (numerator+denominator in one pass)"
+             w.cond_k)
+        (naive (pk_mu_cond_k_naive ~w)
+        :: jobs_variants ~jobs_list (pk_mu_cond_k ~w));
+      measure ~name:"certain_answers_sweep"
         ~params:"intro example, 25 candidate tuples over adom^2"
-        (jobs_variants ~jobs_list pk_certain);
-      measure_kernel ~name:"mu_k_series_eval_cache"
-        ~params:"intro example, ks=4..14, sequential, cache off vs on"
-        [ { jobs = 1; cached = false; run = pk_series ~cached:false };
-          { jobs = 1; cached = true; run = pk_series ~cached:true }
+        (naive pk_certain_naive :: jobs_variants ~jobs_list pk_certain);
+      measure ~name:"mu_k_series_eval_cache"
+        ~params:
+          (Printf.sprintf "intro example, ks=%d..%d, sequential, cache off vs on"
+             (List.hd w.series_ks)
+             (List.nth w.series_ks (List.length w.series_ks - 1)))
+        [ naive (pk_series_naive ~w);
+          { engine = "kernel"; jobs = 1; cached = false;
+            run = pk_series ~w ~cached:false };
+          { engine = "kernel"; jobs = 1; cached = true;
+            run = pk_series ~w ~cached:true }
         ]
     ]
   in
@@ -333,14 +455,16 @@ let run_parallel ~max_jobs ~out () =
         (if r.identical then "[results identical]" else "[RESULTS DIFFER!]");
       List.iter
         (fun row ->
-          Printf.printf "    jobs=%d cache=%-5b %12.1f ns/op   %5.2fx\n"
-            row.v.jobs row.v.cached row.ns_per_op row.speedup)
+          Printf.printf
+            "    %-6s jobs=%d cache=%-5b %12.1f ns/op   %6.2fx\n"
+            row.v.engine row.v.jobs row.v.cached row.ns_per_op row.speedup)
         r.rows)
     results;
-  emit_json out results;
+  emit_json ~smoke out results;
   Printf.printf "wrote %s\n%!" out;
   if List.exists (fun r -> not r.identical) results then begin
-    prerr_endline "FATAL: a parallel/cached run disagreed with the baseline";
+    prerr_endline
+      "FATAL: a kernel/parallel/cached run disagreed with the naive reference";
     exit 1
   end
 
@@ -362,6 +486,7 @@ let () =
   let experiments = List.mem "--experiments" args in
   let timings = List.mem "--timings" args in
   let parallel = List.mem "--parallel" args in
+  let smoke = List.mem "--smoke" args in
   let rec flag_value key = function
     | k :: v :: _ when k = key -> Some v
     | _ :: rest -> flag_value key rest
@@ -381,14 +506,14 @@ let () =
   let out =
     match flag_value "--out" args with
     | Some p -> p
-    | None -> "BENCH_parallel.json"
+    | None -> if smoke then "BENCH_smoke.json" else "BENCH_parallel.json"
   in
   match (experiments, timings, parallel) with
   | true, false, false -> run_experiments ()
   | false, true, false -> run_timings ()
-  | false, false, true -> run_parallel ~max_jobs ~out ()
+  | false, false, true -> run_parallel ~smoke ~max_jobs ~out ()
   | _, _, _ ->
       if experiments || not (timings || parallel) then run_experiments ();
       if timings || not (experiments || parallel) then run_timings ();
       if parallel || not (experiments || timings) then
-        run_parallel ~max_jobs ~out ()
+        run_parallel ~smoke ~max_jobs ~out ()

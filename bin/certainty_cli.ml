@@ -85,10 +85,12 @@ let ks_arg =
 
 let jobs_arg =
   let doc =
-    "Parallel domains for the valuation sweeps: 0 picks the number the \
+    "Chunk count for the parallel valuation sweeps: 0 picks the number the \
      runtime recommends for this machine, 1 forces sequential evaluation. \
-     All accumulation is exact, so the answers are identical for every \
-     value of $(docv)."
+     Chunks run on a persistent worker pool sized to the machine's cores, \
+     so values larger than the core count are safe — concurrency is \
+     clamped, only the work partition changes. All accumulation is exact, \
+     so the answers are identical for every value of $(docv)."
   in
   Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 

@@ -9,18 +9,19 @@ let witness inst q a b =
     invalid_arg "Sep: tuple arity does not match the query"
   else begin
     let sa = Query.instantiate q a and sb = Query.instantiate q b in
-    let anchor_set = Support.anchor_set_sentences inst [ sa; sb ] in
+    let db = Support.kernel_db inst in
+    let split = Incomplete.Kernel.split db in
+    let anchor_set = Support.anchor_set_sentences_split split [ sa; sb ] in
     let nulls =
       List.sort_uniq Int.compare
-        (Instance.nulls inst @ Tuple.nulls a @ Tuple.nulls b)
+        (Incomplete.Split.nulls split @ Tuple.nulls a @ Tuple.nulls b)
     in
+    (* Both sentences compiled once for the whole class sweep. *)
+    let ca = Support.checker db sa and cb = Support.checker db sb in
     List.find_map
       (fun cls ->
         let v = Classes.representative ~anchor_set cls in
-        if
-          Support.sentence_in_support inst sa v
-          && not (Support.sentence_in_support inst sb v)
-        then Some v
+        if Support.check ca v && not (Support.check cb v) then Some v
         else None)
       (Classes.enumerate ~anchor_set ~nulls)
   end

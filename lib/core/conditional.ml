@@ -53,8 +53,12 @@ let mu_cond_deps_direct ?jobs deps inst q tuple =
     List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
   in
   let sigma_holds _v complete = Constraints.Dependency.all_hold complete deps in
-  let answer_holds v _complete =
-    Incomplete.Support.sentence_in_support inst answer v
+  (* [of_predicates] already materialized v(D) for the dependency
+     check; reuse it for the answer sentence instead of completing the
+     instance a second time. *)
+  let answer_holds v complete =
+    Logic.Eval.sentence_holds complete
+      (Formula.map_values (Incomplete.Valuation.value v) answer)
   in
   let both v complete = sigma_holds v complete && answer_holds v complete in
   let sp =
@@ -71,14 +75,17 @@ let mu_cond_k ?jobs ?cache ~sigma inst q tuple ~k =
     List.sort_uniq Int.compare
       (Instance.nulls inst @ Tuple.nulls tuple @ Formula.nulls sigma)
   in
-  let step (num, den) v =
-    if Support.sentence_in_support ?cache inst sigma v then
-      let num =
-        if Support.sentence_in_support ?cache inst answer v then B.succ num
-        else num
-      in
-      (num, B.succ den)
-    else (num, den)
+  let db = Support.kernel_db ?cache inst in
+  (* Σ and Q(ā) are compiled once per chunk against the shared db;
+     each valuation then only refreshes the kernels' null images. *)
+  let mk_step () =
+    let sig_chk = Support.checker ?cache db sigma in
+    let ans_chk = Support.checker ?cache db answer in
+    fun (num, den) v ->
+      if Support.check sig_chk v then
+        let num = if Support.check ans_chk v then B.succ num else num in
+        (num, B.succ den)
+      else (num, den)
   in
   let num, den =
     match Enumerate.space_size ~nulls ~k with
@@ -87,11 +94,12 @@ let mu_cond_k ?jobs ?cache ~sigma inst q tuple ~k =
            sums are exact, so any chunking gives the sequential pair. *)
         Exec.Pool.fold_range ?jobs ~min_work:512 ~n
           ~chunk:(fun lo hi ->
-            Enumerate.fold_valuations_range ~nulls ~k ~lo ~hi step
+            Enumerate.fold_valuations_range ~nulls ~k ~lo ~hi (mk_step ())
               (B.zero, B.zero))
           ~combine:(fun (n1, d1) (n2, d2) -> (B.add n1 n2, B.add d1 d2))
           (B.zero, B.zero)
-    | None -> Enumerate.fold_valuations ~nulls ~k step (B.zero, B.zero)
+    | None ->
+        Enumerate.fold_valuations ~nulls ~k (mk_step ()) (B.zero, B.zero)
   in
   if B.is_zero den then Rat.zero else Rat.make num den
 

@@ -4,6 +4,8 @@ module Query = Logic.Query
 module Formula = Logic.Formula
 module Classes = Incomplete.Classes
 module Support = Incomplete.Support
+module Split = Incomplete.Split
+module Kernel = Incomplete.Kernel
 module Poly = Arith.Poly
 
 type t = {
@@ -15,23 +17,30 @@ type t = {
 
 (* Both constructors fold one pass over the equivalence classes,
    accumulating one polynomial per sentence/predicate. The class list
-   is carved into contiguous chunks on pool domains; per-chunk partial
-   sums are merged with Poly.add, whose bigint-rational coefficients
-   make the sum exact and order-independent — parallel results are
-   bit-identical to sequential ones. Classes below don't share work, so
-   even short class lists benefit from a second domain. *)
-let sum_over_classes ?jobs ~width classes weigh =
+   is carved into contiguous chunks on pool domains; each chunk calls
+   [mk_weigh ()] to build its own weigher, so chunk-local state (the
+   compiled kernels, which are single-threaded) is never shared across
+   domains. Per-chunk partial sums are merged with Poly.add, whose
+   bigint-rational coefficients make the sum exact and
+   order-independent — parallel results are bit-identical to
+   sequential ones. Classes below don't share work, so even short
+   class lists benefit from a second domain. *)
+let sum_over_classes ?jobs ~width classes mk_weigh =
   let zero = List.map (fun _ -> Poly.zero) width in
   Exec.Pool.fold_list ?jobs ~min_work:8
-    ~chunk:(fun chunk -> List.fold_left weigh zero chunk)
+    ~chunk:(fun chunk -> List.fold_left (mk_weigh ()) zero chunk)
     ~combine:(List.map2 Poly.add) zero classes
 
 let of_predicates ?jobs ~anchor_set ~nulls inst predicates =
   let classes = Classes.enumerate ~anchor_set ~nulls in
+  (* The instance is split once; each representative completion then
+     only touches the null-carrying tuples on top of the shared ground
+     fragment. *)
+  let split = Split.of_instance inst in
   let polys =
-    sum_over_classes ?jobs ~width:predicates classes (fun acc cls ->
+    sum_over_classes ?jobs ~width:predicates classes (fun () acc cls ->
         let v = Classes.representative ~anchor_set cls in
-        let complete = Incomplete.Valuation.instance v inst in
+        let complete = Split.complete split v in
         let weight = Classes.count_poly ~anchor_set cls in
         List.map2
           (fun p predicate ->
@@ -41,22 +50,25 @@ let of_predicates ?jobs ~anchor_set ~nulls inst predicates =
   { anchor_set; nulls; polys; total = Poly.pow Poly.x (List.length nulls) }
 
 let of_sentences ?jobs ?cache inst sentences =
-  let anchor_set = Support.anchor_set_sentences inst sentences in
+  let db = Support.kernel_db ?cache inst in
+  let split = Kernel.split db in
+  let anchor_set = Support.anchor_set_sentences_split split sentences in
   let nulls =
     List.sort_uniq Int.compare
-      (Instance.nulls inst @ List.concat_map Formula.nulls sentences)
+      (Split.nulls split @ List.concat_map Formula.nulls sentences)
   in
   let classes = Classes.enumerate ~anchor_set ~nulls in
   let polys =
-    sum_over_classes ?jobs ~width:sentences classes (fun acc cls ->
-        let v = Classes.representative ~anchor_set cls in
-        let weight = Classes.count_poly ~anchor_set cls in
-        List.map2
-          (fun p sentence ->
-            if Support.sentence_in_support ?cache inst sentence v then
-              Poly.add p weight
-            else p)
-          acc sentences)
+    sum_over_classes ?jobs ~width:sentences classes (fun () ->
+        let checkers =
+          List.map (fun s -> Support.checker ?cache db s) sentences
+        in
+        fun acc cls ->
+          let v = Classes.representative ~anchor_set cls in
+          let weight = Classes.count_poly ~anchor_set cls in
+          List.map2
+            (fun p chk -> if Support.check chk v then Poly.add p weight else p)
+            acc checkers)
   in
   { anchor_set;
     nulls;

@@ -6,7 +6,92 @@ let default_jobs () = Domain.recommended_domain_count ()
    function of (n, jobs) only. *)
 let bounds ~n ~jobs i = i * n / jobs
 
-let fold_range ?jobs ?(min_work = 1024) ~n ~chunk ~combine init =
+(* ------------------------------------------------------------------ *)
+(* Persistent worker pool                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Workers are spawned once and fed closures over a queue; folds no
+   longer pay a Domain.spawn per chunk. Tasks wrap their own result
+   storage and completion signalling, so the pool only moves opaque
+   [unit -> unit] thunks. *)
+type t = {
+  mutex : Mutex.t;
+  cond_work : Condition.t;  (* signalled on enqueue and on shutdown *)
+  work : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  mutable joined : bool;
+}
+
+let worker_loop pool () =
+  let rec next () =
+    Mutex.lock pool.mutex;
+    let rec await () =
+      match Queue.take_opt pool.work with
+      | Some task -> Some task
+      | None ->
+          if pool.stop then None
+          else begin
+            Condition.wait pool.cond_work pool.mutex;
+            await ()
+          end
+    in
+    let task = await () in
+    Mutex.unlock pool.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+        (* Tasks never raise: they store exceptions in their slot. *)
+        task ();
+        next ()
+  in
+  next ()
+
+let default_workers () = max 0 (Domain.recommended_domain_count () - 1)
+
+let create ?workers () =
+  let workers = match workers with Some w -> max 0 w | None -> default_workers () in
+  let pool =
+    { mutex = Mutex.create ();
+      cond_work = Condition.create ();
+      work = Queue.create ();
+      stop = false;
+      workers = [||];
+      joined = false
+    }
+  in
+  pool.workers <- Array.init workers (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let worker_count pool = Array.length pool.workers
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let must_join = not pool.joined in
+  pool.joined <- true;
+  pool.stop <- true;
+  Condition.broadcast pool.cond_work;
+  Mutex.unlock pool.mutex;
+  if must_join then Array.iter Domain.join pool.workers
+
+(* The shared pool behind [fold_range ~pool:None]: created on first
+   use, shut down at exit. Sized to recommended_domain_count - 1 so
+   that workers plus the calling domain never oversubscribe the
+   machine — on a single-core box this is zero workers and every fold
+   runs on the caller, which is exactly the fastest schedule there. *)
+let global =
+  lazy
+    (let pool = create () in
+     at_exit (fun () -> shutdown pool);
+     pool)
+
+let get_pool = function Some pool -> pool | None -> Lazy.force global
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fork-join folds                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fold_range ?pool ?jobs ?(min_work = 1024) ~n ~chunk ~combine init =
   if n < 0 then invalid_arg "Pool.fold_range: negative n";
   let jobs =
     match jobs with Some j -> (if j < 1 then 1 else j) | None -> default_jobs ()
@@ -15,32 +100,65 @@ let fold_range ?jobs ?(min_work = 1024) ~n ~chunk ~combine init =
   if jobs <= 1 || n < min_work then
     if n = 0 then init else combine init (chunk 0 n)
   else begin
-    let workers =
-      Array.init (jobs - 1) (fun i ->
-          let lo = bounds ~n ~jobs (i + 1) and hi = bounds ~n ~jobs (i + 2) in
-          Domain.spawn (fun () -> chunk lo hi))
+    let pool = get_pool pool in
+    let slots = Array.make jobs None in
+    let run i () =
+      let lo = bounds ~n ~jobs i and hi = bounds ~n ~jobs (i + 1) in
+      slots.(i) <- Some (match chunk lo hi with v -> Ok v | exception e -> Error e)
     in
-    (* Chunk 0 runs on the calling domain while the others work. *)
-    let first =
-      match chunk (bounds ~n ~jobs 0) (bounds ~n ~jobs 1) with
-      | v -> Ok v
-      | exception e -> Error e
-    in
-    (* Join every domain before raising anything, so no domain leaks. *)
-    let rest =
-      Array.map
-        (fun d -> match Domain.join d with v -> Ok v | exception e -> Error e)
-        workers
-    in
-    let get = function Ok v -> v | Error e -> raise e in
+    if worker_count pool = 0 then
+      (* No workers to feed: run every chunk on the calling domain, in
+         chunk order, skipping the queue entirely. Same partition, same
+         combine order — only the schedule differs. *)
+      for i = 0 to jobs - 1 do
+        run i ()
+      done
+    else begin
+      let cond_done = Condition.create () in
+      let remaining = ref (jobs - 1) in
+      let task i () =
+        run i ();
+        Mutex.lock pool.mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast cond_done;
+        Mutex.unlock pool.mutex
+      in
+      Mutex.lock pool.mutex;
+      for i = 1 to jobs - 1 do
+        Queue.add (task i) pool.work
+      done;
+      Condition.broadcast pool.cond_work;
+      Mutex.unlock pool.mutex;
+      (* Chunk 0 runs on the calling domain while the workers start. *)
+      run 0 ();
+      (* Caller helps: drain whatever is still queued (this fold's
+         chunks or another fold's — progress either way) and only
+         sleep when the queue is empty but chunks are still running on
+         workers. *)
+      Mutex.lock pool.mutex;
+      while !remaining > 0 do
+        match Queue.take_opt pool.work with
+        | Some task ->
+            Mutex.unlock pool.mutex;
+            task ();
+            Mutex.lock pool.mutex
+        | None -> Condition.wait cond_done pool.mutex
+      done;
+      Mutex.unlock pool.mutex
+    end;
+    (* Combine in chunk order; on failure raise the first error, also
+       in chunk order — every chunk has run either way. *)
     Array.fold_left
-      (fun acc r -> combine acc (get r))
-      (combine init (get first))
-      rest
+      (fun acc slot ->
+        match slot with
+        | Some (Ok v) -> combine acc v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      init slots
   end
 
-let fold_list ?jobs ?min_work ~chunk ~combine init xs =
+let fold_list ?pool ?jobs ?min_work ~chunk ~combine init xs =
   let arr = Array.of_list xs in
-  fold_range ?jobs ?min_work ~n:(Array.length arr)
+  fold_range ?pool ?jobs ?min_work ~n:(Array.length arr)
     ~chunk:(fun lo hi -> chunk (Array.to_list (Array.sub arr lo (hi - lo))))
     ~combine init

@@ -4,27 +4,46 @@ module Tuple = Relational.Tuple
 module Query = Logic.Query
 module Formula = Logic.Formula
 
-let all_nulls inst tuple =
-  List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
+let all_nulls_split split tuple =
+  List.sort_uniq Int.compare (Split.nulls split @ Tuple.nulls tuple)
 
-let witnessing_classes ?cache inst q tuple =
+(* One compiled checker per candidate sentence, applied to every class
+   representative — the kernel db (split + indexes) and the hoisted
+   constants are shared across the whole sweep. *)
+let witnessing_classes_db ?cache db q tuple =
+  let split = Kernel.split db in
   (* Anchor on the constants of the instantiated sentence Q(ā) too, so
      tuples carrying constants from outside the database are handled. *)
-  let anchor_set =
-    Support.anchor_set_sentences inst [ Query.instantiate q tuple ]
-  in
-  let nulls = all_nulls inst tuple in
+  let sentence = Query.instantiate q tuple in
+  let anchor_set = Support.anchor_set_sentences_split split [ sentence ] in
+  let nulls = all_nulls_split split tuple in
+  let chk = Support.checker ?cache db sentence in
   List.map
     (fun c ->
-      let v = Classes.representative ~anchor_set c in
-      (c, Support.in_support ?cache inst q tuple v))
+      (c, Support.check chk (Classes.representative ~anchor_set c)))
     (Classes.enumerate ~anchor_set ~nulls)
 
+let witnessing_classes ?cache inst q tuple =
+  witnessing_classes_db ?cache (Support.kernel_db ?cache inst) q tuple
+
+(* Short-circuiting check: certainty needs every class to witness, so
+   stop at the first refuting class (possibility dually at the first
+   witnessing one) instead of materializing all verdicts. *)
+let check_candidate ?cache ~all db q tuple =
+  let split = Kernel.split db in
+  let sentence = Query.instantiate q tuple in
+  let anchor_set = Support.anchor_set_sentences_split split [ sentence ] in
+  let nulls = all_nulls_split split tuple in
+  let chk = Support.checker ?cache db sentence in
+  let verdict c = Support.check chk (Classes.representative ~anchor_set c) in
+  let classes = Classes.enumerate ~anchor_set ~nulls in
+  if all then List.for_all verdict classes else List.exists verdict classes
+
 let is_certain ?cache inst q tuple =
-  List.for_all snd (witnessing_classes ?cache inst q tuple)
+  check_candidate ?cache ~all:true (Support.kernel_db ?cache inst) q tuple
 
 let is_possible ?cache inst q tuple =
-  List.exists snd (witnessing_classes ?cache inst q tuple)
+  check_candidate ?cache ~all:false (Support.kernel_db ?cache inst) q tuple
 
 let candidates inst m =
   List.map Tuple.of_list (Arith.Combinat.tuples (Instance.adom inst) m)
@@ -32,22 +51,47 @@ let candidates inst m =
 (* The candidate sweep is embarrassingly parallel: each candidate's
    certainty check is independent, and the per-chunk result relations
    are merged with set union (commutative), combined in chunk order.
-   Candidates are few but each check enumerates all equivalence
-   classes, so even tiny ranges are worth a domain. *)
-let filter_candidates ?jobs ?cache pred inst q =
+   Candidates are few but each check sweeps equivalence classes, so
+   even tiny ranges are worth a pool task.
+
+   Candidates are drawn from adom^m, so their constants and nulls are
+   already the database's: the anchor set, the class list and the
+   class representatives are the same for every candidate and are
+   computed once, outside the sweep. Only the instantiated sentence
+   (and its compiled checker) is per-candidate. *)
+let filter_candidates ?jobs ?cache ~all inst q =
   let m = Query.arity q in
+  let db = Support.kernel_db ?cache inst in
+  let split = Kernel.split db in
+  let anchor_set =
+    Support.anchor_set_sentences_split split [ q.Query.body ]
+  in
+  let nulls =
+    List.sort_uniq Int.compare
+      (Split.nulls split @ Formula.nulls q.Query.body)
+  in
+  let representatives =
+    List.map
+      (Classes.representative ~anchor_set)
+      (Classes.enumerate ~anchor_set ~nulls)
+  in
   let cands = Array.of_list (candidates inst m) in
   Exec.Pool.fold_range ?jobs ~min_work:4 ~n:(Array.length cands)
     ~chunk:(fun lo hi ->
       let rel = ref (Relation.empty m) in
       for i = lo to hi - 1 do
-        if pred ?cache inst q cands.(i) then rel := Relation.add cands.(i) !rel
+        let chk = Support.checker ?cache db (Query.instantiate q cands.(i)) in
+        let keep =
+          if all then List.for_all (Support.check chk) representatives
+          else List.exists (Support.check chk) representatives
+        in
+        if keep then rel := Relation.add cands.(i) !rel
       done;
       !rel)
     ~combine:Relation.union (Relation.empty m)
 
 let certain_answers_enumerated ?jobs ?cache inst q =
-  filter_candidates ?jobs ?cache is_certain inst q
+  filter_candidates ?jobs ?cache ~all:true inst q
 
 (* Fragment dispatch (Corollary 3): for queries within Pos∀G naïve
    evaluation computes certain answers, so the class enumeration is
@@ -69,17 +113,18 @@ let certain_answers_null_free ?jobs ?cache inst q =
     (certain_answers ?jobs ?cache inst q)
 
 let possible_answers ?jobs ?cache inst q =
-  filter_candidates ?jobs ?cache is_possible inst q
+  filter_candidates ?jobs ?cache ~all:false inst q
 
 let sentence_classes ?cache inst sentence =
-  let anchor_set = Support.anchor_set_sentences inst [ sentence ] in
+  let db = Support.kernel_db ?cache inst in
+  let split = Kernel.split db in
+  let anchor_set = Support.anchor_set_sentences_split split [ sentence ] in
   let nulls =
-    List.sort_uniq Int.compare (Instance.nulls inst @ Formula.nulls sentence)
+    List.sort_uniq Int.compare (Split.nulls split @ Formula.nulls sentence)
   in
+  let chk = Support.checker ?cache db sentence in
   List.map
-    (fun c ->
-      let v = Classes.representative ~anchor_set c in
-      Support.sentence_in_support ?cache inst sentence v)
+    (fun c -> Support.check chk (Classes.representative ~anchor_set c))
     (Classes.enumerate ~anchor_set ~nulls)
 
 let is_certain_sentence ?cache inst sentence =

@@ -1,0 +1,221 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Index = Relational.Index
+module Formula = Logic.Formula
+module Compiled = Logic.Compiled
+
+(* The support-check inner loop asks, for thousands of valuations v,
+   whether v(D) ⊨ φ[v]. The naive path pays, per valuation: a full
+   instance rebuild (Valuation.instance), a formula rewrite
+   (Formula.map_values), an active-domain fold (Eval.domain via
+   Instance.constants), and an interpretive evaluation. This kernel
+   pays all instance- and sentence-dependent costs once:
+
+   - the instance is split (Split) into a ground fragment — indexed
+     once, shared by every valuation and every domain — and the few
+     null-carrying tuples;
+   - the sentence is compiled (Logic.Compiled) with nulls resolved
+     through a valuation-image array rewritten in place;
+   - per valuation only the null images, the domain suffix and the
+     completed null tuples (a small hash table per mentioned relation)
+     are refreshed.
+
+   The immutable, shareable part is [db]; a [t] adds mutable
+   per-valuation scratch and is single-threaded. Parallel folds share
+   one [db] and compile one [t] per chunk. *)
+
+type db = {
+  split : Split.t;
+  indexes : (string * Index.t) list; (* ground fragment, per relation *)
+}
+
+let db_of_instance inst =
+  let split = Split.of_instance inst in
+  let ground = Split.ground split in
+  let indexes =
+    List.map
+      (fun name -> (name, Index.of_relation (Instance.relation ground name)))
+      (Schema.relations (Instance.schema inst))
+  in
+  { split; indexes }
+
+let db_of_split split =
+  let ground = Split.ground split in
+  let indexes =
+    List.map
+      (fun name -> (name, Index.of_relation (Instance.relation ground name)))
+      (Schema.relations (Instance.schema (Split.base split)))
+  in
+  { split; indexes }
+
+let split t = t.split
+let instance t = Split.base t.split
+
+(* One null-carrying tuple, precompiled: the constant cells, and for
+   each null cell its position in the kernel's null-image array. *)
+type template = { cells : Value.t array; null_cells : (int * int) array }
+
+type table = { templates : template array; tbl : (Tuple.t, unit) Hashtbl.t }
+
+type t = {
+  db : db;
+  sentence : Formula.t;
+  knulls : int array; (* Null(D) ∪ nulls(φ), sorted *)
+  null_img : Value.t array; (* image of knulls under the current v *)
+  tables : table list; (* mentioned relations with null tuples *)
+  base_codes : int array; (* Const(D) ∪ consts(φ), sorted *)
+  dom : Value.t array; (* base values ++ room for the null images *)
+  base_dom_n : int;
+  compiled : Compiled.t;
+}
+
+let rec mentioned acc = function
+  | Formula.True | Formula.False | Formula.Eq _ -> acc
+  | Formula.Atom (r, _) -> if List.mem r acc then acc else r :: acc
+  | Formula.Not g | Formula.Exists (_, g) | Formula.Forall (_, g) ->
+      mentioned acc g
+  | Formula.And (g, h) | Formula.Or (g, h) | Formula.Implies (g, h) ->
+      mentioned (mentioned acc g) h
+
+let compile db sentence =
+  if not (Formula.is_sentence sentence) then
+    invalid_arg "Kernel.compile: formula is not a sentence";
+  let knulls =
+    Array.of_list
+      (List.sort_uniq Int.compare
+         (Split.nulls db.split @ Formula.nulls sentence))
+  in
+  let m = Array.length knulls in
+  let null_img = Array.make (max m 1) (Value.null 0) in
+  let pos_of =
+    let tbl = Hashtbl.create (max m 1) in
+    Array.iteri (fun i n -> Hashtbl.replace tbl n i) knulls;
+    fun n ->
+      match Hashtbl.find_opt tbl n with
+      | Some i -> i
+      | None -> invalid_arg (Printf.sprintf "Kernel: unknown null ~%d" n)
+  in
+  let rels = mentioned [] sentence in
+  let tables_by_name =
+    List.filter_map
+      (fun (name, tuples) ->
+        if not (List.mem name rels) then None
+        else
+          let templates =
+            Array.map
+              (fun tup ->
+                let cells = Tuple.to_array tup in
+                let null_cells =
+                  Array.of_list
+                    (List.concat
+                       (List.mapi
+                          (fun i v ->
+                            match Value.null_id v with
+                            | Some n -> [ (i, pos_of n) ]
+                            | None -> [])
+                          (Array.to_list cells)))
+                in
+                { cells; null_cells })
+              tuples
+          in
+          Some
+            ( name,
+              {
+                templates;
+                tbl = Hashtbl.create (max 8 (2 * Array.length templates));
+              } ))
+      (Split.null_tuples db.split)
+  in
+  let tables = List.map snd tables_by_name in
+  let src_mem r _arity =
+    let ground =
+      match List.assoc_opt r db.indexes with
+      | Some idx -> Some idx
+      | None -> None
+    in
+    let null_tbl = List.assoc_opt r tables_by_name in
+    match (ground, null_tbl) with
+    | None, _ ->
+        (* Unknown relation: fail only if the atom is evaluated, like
+           Instance.relation in the naive path. *)
+        fun _ -> raise Not_found
+    | Some idx, None -> Index.mem_values idx
+    | Some idx, Some { tbl; _ } ->
+        fun buf ->
+          Index.mem_values idx buf
+          || Hashtbl.mem tbl (Tuple.unsafe_of_array buf)
+  in
+  let src_null n =
+    let p = pos_of n in
+    fun () -> Array.unsafe_get null_img p
+  in
+  let compiled = Compiled.of_source { src_mem; src_null } sentence in
+  let base_codes =
+    Array.of_list
+      (List.sort_uniq Int.compare
+         (Split.constants db.split @ Formula.constants sentence))
+  in
+  let base_dom_n = Array.length base_codes in
+  let dom = Array.make (base_dom_n + m + 1) (Value.null 0) in
+  Array.iteri (fun i c -> dom.(i) <- Value.const c) base_codes;
+  Compiled.set_domain compiled dom base_dom_n;
+  { db; sentence; knulls; null_img; tables; base_codes; dom; base_dom_n;
+    compiled }
+
+let sentence t = t.sentence
+
+let base_mem codes c =
+  let rec go lo hi =
+    lo < hi
+    && begin
+         let mid = (lo + hi) / 2 in
+         let d = Int.compare c codes.(mid) in
+         if d = 0 then true else if d < 0 then go lo mid else go (mid + 1) hi
+       end
+  in
+  go 0 (Array.length codes)
+
+let holds t v =
+  let m = Array.length t.knulls in
+  (* 1. Null images under v (raises like Valuation.instance would if a
+     null of D or of the sentence is unassigned). *)
+  for i = 0 to m - 1 do
+    t.null_img.(i) <- Value.const (Valuation.find_exn v t.knulls.(i))
+  done;
+  (* 2. Evaluation domain of v(D) ⊨ φ[v]: the base constants plus the
+     distinct fresh constants among the null images. *)
+  if Compiled.has_quantifier t.compiled then begin
+    let n = ref t.base_dom_n in
+    for i = 0 to m - 1 do
+      let img = t.null_img.(i) in
+      let c = match img with Value.Const c -> c | Value.Null _ -> assert false in
+      if not (base_mem t.base_codes c) then begin
+        let dup = ref false in
+        for j = t.base_dom_n to !n - 1 do
+          if Value.equal t.dom.(j) img then dup := true
+        done;
+        if not !dup then begin
+          t.dom.(!n) <- img;
+          incr n
+        end
+      end
+    done;
+    Compiled.set_domain t.compiled t.dom !n
+  end;
+  (* 3. Complete the null tuples into the per-relation side tables. *)
+  List.iter
+    (fun { templates; tbl } ->
+      Hashtbl.clear tbl;
+      Array.iter
+        (fun { cells; null_cells } ->
+          let tup = Array.copy cells in
+          Array.iter
+            (fun (cell, pos) -> tup.(cell) <- t.null_img.(pos))
+            null_cells;
+          Hashtbl.replace tbl (Tuple.unsafe_of_array tup) ())
+        templates)
+    t.tables;
+  (* 4. Evaluate the compiled sentence. *)
+  Compiled.run t.compiled

@@ -1,0 +1,48 @@
+(** Compiled support-check kernel.
+
+    Computes [v(D) ⊨ φ[v]] — the predicate behind every measure of the
+    paper ([µ^k], support polynomials, conditional measures, certain
+    answers) — without rebuilding anything per valuation. It is the
+    composition of the two halves of the evaluation pipeline:
+
+    - {!Split}: the instance is partitioned once into its ground
+      fragment (hash-indexed, {!Relational.Index}) and the few
+      null-carrying tuples;
+    - {!Logic.Compiled}: the sentence is compiled once, with nulls
+      resolved through a per-valuation image array.
+
+    Checking a valuation then refreshes only the null images, the
+    fresh-constant suffix of the evaluation domain, and one small hash
+    table of completed null tuples per mentioned relation.
+
+    [holds (compile (db_of_instance d) φ) v =
+     Eval.sentence_holds (Valuation.instance v d)
+       (Formula.map_values (Valuation.value v) φ)]
+    for every sentence and valuation defined on the nulls of [d] and
+    [φ] — property-tested in [test/test_kernel.ml] and re-verified
+    bit-for-bit by [bench --parallel] on every run.
+
+    A {!db} is immutable and may be shared across domains; a compiled
+    {!t} carries mutable scratch and is single-threaded — parallel
+    folds compile one [t] per chunk from the shared [db]. *)
+
+type db
+(** The shareable half: split instance + ground-fragment indexes. *)
+
+val db_of_instance : Relational.Instance.t -> db
+val db_of_split : Split.t -> db
+
+val split : db -> Split.t
+val instance : db -> Relational.Instance.t
+
+type t
+(** A sentence compiled against a [db]; single-threaded. *)
+
+val compile : db -> Logic.Formula.t -> t
+(** @raise Invalid_argument if the formula is not a sentence. *)
+
+val sentence : t -> Logic.Formula.t
+
+val holds : t -> Valuation.t -> bool
+(** [v(D) ⊨ φ[v]].
+    @raise Invalid_argument if [v] misses a null of [D] or [φ]. *)

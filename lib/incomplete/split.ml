@@ -1,0 +1,63 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+
+type t = {
+  base : Instance.t;
+  ground : Instance.t;
+  null_tuples : (string * Tuple.t array) list;
+  nulls : int list;
+  constants : int list;
+}
+
+let of_instance base =
+  let schema = Instance.schema base in
+  let ground, null_tuples =
+    List.fold_left
+      (fun (ground, nts) name ->
+        let rel = Instance.relation base name in
+        let with_nulls =
+          Relation.fold
+            (fun tup acc -> if Tuple.has_null tup then tup :: acc else acc)
+            rel []
+        in
+        match with_nulls with
+        | [] -> (Instance.set_relation name rel ground, nts)
+        | _ :: _ ->
+            let g =
+              Relation.filter (fun tup -> not (Tuple.has_null tup)) rel
+            in
+            (* [with_nulls] was accumulated by a fold over an ordered
+               set, so reversing restores Relation.to_list order —
+               completion visits tuples deterministically. *)
+            ( Instance.set_relation name g ground,
+              (name, Array.of_list (List.rev with_nulls)) :: nts ))
+      (Instance.empty schema, [])
+      (Schema.relations schema)
+  in
+  {
+    base;
+    ground;
+    null_tuples = List.rev null_tuples;
+    nulls = Instance.nulls base;
+    constants = Instance.constants base;
+  }
+
+let base t = t.base
+let ground t = t.ground
+let null_tuples t = t.null_tuples
+let nulls t = t.nulls
+let constants t = t.constants
+
+let null_tuple_count t =
+  List.fold_left (fun n (_, a) -> n + Array.length a) 0 t.null_tuples
+
+let complete t v =
+  List.fold_left
+    (fun inst (name, tuples) ->
+      Array.fold_left
+        (fun inst tup -> Instance.add_tuple name (Valuation.tuple v tup) inst)
+        inst tuples)
+    t.ground t.null_tuples

@@ -13,56 +13,61 @@ let anchor_set_sentences inst sentences =
   List.sort_uniq Int.compare
     (Instance.constants inst @ List.concat_map Formula.constants sentences)
 
+let anchor_set_sentences_split split sentences =
+  (* Same anchor set, but from the constants hoisted at split time —
+     no Instance.constants re-fold per call. *)
+  List.sort_uniq Int.compare
+    (Split.constants split @ List.concat_map Formula.constants sentences)
+
 (* ------------------------------------------------------------------ *)
 (* Evaluation cache                                                    *)
 (* ------------------------------------------------------------------ *)
 
 type cache = {
-  completed : ((int * int) list, Instance.t) Exec.Cache.t;
-      (* valuation bindings ↦ v(D): completing the instance is the
-         expensive part of a support check and depends only on v. *)
   verdicts : ((int * int) list * Formula.t, bool) Exec.Cache.t;
       (* (valuation bindings, sentence) ↦ v(D) ⊨ sentence[v]. The
          bindings come first: Hashtbl.hash only samples the first few
          nodes of a key, and the bindings are what distinguishes the
          thousands of keys sharing one sentence. *)
+  dbs : (unit, Kernel.db) Exec.Cache.t;
+      (* The split + indexed form of the instance the cache is tied
+         to — built once, shared by every loop using this cache. *)
 }
 
 type cache_stats = {
-  completed_instances : Exec.Cache.stats;
   eval_verdicts : Exec.Cache.stats;
+  kernel_dbs : Exec.Cache.stats;
 }
 
 let create_cache () =
-  { completed = Exec.Cache.create (); verdicts = Exec.Cache.create () }
+  { verdicts = Exec.Cache.create (); dbs = Exec.Cache.create () }
 
 let cache_stats c =
-  {
-    completed_instances = Exec.Cache.stats c.completed;
-    eval_verdicts = Exec.Cache.stats c.verdicts;
+  { eval_verdicts = Exec.Cache.stats c.verdicts;
+    kernel_dbs = Exec.Cache.stats c.dbs
   }
+
+let kernel_db ?cache inst =
+  match cache with
+  | None -> Kernel.db_of_instance inst
+  | Some c -> Exec.Cache.find_or_add c.dbs () (fun () -> Kernel.db_of_instance inst)
 
 (* ------------------------------------------------------------------ *)
 (* Support checks                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let sentence_in_support_uncached inst sentence v =
+let sentence_in_support_naive inst sentence v =
   let complete = Valuation.instance v inst in
   let concrete = Formula.map_values (Valuation.value v) sentence in
   Eval.sentence_holds complete concrete
 
 let sentence_in_support ?cache inst sentence v =
   match cache with
-  | None -> sentence_in_support_uncached inst sentence v
+  | None -> sentence_in_support_naive inst sentence v
   | Some c ->
-      let key = Valuation.bindings v in
-      Exec.Cache.find_or_add c.verdicts (key, sentence) (fun () ->
-          let complete =
-            Exec.Cache.find_or_add c.completed key (fun () ->
-                Valuation.instance v inst)
-          in
-          let concrete = Formula.map_values (Valuation.value v) sentence in
-          Eval.sentence_holds complete concrete)
+      Exec.Cache.find_or_add c.verdicts
+        (Valuation.bindings v, sentence)
+        (fun () -> sentence_in_support_naive inst sentence v)
 
 let in_support ?cache inst q tuple v =
   if Tuple.arity tuple <> Query.arity q then
@@ -70,36 +75,57 @@ let in_support ?cache inst q tuple v =
   else sentence_in_support ?cache inst (Query.instantiate q tuple) v
 
 (* ------------------------------------------------------------------ *)
+(* Hoisted checkers: one kernel per loop, not one instance per check   *)
+(* ------------------------------------------------------------------ *)
+
+type checker = { kern : Kernel.t; cache : cache option }
+
+let checker ?cache db sentence = { kern = Kernel.compile db sentence; cache }
+
+let check c v =
+  match c.cache with
+  | None -> Kernel.holds c.kern v
+  | Some cc ->
+      Exec.Cache.find_or_add cc.verdicts
+        (Valuation.bindings v, Kernel.sentence c.kern)
+        (fun () -> Kernel.holds c.kern v)
+
+(* ------------------------------------------------------------------ *)
 (* µ^k by (possibly parallel) enumeration                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Below this many valuations the domain-spawn overhead dominates and
-   the fold stays on the calling domain. *)
+(* Below this many valuations the chunking overhead dominates and the
+   fold stays in one piece on the calling domain. *)
 let parallel_threshold = 512
 
 let all_nulls inst tuple =
   List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
 
-(* Count the valuations of V^k satisfying [test], splitting the rank
-   space across domains. Per-chunk subcounts fit in [int] because the
-   whole space does; they are summed as bigints in chunk order —
-   bit-identical to the sequential count since addition is exact. *)
-let count_satisfying ?jobs ~nulls ~k test =
+(* Count the valuations of V^k satisfying the compiled sentence,
+   splitting the rank space across pool domains. Each chunk compiles
+   its own single-threaded checker from the shared [db]. Per-chunk
+   subcounts fit in [int] because the whole space does; they are
+   summed as bigints in chunk order — bit-identical to the sequential
+   count since addition is exact. *)
+let count_satisfying ?jobs ?cache ~db ~sentence ~nulls ~k () =
   match Enumerate.space_size ~nulls ~k with
   | Some n ->
       Exec.Pool.fold_range ?jobs ~min_work:parallel_threshold ~n
         ~chunk:(fun lo hi ->
+          let chk = checker ?cache db sentence in
           let count = ref 0 in
           for r = lo to hi - 1 do
-            if test (Enumerate.valuation_of_rank ~nulls ~k r) then incr count
+            if check chk (Enumerate.valuation_of_rank ~nulls ~k r) then
+              incr count
           done;
           B.of_int !count)
         ~combine:B.add B.zero
   | None ->
       (* Space too large for rank indexing; the sequential fold is
          equally hopeless but at least semantically right. *)
+      let chk = checker ?cache db sentence in
       Enumerate.fold_valuations ~nulls ~k
-        (fun acc v -> if test v then B.succ acc else acc)
+        (fun acc v -> if check chk v then B.succ acc else acc)
         B.zero
 
 let supp_count ?jobs ?cache inst q tuple ~k =
@@ -107,8 +133,8 @@ let supp_count ?jobs ?cache inst q tuple ~k =
     invalid_arg "Support.in_support: arity mismatch";
   let nulls = all_nulls inst tuple in
   let sentence = Query.instantiate q tuple in
-  count_satisfying ?jobs ~nulls ~k (fun v ->
-      sentence_in_support ?cache inst sentence v)
+  let db = kernel_db ?cache inst in
+  count_satisfying ?jobs ?cache ~db ~sentence ~nulls ~k ()
 
 let mu_k ?jobs ?cache inst q tuple ~k =
   let nulls = all_nulls inst tuple in
@@ -125,7 +151,9 @@ let mu_k_series ?jobs ?cache inst q tuple ~ks =
 
 let support_valuations ?cache inst q tuple ~k =
   let nulls = all_nulls inst tuple in
+  let db = kernel_db ?cache inst in
+  let chk = checker ?cache db (Query.instantiate q tuple) in
   List.rev
     (Enumerate.fold_valuations ~nulls ~k
-       (fun acc v -> if in_support ?cache inst q tuple v then v :: acc else acc)
+       (fun acc v -> if check chk v then v :: acc else acc)
        [])

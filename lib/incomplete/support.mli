@@ -7,16 +7,24 @@
     the ground truth against which the symbolic machinery
     ([Zeroone.Support_poly]) is verified.
 
+    The per-valuation check runs on the compiled kernel ({!Kernel}):
+    the instance is split and indexed once ({!kernel_db}), the sentence
+    compiled once per loop ({!checker}), and each valuation only
+    refreshes the null images. [sentence_in_support_naive] keeps the
+    original complete-then-interpret path as the executable reference;
+    the two agree on every input (property-tested, and re-verified
+    bit-for-bit by [bench --parallel]).
+
     The enumeration is the [FP^#P]-hard counting workload of the
     measures, so every counting entry point takes two optional knobs,
     off by default:
 
     - [?jobs] — split the [k^m]-valuation space into contiguous rank
-      chunks folded on separate OCaml 5 domains ({!Exec.Pool}).
+      chunks folded on the persistent domain pool ({!Exec.Pool}).
       Defaults to {!Exec.Pool.default_jobs}; chunk subcounts are summed
       exactly in chunk order, so the result is bit-identical to the
       sequential count for any [jobs].
-    - [?cache] — a {!cache} memoizing completed instances [v(D)] and
+    - [?cache] — a {!cache} memoizing the kernel database and the
       evaluation verdicts across calls. Sharing one cache over a
       [µ^k]-series pays off because the spaces [V^k ⊆ V^{k'}] are
       nested. A cache is tied to the instance it was first used with —
@@ -31,20 +39,29 @@ val anchor_set_sentences :
 (** Anchor set for a family of sentences evaluated on the same
     database (e.g. [Σ ∧ Q(ā)] and [Σ]). *)
 
+val anchor_set_sentences_split : Split.t -> Logic.Formula.t list -> int list
+(** Same anchor set, served from the constants hoisted when the split
+    was built — for per-candidate loops that would otherwise re-fold
+    the instance each time. *)
+
 (** {1 Evaluation cache} *)
 
 type cache
-(** Memoizes, behind mutexes (safe to share across pool domains):
-    completed instances [v(D)] keyed by the valuation's bindings, and
-    sentence verdicts keyed by (sentence, bindings). *)
+(** Memoizes, behind mutexes (safe to share across pool domains): the
+    kernel database (split + indexes) of the instance, and sentence
+    verdicts keyed by (bindings, sentence). *)
 
 type cache_stats = {
-  completed_instances : Exec.Cache.stats;
   eval_verdicts : Exec.Cache.stats;
+  kernel_dbs : Exec.Cache.stats;
 }
 
 val create_cache : unit -> cache
 val cache_stats : cache -> cache_stats
+
+val kernel_db : ?cache:cache -> Relational.Instance.t -> Kernel.db
+(** The split + indexed form of the instance. With [?cache] it is
+    built once and shared by every subsequent loop on that cache. *)
 
 (** {1 Support checks} *)
 
@@ -63,7 +80,31 @@ val sentence_in_support :
   ?cache:cache ->
   Relational.Instance.t -> Logic.Formula.t -> Valuation.t -> bool
 (** [v(D) ⊨ φ[v]] for a sentence [φ] (whose nulls, if any, are replaced
-    through [v] as well). *)
+    through [v] as well). One-shot entry point; loops should hoist a
+    {!checker} instead. *)
+
+val sentence_in_support_naive :
+  Relational.Instance.t -> Logic.Formula.t -> Valuation.t -> bool
+(** The original uncompiled path — materialize [v(D)], rewrite [φ[v]],
+    interpret with {!Logic.Eval}. Kept as the executable reference the
+    kernel is verified against (tests, bench identity checks). *)
+
+(** {1 Hoisted checkers}
+
+    One compiled kernel per (sentence, loop) instead of one completed
+    instance per check. A checker wraps a single-threaded
+    {!Kernel.t} — parallel folds create one checker per chunk from the
+    shared {!Kernel.db}. *)
+
+type checker
+
+val checker : ?cache:cache -> Kernel.db -> Logic.Formula.t -> checker
+(** Compile a sentence for repeated support checks; with [?cache],
+    verdicts are memoized under the same keys as
+    {!sentence_in_support}. @raise Invalid_argument on open formulas. *)
+
+val check : checker -> Valuation.t -> bool
+(** [check (checker db φ) v = sentence_in_support (base db) φ v]. *)
 
 (** {1 Counting} *)
 

@@ -1,0 +1,202 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Instance = Relational.Instance
+module Index = Relational.Index
+
+(* Compilation target: the formula is translated once into a tree of
+   closures. All per-evaluation costs that the naive interpreter
+   (Eval.holds) pays on every call are hoisted to compile time:
+
+   - variables resolve to slots of a preallocated environment array
+     (no List.assoc chains);
+   - the evaluation domain is computed once and stored as an array
+     (Eval recomputes adom(D) — a fold over the whole instance — on
+     every sentence check);
+   - atoms probe per-relation hash indexes (O(1) expected) instead of
+     TSet membership (O(log n) with a tuple comparison per level), with
+     a reused argument buffer so a probe allocates nothing.
+
+   A compiled formula carries mutable scratch (environment, domain) and
+   is therefore single-threaded; compiling is cheap, so parallel code
+   compiles one per domain. *)
+
+type source = {
+  src_mem : string -> int -> Value.t array -> bool;
+      (* [src_mem r arity] is applied once per atom at compile time;
+         the returned closure answers membership probes at eval time.
+         The probe buffer is only valid for the duration of the call. *)
+  src_null : int -> unit -> Value.t;
+      (* Eval-time meaning of a null constant appearing in the formula.
+         The identity [fun n () -> Value.null n] gives naive-evaluation
+         semantics; the incomplete-side kernel resolves nulls through
+         the current valuation. *)
+}
+
+type state = {
+  env : Value.t array;
+  mutable dom : Value.t array;
+  mutable dom_n : int;
+}
+
+type t = {
+  formula : Formula.t;
+  free : string list;
+  slots : (string * int) list; (* free variable ↦ env slot *)
+  state : state;
+  prog : unit -> bool;
+  has_quantifier : bool;
+}
+
+let rec quantifier_depth = function
+  | Formula.True | Formula.False | Formula.Atom _ | Formula.Eq _ -> 0
+  | Formula.Not g -> quantifier_depth g
+  | Formula.And (g, h) | Formula.Or (g, h) | Formula.Implies (g, h) ->
+      max (quantifier_depth g) (quantifier_depth h)
+  | Formula.Exists (_, g) | Formula.Forall (_, g) -> 1 + quantifier_depth g
+
+let dummy = Value.const 1
+
+let of_source ?free source f =
+  let free = match free with Some xs -> xs | None -> Formula.free_vars f in
+  let nfree = List.length free in
+  let nslots = nfree + quantifier_depth f in
+  let st =
+    {
+      env = Array.make (max nslots 1) dummy;
+      dom = [||];
+      dom_n = 0;
+    }
+  in
+  let env = st.env in
+  let slot_of vars x =
+    match List.assoc_opt x vars with
+    | Some s -> s
+    | None -> invalid_arg ("Compiled: unbound variable " ^ x)
+  in
+  let compile_term vars = function
+    | Formula.Val (Value.Const _ as v) -> fun () -> v
+    | Formula.Val (Value.Null n) -> source.src_null n
+    | Formula.Var x ->
+        let s = slot_of vars x in
+        fun () -> Array.unsafe_get env s
+  in
+  (* [vars] maps in-scope variables to slots; [depth] counts enclosing
+     binders, so binder slots never collide with free-variable slots or
+     with each other along a path (shadowing gets a fresh slot). *)
+  let rec go vars depth = function
+    | Formula.True -> fun () -> true
+    | Formula.False -> fun () -> false
+    | Formula.Atom (r, ts) ->
+        let mem = source.src_mem r (List.length ts) in
+        let terms = Array.of_list (List.map (compile_term vars) ts) in
+        let nt = Array.length terms in
+        let buf = Array.make nt dummy in
+        fun () ->
+          for i = 0 to nt - 1 do
+            Array.unsafe_set buf i ((Array.unsafe_get terms i) ())
+          done;
+          mem buf
+    | Formula.Eq (a, b) ->
+        let ca = compile_term vars a and cb = compile_term vars b in
+        fun () -> Value.equal (ca ()) (cb ())
+    | Formula.Not g ->
+        let cg = go vars depth g in
+        fun () -> not (cg ())
+    | Formula.And (g, h) ->
+        let cg = go vars depth g and ch = go vars depth h in
+        fun () -> cg () && ch ()
+    | Formula.Or (g, h) ->
+        let cg = go vars depth g and ch = go vars depth h in
+        fun () -> cg () || ch ()
+    | Formula.Implies (g, h) ->
+        let cg = go vars depth g and ch = go vars depth h in
+        fun () -> (not (cg ())) || ch ()
+    | Formula.Exists (x, g) ->
+        let s = nfree + depth in
+        let cg = go ((x, s) :: vars) (depth + 1) g in
+        fun () ->
+          let dom = st.dom and n = st.dom_n in
+          let rec loop i =
+            i < n
+            && begin
+                 Array.unsafe_set env s (Array.unsafe_get dom i);
+                 cg () || loop (i + 1)
+               end
+          in
+          loop 0
+    | Formula.Forall (x, g) ->
+        let s = nfree + depth in
+        let cg = go ((x, s) :: vars) (depth + 1) g in
+        fun () ->
+          let dom = st.dom and n = st.dom_n in
+          let rec loop i =
+            i >= n
+            || begin
+                 Array.unsafe_set env s (Array.unsafe_get dom i);
+                 cg () && loop (i + 1)
+               end
+          in
+          loop 0
+  in
+  let slots = List.mapi (fun i x -> (x, i)) free in
+  {
+    formula = f;
+    free;
+    slots;
+    state = st;
+    prog = go slots 0 f;
+    has_quantifier = quantifier_depth f > 0;
+  }
+
+let set_domain t dom n =
+  if n < 0 || n > Array.length dom then
+    invalid_arg "Compiled.set_domain: bad prefix length"
+  else begin
+    t.state.dom <- dom;
+    t.state.dom_n <- n
+  end
+
+let formula t = t.formula
+let free_vars t = t.free
+let has_quantifier t = t.has_quantifier
+
+let instance_source inst =
+  let indexes : (string, Index.t) Hashtbl.t = Hashtbl.create 8 in
+  let src_mem r _arity =
+    match Hashtbl.find_opt indexes r with
+    | Some idx -> Index.mem_values idx
+    | None -> (
+        match Instance.relation inst r with
+        | rel ->
+            let idx = Index.of_relation rel in
+            Hashtbl.replace indexes r idx;
+            Index.mem_values idx
+        | exception Not_found ->
+            (* Mirror Eval: an unknown relation only fails if the atom
+               is actually evaluated. *)
+            fun _ -> raise Not_found)
+  in
+  { src_mem; src_null = (fun n () -> Value.null n) }
+
+let compile ?domain inst f =
+  let t = of_source (instance_source inst) f in
+  let dom =
+    Array.of_list (match domain with Some d -> d | None -> Eval.domain inst f)
+  in
+  set_domain t dom (Array.length dom);
+  t
+
+let holds t env =
+  List.iter
+    (fun (x, s) ->
+      match List.assoc_opt x env with
+      | Some v -> t.state.env.(s) <- v
+      | None -> invalid_arg ("Compiled: unbound variable " ^ x))
+    t.slots;
+  t.prog ()
+
+let sentence_holds t =
+  if t.free <> [] then invalid_arg "Compiled.sentence_holds: formula is open"
+  else t.prog ()
+
+let run t = t.prog ()

@@ -1,0 +1,79 @@
+(** Compiled first-order evaluation.
+
+    {!Eval} interprets a formula structurally on every call: variables
+    resolve through [List.assoc] environments, quantifiers re-walk the
+    domain list, atoms pay a balanced-set membership, and
+    [Eval.domain] re-folds the whole instance for the active domain.
+    This module performs that work {e once}: {!compile} translates a
+    formula into a tree of closures with
+
+    - variables resolved to slots of a preallocated environment array,
+    - the evaluation domain hoisted into an array,
+    - atom lookups served by per-relation hash indexes
+      ({!Relational.Index}) probed with a reused buffer.
+
+    Truth values agree with {!Eval.holds} on every instance,
+    environment and formula (property-tested in [test/test_kernel.ml]);
+    only the cost model changes.
+
+    A compiled formula owns mutable scratch (environment and domain
+    arrays), so a value of type {!t} must be used from one domain at a
+    time. Compilation is cheap — parallel folds compile one per chunk.
+
+    The {!source}/{!of_source} layer exposes the compiler over abstract
+    atom/null resolvers; {!Incomplete.Kernel} plugs in split-instance
+    completion to evaluate one sentence under thousands of valuations
+    without materializing any completed instance. *)
+
+type t
+
+(** {1 Compiling against an instance} *)
+
+val compile :
+  ?domain:Relational.Value.t list -> Relational.Instance.t -> Formula.t -> t
+(** Compile for repeated evaluation on a fixed instance. [?domain]
+    overrides the hoisted evaluation domain (default
+    {!Eval.domain}, i.e. [adom(D)] plus the formula's constants).
+    Nulls evaluate to themselves — naive-evaluation semantics, exactly
+    like {!Eval}. *)
+
+val holds : t -> (string * Relational.Value.t) list -> bool
+(** Truth under an environment binding the free variables — the
+    compiled counterpart of {!Eval.holds}.
+    @raise Invalid_argument if a free variable is unbound. *)
+
+val sentence_holds : t -> bool
+(** @raise Invalid_argument if the formula is open. *)
+
+(** {1 Generic compilation (kernel plumbing)} *)
+
+type source = {
+  src_mem : string -> int -> Relational.Value.t array -> bool;
+      (** [src_mem r arity] is applied once per atom at compile time;
+          the resulting closure answers membership probes. The probe
+          buffer is only valid during the call — copy to retain. *)
+  src_null : int -> unit -> Relational.Value.t;
+      (** Eval-time meaning of a null occurring in the formula.
+          [fun n () -> Value.null n] gives naive semantics. *)
+}
+
+val of_source : ?free:string list -> source -> Formula.t -> t
+(** Compile against abstract resolvers. [?free] fixes the slot order of
+    the free variables (default {!Formula.free_vars} order). The domain
+    starts empty — call {!set_domain} before evaluating quantifiers. *)
+
+val set_domain : t -> Relational.Value.t array -> int -> unit
+(** [set_domain t dom n]: quantifiers range over [dom.(0..n-1)]. The
+    array is adopted, not copied — callers may refresh it between
+    evaluations (the kernel rewrites a suffix per valuation).
+    @raise Invalid_argument if [n] is not a valid prefix length. *)
+
+val run : t -> bool
+(** Evaluate with the environment array as-is: {!sentence_holds}
+    without the open-formula check, for compiled-sentence hot loops. *)
+
+(** {1 Introspection} *)
+
+val formula : t -> Formula.t
+val free_vars : t -> string list
+val has_quantifier : t -> bool

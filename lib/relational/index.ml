@@ -1,0 +1,81 @@
+(* Hash indexes over a relation: O(1) full-tuple membership plus
+   per-column postings for selections. Built once from a Relation.t and
+   immutable afterwards, so an index may be shared freely across
+   domains (concurrent reads of an unmutated Hashtbl are safe). *)
+
+type t = {
+  arity : int;
+  tuples : Tuple.t array; (* in Relation.to_list (= Tuple.compare) order *)
+  members : (Tuple.t, unit) Hashtbl.t;
+  columns : (Value.t, int list) Hashtbl.t array;
+      (* columns.(i) : value ↦ rows (indexes into [tuples]) whose
+         column [i] holds it, in increasing row order *)
+}
+
+let of_relation r =
+  let arity = Relation.arity r in
+  let tuples = Relation.to_array r in
+  let n = Array.length tuples in
+  let members = Hashtbl.create (max 16 (2 * n)) in
+  Array.iter (fun t -> Hashtbl.replace members t ()) tuples;
+  let columns =
+    Array.init arity (fun _ -> Hashtbl.create (max 16 (2 * n)))
+  in
+  (* Walk rows backwards so each posting list comes out in increasing
+     row order without a final reverse. *)
+  for row = n - 1 downto 0 do
+    let t = tuples.(row) in
+    for col = 0 to arity - 1 do
+      let v = Tuple.get t col in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt columns.(col) v) in
+      Hashtbl.replace columns.(col) v (row :: prev)
+    done
+  done;
+  { arity; tuples; members; columns }
+
+let arity t = t.arity
+let cardinal t = Array.length t.tuples
+let mem t tuple = Hashtbl.mem t.members tuple
+
+let mem_values t values =
+  Array.length values = t.arity && Hashtbl.mem t.members (Tuple.unsafe_of_array values)
+
+let postings t ~column v =
+  if column < 0 || column >= t.arity then
+    invalid_arg "Index.postings: column out of range"
+  else Option.value ~default:[] (Hashtbl.find_opt t.columns.(column) v)
+
+let column_cardinal t ~column v = List.length (postings t ~column v)
+
+let select t bindings =
+  List.iter
+    (fun (col, _) ->
+      if col < 0 || col >= t.arity then
+        invalid_arg "Index.select: column out of range")
+    bindings;
+  match bindings with
+  | [] -> Array.to_list t.tuples
+  | (c0, v0) :: rest ->
+      (* Start from the shortest posting list, then filter the other
+         bound columns by direct access. *)
+      let start, others =
+        List.fold_left
+          (fun ((bc, bv), others) (c, v) ->
+            if
+              column_cardinal t ~column:c v
+              < column_cardinal t ~column:bc bv
+            then ((c, v), (bc, bv) :: others)
+            else ((bc, bv), (c, v) :: others))
+          ((c0, v0), []) rest
+      in
+      let bc, bv = start in
+      List.filter_map
+        (fun row ->
+          let tup = t.tuples.(row) in
+          if
+            List.for_all
+              (fun (c, v) -> Value.equal (Tuple.get tup c) v)
+              others
+          then Some tup
+          else None)
+        (postings t ~column:bc bv)

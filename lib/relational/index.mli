@@ -1,0 +1,40 @@
+(** Hash indexes over a relation.
+
+    {!Relation.t} is a balanced set — membership is [O(log n)] with a
+    full-tuple comparison per level. The evaluation kernels probe
+    relations millions of times with freshly built tuples, so this
+    module trades one [O(n)] build for [O(1)] membership and indexed
+    selections: a full-tuple hash table plus one posting-list table per
+    column.
+
+    An index is immutable after {!of_relation} and may be shared across
+    OCaml 5 domains (reads of an unmutated hash table race with
+    nothing). It is a snapshot: it does {e not} follow later updates of
+    the relation it was built from. *)
+
+type t
+
+val of_relation : Relation.t -> t
+
+val arity : t -> int
+val cardinal : t -> int
+
+val mem : t -> Tuple.t -> bool
+(** [O(1)] expected; tuples of the wrong arity are never members. *)
+
+val mem_values : t -> Value.t array -> bool
+(** Membership probed directly with a value array, avoiding the
+    {!Tuple.of_array} copy. The array is only read. *)
+
+val postings : t -> column:int -> Value.t -> int list
+(** Rows (positions in {!Relation.to_list} order) whose [column] holds
+    the value, increasing. @raise Invalid_argument on a bad column. *)
+
+val column_cardinal : t -> column:int -> Value.t -> int
+(** [List.length (postings …)]. *)
+
+val select : t -> (int * Value.t) list -> Tuple.t list
+(** Tuples matching all [(column, value)] bindings, in row order:
+    the selection [σ_{c₁=v₁,…}(R)] served from the smallest posting
+    list. [select t \[\]] lists every tuple.
+    @raise Invalid_argument on a bad column. *)

@@ -20,6 +20,23 @@ let mem t r = TSet.mem t r.tuples
 let of_list arity ts = List.fold_left (fun r t -> add t r) (empty arity) ts
 let of_rows arity rows = of_list arity (List.map Tuple.of_list rows)
 let to_list r = TSet.elements r.tuples
+
+let to_array r =
+  (* One traversal, no intermediate list: fill left to right in
+     TSet.fold (= increasing element) order. *)
+  let n = TSet.cardinal r.tuples in
+  if n = 0 then [||]
+  else begin
+    let arr = Array.make n Tuple.empty in
+    let i = ref 0 in
+    TSet.iter
+      (fun t ->
+        arr.(!i) <- t;
+        incr i)
+      r.tuples;
+    arr
+  end
+
 let cardinal r = TSet.cardinal r.tuples
 let is_empty r = TSet.is_empty r.tuples
 let subset a b = TSet.subset a.tuples b.tuples

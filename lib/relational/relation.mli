@@ -22,6 +22,10 @@ val of_rows : int -> Value.t list list -> t
 val to_list : t -> Tuple.t list
 (** In increasing {!Tuple.compare} order. *)
 
+val to_array : t -> Tuple.t array
+(** Same order as {!to_list}, without building an intermediate list —
+    the fast path for bulk consumers ({!Index.of_relation}). *)
+
 val cardinal : t -> int
 val is_empty : t -> bool
 val subset : t -> t -> bool

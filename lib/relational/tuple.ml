@@ -2,6 +2,7 @@ type t = Value.t array
 
 let of_list = Array.of_list
 let of_array = Array.copy
+let unsafe_of_array (a : Value.t array) : t = a
 let to_list = Array.to_list
 let to_array = Array.copy
 let empty : t = [||]

@@ -9,6 +9,12 @@ type t
 
 val of_list : Value.t list -> t
 val of_array : Value.t array -> t
+
+val unsafe_of_array : Value.t array -> t
+(** Adopts the array without copying. The caller must not mutate it
+    while the tuple is live — reserved for hot paths (the compiled
+    evaluation kernel probes indexes with a reused buffer). *)
+
 val to_list : t -> Value.t list
 val to_array : t -> Value.t array
 

@@ -1,0 +1,454 @@
+(* Tests for the compiled evaluation kernel: Relational.Index,
+   Logic.Compiled, Incomplete.Split and Incomplete.Kernel, plus the
+   queue machinery of the persistent Exec.Pool.
+
+   The load-bearing checks are the randomized equivalences — the
+   compiled pipeline must agree with the structural interpreter on
+   every instance, formula and valuation:
+
+     Compiled.holds  ≡ Eval.holds
+     Split.complete  ≡ Valuation.instance
+     Kernel.holds    ≡ Support.sentence_in_support_naive
+
+   The generators are driven by explicit [Random.State] seeds, so every
+   failure is reproducible from the printed seed. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Index = Relational.Index
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module F = Logic.Formula
+module Eval = Logic.Eval
+module Compiled = Logic.Compiled
+module Parser = Logic.Parser
+module Valuation = Incomplete.Valuation
+module Split = Incomplete.Split
+module Kernel = Incomplete.Kernel
+module Support = Incomplete.Support
+module R = Arith.Rat
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Seeded generators                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let schema = Schema.make [ ("R", 2); ("S", 1) ]
+let var_pool = [ "x"; "y"; "z" ]
+
+let gen_value st ~with_nulls =
+  if with_nulls && Random.State.int st 3 = 0 then
+    Value.null (Random.State.int st 3)
+  else Value.const (1 + Random.State.int st 4)
+
+let gen_instance st ~with_nulls =
+  let rows bound arity =
+    List.init (Random.State.int st bound) (fun _ ->
+        List.init arity (fun _ -> gen_value st ~with_nulls))
+  in
+  Instance.of_rows schema [ ("R", rows 5 2); ("S", rows 4 1) ]
+
+let gen_term st ~vars ~with_nulls =
+  let value () = F.Val (gen_value st ~with_nulls) in
+  if vars = [] || Random.State.int st 3 = 0 then value ()
+  else F.Var (List.nth vars (Random.State.int st (List.length vars)))
+
+(* All connectives and both quantifiers, with possible shadowing (the
+   bound-variable pool has three names, so nesting reuses them). *)
+let rec gen_formula st ~vars ~depth ~with_nulls =
+  let term () = gen_term st ~vars ~with_nulls in
+  let sub ?(vars = vars) () =
+    gen_formula st ~vars ~depth:(depth - 1) ~with_nulls
+  in
+  if depth = 0 then
+    match Random.State.int st 4 with
+    | 0 -> F.Atom ("R", [ term (); term () ])
+    | 1 -> F.Atom ("S", [ term () ])
+    | 2 -> F.Eq (term (), term ())
+    | _ -> if Random.State.bool st then F.True else F.False
+  else
+    match Random.State.int st 6 with
+    | 0 -> F.Not (sub ())
+    | 1 -> F.And (sub (), sub ())
+    | 2 -> F.Or (sub (), sub ())
+    | 3 -> F.Implies (sub (), sub ())
+    | _ ->
+        let v = List.nth var_pool (Random.State.int st 3) in
+        let body = sub ~vars:(v :: vars) () in
+        if Random.State.int st 6 = 4 then F.Exists (v, body)
+        else F.Forall (v, body)
+
+let gen_valuation st nulls =
+  Valuation.of_list (List.map (fun n -> (n, 1 + Random.State.int st 5)) nulls)
+
+let seeds = List.init 300 Fun.id
+let state seed = Random.State.make [| 0x5eed; seed |]
+
+(* ------------------------------------------------------------------ *)
+(* Relational.Index                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rel_of_pairs pairs =
+  Relation.of_rows 2
+    (List.map (fun (a, b) -> [ Value.const a; Value.const b ]) pairs)
+
+let test_index_mem () =
+  let rel = rel_of_pairs [ (1, 2); (1, 3); (2, 3) ] in
+  let idx = Index.of_relation rel in
+  check int_t "arity" 2 (Index.arity idx);
+  check int_t "cardinal" 3 (Index.cardinal idx);
+  Relation.iter
+    (fun t -> check bool_t "member" true (Index.mem idx t))
+    rel;
+  check bool_t "non-member" false
+    (Index.mem idx (Tuple.of_list [ Value.const 2; Value.const 2 ]));
+  check bool_t "wrong arity" false
+    (Index.mem idx (Tuple.of_list [ Value.const 1 ]));
+  check bool_t "mem_values" true
+    (Index.mem_values idx [| Value.const 1; Value.const 3 |])
+
+let test_index_select () =
+  let rel = rel_of_pairs [ (1, 2); (1, 3); (2, 3); (3, 1) ] in
+  let idx = Index.of_relation rel in
+  let tuples bindings =
+    List.map Tuple.to_list (Index.select idx bindings)
+  in
+  check int_t "select col0=1" 2
+    (List.length (tuples [ (0, Value.const 1) ]));
+  check int_t "select col1=3" 2
+    (List.length (tuples [ (1, Value.const 3) ]));
+  check int_t "select both" 1
+    (List.length (tuples [ (0, Value.const 1); (1, Value.const 3) ]));
+  check int_t "select absent" 0
+    (List.length (tuples [ (0, Value.const 9) ]));
+  check int_t "select all" 4 (List.length (tuples []));
+  (* positions in to_list order, increasing *)
+  let post = Index.postings idx ~column:0 (Value.const 1) in
+  check bool_t "postings sorted" true (List.sort Int.compare post = post);
+  check int_t "column_cardinal" 2
+    (Index.column_cardinal idx ~column:0 (Value.const 1))
+
+let test_index_randomized () =
+  List.iter
+    (fun seed ->
+      let st = state seed in
+      let rel =
+        Relation.of_rows 2
+          (List.init (Random.State.int st 8) (fun _ ->
+               [ gen_value st ~with_nulls:true; gen_value st ~with_nulls:true ]))
+      in
+      let idx = Index.of_relation rel in
+      (* mem agrees with Relation.mem on members and random probes *)
+      Relation.iter
+        (fun t -> check bool_t "index member" true (Index.mem idx t))
+        rel;
+      for _ = 1 to 5 do
+        let t =
+          Tuple.of_list
+            [ gen_value st ~with_nulls:true; gen_value st ~with_nulls:true ]
+        in
+        check bool_t "index probe = Relation.mem" (Relation.mem t rel)
+          (Index.mem idx t)
+      done)
+    (List.filteri (fun i _ -> i < 100) seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Logic.Compiled ≡ Eval                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_compiled_equals_eval () =
+  List.iter
+    (fun seed ->
+      let st = state seed in
+      let inst = gen_instance st ~with_nulls:true in
+      let f =
+        gen_formula st ~vars:[ "x"; "y" ] ~depth:3 ~with_nulls:false
+      in
+      let dom = Eval.domain inst f in
+      let pick () =
+        match dom with
+        | [] -> Value.const 1
+        | _ -> List.nth dom (Random.State.int st (List.length dom))
+      in
+      let t = Compiled.compile inst f in
+      (* one compiled formula, several environments: the scratch reset
+         between evaluations is part of what is under test *)
+      for _ = 1 to 3 do
+        let env = [ ("x", pick ()); ("y", pick ()) ] in
+        check bool_t
+          (Printf.sprintf "compiled = eval (seed %d)" seed)
+          (Eval.holds inst env f)
+          (Compiled.holds t env)
+      done)
+    seeds
+
+let test_compiled_sentences () =
+  List.iter
+    (fun seed ->
+      let st = state seed in
+      let inst = gen_instance st ~with_nulls:true in
+      let f = gen_formula st ~vars:[] ~depth:3 ~with_nulls:false in
+      check bool_t
+        (Printf.sprintf "compiled sentence = eval (seed %d)" seed)
+        (Eval.sentence_holds inst f)
+        (Compiled.sentence_holds (Compiled.compile inst f)))
+    seeds
+
+let test_compiled_open_formula_rejected () =
+  let inst = Instance.of_rows schema [] in
+  let f = F.Atom ("S", [ F.Var "x" ]) in
+  Alcotest.check_raises "unbound variable"
+    (Invalid_argument "Compiled: unbound variable x") (fun () ->
+      ignore (Compiled.holds (Compiled.compile inst f) []))
+
+(* ------------------------------------------------------------------ *)
+(* Split ≡ Valuation.instance                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_split_equals_valuation_instance () =
+  List.iter
+    (fun seed ->
+      let st = state seed in
+      let inst = gen_instance st ~with_nulls:true in
+      let split = Split.of_instance inst in
+      check bool_t "nulls hoisted" true
+        (Split.nulls split = Instance.nulls inst);
+      check bool_t "constants hoisted" true
+        (Split.constants split = Instance.constants inst);
+      for _ = 1 to 3 do
+        let v = gen_valuation st (Instance.nulls inst) in
+        check bool_t
+          (Printf.sprintf "complete = Valuation.instance (seed %d)" seed)
+          true
+          (Instance.equal (Valuation.instance v inst) (Split.complete split v))
+      done)
+    seeds
+
+let test_split_ground_shared () =
+  let inst =
+    Instance.of_rows schema
+      [ ("R",
+         [ [ Value.const 1; Value.const 2 ]; [ Value.const 1; Value.null 0 ] ]);
+        ("S", [ [ Value.const 3 ] ])
+      ]
+  in
+  let split = Split.of_instance inst in
+  check int_t "one null tuple" 1 (Split.null_tuple_count split);
+  check int_t "ground keeps the rest" 2
+    (Instance.total_tuples (Split.ground split));
+  check bool_t "ground is complete" true (Instance.is_complete (Split.ground split))
+
+(* ------------------------------------------------------------------ *)
+(* Kernel ≡ naive support check                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_kernel_equals_naive () =
+  List.iter
+    (fun seed ->
+      let st = state seed in
+      let inst = gen_instance st ~with_nulls:true in
+      (* sentences may mention nulls (instantiated Q(ā) does) *)
+      let s = gen_formula st ~vars:[] ~depth:3 ~with_nulls:true in
+      let nulls =
+        List.sort_uniq Int.compare (Instance.nulls inst @ F.nulls s)
+      in
+      let kern = Kernel.compile (Kernel.db_of_instance inst) s in
+      (* one kernel, several valuations: per-valuation scratch refresh
+         is the hot path under test *)
+      for _ = 1 to 4 do
+        let v = gen_valuation st nulls in
+        check bool_t
+          (Printf.sprintf "kernel = naive (seed %d)" seed)
+          (Support.sentence_in_support_naive inst s v)
+          (Kernel.holds kern v)
+      done)
+    seeds
+
+let test_checker_cache_consistent () =
+  List.iter
+    (fun seed ->
+      let st = state seed in
+      let inst = gen_instance st ~with_nulls:true in
+      let s = gen_formula st ~vars:[] ~depth:2 ~with_nulls:true in
+      let nulls =
+        List.sort_uniq Int.compare (Instance.nulls inst @ F.nulls s)
+      in
+      let cache = Support.create_cache () in
+      let chk = Support.checker ~cache (Support.kernel_db ~cache inst) s in
+      for _ = 1 to 3 do
+        let v = gen_valuation st nulls in
+        let expect = Support.sentence_in_support_naive inst s v in
+        check bool_t "checker cold" expect (Support.check chk v);
+        check bool_t "checker warm" expect (Support.check chk v);
+        check bool_t "one-shot cached entry point" expect
+          (Support.sentence_in_support ~cache inst s v)
+      done)
+    (List.filteri (fun i _ -> i < 100) seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Worked examples                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_intro_example () =
+  (* The introduction's customer/product database: certain answers via
+     the kernelized class sweep, and µ^k via the kernelized count, must
+     reproduce the numbers the seed computed with the naive engine. *)
+  let sch = Parser.schema_exn "R1(customer, product); R2(customer, product)" in
+  let d =
+    Parser.instance_exn sch
+      "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) };
+       R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }"
+  in
+  let q = Parser.query_exn "Q(x, y) := R1(x, y) & !R2(x, y)" in
+  let t = Parser.tuple_exn "('c1', ~1)" in
+  check bool_t "('c1',~1) not certain" false (Incomplete.Certain.is_certain d q t);
+  let mu = Support.mu_k d q t ~k:8 in
+  (* independently recount with the naive reference *)
+  let sentence = Logic.Query.instantiate q t in
+  let nulls =
+    List.sort_uniq Int.compare (Instance.nulls d @ Tuple.nulls t)
+  in
+  let count = ref 0 and total = ref 0 in
+  Incomplete.Enumerate.fold_valuations ~nulls ~k:8
+    (fun () v ->
+      incr total;
+      if Support.sentence_in_support_naive d sentence v then incr count)
+    ();
+  check bool_t "µ^8 = naive recount" true
+    (R.equal mu (R.of_ints !count !total))
+
+let test_section4_example () =
+  let e = Zeroone.Constructions.section4_example () in
+  let sigma = e.Zeroone.Constructions.s4_sigma in
+  let d = e.Zeroone.Constructions.s4_instance in
+  let q = e.Zeroone.Constructions.s4_query in
+  check bool_t "§4 µ = 1/3" true
+    (R.equal (R.of_ints 1 3)
+       (Zeroone.Conditional.mu_cond ~sigma d q
+          e.Zeroone.Constructions.s4_tuple_third));
+  check bool_t "§4 µ = 2/3" true
+    (R.equal (R.of_ints 2 3)
+       (Zeroone.Conditional.mu_cond ~sigma d q
+          e.Zeroone.Constructions.s4_tuple_two_thirds))
+
+(* ------------------------------------------------------------------ *)
+(* Persistent pool machinery                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The shared pool on a single-core box has zero workers, so these
+   tests build explicit two-worker pools to exercise the queue. *)
+
+let with_pool f =
+  let pool = Exec.Pool.create ~workers:2 () in
+  Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool) (fun () -> f pool)
+
+let test_pool_queue_fold () =
+  with_pool (fun pool ->
+      check int_t "worker count" 2 (Exec.Pool.worker_count pool);
+      (* many folds reuse the same workers — no spawn per fold *)
+      for round = 1 to 20 do
+        List.iter
+          (fun jobs ->
+            let n = 64 * round in
+            let got =
+              Exec.Pool.fold_range ~pool ~jobs ~min_work:1 ~n
+                ~chunk:(fun lo hi ->
+                  let s = ref 0 in
+                  for i = lo to hi - 1 do s := !s + i done;
+                  !s)
+                ~combine:( + ) 0
+            in
+            check int_t
+              (Printf.sprintf "pool sum n=%d jobs=%d" n jobs)
+              (n * (n - 1) / 2)
+              got)
+          [ 2; 3; 8 ]
+      done)
+
+let test_pool_queue_exception () =
+  with_pool (fun pool ->
+      Alcotest.check_raises "first error in chunk order" (Failure "chunk1")
+        (fun () ->
+          ignore
+            (Exec.Pool.fold_range ~pool ~jobs:4 ~min_work:1 ~n:16
+               ~chunk:(fun lo _ ->
+                 if lo > 0 then failwith (Printf.sprintf "chunk%d" (lo / 4))
+                 else 0)
+               ~combine:( + ) 0));
+      (* the pool survives the failed fold *)
+      check int_t "pool alive after exception" 10
+        (Exec.Pool.fold_range ~pool ~jobs:4 ~min_work:1 ~n:5
+           ~chunk:(fun lo hi ->
+             let s = ref 0 in
+             for i = lo to hi - 1 do s := !s + i done;
+             !s)
+           ~combine:( + ) 0))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Exec.Pool.create ~workers:1 () in
+  Exec.Pool.shutdown pool;
+  Exec.Pool.shutdown pool;
+  check bool_t "shutdown twice" true true
+
+let test_pool_nested_folds () =
+  (* a chunk of an outer fold issues its own pool fold: the caller
+     drains the queue while waiting, so this must not deadlock even
+     with every chunk nested *)
+  with_pool (fun pool ->
+      let got =
+        Exec.Pool.fold_range ~pool ~jobs:3 ~min_work:1 ~n:30
+          ~chunk:(fun lo hi ->
+            Exec.Pool.fold_range ~pool ~jobs:2 ~min_work:1 ~n:(hi - lo)
+              ~chunk:(fun l h ->
+                let s = ref 0 in
+                for i = l to h - 1 do s := !s + (lo + i) done;
+                !s)
+              ~combine:( + ) 0)
+          ~combine:( + ) 0
+      in
+      check int_t "nested folds" (30 * 29 / 2) got)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "kernel"
+    [ ( "index",
+        [ Alcotest.test_case "mem" `Quick test_index_mem;
+          Alcotest.test_case "select/postings" `Quick test_index_select;
+          Alcotest.test_case "randomized vs Relation.mem" `Quick
+            test_index_randomized
+        ] );
+      ( "compiled",
+        [ Alcotest.test_case "≡ Eval.holds (randomized)" `Quick
+            test_compiled_equals_eval;
+          Alcotest.test_case "≡ Eval.sentence_holds (randomized)" `Quick
+            test_compiled_sentences;
+          Alcotest.test_case "open formula rejected" `Quick
+            test_compiled_open_formula_rejected
+        ] );
+      ( "split",
+        [ Alcotest.test_case "≡ Valuation.instance (randomized)" `Quick
+            test_split_equals_valuation_instance;
+          Alcotest.test_case "ground fragment" `Quick test_split_ground_shared
+        ] );
+      ( "kernel",
+        [ Alcotest.test_case "≡ naive support check (randomized)" `Quick
+            test_kernel_equals_naive;
+          Alcotest.test_case "checker + cache consistent" `Quick
+            test_checker_cache_consistent;
+          Alcotest.test_case "intro example" `Quick test_intro_example;
+          Alcotest.test_case "§4 example" `Quick test_section4_example
+        ] );
+      ( "pool-queue",
+        [ Alcotest.test_case "folds reuse workers" `Quick test_pool_queue_fold;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_queue_exception;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
+          Alcotest.test_case "nested folds" `Quick test_pool_nested_folds
+        ] )
+    ]
