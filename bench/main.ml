@@ -176,7 +176,12 @@ type variant = {
   run : unit -> string;
 }
 
-type row = { v : variant; ns_per_op : float; speedup : float }
+type row = {
+  v : variant;
+  ns_per_op : float;
+  speedup : float;
+  metrics : (string * int) list;  (* counter snapshot of the capture run *)
+}
 
 type pkernel_result = {
   name : string;
@@ -199,6 +204,19 @@ let best_of ~reps f =
   done;
   (r, !best)
 
+(* One extra, untimed run with the counters switched on: the timed reps
+   above run with observability off (so the ns/op figures stay
+   unperturbed), while the row still carries its variant's counter
+   profile. The capture run's digest joins the identity check — a
+   variant must produce the same answer observed and unobserved. *)
+let capture_metrics run =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let digest = run () in
+  Obs.Metrics.disable ();
+  let snap = Obs.Metrics.snapshot () in
+  (digest, snap.Obs.Metrics.counters)
+
 let measure_kernel ~reps ~name ~params variants =
   let timed =
     List.map
@@ -210,14 +228,18 @@ let measure_kernel ~reps ~name ~params variants =
   let baseline_ns =
     match timed with (_, _, ns) :: _ -> ns | [] -> invalid_arg "no variants"
   in
-  let digests = List.map (fun (_, d, _) -> d) timed in
+  let captures = List.map (fun (v, _, _) -> capture_metrics v.run) timed in
+  let digests =
+    List.map (fun (_, d, _) -> d) timed @ List.map fst captures
+  in
   let identical =
     List.for_all (fun d -> d = List.hd digests) digests
   in
   let rows =
-    List.map
-      (fun (v, _, ns) -> { v; ns_per_op = ns; speedup = baseline_ns /. ns })
-      timed
+    List.map2
+      (fun (v, _, ns) (_, metrics) ->
+        { v; ns_per_op = ns; speedup = baseline_ns /. ns; metrics })
+      timed captures
   in
   { name; params; identical; rows }
 
@@ -379,7 +401,7 @@ let emit_json ~smoke path results =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema_version\": 2,\n";
+  out "  \"schema_version\": 3,\n";
   out "  \"generated_by\": \"bench/main.exe --parallel%s\",\n"
     (if smoke then " --smoke" else "");
   out "  \"recommended_domain_count\": %d,\n" (Exec.Pool.default_jobs ());
@@ -393,11 +415,18 @@ let emit_json ~smoke path results =
       out "      \"results\": [\n";
       List.iteri
         (fun j row ->
+          let metrics =
+            String.concat ", "
+              (List.map
+                 (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
+                 row.metrics)
+          in
           out
             "        {\"engine\": \"%s\", \"jobs\": %d, \"cache\": %b, \
-             \"ns_per_op\": %.1f, \"speedup_vs_baseline\": %.3f}%s\n"
+             \"ns_per_op\": %.1f, \"speedup_vs_baseline\": %.3f, \
+             \"metrics\": {%s}}%s\n"
             (json_escape row.v.engine) row.v.jobs row.v.cached row.ns_per_op
-            row.speedup
+            row.speedup metrics
             (if j = List.length r.rows - 1 then "" else ","))
         r.rows;
       out "      ]\n";
@@ -407,8 +436,11 @@ let emit_json ~smoke path results =
   out "}\n";
   close_out oc
 
-let run_parallel ~smoke ~max_jobs ~out () =
+let run_parallel ~smoke ~max_jobs ~out ?trace () =
   let w = if smoke then smoke_workload else full_workload in
+  (* --trace: every run (timed and capture) emits spans to the JSONL
+     sink — use for the CI smoke gate, not for timing comparisons. *)
+  Option.iter Obs.Trace.enable_file trace;
   let jobs_list =
     List.sort_uniq compare
       (List.filter (fun j -> j >= 1 && j <= max_jobs) [ 1; 2; 4; max_jobs ])
@@ -449,6 +481,7 @@ let run_parallel ~smoke ~max_jobs ~out () =
         ]
     ]
   in
+  Option.iter (fun _ -> Obs.Trace.close ()) trace;
   List.iter
     (fun r ->
       Printf.printf "  %-24s %s\n" r.name
@@ -456,8 +489,10 @@ let run_parallel ~smoke ~max_jobs ~out () =
       List.iter
         (fun row ->
           Printf.printf
-            "    %-6s jobs=%d cache=%-5b %12.1f ns/op   %6.2fx\n"
-            row.v.engine row.v.jobs row.v.cached row.ns_per_op row.speedup)
+            "    %-6s jobs=%d cache=%-5b %12.1f ns/op   %6.2fx   vals=%d\n"
+            row.v.engine row.v.jobs row.v.cached row.ns_per_op row.speedup
+            (Option.value ~default:0
+               (List.assoc_opt "valuations_evaluated" row.metrics)))
         r.rows)
     results;
   emit_json ~smoke out results;
@@ -466,7 +501,30 @@ let run_parallel ~smoke ~max_jobs ~out () =
     prerr_endline
       "FATAL: a kernel/parallel/cached run disagreed with the naive reference";
     exit 1
-  end
+  end;
+  (* The executable form of the observability acceptance criterion: a
+     µ^k brute-force sweep must request exactly one verdict per point
+     of V^k — k^3 for the 3-null intro example — in every engine, for
+     every jobs/cache configuration. *)
+  let expected_vals = w.mu_k_k * w.mu_k_k * w.mu_k_k in
+  List.iter
+    (fun r ->
+      if r.name = "mu_k_bruteforce" then
+        List.iter
+          (fun row ->
+            let vals =
+              Option.value ~default:(-1)
+                (List.assoc_opt "valuations_evaluated" row.metrics)
+            in
+            if vals <> expected_vals then begin
+              Printf.eprintf
+                "FATAL: %s (engine=%s jobs=%d) evaluated %d valuations, \
+                 expected k^3 = %d\n"
+                r.name row.v.engine row.v.jobs vals expected_vals;
+              exit 1
+            end)
+          r.rows)
+    results
 
 let run_experiments () =
   print_endline "=====================================================";
@@ -508,12 +566,13 @@ let () =
     | Some p -> p
     | None -> if smoke then "BENCH_smoke.json" else "BENCH_parallel.json"
   in
+  let trace = flag_value "--trace" args in
   match (experiments, timings, parallel) with
   | true, false, false -> run_experiments ()
   | false, true, false -> run_timings ()
-  | false, false, true -> run_parallel ~smoke ~max_jobs ~out ()
+  | false, false, true -> run_parallel ~smoke ~max_jobs ~out ?trace ()
   | _, _, _ ->
       if experiments || not (timings || parallel) then run_experiments ();
       if timings || not (experiments || parallel) then run_timings ();
       if parallel || not (experiments || timings) then
-        run_parallel ~smoke ~max_jobs ~out ()
+        run_parallel ~smoke ~max_jobs ~out ?trace ()

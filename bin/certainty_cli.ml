@@ -112,6 +112,45 @@ let json_arg =
   let doc = "Emit the report as JSON instead of text." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let metrics_arg =
+  let doc =
+    "Collect engine counters during the run (valuations evaluated, kernel \
+     refreshes, cache traffic, pool scheduling, chase steps) and print them \
+     after the command's output."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_json_arg =
+  let doc = "Like --metrics, but as a single JSON line on stdout." in
+  Arg.(value & flag & info [ "metrics-json" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a structured span trace of the run to $(docv) as JSON lines (one \
+     flat object per event); also enables counter collection, and span \
+     wall-time aggregates join the --metrics report. Validate the file with \
+     'certainty trace-check'."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Observability envelope for the evaluating subcommands: reset and
+   enable the counters, open the trace sink, run the command body, then
+   render the report after its output. The sink is closed even when the
+   body exits or raises, so the JSONL on disk is always complete. *)
+let with_obs ~metrics ~metrics_json ~trace f =
+  let observing = metrics || metrics_json || trace <> None in
+  if not observing then f ()
+  else begin
+    Obs.Metrics.reset ();
+    Obs.Metrics.enable ();
+    Option.iter Obs.Trace.enable_file trace;
+    Fun.protect ~finally:Obs.Trace.close f;
+    Obs.Metrics.disable ();
+    let snap = Obs.Metrics.snapshot () in
+    if metrics then print_string (Obs.Report.to_text snap);
+    if metrics_json then print_endline (Obs.Report.to_json snap)
+  end
+
 let jobs_opt n = if n <= 0 then None else Some n
 let cache_opt no_cache =
   if no_cache then None else Some (Incomplete.Support.create_cache ())
@@ -195,7 +234,8 @@ let naive_cmd =
     Term.(const run $ schema_arg $ db_arg $ query_arg)
 
 let certain_cmd =
-  let run schema db query jobs no_cache strict =
+  let run schema db query jobs no_cache strict metrics metrics_json trace =
+    with_obs ~metrics ~metrics_json ~trace @@ fun () ->
     with_context schema db query (fun sch inst q ->
         precheck ~strict sch inst q;
         let jobs = jobs_opt jobs and cache = cache_opt no_cache in
@@ -212,10 +252,29 @@ let certain_cmd =
   in
   Cmd.v (Cmd.info "certain" ~doc)
     Term.(const run $ schema_arg $ db_arg $ query_arg $ jobs_arg $ no_cache_arg
-          $ strict_arg)
+          $ strict_arg $ metrics_arg $ metrics_json_arg $ trace_arg)
+
+(* Refuse a µ^k series whose valuation space does not even fit in an
+   int: the brute-force sweep would spin forever, and before the typed
+   Bigint.Overflow it died with an anonymous Failure deep inside the
+   engine. Report the k and the exact k^m instead. *)
+let check_space_sizes ~nulls ks =
+  List.iter
+    (fun k ->
+      try ignore (Incomplete.Enumerate.space_size_exn ~nulls ~k)
+      with Arith.Bigint.Overflow size ->
+        Printf.eprintf
+          "error: k = %d over %d nulls gives a valuation space of %s \
+           valuations — too large to enumerate; pick smaller --ks\n"
+          k (List.length nulls)
+          (Arith.Bigint.to_string size);
+        exit 2)
+    ks
 
 let measure_cmd =
-  let run schema db query tuple ks jobs no_cache strict =
+  let run schema db query tuple ks jobs no_cache strict metrics metrics_json
+      trace =
+    with_obs ~metrics ~metrics_json ~trace @@ fun () ->
     with_context schema db query (fun sch inst q ->
         let jobs = jobs_opt jobs and cache = cache_opt no_cache in
         let tuple =
@@ -239,6 +298,11 @@ let measure_cmd =
           (Format.asprintf "%a" Zeroone.Measure.pp_verdict
              (Zeroone.Measure.mu inst q tuple));
         let ks = parse_ks inst ks in
+        let nulls =
+          List.sort_uniq Int.compare
+            (Instance.nulls inst @ Tuple.nulls tuple)
+        in
+        check_space_sizes ~nulls ks;
         print_endline "µ^k series (brute force):";
         List.iter
           (fun (k, v) ->
@@ -252,10 +316,13 @@ let measure_cmd =
   in
   Cmd.v (Cmd.info "measure" ~doc)
     Term.(const run $ schema_arg $ db_arg $ query_arg $ tuple_arg $ ks_arg
-          $ jobs_arg $ no_cache_arg $ strict_arg)
+          $ jobs_arg $ no_cache_arg $ strict_arg $ metrics_arg
+          $ metrics_json_arg $ trace_arg)
 
 let conditional_cmd =
-  let run schema db query cstr tuple ks jobs no_cache strict =
+  let run schema db query cstr tuple ks jobs no_cache strict metrics
+      metrics_json trace =
+    with_obs ~metrics ~metrics_json ~trace @@ fun () ->
     with_context schema db query (fun sch inst q ->
         let jobs = jobs_opt jobs and cache = cache_opt no_cache in
         let deps = load_constraints sch cstr in
@@ -299,6 +366,12 @@ let conditional_cmd =
         match ks with
         | None -> ()
         | Some _ ->
+            let ks = parse_ks inst ks in
+            let nulls =
+              List.sort_uniq Int.compare
+                (Instance.nulls inst @ Tuple.nulls tuple @ F.nulls sigma)
+            in
+            check_space_sizes ~nulls ks;
             print_endline "µ^k(Q|Σ) series (brute force):";
             List.iter
               (fun k ->
@@ -308,7 +381,7 @@ let conditional_cmd =
                 in
                 Printf.printf "  k = %3d   %-12s ≈ %.6f\n" k (R.to_string v)
                   (R.to_float v))
-              (parse_ks inst ks))
+              ks)
   in
   let doc =
     "Conditional measure µ(Q|Σ,D,t) under integrity constraints (Theorem 3); \
@@ -316,7 +389,8 @@ let conditional_cmd =
   in
   Cmd.v (Cmd.info "conditional" ~doc)
     Term.(const run $ schema_arg $ db_arg $ query_arg $ constraints_arg
-          $ tuple_arg $ ks_arg $ jobs_arg $ no_cache_arg $ strict_arg)
+          $ tuple_arg $ ks_arg $ jobs_arg $ no_cache_arg $ strict_arg
+          $ metrics_arg $ metrics_json_arg $ trace_arg)
 
 let best_cmd =
   let run schema db query tuple tuple2 =
@@ -356,7 +430,8 @@ let best_cmd =
     Term.(const run $ schema_arg $ db_arg $ query_arg $ tuple_arg $ tuple2_arg)
 
 let chase_cmd =
-  let run schema db cstr =
+  let run schema db cstr metrics metrics_json trace =
+    with_obs ~metrics ~metrics_json ~trace @@ fun () ->
     let sch = load_schema schema in
     let inst = load_db sch db in
     let deps = load_constraints sch cstr in
@@ -382,7 +457,8 @@ let chase_cmd =
   in
   let doc = "Chase an incomplete database with functional dependencies (§4.4)." in
   Cmd.v (Cmd.info "chase" ~doc)
-    Term.(const run $ schema_arg $ db_arg $ constraints_arg)
+    Term.(const run $ schema_arg $ db_arg $ constraints_arg $ metrics_arg
+          $ metrics_json_arg $ trace_arg)
 
 let sat_cmd =
   let run schema db cstr =
@@ -547,6 +623,28 @@ let analyze_cmd =
     Term.(const run $ schema_arg $ db_opt_arg $ query_arg
           $ constraints_opt_arg $ tuple_arg $ k_arg $ json_arg $ strict_arg)
 
+let trace_check_cmd =
+  let file_arg =
+    let doc = "JSONL span trace written by --trace." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    match Obs.Trace.validate_file file with
+    | Ok n -> Printf.printf "trace ok: %d completed span(s)\n" n
+    | Error msg ->
+        Printf.eprintf "error: malformed trace: %s\n" msg;
+        exit 1
+    | exception Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+  in
+  let doc =
+    "Validate a span trace: every line a flat JSON event, every span closed \
+     exactly once with non-decreasing timestamps. Nonzero exit on any \
+     malformed or unclosed span — the CI trace gate."
+  in
+  Cmd.v (Cmd.info "trace-check" ~doc) Term.(const run $ file_arg)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -560,4 +658,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ analyze_cmd; naive_cmd; certain_cmd; measure_cmd; conditional_cmd; best_cmd;
-            approx_cmd; datalog_cmd; chase_cmd; sat_cmd ]))
+            approx_cmd; datalog_cmd; chase_cmd; sat_cmd; trace_check_cmd ]))

@@ -250,10 +250,12 @@ let to_int_opt =
       Some !acc
     end
 
+exception Overflow of t
+
 let to_int_exn t =
   match to_int_opt t with
   | Some n -> n
-  | None -> failwith "Bigint.to_int_exn: overflow"
+  | None -> raise (Overflow t)
 
 let to_string t =
   if t.sign = 0 then "0"
@@ -316,3 +318,11 @@ module Infix = struct
 end
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let () =
+  Printexc.register_printer (function
+    | Overflow t ->
+        Some
+          (Printf.sprintf "Bigint.Overflow: %s does not fit in a native int"
+             (to_string t))
+    | _ -> None)

@@ -26,8 +26,14 @@ val of_int : int -> t
 val to_int_opt : t -> int option
 (** [None] if the value does not fit in a native [int]. *)
 
+exception Overflow of t
+(** Raised by {!to_int_exn} with the offending value, so callers (the
+    CLI in particular) can report {e which} space size overflowed
+    instead of dying on an anonymous [Failure]. A printer is
+    registered, so uncaught it still shows the value. *)
+
 val to_int_exn : t -> int
-(** @raise Failure if the value does not fit in a native [int]. *)
+(** @raise Overflow if the value does not fit in a native [int]. *)
 
 val of_string : string -> t
 (** Parses an optionally-signed decimal literal.

@@ -8,6 +8,7 @@ let witness inst q a b =
   if Tuple.arity a <> Query.arity q || Tuple.arity b <> Query.arity q then
     invalid_arg "Sep: tuple arity does not match the query"
   else begin
+    Obs.Trace.span "sep.witness" @@ fun () ->
     let sa = Query.instantiate q a and sb = Query.instantiate q b in
     let db = Support.kernel_db inst in
     let split = Incomplete.Kernel.split db in

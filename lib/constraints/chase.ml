@@ -50,13 +50,15 @@ let rec run fds inst (steps : step list) =
       let b = Tuple.get u fd.Dependency.fd_rhs in
       match (a, b) with
       | Value.Null _, _ ->
+          Obs.Metrics.incr Obs.Metrics.chase_steps;
           run fds (substitute a b inst) ((fd, a, b) :: steps)
       | Value.Const _, Value.Null _ ->
+          Obs.Metrics.incr Obs.Metrics.chase_steps;
           run fds (substitute b a inst) ((fd, b, a) :: steps)
       | Value.Const _, Value.Const _ -> (List.rev steps, Failure (fd, t, u)))
 
-let trace fds inst = run fds inst []
-let chase fds inst = snd (run fds inst [])
+let trace fds inst = Obs.Trace.span "chase.run" (fun () -> run fds inst [])
+let chase fds inst = snd (trace fds inst)
 
 let chase_constraints schema cs inst =
   chase (Dependency.fds_of_schema schema cs) inst

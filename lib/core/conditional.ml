@@ -19,6 +19,7 @@ let limit num den =
       assert false
 
 let mu_cond_report ?jobs ?cache ~sigma inst q tuple =
+  Obs.Trace.span "conditional.report" @@ fun () ->
   let answer = Query.instantiate q tuple in
   (* One class pass counts |Supp^k(Σ∧Q)| and |Supp^k(Σ)| together; with
      ?jobs the pass is chunked over domains, so the numerator and
@@ -70,6 +71,8 @@ let mu_cond_deps_direct ?jobs deps inst q tuple =
   | _ -> assert false
 
 let mu_cond_k ?jobs ?cache ~sigma inst q tuple ~k =
+  Obs.Trace.span "conditional.mu_k" ~attrs:[ ("k", string_of_int k) ]
+  @@ fun () ->
   let answer = Query.instantiate q tuple in
   let nulls =
     List.sort_uniq Int.compare

@@ -26,6 +26,9 @@ type t = {
    sequential ones. Classes below don't share work, so even short
    class lists benefit from a second domain. *)
 let sum_over_classes ?jobs ~width classes mk_weigh =
+  Obs.Trace.span "support_poly.sum"
+    ~attrs:[ ("classes", string_of_int (List.length classes)) ]
+  @@ fun () ->
   let zero = List.map (fun _ -> Poly.zero) width in
   Exec.Pool.fold_list ?jobs ~min_work:8
     ~chunk:(fun chunk -> List.fold_left (mk_weigh ()) zero chunk)

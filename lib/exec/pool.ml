@@ -93,13 +93,19 @@ let get_pool = function Some pool -> pool | None -> Lazy.force global
 
 let fold_range ?pool ?jobs ?(min_work = 1024) ~n ~chunk ~combine init =
   if n < 0 then invalid_arg "Pool.fold_range: negative n";
+  (* Empty range: nothing to partition, so never touch the pool — a
+     fold over zero items must work even against a shut-down pool. *)
+  if n = 0 then init
+  else begin
   let jobs =
     match jobs with Some j -> (if j < 1 then 1 else j) | None -> default_jobs ()
   in
   let jobs = min jobs n in
-  if jobs <= 1 || n < min_work then
-    if n = 0 then init else combine init (chunk 0 n)
-  else begin
+  if jobs <= 1 || n < min_work then combine init (chunk 0 n)
+  else Obs.Trace.span "pool.fold"
+         ~attrs:[ ("n", string_of_int n); ("jobs", string_of_int jobs) ]
+  @@ fun () ->
+  begin
     let pool = get_pool pool in
     let slots = Array.make jobs None in
     let run i () =
@@ -118,11 +124,13 @@ let fold_range ?pool ?jobs ?(min_work = 1024) ~n ~chunk ~combine init =
       let remaining = ref (jobs - 1) in
       let task i () =
         run i ();
+        Obs.Metrics.incr Obs.Metrics.pool_tasks_completed;
         Mutex.lock pool.mutex;
         decr remaining;
         if !remaining = 0 then Condition.broadcast cond_done;
         Mutex.unlock pool.mutex
       in
+      Obs.Metrics.add Obs.Metrics.pool_tasks_queued (jobs - 1);
       Mutex.lock pool.mutex;
       for i = 1 to jobs - 1 do
         Queue.add (task i) pool.work
@@ -140,6 +148,7 @@ let fold_range ?pool ?jobs ?(min_work = 1024) ~n ~chunk ~combine init =
         match Queue.take_opt pool.work with
         | Some task ->
             Mutex.unlock pool.mutex;
+            Obs.Metrics.incr Obs.Metrics.pool_tasks_stolen;
             task ();
             Mutex.lock pool.mutex
         | None -> Condition.wait cond_done pool.mutex
@@ -155,6 +164,7 @@ let fold_range ?pool ?jobs ?(min_work = 1024) ~n ~chunk ~combine init =
         | Some (Error e) -> raise e
         | None -> assert false)
       init slots
+  end
   end
 
 let fold_list ?pool ?jobs ?min_work ~chunk ~combine init xs =

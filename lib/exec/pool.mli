@@ -81,6 +81,9 @@ val fold_range :
 
     If any chunk raises, every chunk still runs to completion and the
     first exception (in chunk order) is re-raised.
+
+    [n = 0] returns [init] immediately without touching the pool, so
+    an empty fold is safe even against a pool that has been shut down.
     @raise Invalid_argument if [n < 0]. *)
 
 val fold_list :

@@ -28,7 +28,28 @@ let witnessing_classes ?cache inst q tuple =
 
 (* Short-circuiting check: certainty needs every class to witness, so
    stop at the first refuting class (possibility dually at the first
-   witnessing one) instead of materializing all verdicts. *)
+   witnessing one) instead of materializing all verdicts. The metric
+   counts each early stop that actually skipped at least one item. *)
+let rec for_all_sc p = function
+  | [] -> true
+  | [ x ] -> p x
+  | x :: rest ->
+      if p x then for_all_sc p rest
+      else begin
+        Obs.Metrics.incr Obs.Metrics.short_circuits;
+        false
+      end
+
+let rec exists_sc p = function
+  | [] -> false
+  | [ x ] -> p x
+  | x :: rest ->
+      if p x then begin
+        Obs.Metrics.incr Obs.Metrics.short_circuits;
+        true
+      end
+      else exists_sc p rest
+
 let check_candidate ?cache ~all db q tuple =
   let split = Kernel.split db in
   let sentence = Query.instantiate q tuple in
@@ -37,7 +58,7 @@ let check_candidate ?cache ~all db q tuple =
   let chk = Support.checker ?cache db sentence in
   let verdict c = Support.check chk (Classes.representative ~anchor_set c) in
   let classes = Classes.enumerate ~anchor_set ~nulls in
-  if all then List.for_all verdict classes else List.exists verdict classes
+  if all then for_all_sc verdict classes else exists_sc verdict classes
 
 let is_certain ?cache inst q tuple =
   check_candidate ?cache ~all:true (Support.kernel_db ?cache inst) q tuple
@@ -60,6 +81,9 @@ let candidates inst m =
    computed once, outside the sweep. Only the instantiated sentence
    (and its compiled checker) is per-candidate. *)
 let filter_candidates ?jobs ?cache ~all inst q =
+  Obs.Trace.span "certain.sweep"
+    ~attrs:[ ("all", string_of_bool all); ("arity", string_of_int (Query.arity q)) ]
+  @@ fun () ->
   let m = Query.arity q in
   let db = Support.kernel_db ?cache inst in
   let split = Kernel.split db in
@@ -82,8 +106,8 @@ let filter_candidates ?jobs ?cache ~all inst q =
       for i = lo to hi - 1 do
         let chk = Support.checker ?cache db (Query.instantiate q cands.(i)) in
         let keep =
-          if all then List.for_all (Support.check chk) representatives
-          else List.exists (Support.check chk) representatives
+          if all then for_all_sc (Support.check chk) representatives
+          else exists_sc (Support.check chk) representatives
         in
         if keep then rel := Relation.add cands.(i) !rel
       done;

@@ -18,20 +18,16 @@ let all_valuations ~nulls ~k =
 
 let count ~nulls ~k = Arith.Combinat.power k (List.length nulls)
 
+(* Both versions defer to the exact [count]: the Bigint is tiny (a few
+   digits) and this keeps the overflow boundary in exactly one place,
+   [Bigint.to_int_opt]/[to_int_exn]. *)
 let space_size ~nulls ~k =
   if k < 0 then invalid_arg "Enumerate.space_size: negative k"
-  else begin
-    let m = List.length nulls in
-    if k = 0 then Some (if m = 0 then 1 else 0)
-    else begin
-      let rec go acc i =
-        if i = m then Some acc
-        else if acc > max_int / k then None
-        else go (acc * k) (i + 1)
-      in
-      go 1 0
-    end
-  end
+  else B.to_int_opt (count ~nulls ~k)
+
+let space_size_exn ~nulls ~k =
+  if k < 0 then invalid_arg "Enumerate.space_size_exn: negative k"
+  else B.to_int_exn (count ~nulls ~k)
 
 let valuation_of_rank ~nulls ~k rank =
   if k < 1 then invalid_arg "Enumerate.valuation_of_rank: k < 1"

@@ -20,6 +20,11 @@ val space_size : nulls:int list -> k:int -> int option
     case rank-based chunking — and any exhaustive enumeration — is
     hopeless anyway). *)
 
+val space_size_exn : nulls:int list -> k:int -> int
+(** Same, but raises {!Arith.Bigint.Overflow} carrying the exact
+    [k^m], so front ends can tell the user how large the space they
+    asked for actually is. *)
+
 val valuation_of_rank : nulls:int list -> k:int -> int -> Valuation.t
 (** The [r]-th valuation of [V^k(D)] in the visit order of
     {!fold_valuations} (the last null of [nulls] is the least

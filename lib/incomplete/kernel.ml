@@ -178,6 +178,9 @@ let base_mem codes c =
   go 0 (Array.length codes)
 
 let holds t v =
+  (* Refreshes are the misses of the verdict cache: requests minus
+     refreshes ≈ cache-served verdicts. *)
+  Obs.Metrics.incr Obs.Metrics.kernel_refreshes;
   let m = Array.length t.knulls in
   (* 1. Null images under v (raises like Valuation.instance would if a
      null of D or of the sentence is unassigned). *)

@@ -39,8 +39,18 @@ type cache_stats = {
   kernel_dbs : Exec.Cache.stats;
 }
 
+(* Verdict keys are (bindings, sentence) pairs — one per valuation per
+   sentence — so a long µ^k series over a big space would grow the
+   table without bound. The cap makes the cache an LRU-ish window (FIFO
+   eviction) instead; 2^18 entries comfortably covers every space the
+   brute-force engine can sweep in reasonable time. The dbs cache holds
+   a single entry and stays uncapped. *)
+let default_verdict_cap = 1 lsl 18
+
 let create_cache () =
-  { verdicts = Exec.Cache.create (); dbs = Exec.Cache.create () }
+  { verdicts = Exec.Cache.create ~max_entries:default_verdict_cap ();
+    dbs = Exec.Cache.create ()
+  }
 
 let cache_stats c =
   { eval_verdicts = Exec.Cache.stats c.verdicts;
@@ -56,18 +66,29 @@ let kernel_db ?cache inst =
 (* Support checks                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let sentence_in_support_naive inst sentence v =
+(* [valuations_evaluated] counts verdict {e requests} — one per
+   valuation submitted to a support check, cache hit or not — so the
+   metric equals the size of the space swept. The raw helper below is
+   the uncounted computation shared by the counted entry points;
+   keeping the [incr] out of it prevents double counting when one
+   entry point delegates to another. *)
+let sentence_in_support_raw inst sentence v =
   let complete = Valuation.instance v inst in
   let concrete = Formula.map_values (Valuation.value v) sentence in
   Eval.sentence_holds complete concrete
 
+let sentence_in_support_naive inst sentence v =
+  Obs.Metrics.incr Obs.Metrics.valuations_evaluated;
+  sentence_in_support_raw inst sentence v
+
 let sentence_in_support ?cache inst sentence v =
+  Obs.Metrics.incr Obs.Metrics.valuations_evaluated;
   match cache with
-  | None -> sentence_in_support_naive inst sentence v
+  | None -> sentence_in_support_raw inst sentence v
   | Some c ->
       Exec.Cache.find_or_add c.verdicts
         (Valuation.bindings v, sentence)
-        (fun () -> sentence_in_support_naive inst sentence v)
+        (fun () -> sentence_in_support_raw inst sentence v)
 
 let in_support ?cache inst q tuple v =
   if Tuple.arity tuple <> Query.arity q then
@@ -83,6 +104,7 @@ type checker = { kern : Kernel.t; cache : cache option }
 let checker ?cache db sentence = { kern = Kernel.compile db sentence; cache }
 
 let check c v =
+  Obs.Metrics.incr Obs.Metrics.valuations_evaluated;
   match c.cache with
   | None -> Kernel.holds c.kern v
   | Some cc ->
@@ -108,6 +130,10 @@ let all_nulls inst tuple =
    summed as bigints in chunk order — bit-identical to the sequential
    count since addition is exact. *)
 let count_satisfying ?jobs ?cache ~db ~sentence ~nulls ~k () =
+  Obs.Trace.span "support.count"
+    ~attrs:
+      [ ("k", string_of_int k); ("nulls", string_of_int (List.length nulls)) ]
+  @@ fun () ->
   match Enumerate.space_size ~nulls ~k with
   | Some n ->
       Exec.Pool.fold_range ?jobs ~min_work:parallel_threshold ~n

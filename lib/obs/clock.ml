@@ -1,0 +1,1 @@
+external now_ns : unit -> int64 = "obs_monotonic_ns"

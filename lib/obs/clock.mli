@@ -1,0 +1,5 @@
+(** Monotonic time source for span timestamps. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on CLOCK_MONOTONIC. Only differences are meaningful;
+    the epoch is unspecified (typically boot time). *)

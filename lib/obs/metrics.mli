@@ -1,0 +1,95 @@
+(** Process-wide observability counters and histograms.
+
+    Every hot path of the engine increments one of the counters below
+    (valuations checked, kernel refreshes, cache traffic, pool
+    scheduling, chase steps). The counters are [Atomic.t] cells, so
+    they are safe to bump from any {!Exec.Pool} worker domain without
+    taking a lock, and reading them never perturbs the run.
+
+    Metrics are {e disabled by default}: every [incr]/[add]/
+    [observe_span] first reads one atomic flag and returns — a load
+    and a predictable branch, no allocation — so instrumented code
+    costs nothing measurable when observability is off. Enabling is
+    global (there is one process-wide registry, shared by all domains,
+    matching the process-wide worker pool). *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every counter and drop every histogram. *)
+
+(** {1 Counters} *)
+
+type t
+(** A named monotone counter. *)
+
+val name : t -> string
+
+val value : t -> int
+(** Current value; readable whether or not metrics are enabled. *)
+
+val incr : t -> unit
+(** No-op when disabled. *)
+
+val add : t -> int -> unit
+(** No-op when disabled. *)
+
+val valuations_evaluated : t
+(** Support checks performed: one per valuation (or class
+    representative) whose verdict was requested, cache hits included. *)
+
+val kernel_refreshes : t
+(** {!Incomplete.Kernel.holds} runs: per-valuation refreshes of the
+    compiled kernel's null images / domain suffix / null tables.
+    [valuations_evaluated - kernel_refreshes ≈ verdicts served by the
+    cache or the naive path]. *)
+
+val short_circuits : t
+(** Certainty/possibility class sweeps that stopped before exhausting
+    the class list (a refuting class for [∀], a witnessing one for
+    [∃]). *)
+
+val cache_hits : t
+val cache_misses : t
+val cache_evictions : t
+(** Aggregated over every {!Exec.Cache} in the process; per-cache
+    figures remain available from [Exec.Cache.stats]. *)
+
+val pool_tasks_queued : t
+(** Chunk tasks enqueued on a {!Exec.Pool} work queue. *)
+
+val pool_tasks_stolen : t
+(** Queued tasks drained by the {e calling} domain while helping. *)
+
+val pool_tasks_completed : t
+(** Queued tasks that finished running (worker or caller). *)
+
+val chase_steps : t
+(** Null substitutions applied by {!Constraints.Chase}. *)
+
+(** {1 Span histograms}
+
+    {!Trace.span} feeds the wall-time of every completed span into a
+    per-name histogram (log2 buckets of nanoseconds), so a trace run
+    also yields aggregate timings without post-processing the JSONL. *)
+
+val observe_span : string -> int -> unit
+(** [observe_span name ns] — no-op when disabled or [ns < 0]. *)
+
+type span_stats = {
+  count : int;
+  total_ns : int;
+  max_ns : int;
+  buckets : int array;  (** [buckets.(i)] counts durations in [[2^i, 2^{i+1})]. *)
+}
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** declaration order, all counters *)
+  spans : (string * span_stats) list;  (** sorted by span name *)
+}
+
+val snapshot : unit -> snapshot

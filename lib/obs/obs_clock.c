@@ -1,0 +1,16 @@
+/* Monotonic clock for Obs.Trace span timestamps.
+ *
+ * CLOCK_MONOTONIC never jumps backwards (unlike gettimeofday under
+ * NTP), which is what makes span_end - span_begin a duration and lets
+ * the trace validator assert per-span monotonicity. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

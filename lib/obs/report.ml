@@ -1,0 +1,58 @@
+let to_text (s : Metrics.snapshot) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "== metrics ==\n";
+  List.iter
+    (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-24s %d\n" name v))
+    s.Metrics.counters;
+  if s.Metrics.spans <> [] then begin
+    Buffer.add_string b "== spans (wall time) ==\n";
+    List.iter
+      (fun (name, st) ->
+        let mean =
+          if st.Metrics.count = 0 then 0.
+          else float_of_int st.Metrics.total_ns /. float_of_int st.Metrics.count
+        in
+        Buffer.add_string b
+          (Printf.sprintf "  %-24s count=%-6d total=%.3fms mean=%.1fus max=%.1fus\n"
+             name st.Metrics.count
+             (float_of_int st.Metrics.total_ns /. 1e6)
+             (mean /. 1e3)
+             (float_of_int st.Metrics.max_ns /. 1e3)))
+      s.Metrics.spans
+  end;
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json (s : Metrics.snapshot) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": %d" (json_escape name) v))
+    s.Metrics.counters;
+  Buffer.add_string b "}, \"spans\": {";
+  List.iteri
+    (fun i (name, st) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"%s\": {\"count\": %d, \"total_ns\": %d, \"max_ns\": %d}"
+           (json_escape name) st.Metrics.count st.Metrics.total_ns
+           st.Metrics.max_ns))
+    s.Metrics.spans;
+  Buffer.add_string b "}}";
+  Buffer.contents b

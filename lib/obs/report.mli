@@ -1,0 +1,13 @@
+(** Renderers for {!Metrics.snapshot}: the human table behind
+    [certainty ... --metrics] and the JSON dump behind
+    [--metrics-json] / the bench metrics column. *)
+
+val to_text : Metrics.snapshot -> string
+(** Counter table (always, in declaration order) followed by a span
+    wall-time table when any span completed under tracing. Counters
+    are deterministic for sequential runs; span timings are not, so
+    they only appear when a trace was requested. *)
+
+val to_json : Metrics.snapshot -> string
+(** [{"counters": {...}, "spans": {name: {count, total_ns, max_ns}}}]
+    on one line. *)

@@ -1,0 +1,259 @@
+type sink = { oc : out_channel; lock : Mutex.t; close_oc : bool }
+
+(* The sink is read on every span entry, including from pool worker
+   domains, so it lives in an atomic rather than behind the mutex; the
+   mutex only serializes the actual line writes. *)
+let current : sink option Atomic.t = Atomic.make None
+let ids = Atomic.make 1
+let enabled () = Atomic.get current <> None
+
+let close () =
+  match Atomic.exchange current None with
+  | None -> ()
+  | Some s ->
+      Mutex.protect s.lock (fun () ->
+          flush s.oc;
+          if s.close_oc then close_out s.oc)
+
+let at_exit_registered = Atomic.make false
+
+let enable_channel ?(close_channel = false) oc =
+  close ();
+  Atomic.set current (Some { oc; lock = Mutex.create (); close_oc = close_channel });
+  if not (Atomic.exchange at_exit_registered true) then at_exit close
+
+let enable_file path = enable_channel ~close_channel:true (open_out path)
+
+(* ------------------------------------------------------------------ *)
+(* Event writer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let emit s ~ev ~id ~name ~t ~attrs =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"ev\":\"";
+  Buffer.add_string b ev;
+  Buffer.add_string b "\",\"id\":";
+  Buffer.add_string b (string_of_int id);
+  Buffer.add_string b ",\"name\":\"";
+  add_escaped b name;
+  Buffer.add_string b "\",\"t\":";
+  Buffer.add_string b (Int64.to_string t);
+  Buffer.add_string b ",\"dom\":";
+  Buffer.add_string b (string_of_int (Domain.self () :> int));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b ",\"a_";
+      add_escaped b k;
+      Buffer.add_string b "\":\"";
+      add_escaped b v;
+      Buffer.add_string b "\"")
+    attrs;
+  Buffer.add_string b "}\n";
+  Mutex.protect s.lock (fun () -> Buffer.output_buffer s.oc b)
+
+let span_begin name =
+  match Atomic.get current with
+  | None -> 0
+  | Some s ->
+      let id = Atomic.fetch_and_add ids 1 in
+      emit s ~ev:"b" ~id ~name ~t:(Clock.now_ns ()) ~attrs:[];
+      id
+
+let span_end ?(attrs = []) ~id name =
+  if id <> 0 then
+    match Atomic.get current with
+    | None -> ()
+    | Some s -> emit s ~ev:"e" ~id ~name ~t:(Clock.now_ns ()) ~attrs
+
+let span ?(attrs = []) name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some _ ->
+      let t0 = Clock.now_ns () in
+      let id = span_begin name in
+      let finish extra =
+        Metrics.observe_span name
+          (Int64.to_int (Int64.sub (Clock.now_ns ()) t0));
+        span_end ~id name ~attrs:(attrs @ extra)
+      in
+      (match f () with
+      | v ->
+          finish [];
+          v
+      | exception e ->
+          finish [ ("error", Printexc.to_string e) ];
+          raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+(* Strict parser for the flat objects this module writes: one JSON
+   object per line, keys and string values with the escapes of
+   [add_escaped], integer values otherwise. Anything else is an error
+   — the point of the gate is to reject truncated or interleaved
+   lines, not to accept all of JSON. *)
+let parse_flat line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then line.[!pos] else raise (Bad "truncated line") in
+  let advance () = incr pos in
+  let expect c =
+    if peek () <> c then
+      raise (Bad (Printf.sprintf "expected %c at column %d" c !pos));
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | ('"' | '\\' | '/') as c ->
+              Buffer.add_char b c;
+              advance ()
+          | 'n' -> Buffer.add_char b '\n'; advance ()
+          | 't' -> Buffer.add_char b '\t'; advance ()
+          | 'r' -> Buffer.add_char b '\r'; advance ()
+          | 'b' -> Buffer.add_char b '\b'; advance ()
+          | 'f' -> Buffer.add_char b '\012'; advance ()
+          | 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                (match peek () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                | _ -> raise (Bad "bad \\u escape"));
+                advance ()
+              done;
+              Buffer.add_char b '?'
+          | _ -> raise (Bad "bad escape"));
+          go ()
+      | c ->
+          if Char.code c < 0x20 then raise (Bad "raw control character");
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_value () =
+    match peek () with
+    | '"' -> parse_string ()
+    | '-' | '0' .. '9' ->
+        let start = !pos in
+        if peek () = '-' then advance ();
+        let digits = ref 0 in
+        while !pos < n && (match line.[!pos] with '0' .. '9' -> true | _ -> false) do
+          incr digits;
+          advance ()
+        done;
+        if !digits = 0 then raise (Bad "bare minus sign");
+        String.sub line start (!pos - start)
+    | c -> raise (Bad (Printf.sprintf "unexpected %C in value position" c))
+  in
+  expect '{';
+  let fields = ref [] in
+  let rec pairs () =
+    let k = parse_string () in
+    expect ':';
+    let v = parse_value () in
+    if List.mem_assoc k !fields then raise (Bad ("duplicate key " ^ k));
+    fields := (k, v) :: !fields;
+    match peek () with
+    | ',' -> advance (); pairs ()
+    | '}' -> advance ()
+    | c -> raise (Bad (Printf.sprintf "expected ',' or '}', got %C" c))
+  in
+  (match peek () with
+  | '}' -> advance () (* empty object: still flat JSON, rejected later *)
+  | _ -> pairs ());
+  if !pos <> n then raise (Bad "trailing characters after object");
+  List.rev !fields
+
+let validate_lines lines =
+  let open_spans : (int, string * int64) Hashtbl.t = Hashtbl.create 64 in
+  let completed = ref 0 in
+  try
+    List.iteri
+      (fun i line ->
+        let where msg = raise (Bad (Printf.sprintf "line %d: %s" (i + 1) msg)) in
+        let fields = try parse_flat line with Bad m -> where m in
+        let get k =
+          match List.assoc_opt k fields with
+          | Some v -> v
+          | None -> where ("missing field " ^ k)
+        in
+        let ev = get "ev" and name = get "name" in
+        let id =
+          match int_of_string_opt (get "id") with
+          | Some id when id > 0 -> id
+          | _ -> where "id is not a positive integer"
+        in
+        let t =
+          match Int64.of_string_opt (get "t") with
+          | Some t -> t
+          | None -> where "t is not an integer"
+        in
+        (match int_of_string_opt (get "dom") with
+        | Some _ -> ()
+        | None -> where "dom is not an integer");
+        match ev with
+        | "b" ->
+            if Hashtbl.mem open_spans id then
+              where (Printf.sprintf "span %d begun twice" id);
+            Hashtbl.add open_spans id (name, t)
+        | "e" -> (
+            match Hashtbl.find_opt open_spans id with
+            | None -> where (Printf.sprintf "span %d ended but never begun" id)
+            | Some (bname, bt) ->
+                if bname <> name then
+                  where
+                    (Printf.sprintf "span %d begun as %s but ended as %s" id
+                       bname name);
+                if Int64.compare t bt < 0 then
+                  where (Printf.sprintf "span %d ends before it begins" id);
+                Hashtbl.remove open_spans id;
+                incr completed)
+        | other -> where (Printf.sprintf "unknown event %S" other))
+      lines;
+    if Hashtbl.length open_spans > 0 then
+      Error
+        (Printf.sprintf "%d unclosed span(s): %s"
+           (Hashtbl.length open_spans)
+           (String.concat ", "
+              (Hashtbl.fold
+                 (fun id (name, _) acc ->
+                   Printf.sprintf "%d (%s)" id name :: acc)
+                 open_spans [])))
+    else Ok !completed
+  with Bad msg -> Error msg
+
+let validate_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      validate_lines (read []))

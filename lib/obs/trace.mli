@@ -1,0 +1,61 @@
+(** Structured span tracing as JSON lines.
+
+    A span wraps one engine entry point (a µ^k count, a certain-answer
+    sweep, a chase, a pool fold). Each span emits two events to the
+    sink:
+
+    {v
+    {"ev":"b","id":7,"name":"support.count","t":123456789,"dom":0}
+    {"ev":"e","id":7,"name":"support.count","t":123999999,"dom":0,"a_k":"16"}
+    v}
+
+    [t] is a monotonic nanosecond timestamp ({!Clock}); [dom] the
+    OCaml domain that emitted the event (spans from pool workers carry
+    their worker's id); [a_*] keys are the caller-supplied attributes.
+    Events are flat JSON objects — string or integer values only — one
+    per line, so the file is greppable and trivially parseable.
+
+    Tracing is disabled by default; {!span} then just runs its thunk
+    (one atomic load, no allocation). Writes are serialized by a mutex
+    around the line write, so events from concurrent domains never
+    interleave mid-line. Completed spans also feed
+    {!Metrics.observe_span} with their wall time. *)
+
+val enable_file : string -> unit
+(** Open (truncate) a sink file. Replaces any current sink. The sink
+    is flushed and closed at [close] or process exit. *)
+
+val enable_channel : ?close_channel:bool -> out_channel -> unit
+(** Trace into an existing channel (e.g. [stderr]). [close_channel]
+    (default false) transfers ownership to {!close}. *)
+
+val close : unit -> unit
+(** Flush and detach the sink. Idempotent; registered [at_exit]. *)
+
+val enabled : unit -> bool
+
+val span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] emits the begin event, runs [f ()], emits the end
+    event (attributes included, plus ["error"] if [f] raised — the
+    exception is re-raised), and records the duration with
+    {!Metrics.observe_span}. When tracing is off this is [f ()]. *)
+
+val span_begin : string -> int
+(** Low-level: emit a begin event, returning the span id ([0] when
+    tracing is off). Prefer {!span}: ids are process-unique and ends
+    are matched by id, but durations are only histogrammed by {!span}. *)
+
+val span_end : ?attrs:(string * string) list -> id:int -> string -> unit
+(** Emit the matching end event. No-op for [id = 0]. *)
+
+(** {1 Validation}
+
+    The checker used by [certainty trace-check], the test-suite and
+    the CI gate: every line must parse as a flat JSON object with the
+    event fields, every span must close exactly once with a
+    non-decreasing timestamp, and no span may be left open. *)
+
+val validate_lines : string list -> (int, string) result
+(** [Ok n] for a well-formed trace containing [n] completed spans. *)
+
+val validate_file : string -> (int, string) result

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Trace gate: validate a JSONL span trace written by `--trace`.
+#
+# Delegates to `certainty trace-check`, which re-uses the library
+# validator (every line a flat JSON event, every span closed exactly
+# once, timestamps non-decreasing within a span) — the same checker the
+# test-suite runs. Nonzero exit on any malformed or unclosed span. CI
+# runs this over the trace of the smoke bench; run it locally with:
+#
+#   dune build && scripts/check-trace.sh trace.jsonl
+set -u
+cd "$(dirname "$0")/.."
+
+if [ "$#" -ne 1 ]; then
+  echo "usage: scripts/check-trace.sh TRACE.jsonl" >&2
+  exit 2
+fi
+exec dune exec -- certainty trace-check "$1"

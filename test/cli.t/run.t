@@ -306,3 +306,96 @@ warnings on stderr and the computation proceeds…
   analysis error[ANL002] query: not generic: mentions constant 'b'
   error: static analysis failed (--strict); run 'certainty analyze' for the full report
   [1]
+
+Observability: --metrics prints the engine counters after the run. With
+--jobs 1 the sweep is sequential (no pool tasks), so every counter is
+deterministic: 27 + 64 verdict requests for the k=3,4 series plus the
+class sweeps of the support polynomial, and the nested V^3 ⊆ V^4 spaces
+make every k=3 verdict a cache hit at k=4.
+
+  $ certainty measure \
+  >   --schema "R1(c, p); R2(c, p)" \
+  >   --db "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) }; R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }" \
+  >   --query "Q(x,y) := R1(x,y) & !R2(x,y)" \
+  >   --tuple "('c2', ~2)" --ks 3,4 --jobs 1 --metrics
+  query:  Q(x, y) := R1(x, y) & !R2(x, y)
+  tuple:  (c2, _|_2)
+  |Supp^k| = k^3 - k^2   (|V^k| = k^3)
+  µ(Q,D,t) = 1   [0-1 law: almost certainly true]
+  µ^k series (brute force):
+    k =   3   µ^k = 2/3          ≈ 0.666667
+    k =   4   µ^k = 3/4          ≈ 0.750000
+  == metrics ==
+    valuations_evaluated     165
+    kernel_refreshes         138
+    short_circuits           0
+    cache_hits               28
+    cache_misses             65
+    cache_evictions          0
+    pool_tasks_queued        0
+    pool_tasks_stolen        0
+    pool_tasks_completed     0
+    chase_steps              0
+
+--trace writes the span events as JSON lines; trace-check validates the
+file (flat JSON per line, every span closed, monotone timestamps). The
+sequential run emits exactly four spans: two support-polynomial class
+sweeps and one µ^k count per k.
+
+  $ certainty measure \
+  >   --schema "R1(c, p); R2(c, p)" \
+  >   --db "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) }; R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }" \
+  >   --query "Q(x,y) := R1(x,y) & !R2(x,y)" \
+  >   --tuple "('c2', ~2)" --ks 3,4 --jobs 1 --trace run.jsonl > /dev/null
+  $ certainty trace-check run.jsonl
+  trace ok: 4 completed span(s)
+  $ sed -n '1p' run.jsonl | sed 's/"t":[0-9]*/"t":T/'
+  {"ev":"b","id":1,"name":"support_poly.sum","t":T,"dom":0}
+
+A truncated or interleaved trace fails the gate.
+
+  $ head -c 40 run.jsonl > broken.jsonl
+  $ certainty trace-check broken.jsonl
+  error: malformed trace: line 1: truncated line
+  [1]
+
+A µ^k space that does not fit in a machine integer is refused up front
+with the exact size, instead of hanging in the brute-force sweep.
+
+  $ certainty measure \
+  >   --schema "R1(c, p); R2(c, p)" \
+  >   --db "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) }; R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }" \
+  >   --query "Q(x,y) := R1(x,y) & !R2(x,y)" \
+  >   --tuple "('c2', ~2)" --ks 3000000
+  query:  Q(x, y) := R1(x, y) & !R2(x, y)
+  tuple:  (c2, _|_2)
+  |Supp^k| = k^3 - k^2   (|V^k| = k^3)
+  µ(Q,D,t) = 1   [0-1 law: almost certainly true]
+  error: k = 3000000 over 3 nulls gives a valuation space of 27000000000000000000 valuations — too large to enumerate; pick smaller --ks
+  [2]
+
+The chase reports its substitution count through the same counters.
+
+  $ certainty chase \
+  >   --schema "R(a, b)" \
+  >   --db "R = { ('k', ~1), ('k', ~2) }" \
+  >   --constraints "fd R : a -> b" --metrics
+  chasing with 1 functional dependency
+    step: fd R : a -> b forces _|_1 := _|_2
+  chase succeeded:
+  R:
+    | a | b    |
+    |---+------|
+    | k | _|_2 |
+  
+  == metrics ==
+    valuations_evaluated     0
+    kernel_refreshes         0
+    short_circuits           0
+    cache_hits               0
+    cache_misses             0
+    cache_evictions          0
+    pool_tasks_queued        0
+    pool_tasks_stolen        0
+    pool_tasks_completed     0
+    chase_steps              1

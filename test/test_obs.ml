@@ -1,0 +1,189 @@
+(* Observability subsystem: counter atomicity under domains, trace
+   JSONL well-formedness, the strict validator's rejections, and the
+   report renderers. *)
+
+module M = Obs.Metrics
+module T = Obs.Trace
+
+let with_metrics f =
+  M.reset ();
+  M.enable ();
+  Fun.protect ~finally:(fun () -> M.disable ()) f
+
+(* --- counters ----------------------------------------------------- *)
+
+let test_counters_disabled () =
+  M.reset ();
+  M.disable ();
+  M.incr M.valuations_evaluated;
+  M.add M.chase_steps 7;
+  Alcotest.(check int) "incr is a no-op when disabled" 0
+    (M.value M.valuations_evaluated);
+  Alcotest.(check int) "add is a no-op when disabled" 0 (M.value M.chase_steps)
+
+let test_counters_basic () =
+  with_metrics (fun () ->
+      M.incr M.valuations_evaluated;
+      M.incr M.valuations_evaluated;
+      M.add M.pool_tasks_queued 5;
+      Alcotest.(check int) "incr twice" 2 (M.value M.valuations_evaluated);
+      Alcotest.(check int) "add 5" 5 (M.value M.pool_tasks_queued);
+      let snap = M.snapshot () in
+      Alcotest.(check (option int))
+        "snapshot sees the counter" (Some 2)
+        (List.assoc_opt "valuations_evaluated" snap.M.counters));
+  M.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (M.value M.valuations_evaluated)
+
+let test_counters_atomic_across_domains () =
+  let domains = 4 and per_domain = 25_000 in
+  with_metrics (fun () ->
+      let spawned =
+        Array.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_domain do
+                  M.incr M.valuations_evaluated
+                done))
+      in
+      Array.iter Domain.join spawned;
+      Alcotest.(check int) "no lost increments" (domains * per_domain)
+        (M.value M.valuations_evaluated))
+
+(* --- span histograms ---------------------------------------------- *)
+
+let test_histogram () =
+  with_metrics (fun () ->
+      List.iter (M.observe_span "h") [ 1; 2; 3; 1024; 1_000_000 ];
+      M.observe_span "h" (-5);
+      (* negative durations dropped *)
+      let snap = M.snapshot () in
+      match List.assoc_opt "h" snap.M.spans with
+      | None -> Alcotest.fail "histogram missing from snapshot"
+      | Some st ->
+          Alcotest.(check int) "count" 5 st.M.count;
+          Alcotest.(check int) "total" (1 + 2 + 3 + 1024 + 1_000_000)
+            st.M.total_ns;
+          Alcotest.(check int) "max" 1_000_000 st.M.max_ns;
+          Alcotest.(check int) "buckets sum to count" st.M.count
+            (Array.fold_left ( + ) 0 st.M.buckets))
+
+(* --- tracing ------------------------------------------------------ *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_trace_well_formed () =
+  let path = Filename.temp_file "obs_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      with_metrics (fun () ->
+          T.enable_file path;
+          Fun.protect ~finally:T.close (fun () ->
+              (* Nested spans, attribute escaping, spans on other
+                 domains, and an error span — everything the engine's
+                 instrumentation can produce. *)
+              T.span "outer" (fun () ->
+                  T.span "inner" ~attrs:[ ("k", "16"); ("q", {|say "hi"|}) ]
+                    (fun () -> ());
+                  let d =
+                    Domain.spawn (fun () -> T.span "worker" (fun () -> 42))
+                  in
+                  ignore (Domain.join d));
+              (try T.span "boom" (fun () -> failwith "expected") with
+              | Failure _ -> ())));
+      (match T.validate_file path with
+      | Ok n -> Alcotest.(check int) "4 completed spans" 4 n
+      | Error msg -> Alcotest.fail ("trace should validate: " ^ msg));
+      (* The error span carries the exception in its end attributes. *)
+      let has_error_attr =
+        List.exists (fun l -> contains_sub l "a_error") (read_lines path)
+      in
+      Alcotest.(check bool) "error attribute present" true has_error_attr)
+
+let test_trace_disabled_is_passthrough () =
+  T.close ();
+  Alcotest.(check bool) "tracing off" false (T.enabled ());
+  Alcotest.(check int) "span runs its thunk" 7 (T.span "x" (fun () -> 7));
+  Alcotest.(check int) "span_begin returns 0" 0 (T.span_begin "x")
+
+let test_validator_rejections () =
+  let bad msg lines =
+    match T.validate_lines lines with
+    | Ok _ -> Alcotest.fail ("validator accepted " ^ msg)
+    | Error _ -> ()
+  in
+  let b id name t =
+    Printf.sprintf {|{"ev":"b","id":%d,"name":"%s","t":%d,"dom":0}|} id name t
+  in
+  let e id name t =
+    Printf.sprintf {|{"ev":"e","id":%d,"name":"%s","t":%d,"dom":0}|} id name t
+  in
+  (match T.validate_lines [ b 1 "s" 10; e 1 "s" 20 ] with
+  | Ok 1 -> ()
+  | Ok n -> Alcotest.failf "expected 1 span, got %d" n
+  | Error msg -> Alcotest.fail ("well-formed pair rejected: " ^ msg));
+  Alcotest.(check bool) "empty trace is fine" true
+    (T.validate_lines [] = Ok 0);
+  bad "truncated JSON" [ {|{"ev":"b","id":1,"name":"s"|} ];
+  bad "trailing garbage" [ b 1 "s" 10 ^ "}" ];
+  bad "non-JSON line" [ "hello" ];
+  bad "unclosed span" [ b 1 "s" 10 ];
+  bad "end without begin" [ e 1 "s" 10 ];
+  bad "name mismatch" [ b 1 "s" 10; e 1 "other" 20 ];
+  bad "duplicate begin" [ b 1 "s" 10; b 1 "s" 11 ];
+  bad "time going backwards" [ b 1 "s" 20; e 1 "s" 10 ];
+  bad "duplicate key" [ {|{"ev":"b","ev":"b","id":1,"name":"s","t":1,"dom":0}|} ];
+  bad "unknown event" [ {|{"ev":"x","id":1,"name":"s","t":1,"dom":0}|} ];
+  bad "missing field" [ {|{"ev":"b","id":1,"t":1,"dom":0}|} ]
+
+(* --- report ------------------------------------------------------- *)
+
+let test_report_renderers () =
+  with_metrics (fun () ->
+      M.incr M.cache_hits;
+      M.observe_span "sp" 1000;
+      let snap = M.snapshot () in
+      let text = Obs.Report.to_text snap in
+      Alcotest.(check bool) "text names the counter" true
+        (contains_sub text "cache_hits");
+      let json = Obs.Report.to_json snap in
+      Alcotest.(check bool) "json has counters object" true
+        (String.length json > 2 && String.sub json 0 13 = {|{"counters": |});
+      Alcotest.(check bool) "json is one line" true
+        (not (String.contains json '\n')))
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "disabled is free" `Quick test_counters_disabled;
+          Alcotest.test_case "incr/add/snapshot/reset" `Quick
+            test_counters_basic;
+          Alcotest.test_case "atomic across domains" `Quick
+            test_counters_atomic_across_domains;
+          Alcotest.test_case "span histogram" `Quick test_histogram
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "well-formed JSONL" `Quick test_trace_well_formed;
+          Alcotest.test_case "disabled passthrough" `Quick
+            test_trace_disabled_is_passthrough;
+          Alcotest.test_case "validator rejections" `Quick
+            test_validator_rejections
+        ] );
+      ( "report",
+        [ Alcotest.test_case "renderers" `Quick test_report_renderers ] )
+    ]

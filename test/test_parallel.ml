@@ -112,7 +112,71 @@ let test_cache_basics () =
   let s = Exec.Cache.stats cache in
   check int_t "hits" 1 s.Exec.Cache.hits;
   check int_t "misses" 2 s.Exec.Cache.misses;
-  check int_t "entries" 2 s.Exec.Cache.entries
+  check int_t "entries" 2 s.Exec.Cache.entries;
+  check int_t "no cap, no evictions" 0 s.Exec.Cache.evictions
+
+let test_cache_eviction () =
+  let cache = Exec.Cache.create ~max_entries:4 () in
+  let f k = Exec.Cache.find_or_add cache k (fun () -> k * 10) in
+  for k = 1 to 10 do
+    ignore (f k)
+  done;
+  let s = Exec.Cache.stats cache in
+  check int_t "entries capped" 4 s.Exec.Cache.entries;
+  check int_t "evictions = inserts - cap" 6 s.Exec.Cache.evictions;
+  check int_t "all ten were misses" 10 s.Exec.Cache.misses;
+  (* FIFO: the oldest keys are gone, the newest survive. *)
+  let calls = ref 0 in
+  let g k = Exec.Cache.find_or_add cache k (fun () -> incr calls; k * 10) in
+  check int_t "evicted key recomputes" 10 (g 1);
+  check int_t "recompute really ran" 1 !calls;
+  check int_t "resident key still hits" 100 (g 10);
+  check int_t "hit did not recompute" 1 !calls;
+  Alcotest.check_raises "negative cap rejected"
+    (Invalid_argument "Cache.create: negative max_entries") (fun () ->
+      ignore (Exec.Cache.create ~max_entries:(-1) () : (int, int) Exec.Cache.t))
+
+let test_cache_concurrent_hammer () =
+  (* Domains race find_or_add over a key space twice the cap: whatever
+     the interleaving, the accounting must stay consistent — every call
+     is a hit or a miss, the table never exceeds the cap, and only
+     stored values can be evicted (a double-computed race inserts
+     once, so entries + evictions never exceeds misses). *)
+  let cap = 32 and keyspace = 64 and domains = 4 and per_domain = 2_000 in
+  let cache = Exec.Cache.create ~max_entries:cap () in
+  let worker seed () =
+    let st = Random.State.make [| seed |] in
+    for _ = 1 to per_domain do
+      let k = Random.State.int st keyspace in
+      let v = Exec.Cache.find_or_add cache k (fun () -> k * 10) in
+      assert (v = k * 10)
+    done
+  in
+  let spawned = Array.init domains (fun i -> Domain.spawn (worker i)) in
+  Array.iter Domain.join spawned;
+  let s = Exec.Cache.stats cache in
+  check int_t "every call is a hit or a miss" (domains * per_domain)
+    (s.Exec.Cache.hits + s.Exec.Cache.misses);
+  check bool_t "entries within cap" true (s.Exec.Cache.entries <= cap);
+  check bool_t "entries + evictions <= misses" true
+    (s.Exec.Cache.entries + s.Exec.Cache.evictions <= s.Exec.Cache.misses);
+  check bool_t "something was evicted" true (s.Exec.Cache.evictions > 0)
+
+let test_pool_empty_fold_after_shutdown () =
+  (* n = 0 must return init without touching the pool at all — even a
+     shut-down pool, whose workers are gone. *)
+  let pool = Exec.Pool.create ~workers:1 () in
+  Exec.Pool.shutdown pool;
+  let got =
+    Exec.Pool.fold_range ~pool ~jobs:4 ~min_work:1 ~n:0
+      ~chunk:(fun _ _ -> Alcotest.fail "chunk ran on an empty range")
+      ~combine:( + ) 42
+  in
+  check int_t "empty fold returns init" 42 got;
+  check int_t "empty fold_list returns init" 7
+    (Exec.Pool.fold_list ~pool ~jobs:4 ~min_work:1
+       ~chunk:(fun _ -> Alcotest.fail "chunk ran on an empty list")
+       ~combine:( + ) 7 [])
 
 (* ------------------------------------------------------------------ *)
 (* Rank-based enumeration                                               *)
@@ -316,7 +380,12 @@ let () =
         [ Alcotest.test_case "fold_range sums" `Quick test_pool_fold_range;
           Alcotest.test_case "chunk order" `Quick test_pool_chunk_order;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
-          Alcotest.test_case "cache basics" `Quick test_cache_basics
+          Alcotest.test_case "empty fold after shutdown" `Quick
+            test_pool_empty_fold_after_shutdown;
+          Alcotest.test_case "cache basics" `Quick test_cache_basics;
+          Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "cache concurrent hammer" `Quick
+            test_cache_concurrent_hammer
         ] );
       ( "rank-enumeration",
         [ Alcotest.test_case "rank order = fold order" `Quick
