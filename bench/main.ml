@@ -7,7 +7,9 @@
    Run with:  dune exec bench/main.exe
    Only experiments:       dune exec bench/main.exe -- --experiments
    Only timings:           dune exec bench/main.exe -- --timings
-   Parallel engine + JSON: dune exec bench/main.exe -- --parallel [--jobs N] [--smoke] *)
+   Parallel engine + JSON: dune exec bench/main.exe -- --parallel [--jobs N] [--smoke]
+   Query service + JSON:   dune exec bench/main.exe -- --serve [--smoke]
+                           [--socket PATH to drive an external server] *)
 
 module RInstance = Relational.Instance
 module Relation = Relational.Relation
@@ -383,19 +385,7 @@ let pk_series ~w ~cached () =
     (Incomplete.Support.mu_k_series ~jobs:1 ?cache d q Tuple.empty
        ~ks:w.series_ks)
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Obs.Json.escape
 
 let emit_json ~smoke path results =
   let oc = open_out path in
@@ -544,6 +534,7 @@ let () =
   let experiments = List.mem "--experiments" args in
   let timings = List.mem "--timings" args in
   let parallel = List.mem "--parallel" args in
+  let serve = List.mem "--serve" args in
   let smoke = List.mem "--smoke" args in
   let rec flag_value key = function
     | k :: v :: _ when k = key -> Some v
@@ -564,15 +555,23 @@ let () =
   let out =
     match flag_value "--out" args with
     | Some p -> p
-    | None -> if smoke then "BENCH_smoke.json" else "BENCH_parallel.json"
+    | None ->
+        if serve then "BENCH_serve.json"
+        else if smoke then "BENCH_smoke.json"
+        else "BENCH_parallel.json"
   in
   let trace = flag_value "--trace" args in
-  match (experiments, timings, parallel) with
-  | true, false, false -> run_experiments ()
-  | false, true, false -> run_timings ()
-  | false, false, true -> run_parallel ~smoke ~max_jobs ~out ?trace ()
-  | _, _, _ ->
-      if experiments || not (timings || parallel) then run_experiments ();
-      if timings || not (experiments || parallel) then run_timings ();
-      if parallel || not (experiments || timings) then
-        run_parallel ~smoke ~max_jobs ~out ?trace ()
+  if serve then
+    (* --serve is its own mode: the service bench spawns threads and an
+       in-process server, which would only perturb the timing modes. *)
+    Serve_bench.run ~smoke ~out ?socket:(flag_value "--socket" args) ()
+  else
+    match (experiments, timings, parallel) with
+    | true, false, false -> run_experiments ()
+    | false, true, false -> run_timings ()
+    | false, false, true -> run_parallel ~smoke ~max_jobs ~out ?trace ()
+    | _, _, _ ->
+        if experiments || not (timings || parallel) then run_experiments ();
+        if timings || not (experiments || parallel) then run_timings ();
+        if parallel || not (experiments || timings) then
+          run_parallel ~smoke ~max_jobs ~out ?trace ()

@@ -645,6 +645,190 @@ let trace_check_cmd =
   in
   Cmd.v (Cmd.info "trace-check" ~doc) Term.(const run $ file_arg)
 
+(* ------------------------------------------------------------------ *)
+(* The query service                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Serve on (or connect to) the Unix-domain socket $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Serve on (or connect to) TCP port $(docv)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "Host for --port." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let addr_of ~socket ~port ~host =
+  match (socket, port) with
+  | Some path, None -> Server.Daemon.Unix_sock path
+  | None, Some port -> Server.Daemon.Tcp (host, port)
+  | Some _, Some _ ->
+      Printf.eprintf "error: pass --socket or --port, not both\n";
+      exit 2
+  | None, None ->
+      Printf.eprintf "error: pass --socket PATH or --port PORT\n";
+      exit 2
+
+let serve_cmd =
+  let workers_arg =
+    let doc =
+      "Service threads executing requests concurrently (each may in turn \
+       fan its valuation sweep out over --jobs pool chunks)."
+    in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let max_queue_arg =
+    let doc =
+      "Bound on the admission queue: requests arriving while $(docv) are \
+       already waiting are refused with a typed 'overloaded' response \
+       instead of queueing without limit."
+    in
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Default per-request deadline in milliseconds (0 = none). Enforced at \
+       valuation-chunk boundaries: an expired request gets a typed \
+       'deadline_exceeded' response and its partial work is discarded. A \
+       request's own deadline_ms field overrides this."
+    in
+    Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_sessions_arg =
+    let doc =
+      "Cap on cached sessions (parsed database + evaluation caches); \
+       oldest-loaded sessions are evicted beyond it."
+    in
+    Arg.(value & opt int 16 & info [ "max-sessions" ] ~docv:"N" ~doc)
+  in
+  let run socket port host jobs workers max_queue deadline_ms max_sessions
+      metrics metrics_json trace =
+    with_obs ~metrics ~metrics_json ~trace @@ fun () ->
+    let addr = addr_of ~socket ~port ~host in
+    let cfg =
+      { Server.Daemon.addr;
+        jobs = jobs_opt jobs;
+        service_threads = workers;
+        max_queue;
+        deadline_ms = (if deadline_ms <= 0 then None else Some deadline_ms);
+        max_sessions
+      }
+    in
+    (match addr with
+    | Server.Daemon.Unix_sock path ->
+        Printf.eprintf "certainty: serving on %s\n%!" path
+    | Server.Daemon.Tcp (host, port) ->
+        Printf.eprintf "certainty: serving on %s:%d\n%!" host port);
+    Server.Daemon.run ~signals:true cfg
+  in
+  let doc =
+    "Run the long-lived query service: newline-delimited JSON requests \
+     (certain, measure, conditional, analyze, health) over a Unix or TCP \
+     socket, with shared per-database caches, bounded admission, \
+     per-request deadlines, and graceful drain on SIGTERM/SIGINT. The \
+     protocol is documented in docs/PROTOCOL.md."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ jobs_arg
+          $ workers_arg $ max_queue_arg $ deadline_arg $ max_sessions_arg
+          $ metrics_arg $ metrics_json_arg $ trace_arg)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let client_cmd =
+  let op_arg =
+    let doc =
+      "Operation to request: certain, measure, conditional, analyze or \
+       health."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let opt_str names docv doc =
+    Arg.(value & opt (some string) None & info names ~docv ~doc)
+  in
+  let schema_arg = opt_str [ "s"; "schema" ] "SCHEMA" "Schema text (@file ok)." in
+  let db_arg = opt_str [ "d"; "db" ] "DB" "Database text (@file ok)." in
+  let query_arg = opt_str [ "q"; "query" ] "QUERY" "Query text (@file ok)." in
+  let constraints_arg =
+    opt_str [ "c"; "constraints" ] "CONSTRAINTS" "Constraints text (@file ok)."
+  in
+  let tuple_arg = opt_str [ "t"; "tuple" ] "TUPLE" "Candidate answer tuple." in
+  let ks_arg = opt_str [ "k"; "ks" ] "K,K,..." "Domain sizes for µ^k series." in
+  let scheme_arg =
+    opt_str [ "scheme" ] "SCHEME"
+      "Approximation scheme for analyze: sql, naive or naive-null-free."
+  in
+  let id_arg = opt_str [ "id" ] "ID" "Request id, echoed in the response." in
+  let deadline_arg =
+    let doc = "Per-request deadline in milliseconds (0 = server default)." in
+    Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let raw_arg =
+    let doc =
+      "Send $(docv) verbatim as a request line before the main request \
+       (repeatable, in order) — for probing the protocol, e.g. with \
+       malformed input."
+    in
+    Arg.(value & opt_all string [] & info [ "raw" ] ~docv:"LINE" ~doc)
+  in
+  let run socket port host op schema db query cstr tuple ks scheme deadline_ms
+      id raws =
+    let addr = addr_of ~socket ~port ~host in
+    let build op =
+      let fields = ref [] in
+      let add name v =
+        match v with
+        | Some s -> fields := (name, Server.Wire.S (read_input s)) :: !fields
+        | None -> ()
+      in
+      add "scheme" scheme;
+      add "ks" ks;
+      add "tuple" tuple;
+      add "constraints" cstr;
+      add "query" query;
+      add "db" db;
+      add "schema" schema;
+      if deadline_ms > 0 then
+        fields := ("deadline_ms", Server.Wire.I deadline_ms) :: !fields;
+      fields := ("op", Server.Wire.S op) :: !fields;
+      add "id" id;
+      Server.Wire.obj !fields
+    in
+    if op = None && raws = [] then begin
+      Printf.eprintf "error: nothing to send; pass OP or --raw LINE\n";
+      exit 2
+    end;
+    let failed = ref false in
+    Server.Client.with_conn addr (fun c ->
+        let exec line =
+          match Server.Client.request c line with
+          | Some resp ->
+              print_endline resp;
+              if contains_substring resp "\"ok\":false" then failed := true
+          | None ->
+              Printf.eprintf "error: server closed the connection\n";
+              failed := true
+        in
+        List.iter exec raws;
+        Option.iter (fun op -> exec (build op)) op);
+    if !failed then exit 1
+  in
+  let doc =
+    "Send one request (plus any --raw probe lines, on the same connection) \
+     to a running 'certainty serve' and print the response lines; exits \
+     nonzero if any response is an error."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ op_arg $ schema_arg
+          $ db_arg $ query_arg $ constraints_arg $ tuple_arg $ ks_arg
+          $ scheme_arg $ deadline_arg $ id_arg $ raw_arg)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -658,4 +842,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ analyze_cmd; naive_cmd; certain_cmd; measure_cmd; conditional_cmd; best_cmd;
-            approx_cmd; datalog_cmd; chase_cmd; sat_cmd; trace_check_cmd ]))
+            approx_cmd; datalog_cmd; chase_cmd; sat_cmd; trace_check_cmd;
+            serve_cmd; client_cmd ]))

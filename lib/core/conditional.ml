@@ -70,7 +70,7 @@ let mu_cond_deps_direct ?jobs deps inst q tuple =
   | [ numerator; denominator ] -> limit numerator denominator
   | _ -> assert false
 
-let mu_cond_k ?jobs ?cache ~sigma inst q tuple ~k =
+let mu_cond_k ?jobs ?guard ?cache ~sigma inst q tuple ~k =
   Obs.Trace.span "conditional.mu_k" ~attrs:[ ("k", string_of_int k) ]
   @@ fun () ->
   let answer = Query.instantiate q tuple in
@@ -95,13 +95,14 @@ let mu_cond_k ?jobs ?cache ~sigma inst q tuple ~k =
     | Some n ->
         (* Both counts fold in the same chunked pass; bigint partial
            sums are exact, so any chunking gives the sequential pair. *)
-        Exec.Pool.fold_range ?jobs ~min_work:512 ~n
+        Exec.Pool.fold_range ?jobs ?guard ~min_work:512 ~n
           ~chunk:(fun lo hi ->
             Enumerate.fold_valuations_range ~nulls ~k ~lo ~hi (mk_step ())
               (B.zero, B.zero))
           ~combine:(fun (n1, d1) (n2, d2) -> (B.add n1 n2, B.add d1 d2))
           (B.zero, B.zero)
     | None ->
+        (match guard with Some g -> g () | None -> ());
         Enumerate.fold_valuations ~nulls ~k (mk_step ()) (B.zero, B.zero)
   in
   if B.is_zero den then Rat.zero else Rat.make num den

@@ -81,6 +81,7 @@ val mu_cond_deps_direct :
 
 val mu_cond_k :
   ?jobs:int ->
+  ?guard:(unit -> unit) ->
   ?cache:Incomplete.Support.cache ->
   sigma:Logic.Formula.t ->
   Relational.Instance.t ->

@@ -74,6 +74,12 @@ let shutdown pool =
   Mutex.unlock pool.mutex;
   if must_join then Array.iter Domain.join pool.workers
 
+let is_stopped pool = Mutex.protect pool.mutex (fun () -> pool.stop)
+
+let with_pool ?workers f =
+  let pool = create ?workers () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
 (* The shared pool behind [fold_range ~pool:None]: created on first
    use, shut down at exit. Sized to recommended_domain_count - 1 so
    that workers plus the calling domain never oversubscribe the
@@ -91,17 +97,38 @@ let get_pool = function Some pool -> pool | None -> Lazy.force global
 (* Deterministic fork-join folds                                       *)
 (* ------------------------------------------------------------------ *)
 
-let fold_range ?pool ?jobs ?(min_work = 1024) ~n ~chunk ~combine init =
+(* With a guard installed, chunks are additionally capped at
+   [guard_granularity] items so the guard runs at a bounded interval
+   even over huge ranges; [guard_max_chunks] bounds the partition (and
+   the slot array) for astronomically large [n]. The partition is
+   still a pure function of [(n, effective jobs)], and every
+   accumulator in the tree is exact, so guarded and unguarded folds
+   produce bit-identical results. *)
+let guard_granularity = 1 lsl 16
+let guard_max_chunks = 8192
+
+let fold_range ?pool ?jobs ?guard ?(min_work = 1024) ~n ~chunk ~combine init =
   if n < 0 then invalid_arg "Pool.fold_range: negative n";
   (* Empty range: nothing to partition, so never touch the pool — a
      fold over zero items must work even against a shut-down pool. *)
   if n = 0 then init
   else begin
+  let check () = match guard with None -> () | Some g -> g () in
   let jobs =
     match jobs with Some j -> (if j < 1 then 1 else j) | None -> default_jobs ()
   in
+  let jobs =
+    match guard with
+    | None -> jobs
+    | Some _ ->
+        max jobs
+          (min guard_max_chunks ((n + guard_granularity - 1) / guard_granularity))
+  in
   let jobs = min jobs n in
-  if jobs <= 1 || n < min_work then combine init (chunk 0 n)
+  if jobs <= 1 || n < min_work then begin
+    check ();
+    combine init (chunk 0 n)
+  end
   else Obs.Trace.span "pool.fold"
          ~attrs:[ ("n", string_of_int n); ("jobs", string_of_int jobs) ]
   @@ fun () ->
@@ -110,7 +137,8 @@ let fold_range ?pool ?jobs ?(min_work = 1024) ~n ~chunk ~combine init =
     let slots = Array.make jobs None in
     let run i () =
       let lo = bounds ~n ~jobs i and hi = bounds ~n ~jobs (i + 1) in
-      slots.(i) <- Some (match chunk lo hi with v -> Ok v | exception e -> Error e)
+      slots.(i) <-
+        Some (match check (); chunk lo hi with v -> Ok v | exception e -> Error e)
     in
     if worker_count pool = 0 then
       (* No workers to feed: run every chunk on the calling domain, in
@@ -167,8 +195,8 @@ let fold_range ?pool ?jobs ?(min_work = 1024) ~n ~chunk ~combine init =
   end
   end
 
-let fold_list ?pool ?jobs ?min_work ~chunk ~combine init xs =
+let fold_list ?pool ?jobs ?guard ?min_work ~chunk ~combine init xs =
   let arr = Array.of_list xs in
-  fold_range ?pool ?jobs ?min_work ~n:(Array.length arr)
+  fold_range ?pool ?jobs ?guard ?min_work ~n:(Array.length arr)
     ~chunk:(fun lo hi -> chunk (Array.to_list (Array.sub arr lo (hi - lo))))
     ~combine init

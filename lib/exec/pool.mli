@@ -55,11 +55,21 @@ val shutdown : t -> unit
 (** Stop and join the workers. Idempotent. Folds on the shared pool
     ([?pool] omitted) never need this — it is shut down at exit. *)
 
+val is_stopped : t -> bool
+(** Whether {!shutdown} has been initiated on this pool. *)
+
+val with_pool : ?workers:int -> (t -> 'a) -> 'a
+(** [with_pool f] spawns a pool, runs [f pool], and shuts the pool
+    down whether [f] returns or raises — spawned domains can never
+    leak past an exceptional exit. Prefer this over a bare {!create}
+    wherever the pool's lifetime is a scope. *)
+
 (** {1 Folds} *)
 
 val fold_range :
   ?pool:t ->
   ?jobs:int ->
+  ?guard:(unit -> unit) ->
   ?min_work:int ->
   n:int ->
   chunk:(int -> int -> 'a) ->
@@ -82,6 +92,18 @@ val fold_range :
     If any chunk raises, every chunk still runs to completion and the
     first exception (in chunk order) is re-raised.
 
+    [guard], when given, is called on the executing domain before
+    {e every} chunk (and once before the sequential fallback); if it
+    raises, that chunk is treated as failed and the remaining chunks
+    fail fast at their own guard call. This is the cancellation hook
+    behind request deadlines: a guard that raises once its deadline
+    has passed aborts the fold at the next chunk boundary, with the
+    partial work discarded. A guard also {e refines the partition} —
+    chunks are capped at [2^16] items (at most 8192 chunks) so the
+    guard runs at a bounded interval even over huge ranges. All
+    accumulators used in this code base are exact, so guarded folds
+    remain bit-identical to unguarded ones.
+
     [n = 0] returns [init] immediately without touching the pool, so
     an empty fold is safe even against a pool that has been shut down.
     @raise Invalid_argument if [n < 0]. *)
@@ -89,6 +111,7 @@ val fold_range :
 val fold_list :
   ?pool:t ->
   ?jobs:int ->
+  ?guard:(unit -> unit) ->
   ?min_work:int ->
   chunk:('b list -> 'a) ->
   combine:('a -> 'a -> 'a) ->

@@ -80,7 +80,7 @@ let candidates inst m =
    class representatives are the same for every candidate and are
    computed once, outside the sweep. Only the instantiated sentence
    (and its compiled checker) is per-candidate. *)
-let filter_candidates ?jobs ?cache ~all inst q =
+let filter_candidates ?jobs ?guard ?cache ~all inst q =
   Obs.Trace.span "certain.sweep"
     ~attrs:[ ("all", string_of_bool all); ("arity", string_of_int (Query.arity q)) ]
   @@ fun () ->
@@ -100,7 +100,7 @@ let filter_candidates ?jobs ?cache ~all inst q =
       (Classes.enumerate ~anchor_set ~nulls)
   in
   let cands = Array.of_list (candidates inst m) in
-  Exec.Pool.fold_range ?jobs ~min_work:4 ~n:(Array.length cands)
+  Exec.Pool.fold_range ?jobs ?guard ~min_work:4 ~n:(Array.length cands)
     ~chunk:(fun lo hi ->
       let rel = ref (Relation.empty m) in
       for i = lo to hi - 1 do
@@ -114,8 +114,8 @@ let filter_candidates ?jobs ?cache ~all inst q =
       !rel)
     ~combine:Relation.union (Relation.empty m)
 
-let certain_answers_enumerated ?jobs ?cache inst q =
-  filter_candidates ?jobs ?cache ~all:true inst q
+let certain_answers_enumerated ?jobs ?guard ?cache inst q =
+  filter_candidates ?jobs ?guard ?cache ~all:true inst q
 
 (* Fragment dispatch (Corollary 3): for queries within Pos∀G naïve
    evaluation computes certain answers, so the class enumeration is
@@ -123,21 +123,21 @@ let certain_answers_enumerated ?jobs ?cache inst q =
    evaluation domain (adom + query constants) coincides with the
    candidate space adom^m of the enumeration path; queries with
    constants keep the exact path. *)
-let certain_answers ?jobs ?cache inst q =
+let certain_answers ?jobs ?guard ?cache inst q =
   if
     Logic.Fragment.naive_eval_sound
       (Logic.Fragment.classify q.Query.body)
     && Query.constants q = []
   then Naive.answers inst q
-  else certain_answers_enumerated ?jobs ?cache inst q
+  else certain_answers_enumerated ?jobs ?guard ?cache inst q
 
-let certain_answers_null_free ?jobs ?cache inst q =
+let certain_answers_null_free ?jobs ?guard ?cache inst q =
   Relation.filter
     (fun t -> not (Tuple.has_null t))
-    (certain_answers ?jobs ?cache inst q)
+    (certain_answers ?jobs ?guard ?cache inst q)
 
-let possible_answers ?jobs ?cache inst q =
-  filter_candidates ?jobs ?cache ~all:false inst q
+let possible_answers ?jobs ?guard ?cache inst q =
+  filter_candidates ?jobs ?guard ?cache ~all:false inst q
 
 let sentence_classes ?cache inst sentence =
   let db = Support.kernel_db ?cache inst in

@@ -17,7 +17,9 @@
     merged by set union, so the answer set is identical for any
     [jobs]), and [?cache] to share one {!Support.cache} across all
     candidates — the class representatives recur from candidate to
-    candidate, so their completed instances [v(D)] are computed once. *)
+    candidate, so their completed instances [v(D)] are computed once.
+    [?guard] is called at candidate-chunk boundaries and cancels the
+    sweep by raising (the query service's deadline hook). *)
 
 val is_certain :
   ?cache:Support.cache ->
@@ -25,6 +27,7 @@ val is_certain :
 
 val certain_answers :
   ?jobs:int ->
+  ?guard:(unit -> unit) ->
   ?cache:Support.cache ->
   Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
 (** [□(Q,D)]: all certain answers among tuples over the active domain
@@ -40,6 +43,7 @@ val certain_answers :
 
 val certain_answers_enumerated :
   ?jobs:int ->
+  ?guard:(unit -> unit) ->
   ?cache:Support.cache ->
   Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
 (** The class-enumeration path, unconditionally: ground truth for every
@@ -47,6 +51,7 @@ val certain_answers_enumerated :
 
 val certain_answers_null_free :
   ?jobs:int ->
+  ?guard:(unit -> unit) ->
   ?cache:Support.cache ->
   Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
 (** The classical intersection-based certain answers: the restriction
@@ -59,6 +64,7 @@ val is_possible :
 
 val possible_answers :
   ?jobs:int ->
+  ?guard:(unit -> unit) ->
   ?cache:Support.cache ->
   Relational.Instance.t -> Logic.Query.t -> Relational.Relation.t
 

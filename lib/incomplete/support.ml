@@ -129,14 +129,14 @@ let all_nulls inst tuple =
    subcounts fit in [int] because the whole space does; they are
    summed as bigints in chunk order — bit-identical to the sequential
    count since addition is exact. *)
-let count_satisfying ?jobs ?cache ~db ~sentence ~nulls ~k () =
+let count_satisfying ?jobs ?guard ?cache ~db ~sentence ~nulls ~k () =
   Obs.Trace.span "support.count"
     ~attrs:
       [ ("k", string_of_int k); ("nulls", string_of_int (List.length nulls)) ]
   @@ fun () ->
   match Enumerate.space_size ~nulls ~k with
   | Some n ->
-      Exec.Pool.fold_range ?jobs ~min_work:parallel_threshold ~n
+      Exec.Pool.fold_range ?jobs ?guard ~min_work:parallel_threshold ~n
         ~chunk:(fun lo hi ->
           let chk = checker ?cache db sentence in
           let count = ref 0 in
@@ -149,31 +149,32 @@ let count_satisfying ?jobs ?cache ~db ~sentence ~nulls ~k () =
   | None ->
       (* Space too large for rank indexing; the sequential fold is
          equally hopeless but at least semantically right. *)
+      (match guard with Some g -> g () | None -> ());
       let chk = checker ?cache db sentence in
       Enumerate.fold_valuations ~nulls ~k
         (fun acc v -> if check chk v then B.succ acc else acc)
         B.zero
 
-let supp_count ?jobs ?cache inst q tuple ~k =
+let supp_count ?jobs ?guard ?cache inst q tuple ~k =
   if Tuple.arity tuple <> Query.arity q then
     invalid_arg "Support.in_support: arity mismatch";
   let nulls = all_nulls inst tuple in
   let sentence = Query.instantiate q tuple in
   let db = kernel_db ?cache inst in
-  count_satisfying ?jobs ?cache ~db ~sentence ~nulls ~k ()
+  count_satisfying ?jobs ?guard ?cache ~db ~sentence ~nulls ~k ()
 
-let mu_k ?jobs ?cache inst q tuple ~k =
+let mu_k ?jobs ?guard ?cache inst q tuple ~k =
   let nulls = all_nulls inst tuple in
   let total = Enumerate.count ~nulls ~k in
   if B.is_zero total then Rat.zero
-  else Rat.make (supp_count ?jobs ?cache inst q tuple ~k) total
+  else Rat.make (supp_count ?jobs ?guard ?cache inst q tuple ~k) total
 
-let mu_k_boolean ?jobs ?cache inst q ~k =
+let mu_k_boolean ?jobs ?guard ?cache inst q ~k =
   if Query.arity q <> 0 then invalid_arg "Support.mu_k_boolean: query not Boolean"
-  else mu_k ?jobs ?cache inst q Tuple.empty ~k
+  else mu_k ?jobs ?guard ?cache inst q Tuple.empty ~k
 
-let mu_k_series ?jobs ?cache inst q tuple ~ks =
-  List.map (fun k -> (k, mu_k ?jobs ?cache inst q tuple ~k)) ks
+let mu_k_series ?jobs ?guard ?cache inst q tuple ~ks =
+  List.map (fun k -> (k, mu_k ?jobs ?guard ?cache inst q tuple ~k)) ks
 
 let support_valuations ?cache inst q tuple ~k =
   let nulls = all_nulls inst tuple in

@@ -28,7 +28,12 @@
       evaluation verdicts across calls. Sharing one cache over a
       [µ^k]-series pays off because the spaces [V^k ⊆ V^{k'}] are
       nested. A cache is tied to the instance it was first used with —
-      never reuse it across databases. *)
+      never reuse it across databases.
+
+    A third knob, [?guard], is the cancellation hook of the query
+    service: it is invoked at every valuation-chunk boundary
+    ({!Exec.Pool.fold_range}'s [?guard]) and aborts the count by
+    raising — the mechanism behind per-request deadlines. *)
 
 val anchor_set : Relational.Instance.t -> Logic.Query.t -> int list
 (** [C ∪ Const(D)]: the query's genericity constants plus the
@@ -110,6 +115,7 @@ val check : checker -> Valuation.t -> bool
 
 val supp_count :
   ?jobs:int ->
+  ?guard:(unit -> unit) ->
   ?cache:cache ->
   Relational.Instance.t ->
   Logic.Query.t ->
@@ -120,6 +126,7 @@ val supp_count :
 
 val mu_k :
   ?jobs:int ->
+  ?guard:(unit -> unit) ->
   ?cache:cache ->
   Relational.Instance.t ->
   Logic.Query.t ->
@@ -132,12 +139,14 @@ val mu_k :
 
 val mu_k_boolean :
   ?jobs:int ->
+  ?guard:(unit -> unit) ->
   ?cache:cache ->
   Relational.Instance.t -> Logic.Query.t -> k:int -> Arith.Rat.t
 (** [µ^k(Q,D)] for Boolean [Q]. *)
 
 val mu_k_series :
   ?jobs:int ->
+  ?guard:(unit -> unit) ->
   ?cache:cache ->
   Relational.Instance.t ->
   Logic.Query.t ->

@@ -1,0 +1,18 @@
+(** Shared JSON string escaping.
+
+    Every JSON emitter in the tree — {!Report}'s metrics objects,
+    {!Trace}'s span events, the bench records, and the server wire
+    protocol — writes strings with exactly this escaping, so their
+    output is mutually parseable by the one strict reader
+    ({!Trace.validate_lines} and the wire-protocol request parser).
+
+    The encoding: double quotes and backslashes are backslash-escaped,
+    newline becomes [\\n], every other byte below [0x20] becomes
+    [\\u00XX], and all other bytes — including non-ASCII bytes, i.e.
+    UTF-8 continuation sequences — pass through unchanged. *)
+
+val add_escaped : Buffer.t -> string -> unit
+(** Append the escaped form of the string to the buffer (no quotes). *)
+
+val escape : string -> string
+(** [escape s] is the escaped form of [s] (no surrounding quotes). *)

@@ -69,6 +69,35 @@ val pool_tasks_completed : t
 val chase_steps : t
 (** Null substitutions applied by {!Constraints.Chase}. *)
 
+(** {2 Query-service counters}
+
+    Bumped by the concurrent query service ([Server], [certainty
+    serve]); zero in one-shot CLI runs. *)
+
+val serve_connections : t
+(** Client connections accepted. *)
+
+val serve_requests : t
+(** Request lines received (well-formed or not, all endpoints). *)
+
+val serve_parse_errors : t
+(** Request lines rejected with a [parse_error] response. *)
+
+val serve_overloaded : t
+(** Requests shed with an [overloaded] response because the admission
+    queue was full. *)
+
+val serve_deadline_exceeded : t
+(** Requests answered with [deadline_exceeded] — whether the deadline
+    expired while queued or during evaluation. *)
+
+val serve_session_loads : t
+(** Databases parsed and indexed into the session store (misses; a
+    request for an already-loaded database does not count). *)
+
+val serve_session_evictions : t
+(** Sessions dropped by the store's FIFO cap. *)
+
 (** {1 Span histograms}
 
     {!Trace.span} feeds the wall-time of every completed span into a

@@ -28,17 +28,7 @@ let enable_file path = enable_channel ~close_channel:true (open_out path)
 (* Event writer                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let add_escaped b s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s
+let add_escaped = Json.add_escaped
 
 let emit s ~ev ~id ~name ~t ~attrs =
   let b = Buffer.create 96 in

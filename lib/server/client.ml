@@ -1,0 +1,51 @@
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect addr =
+  let fd =
+    match addr with
+    | Daemon.Unix_sock path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+        fd
+    | Daemon.Tcp (host, port) ->
+        let ip =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_INET (ip, port))
+         with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+        fd
+  in
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let connect_retry ?(attempts = 50) ?(delay = 0.1) addr =
+  let rec go n =
+    match connect addr with
+    | conn -> conn
+    | exception Unix.Unix_error _ when n > 1 ->
+        Unix.sleepf delay;
+        go (n - 1)
+  in
+  go (max 1 attempts)
+
+let send_line c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let recv_line c =
+  match input_line c.ic with
+  | line -> Some line
+  | exception (End_of_file | Sys_error _) -> None
+
+let request c line =
+  send_line c line;
+  recv_line c
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let with_conn addr f =
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)

@@ -1,0 +1,26 @@
+(** A minimal blocking client for the wire protocol — the [certainty
+    client] subcommand, the load generators of [bench --serve] and the
+    CI smoke test all speak through this. One request line out, one
+    response line back, in order, over a single connection. *)
+
+type conn
+
+val connect : Daemon.addr -> conn
+(** @raise Unix.Unix_error when the server is not there. *)
+
+val connect_retry : ?attempts:int -> ?delay:float -> Daemon.addr -> conn
+(** Retry [connect] (default 50 attempts, 0.1s apart) — for scripts
+    that just started the server and are waiting for the socket.
+    @raise Unix.Unix_error when the last attempt still fails. *)
+
+val send_line : conn -> string -> unit
+val recv_line : conn -> string option
+(** [None] on EOF (server hung up). *)
+
+val request : conn -> string -> string option
+(** [send_line] then [recv_line]. *)
+
+val close : conn -> unit
+
+val with_conn : Daemon.addr -> (conn -> 'a) -> 'a
+(** Connect, run, always close. *)

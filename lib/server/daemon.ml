@@ -1,0 +1,384 @@
+module Metrics = Obs.Metrics
+
+type addr = Unix_sock of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  jobs : int option;
+  service_threads : int;
+  max_queue : int;
+  deadline_ms : int option;
+  max_sessions : int;
+}
+
+let default_config addr =
+  { addr;
+    jobs = None;
+    service_threads = 4;
+    max_queue = 64;
+    deadline_ms = None;
+    max_sessions = 16
+  }
+
+(* A connection. Writes are serialized by [wlock]; [closed] guards the
+   file descriptor so shutdown/close happen exactly once — never on a
+   descriptor number the kernel may have already reused. *)
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wlock : Mutex.t;
+  mutable closed : bool;
+}
+
+type job = { req : Wire.request; jconn : conn; deadline_ns : int64 option }
+
+type t = {
+  cfg : config;
+  sessions : Session.t;
+  lock : Mutex.t;
+  queue : job Queue.t;
+  nonempty : Condition.t;  (* workers wait here for jobs *)
+  idle : Condition.t;  (* drain waits here for queue empty ∧ inflight 0 *)
+  mutable inflight : int;
+  mutable admission_closed : bool;  (* set under [lock] when draining *)
+  mutable stop_workers : bool;
+  draining : bool Atomic.t;  (* fast path for health/readers *)
+  wake_r : Unix.file_descr;  (* self-pipe: signal handler → listener *)
+  wake_w : Unix.file_descr;
+  listen_fd : Unix.file_descr;
+  sock_path : string option;  (* Unix socket file to unlink on drain *)
+  mutable conns : conn list;  (* under [lock] *)
+  mutable readers : Thread.t list;  (* under [lock] *)
+  mutable workers : Thread.t list;
+  mutable listener : Thread.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Connection plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let send conn line =
+  Mutex.protect conn.wlock (fun () ->
+      if not conn.closed then
+        try
+          output_string conn.oc line;
+          output_char conn.oc '\n';
+          flush conn.oc
+        with Sys_error _ -> ())
+(* A dead peer surfaces as Sys_error (SIGPIPE is ignored); the reader
+   thread sees the hangup on its side and cleans up. *)
+
+let close_conn conn =
+  Mutex.protect conn.wlock (fun () ->
+      if not conn.closed then begin
+        conn.closed <- true;
+        (try flush conn.oc with Sys_error _ -> ());
+        try Unix.close conn.fd with Unix.Unix_error _ -> ()
+      end)
+
+let shutdown_conn conn =
+  Mutex.protect conn.wlock (fun () ->
+      if not conn.closed then
+        try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ())
+
+let respond_error conn ~id err msg = send conn (Wire.error_line ~id err msg)
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let deadline_guard deadline_ns () =
+  if Int64.compare (Obs.Clock.now_ns ()) deadline_ns > 0 then
+    raise Service.Deadline
+
+let process t job =
+  let id = job.req.Wire.id and op = job.req.Wire.op in
+  let expired =
+    match job.deadline_ns with
+    | Some d -> Int64.compare (Obs.Clock.now_ns ()) d > 0
+    | None -> false
+  in
+  if expired then begin
+    (* Spent its whole budget waiting in the queue. *)
+    Metrics.incr Metrics.serve_deadline_exceeded;
+    respond_error job.jconn ~id Wire.Deadline_exceeded "deadline exceeded"
+  end
+  else begin
+    let guard = Option.map deadline_guard job.deadline_ns in
+    let t0 = Obs.Clock.now_ns () in
+    let outcome =
+      Obs.Trace.span "serve.request"
+        ~attrs:
+          [ ("op", op); ("id", match id with Some i -> i | None -> "") ]
+        (fun () ->
+          Service.handle ~sessions:t.sessions ?jobs:t.cfg.jobs ?guard job.req)
+    in
+    (* Trace.span only feeds the histogram when a trace sink is open;
+       the service's latency distribution must not depend on that. *)
+    Metrics.observe_span ("serve." ^ op)
+      (Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t0));
+    match outcome with
+    | Ok payload -> send job.jconn (Wire.ok_line ~id ~op payload)
+    | Error (Wire.Deadline_exceeded, msg) ->
+        Metrics.incr Metrics.serve_deadline_exceeded;
+        respond_error job.jconn ~id Wire.Deadline_exceeded msg
+    | Error (err, msg) -> respond_error job.jconn ~id err msg
+  end
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    let rec take () =
+      match Queue.take_opt t.queue with
+      | Some job -> Some job
+      | None ->
+          if t.stop_workers then None
+          else begin
+            Condition.wait t.nonempty t.lock;
+            take ()
+          end
+    in
+    match take () with
+    | None -> Mutex.unlock t.lock
+    | Some job ->
+        t.inflight <- t.inflight + 1;
+        Mutex.unlock t.lock;
+        (try process t job
+         with e ->
+           (* Belt and braces: Service.handle already catches; anything
+              that still escapes must not kill the worker. *)
+           respond_error job.jconn ~id:job.req.Wire.id Wire.Internal_error
+             (Printexc.to_string e));
+        Mutex.lock t.lock;
+        t.inflight <- t.inflight - 1;
+        if Queue.is_empty t.queue && t.inflight = 0 then
+          Condition.broadcast t.idle;
+        Mutex.unlock t.lock;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Readers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let health_line t req =
+  let queue_len, inflight =
+    Mutex.protect t.lock (fun () -> (Queue.length t.queue, t.inflight))
+  in
+  Wire.ok_line ~id:req.Wire.id ~op:"health"
+    [ ( "status",
+        Wire.S (if Atomic.get t.draining then "draining" else "serving") );
+      ("sessions", Wire.I (Session.count t.sessions));
+      ("queue", Wire.I queue_len);
+      ("inflight", Wire.I inflight);
+      ("workers", Wire.I t.cfg.service_threads);
+      ("max_queue", Wire.I t.cfg.max_queue)
+    ]
+
+let admit t job =
+  Mutex.protect t.lock (fun () ->
+      if t.admission_closed then `Draining
+      else if Queue.length t.queue >= t.cfg.max_queue then `Full
+      else begin
+        Queue.add job t.queue;
+        Condition.signal t.nonempty;
+        `Admitted
+      end)
+
+let handle_line t conn line =
+  Metrics.incr Metrics.serve_requests;
+  match Wire.parse_request line with
+  | Error msg ->
+      Metrics.incr Metrics.serve_parse_errors;
+      respond_error conn ~id:None Wire.Parse_error msg
+  | Ok req when req.Wire.op = "health" -> send conn (health_line t req)
+  | Ok req when Atomic.get t.draining ->
+      respond_error conn ~id:req.Wire.id Wire.Shutting_down
+        "server is draining"
+  | Ok req -> (
+      let deadline_ms =
+        match Wire.int_field req "deadline_ms" with
+        | Some ms -> Some ms
+        | None -> t.cfg.deadline_ms
+      in
+      let deadline_ns =
+        match deadline_ms with
+        | Some ms when ms > 0 ->
+            Some
+              (Int64.add (Obs.Clock.now_ns ())
+                 (Int64.mul (Int64.of_int ms) 1_000_000L))
+        | _ -> None
+      in
+      match admit t { req; jconn = conn; deadline_ns } with
+      | `Admitted -> ()
+      | `Full ->
+          Metrics.incr Metrics.serve_overloaded;
+          respond_error conn ~id:req.Wire.id Wire.Overloaded
+            "admission queue full"
+      | `Draining ->
+          respond_error conn ~id:req.Wire.id Wire.Shutting_down
+            "server is draining")
+
+let reader_loop t conn =
+  Metrics.incr Metrics.serve_connections;
+  let rec loop () =
+    match input_line conn.ic with
+    | "" -> loop ()  (* blank keep-alive lines are ignored *)
+    | line ->
+        handle_line t conn line;
+        loop ()
+    | exception (End_of_file | Sys_error _) -> ()
+  in
+  loop ();
+  close_conn conn;
+  Mutex.protect t.lock (fun () ->
+      t.conns <- List.filter (fun c -> c != conn) t.conns)
+
+(* ------------------------------------------------------------------ *)
+(* Listener and drain                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let accept_one t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+      let conn =
+        { fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+          wlock = Mutex.create ();
+          closed = false
+        }
+      in
+      let thread = Thread.create (fun () -> reader_loop t conn) () in
+      Mutex.protect t.lock (fun () ->
+          t.conns <- conn :: t.conns;
+          t.readers <- thread :: t.readers)
+  | exception
+      Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN), _, _) ->
+      ()
+
+let drain_shutdown t =
+  (* Stop accepting: new connect()s fail from here on. *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Option.iter (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ())
+    t.sock_path;
+  Mutex.lock t.lock;
+  t.admission_closed <- true;
+  while not (Queue.is_empty t.queue && t.inflight = 0) do
+    Condition.wait t.idle t.lock
+  done;
+  t.stop_workers <- true;
+  Condition.broadcast t.nonempty;
+  let conns = t.conns in
+  Mutex.unlock t.lock;
+  (* In-flight responses are on the wire; hang up so readers unblock. *)
+  List.iter shutdown_conn conns
+
+let listener_loop t =
+  let rec loop () =
+    if Atomic.get t.draining then ()
+    else
+      match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
+      | readable, _, _ ->
+          if List.mem t.wake_r readable then ()  (* drain requested *)
+          else begin
+            if List.mem t.listen_fd readable then accept_one t;
+            loop ()
+          end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ();
+  drain_shutdown t
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listener addr =
+  match addr with
+  | Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (* A previous unclean exit may have left the socket file behind. *)
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, Some path)
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (ip, port));
+      Unix.listen fd 64;
+      (fd, None)
+
+let start_common cfg =
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let listen_fd, sock_path = bind_listener cfg.addr in
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    { cfg;
+      sessions = Session.create ~max_sessions:cfg.max_sessions ();
+      lock = Mutex.create ();
+      queue = Queue.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      inflight = 0;
+      admission_closed = false;
+      stop_workers = false;
+      draining = Atomic.make false;
+      wake_r;
+      wake_w;
+      listen_fd;
+      sock_path;
+      conns = [];
+      readers = [];
+      workers = [];
+      listener = None
+    }
+  in
+  t.workers <-
+    List.init (max 1 cfg.service_threads) (fun _ ->
+        Thread.create (fun () -> worker_loop t) ());
+  t
+
+let start cfg =
+  let t = start_common cfg in
+  t.listener <- Some (Thread.create (fun () -> listener_loop t) ());
+  t
+
+let drain t =
+  if not (Atomic.exchange t.draining true) then
+    (* Async-signal-safe: one flag, one write. The listener owns the
+       actual teardown. *)
+    ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+
+let wait t =
+  Option.iter Thread.join t.listener;
+  List.iter Thread.join t.workers;
+  let readers = Mutex.protect t.lock (fun () -> t.readers) in
+  List.iter Thread.join readers;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+
+(* The accept loop runs on the calling (main) thread, not a spawned
+   one: a signal interrupting [select] with EINTR re-enters OCaml code
+   right here, which is what lets the runtime actually execute the
+   OCaml-level handler. With every thread parked in [Thread.join] /
+   [Condition.wait] / [select] — the shape [start] + [wait] has — no
+   thread reaches a poll point and a SIGTERM would sit pending
+   forever. *)
+let run ?(signals = true) cfg =
+  let t = start_common cfg in
+  if signals then begin
+    let handler = Sys.Signal_handle (fun _ -> drain t) in
+    ignore (Sys.signal Sys.sigterm handler);
+    ignore (Sys.signal Sys.sigint handler)
+  end;
+  listener_loop t;
+  wait t

@@ -1,0 +1,65 @@
+(** The query service daemon: sockets, admission control, deadlines,
+    graceful drain.
+
+    Architecture: one listener thread accepts connections (woken by a
+    self-pipe for shutdown); each connection gets a reader thread that
+    parses request lines and answers the cheap cases inline —
+    [parse_error] (the connection survives), [health], [overloaded]
+    when the bounded admission queue is full, [shutting_down] while
+    draining. Admitted requests wait in the queue for one of
+    [service_threads] worker threads, which run them through
+    {!Service.handle} on the shared {!Session} store and the
+    persistent {!Exec.Pool}, under a {!Obs.Trace} span and a
+    per-endpoint {!Obs.Metrics} latency histogram.
+
+    Deadlines: a request's budget ([deadline_ms] field, else the
+    server default) is converted to an absolute {!Obs.Clock} instant
+    at admission. Workers re-check it at dequeue and pass a guard into
+    the engine that re-checks at every valuation-chunk boundary;
+    either way the client gets a typed [deadline_exceeded] and the
+    partial count is discarded.
+
+    Drain ({!drain}, also wired to SIGTERM/SIGINT by {!run}): stop
+    accepting — close the listening socket and unlink the Unix socket
+    path — let queued and in-flight requests finish, then stop the
+    workers, shut down every connection, and join all threads. During
+    the drain window readers still answer [health] (reporting
+    [draining]) and refuse evaluating requests with
+    [shutting_down]. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  jobs : int option;  (** chunk count for the parallel sweeps *)
+  service_threads : int;  (** worker threads executing requests *)
+  max_queue : int;  (** admission-queue bound; 0 rejects all queueing *)
+  deadline_ms : int option;  (** default per-request budget *)
+  max_sessions : int;  (** session-store cap *)
+}
+
+val default_config : addr -> config
+(** [jobs = None], 4 service threads, queue bound 64, no deadline,
+    16 sessions. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen, spawn the listener and worker threads, and return.
+    Also ignores SIGPIPE process-wide (a client hanging up mid-response
+    must not kill the server).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val drain : t -> unit
+(** Begin graceful shutdown; idempotent, safe from signal handlers
+    (sets a flag and writes the self-pipe, nothing else). *)
+
+val wait : t -> unit
+(** Block until the server has fully shut down (listener, workers and
+    readers joined). Call {!drain} first — or from another thread or a
+    signal handler — otherwise this blocks forever. *)
+
+val run : ?signals:bool -> config -> unit
+(** [start], install SIGTERM/SIGINT handlers that {!drain} (unless
+    [~signals:false]), then {!wait}. The [certainty serve] main
+    loop. *)

@@ -1,0 +1,325 @@
+module Instance = Relational.Instance
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Query = Logic.Query
+module Parser = Logic.Parser
+module F = Logic.Formula
+module R = Arith.Rat
+module P = Arith.Poly
+
+exception Deadline
+
+let ( let* ) = Result.bind
+
+let require req name =
+  match Wire.str_field req name with
+  | Some s -> Ok s
+  | None -> Error (Wire.Bad_request, Printf.sprintf "missing field %S" name)
+
+let parse_query s =
+  match Parser.query s with
+  | Ok q -> Ok q
+  | Error msg -> Error (Wire.Bad_request, "query: " ^ msg)
+
+let well_formed schema q =
+  match Query.well_formed schema q with
+  | Ok () -> Ok ()
+  | Error msg -> Error (Wire.Bad_request, "ill-formed query: " ^ msg)
+
+let get_session sessions req =
+  let* schema = require req "schema" in
+  let* db = require req "db" in
+  match Session.get sessions ~schema ~db with
+  | Ok entry -> Ok entry
+  | Error msg -> Error (Wire.Bad_request, msg)
+
+(* The candidate tuple: required exactly when the query is
+   non-Boolean, like the CLI's --tuple. *)
+let get_tuple req q =
+  match Wire.str_field req "tuple" with
+  | Some s -> (
+      match Parser.tuple s with
+      | Ok t -> Ok t
+      | Error msg -> Error (Wire.Bad_request, "tuple: " ^ msg))
+  | None ->
+      if Query.arity q = 0 then Ok Tuple.empty
+      else Error (Wire.Bad_request, "non-Boolean query needs a \"tuple\" field")
+
+let get_deps schema req =
+  let* s = require req "constraints" in
+  match Constraints.Dep_parser.parse schema s with
+  | Ok deps -> Ok deps
+  | Error msg -> Error (Wire.Bad_request, "constraints: " ^ msg)
+
+let get_ks req =
+  match Wire.str_field req "ks" with
+  | None -> Ok None
+  | Some s -> (
+      let parts =
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+      in
+      match List.map int_of_string parts with
+      | [] -> Error (Wire.Bad_request, "empty \"ks\" field")
+      | ks -> Ok (Some ks)
+      | exception _ ->
+          Error (Wire.Bad_request, Printf.sprintf "invalid \"ks\" field %S" s))
+
+(* Refuse a µ^k sweep whose space does not fit in an int — same
+   refusal as the CLI's check_space_sizes, but as a typed response. *)
+let check_space ~nulls ks =
+  let rec go = function
+    | [] -> Ok ()
+    | k :: rest -> (
+        match Incomplete.Enumerate.space_size_exn ~nulls ~k with
+        | _ -> go rest
+        | exception Arith.Bigint.Overflow size ->
+            Error
+              ( Wire.Bad_request,
+                Printf.sprintf
+                  "k = %d over %d nulls gives a valuation space of %s \
+                   valuations; too large to enumerate"
+                  k (List.length nulls)
+                  (Arith.Bigint.to_string size) ))
+  in
+  go ks
+
+(* The static-analysis gate. Unlike the CLI (which prints warnings and
+   only aborts under --strict), the server always refuses queries with
+   analysis errors: there is no terminal to warn on, and a typed
+   response with the stable codes is more useful to a remote caller
+   than a half-run evaluation. *)
+let precheck ?deps ?tuple schema inst q =
+  let report = Analysis.Report.analyze ~inst ?deps ?tuple schema q in
+  if not (Analysis.Report.has_errors report) then Ok ()
+  else
+    let codes =
+      Analysis.Report.all_diags report
+      |> List.filter (fun d -> d.Analysis.Diag.severity = Analysis.Diag.Error)
+      |> List.map (fun d -> d.Analysis.Diag.code)
+      |> List.sort_uniq String.compare
+    in
+    Error
+      ( Wire.Analysis_error,
+        "static analysis failed: " ^ String.concat " " codes )
+
+let rel_string rel =
+  String.concat "; " (List.map Tuple.to_string (Relation.to_list rel))
+
+let series_string series =
+  String.concat ";"
+    (List.map (fun (k, v) -> Printf.sprintf "%d=%s" k (R.to_string v)) series)
+
+(* ------------------------------------------------------------------ *)
+(* Endpoints                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_certain ~sessions ?jobs ?guard req =
+  let* entry = get_session sessions req in
+  let* qs = require req "query" in
+  let* q = parse_query qs in
+  let* () = well_formed entry.Session.schema q in
+  let* () = precheck entry.Session.schema entry.Session.inst q in
+  let inst = entry.Session.inst and cache = entry.Session.cache in
+  let certain = Incomplete.Certain.certain_answers ?jobs ?guard ~cache inst q in
+  let possible =
+    Incomplete.Certain.possible_answers ?jobs ?guard ~cache inst q
+  in
+  let naive = Incomplete.Naive.answers inst q in
+  Ok
+    [ ("certain", Wire.S (rel_string certain));
+      ("certain_count", Wire.I (Relation.cardinal certain));
+      ("possible", Wire.S (rel_string possible));
+      ("possible_count", Wire.I (Relation.cardinal possible));
+      ("naive", Wire.S (rel_string naive));
+      ("naive_count", Wire.I (Relation.cardinal naive))
+    ]
+
+let run_measure ~sessions ?jobs ?guard req =
+  let* entry = get_session sessions req in
+  let* qs = require req "query" in
+  let* q = parse_query qs in
+  let* () = well_formed entry.Session.schema q in
+  let* tuple = get_tuple req q in
+  let* () = precheck ~tuple entry.Session.schema entry.Session.inst q in
+  let inst = entry.Session.inst and cache = entry.Session.cache in
+  let sp = Zeroone.Support_poly.of_query inst q tuple in
+  let mu = Zeroone.Measure.mu_symbolic inst q tuple in
+  let verdict =
+    Format.asprintf "%a" Zeroone.Measure.pp_verdict
+      (Zeroone.Measure.mu inst q tuple)
+  in
+  let* ks = get_ks req in
+  let* series =
+    match ks with
+    | None -> Ok []
+    | Some ks ->
+        let nulls =
+          List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
+        in
+        let* () = check_space ~nulls ks in
+        let series =
+          Incomplete.Support.mu_k_series ?jobs ?guard ~cache inst q tuple ~ks
+        in
+        Ok [ ("series", Wire.S (series_string series)) ]
+  in
+  Ok
+    ([ ("supp_poly", Wire.S (P.to_string sp));
+       ("nulls", Wire.I (Instance.null_count inst));
+       ("mu", Wire.S (R.to_string mu));
+       ("verdict", Wire.S verdict)
+     ]
+    @ series)
+
+let run_conditional ~sessions ?jobs ?guard req =
+  let* entry = get_session sessions req in
+  let* qs = require req "query" in
+  let* q = parse_query qs in
+  let* () = well_formed entry.Session.schema q in
+  let* deps = get_deps entry.Session.schema req in
+  let* tuple = get_tuple req q in
+  let* () = precheck ~deps ~tuple entry.Session.schema entry.Session.inst q in
+  let inst = entry.Session.inst and cache = entry.Session.cache in
+  let sch = entry.Session.schema in
+  let sigma = Constraints.Dependency.set_to_formula sch deps in
+  let report = Zeroone.Conditional.mu_cond_report ?jobs ~cache ~sigma inst q tuple in
+  let strategy = Zeroone.Conditional.strategy deps tuple in
+  let chase =
+    match strategy with
+    | Zeroone.Conditional.Chase_fds ->
+        let fds = Constraints.Dependency.fds_of_schema sch deps in
+        [ ( "chase",
+            Wire.S (R.to_string (Zeroone.Conditional.mu_cond_fds fds inst q tuple)) )
+        ]
+    | Zeroone.Conditional.Symbolic -> []
+  in
+  let* ks = get_ks req in
+  let* series =
+    match ks with
+    | None -> Ok []
+    | Some ks ->
+        let nulls =
+          List.sort_uniq Int.compare
+            (Instance.nulls inst @ Tuple.nulls tuple @ F.nulls sigma)
+        in
+        let* () = check_space ~nulls ks in
+        let series =
+          List.map
+            (fun k ->
+              ( k,
+                Zeroone.Conditional.mu_cond_k ?jobs ?guard ~cache ~sigma inst q
+                  tuple ~k ))
+            ks
+        in
+        Ok [ ("series", Wire.S (series_string series)) ]
+  in
+  Ok
+    ([ ("numerator", Wire.S (P.to_string report.Zeroone.Conditional.numerator));
+       ( "denominator",
+         Wire.S (P.to_string report.Zeroone.Conditional.denominator) );
+       ("value", Wire.S (R.to_string report.Zeroone.Conditional.value));
+       ( "strategy",
+         Wire.S
+           (match strategy with
+           | Zeroone.Conditional.Chase_fds -> "chase_fds"
+           | Zeroone.Conditional.Symbolic -> "symbolic") )
+     ]
+    @ chase @ series)
+
+let scheme_of_name = function
+  | "sql" -> Ok Zeroone.Approx.sql_scheme
+  | "naive" -> Ok (fun d q -> Incomplete.Naive.answers d q)
+  | "naive-null-free" -> Ok Zeroone.Approx.naive_null_free_scheme
+  | other ->
+      Error (Wire.Bad_request, Printf.sprintf "unknown scheme %S" other)
+
+let parse_schema s =
+  match Parser.schema s with
+  | Ok sch -> Ok sch
+  | Error msg -> Error (Wire.Bad_request, "schema: " ^ msg)
+
+let run_analyze ~sessions req =
+  let has_db = Wire.str_field req "db" <> None in
+  let* sch, inst =
+    if has_db then
+      let* entry = get_session sessions req in
+      Ok (entry.Session.schema, Some entry.Session.inst)
+    else
+      let* s = require req "schema" in
+      let* sch = parse_schema s in
+      Ok (sch, None)
+  in
+  let* qs = require req "query" in
+  let* q = parse_query qs in
+  let* deps =
+    match Wire.str_field req "constraints" with
+    | None -> Ok None
+    | Some _ ->
+        let* deps = get_deps sch req in
+        Ok (Some deps)
+  in
+  let* tuple =
+    match Wire.str_field req "tuple" with
+    | None -> Ok None
+    | Some s -> (
+        match Parser.tuple s with
+        | Ok t -> Ok (Some t)
+        | Error msg -> Error (Wire.Bad_request, "tuple: " ^ msg))
+  in
+  let k = Wire.int_field req "domain_size" in
+  let report = Analysis.Report.analyze ?inst ?deps ?tuple ?k sch q in
+  let errors =
+    Analysis.Diag.count Analysis.Diag.Error (Analysis.Report.all_diags report)
+  in
+  (* Satellite: the analyze endpoint doubles as the approximation
+     grader — with a scheme (and a db to run it on) it reuses the same
+     Zeroone.Approx evaluation as 'certainty approx'. *)
+  let* approx =
+    match Wire.str_field req "scheme" with
+    | None -> Ok []
+    | Some name -> (
+        let* scheme = scheme_of_name name in
+        match inst with
+        | None ->
+            Error (Wire.Bad_request, "grading a scheme needs a \"db\" field")
+        | Some inst ->
+            let r = Zeroone.Approx.evaluate scheme inst q in
+            Ok
+              [ ("scheme", Wire.S name);
+                ("returned", Wire.S (rel_string r.Zeroone.Approx.returned));
+                ("missed", Wire.S (rel_string r.Zeroone.Approx.missed));
+                ( "spurious_benign",
+                  Wire.S (rel_string r.Zeroone.Approx.spurious_benign) );
+                ( "spurious_harmful",
+                  Wire.S (rel_string r.Zeroone.Approx.spurious_harmful) );
+                ("recall", Wire.S (R.to_string (Zeroone.Approx.recall r)));
+                ("precision", Wire.S (R.to_string (Zeroone.Approx.precision r)));
+                ("sound", Wire.B (Zeroone.Approx.sound r));
+                ("complete", Wire.B (Zeroone.Approx.complete r))
+              ])
+  in
+  Ok
+    ([ ("errors", Wire.I errors);
+       ("report", Wire.Raw (Analysis.Report.to_json report))
+     ]
+    @ approx)
+
+let run ~sessions ?jobs ?guard req =
+  match req.Wire.op with
+  | "certain" -> run_certain ~sessions ?jobs ?guard req
+  | "measure" -> run_measure ~sessions ?jobs ?guard req
+  | "conditional" -> run_conditional ~sessions ?jobs ?guard req
+  | "analyze" -> run_analyze ~sessions req
+  | op -> Error (Wire.Unsupported_op, Printf.sprintf "unsupported op %S" op)
+
+let handle ~sessions ?jobs ?guard req =
+  match run ~sessions ?jobs ?guard req with
+  | outcome -> outcome
+  | exception Deadline -> Error (Wire.Deadline_exceeded, "deadline exceeded")
+  | exception Arith.Bigint.Overflow size ->
+      Error
+        ( Wire.Bad_request,
+          Printf.sprintf "valuation space of %s valuations; too large"
+            (Arith.Bigint.to_string size) )
+  | exception e -> Error (Wire.Internal_error, Printexc.to_string e)

@@ -1,0 +1,35 @@
+(** Request execution for the query service.
+
+    [handle] maps one parsed {!Wire.request} to a response payload,
+    running the same engine entry points as the CLI subcommands —
+    [certain], [measure], [conditional], [analyze] — against a shared
+    {!Session} store. It is deliberately transport-free: the daemon
+    calls it from worker threads, and [bench --serve] calls it
+    directly (with [jobs = 1] and a fresh store) to build the expected
+    responses its identity gate compares against. All payload values
+    are deterministic strings — exact rationals, polynomials, and
+    semicolon-joined tuple lists; never floats or timings — which is
+    what makes the bit-identity gate possible.
+
+    Evaluating requests pass the static-analysis precheck gate first:
+    analysis errors come back as {!Wire.Analysis_error} with the
+    stable diagnostic codes in the message, and no evaluation runs. *)
+
+exception Deadline
+(** Raised by the daemon's deadline guards at a valuation-chunk
+    boundary; [handle] turns it into {!Wire.Deadline_exceeded},
+    discarding the partial count. *)
+
+val handle :
+  sessions:Session.t ->
+  ?jobs:int ->
+  ?guard:(unit -> unit) ->
+  Wire.request ->
+  ((string * Wire.json) list, Wire.error * string) result
+(** Execute one request. [?jobs] is the chunk count handed to the
+    parallel sweeps (the server's [--jobs]); [?guard] is threaded into
+    every brute-force enumeration. Exceptions do not escape: guard
+    aborts map to [Deadline_exceeded], valuation-space overflows to
+    [Bad_request], anything else to [Internal_error]. The [health] op
+    is served by the daemon, not here — unknown ops (including
+    [health]) return [Unsupported_op]. *)

@@ -1,0 +1,58 @@
+module Parser = Logic.Parser
+
+type entry = {
+  schema : Relational.Schema.t;
+  inst : Relational.Instance.t;
+  cache : Incomplete.Support.cache;
+}
+
+type t = {
+  lock : Mutex.t;
+  table : (string * string, entry) Hashtbl.t;
+  order : (string * string) Queue.t;  (* insertion order, for FIFO eviction *)
+  max_sessions : int;
+}
+
+let create ?(max_sessions = 16) () =
+  { lock = Mutex.create ();
+    table = Hashtbl.create 16;
+    order = Queue.create ();
+    max_sessions = max 1 max_sessions
+  }
+
+let count t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+
+let load ~schema ~db =
+  match Parser.schema schema with
+  | Error msg -> Error ("schema: " ^ msg)
+  | Ok sch -> (
+      match Parser.instance sch db with
+      | Error msg -> Error ("db: " ^ msg)
+      | Ok inst ->
+          Ok { schema = sch; inst; cache = Incomplete.Support.create_cache () })
+
+let get t ~schema ~db =
+  let key = (schema, db) in
+  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key) with
+  | Some entry -> Ok entry
+  | None -> (
+      (* Parse outside the lock. Two connections racing on the same new
+         pair may both parse; the first insert wins and the loser adopts
+         it, so caches are never split across requests. *)
+      match load ~schema ~db with
+      | Error _ as e -> e
+      | Ok fresh ->
+          Obs.Metrics.incr Obs.Metrics.serve_session_loads;
+          Ok
+            (Mutex.protect t.lock (fun () ->
+                 match Hashtbl.find_opt t.table key with
+                 | Some winner -> winner
+                 | None ->
+                     Hashtbl.add t.table key fresh;
+                     Queue.add key t.order;
+                     while Hashtbl.length t.table > t.max_sessions do
+                       let victim = Queue.pop t.order in
+                       Hashtbl.remove t.table victim;
+                       Obs.Metrics.incr Obs.Metrics.serve_session_evictions
+                     done;
+                     fresh)))

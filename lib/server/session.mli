@@ -1,0 +1,33 @@
+(** The server's session store: parsed databases and their caches.
+
+    A session is keyed by the literal (schema text, database text)
+    pair of the request. The first request for a pair parses both and
+    creates an {!Incomplete.Support.cache}; every later request for
+    the same pair — from any connection — shares the parsed instance,
+    the kernel database built inside the cache on first use, and the
+    capped verdict cache. This is what makes the server cheaper than
+    one CLI process per query: the [k^m]-sweep verdicts accumulate
+    across requests.
+
+    The store holds at most [max_sessions] entries and evicts in FIFO
+    order; {!Obs.Metrics.serve_session_loads} and
+    {!Obs.Metrics.serve_session_evictions} count the churn. *)
+
+type entry = {
+  schema : Relational.Schema.t;
+  inst : Relational.Instance.t;
+  cache : Incomplete.Support.cache;
+}
+
+type t
+
+val create : ?max_sessions:int -> unit -> t
+(** [max_sessions] defaults to 16 and is clamped to at least 1. *)
+
+val get : t -> schema:string -> db:string -> (entry, string) result
+(** Find or load the session for this (schema, db) text pair. Parsing
+    happens outside the store lock, so a slow parse does not stall
+    other connections; [Error] is a parse diagnostic. *)
+
+val count : t -> int
+(** Number of live sessions (for the [health] endpoint). *)

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Serve gate: boot a real `certainty serve` daemon, drive it with the
+# bench load generator, probe its failure paths, drain it with SIGTERM,
+# and validate the span trace it wrote.
+#
+# What must hold for this script to exit 0:
+#   - the server becomes healthy on a Unix socket;
+#   - `bench --serve --smoke --socket` sees zero protocol errors and
+#     every response byte-identical to the sequential engine
+#     (it exits nonzero otherwise, and writes BENCH_serve.json);
+#   - a malformed probe line gets a typed parse_error while the same
+#     connection keeps working (client exits 1: one error response);
+#   - SIGTERM drains the server: exit status 0, socket unlinked;
+#   - the server's --trace output passes scripts/check-trace.sh.
+#
+# CI runs this after the build; run it locally with:
+#
+#   dune build && scripts/serve-smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+SOCK="${TMPDIR:-/tmp}/certainty-serve-smoke-$$.sock"
+TRACE="${SERVE_TRACE:-serve-trace.jsonl}"
+OUT="${SERVE_BENCH_OUT:-BENCH_serve.json}"
+
+CERTAINTY=(dune exec --no-build -- certainty)
+
+dune build bin/certainty_cli.exe bench/main.exe
+
+"${CERTAINTY[@]}" serve --socket "$SOCK" --trace "$TRACE" &
+SERVE_PID=$!
+trap 'kill -TERM "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 100); do
+  if "${CERTAINTY[@]}" client --socket "$SOCK" health >/dev/null 2>&1; then
+    healthy=1
+    break
+  fi
+  sleep 0.1
+done
+[ "${healthy:-}" = 1 ] || { echo "FATAL: server never became healthy" >&2; exit 1; }
+
+echo "== load generation (bench --serve --smoke) =="
+dune exec --no-build bench/main.exe -- --serve --smoke --socket "$SOCK" --out "$OUT"
+
+echo "== failure-path probe: malformed line, surviving connection =="
+if "${CERTAINTY[@]}" client --socket "$SOCK" --raw '{oops' health --id probe; then
+  echo "FATAL: client should exit 1 on the parse_error response" >&2
+  exit 1
+fi
+
+echo "== graceful drain on SIGTERM =="
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "FATAL: serve exited nonzero on SIGTERM" >&2; exit 1; }
+trap - EXIT
+[ ! -e "$SOCK" ] || { echo "FATAL: socket not unlinked after drain" >&2; exit 1; }
+
+echo "== trace gate over the server's spans =="
+bash scripts/check-trace.sh "$TRACE"
+
+echo "serve smoke OK ($OUT, $TRACE)"

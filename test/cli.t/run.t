@@ -336,6 +336,13 @@ make every k=3 verdict a cache hit at k=4.
     pool_tasks_stolen        0
     pool_tasks_completed     0
     chase_steps              0
+    serve_connections        0
+    serve_requests           0
+    serve_parse_errors       0
+    serve_overloaded         0
+    serve_deadline_exceeded  0
+    serve_session_loads      0
+    serve_session_evictions  0
 
 --trace writes the span events as JSON lines; trace-check validates the
 file (flat JSON per line, every span closed, monotone timestamps). The
@@ -399,3 +406,10 @@ The chase reports its substitution count through the same counters.
     pool_tasks_stolen        0
     pool_tasks_completed     0
     chase_steps              1
+    serve_connections        0
+    serve_requests           0
+    serve_parse_errors       0
+    serve_overloaded         0
+    serve_deadline_exceeded  0
+    serve_session_loads      0
+    serve_session_evictions  0

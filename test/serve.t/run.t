@@ -1,0 +1,80 @@
+The query service's failure paths, end to end through the real binary:
+a malformed line gets a typed parse_error and the connection survives,
+a zero-length admission queue sheds load with 'overloaded', a 1ms
+deadline on a huge valuation space trips 'deadline_exceeded', and
+SIGTERM drains gracefully with exit status 0.
+
+  $ wait_for_health () {
+  >   for _ in $(seq 100); do
+  >     if certainty client --socket "$1" health >/dev/null 2>&1; then return 0; fi
+  >     sleep 0.1
+  >   done
+  >   echo "server never became healthy"; return 1
+  > }
+
+A default server. The health snapshot of an idle server is
+deterministic.
+
+  $ certainty serve --socket ./main.sock 2>/dev/null &
+  $ SERVE_PID=$!
+  $ wait_for_health ./main.sock
+  $ certainty client --socket ./main.sock health --id h1
+  {"id":"h1","ok":true,"op":"health","status":"serving","sessions":0,"queue":0,"inflight":0,"workers":4,"max_queue":64}
+
+A malformed request line is answered with a typed parse_error — and the
+connection survives it: the health request sent afterwards on the very
+same connection is answered normally. The client exits 1 because one
+response was an error.
+
+  $ certainty client --socket ./main.sock --raw '{oops' health --id h2
+  {"ok":false,"error":"parse_error","message":"expected '\"' at byte 1, found 'o'"}
+  {"id":"h2","ok":true,"op":"health","status":"serving","sessions":0,"queue":0,"inflight":0,"workers":4,"max_queue":64}
+  [1]
+
+A real query, for comparison with the sequential CLI engine.
+
+  $ certainty client --socket ./main.sock certain --id q1 \
+  >   -s "R(a); S(a)" -d "R = { ('c1'), ('c2') }; S = { (~1) }" \
+  >   -q "Q(x) := R(x) & !S(x)"
+  {"id":"q1","ok":true,"op":"certain","certain":"","certain_count":0,"possible":"(c1); (c2)","possible_count":2,"naive":"(c1); (c2)","naive_count":2}
+
+SIGTERM drains: the process exits 0 and unlinks its socket.
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ test ! -e ./main.sock
+
+With --max-queue 0 every evaluating request is shed with a typed
+'overloaded' (health is answered inline, off-queue, so the probe loop
+still works).
+
+  $ certainty serve --socket ./q0.sock --max-queue 0 2>/dev/null &
+  $ Q0_PID=$!
+  $ wait_for_health ./q0.sock
+  $ certainty client --socket ./q0.sock certain --id o1 \
+  >   -s "R(a); S(a)" -d "R = { ('c1'), ('c2') }; S = { (~1) }" \
+  >   -q "Q(x) := R(x) & !S(x)"
+  {"id":"o1","ok":false,"error":"overloaded","message":"admission queue full"}
+  [1]
+  $ kill -TERM $Q0_PID
+  $ wait $Q0_PID
+
+A 1ms server-default deadline against 60^4 = 12,960,000 valuations:
+the guard trips at a chunk boundary and the partial sweep is discarded
+with a typed 'deadline_exceeded'. The same server still completes a
+request that raises its own deadline.
+
+  $ certainty serve --socket ./dl.sock --deadline-ms 1 2>/dev/null &
+  $ DL_PID=$!
+  $ wait_for_health ./dl.sock
+  $ certainty client --socket ./dl.sock measure --id d1 \
+  >   -s "U(a,b,c,d)" -d "U = { (~1, ~2, ~3, ~4) }" \
+  >   -q "Q() := exists x. U(x, x, x, x)" -k 60
+  {"id":"d1","ok":false,"error":"deadline_exceeded","message":"deadline exceeded"}
+  [1]
+  $ certainty client --socket ./dl.sock measure --id d2 --deadline-ms 60000 \
+  >   -s "U(a,b,c,d)" -d "U = { (~1, ~2, ~3, ~4) }" \
+  >   -q "Q() := exists x. U(x, x, x, x)" -k 5
+  {"id":"d2","ok":true,"op":"measure","supp_poly":"k","nulls":4,"mu":"0","verdict":"almost certainly false","series":"5=1/125"}
+  $ kill -TERM $DL_PID
+  $ wait $DL_PID

@@ -1,0 +1,146 @@
+(* Approximation-scheme grading (paper §6, "Quality of
+   Approximations"): the two shipped schemes (SQL 3VL and null-free
+   naive evaluation), the missed / spurious-benign / spurious-harmful
+   classification by the measure µ, and the recall / precision /
+   sound / complete summaries. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+module Parser = Logic.Parser
+module Approx = Zeroone.Approx
+module R = Arith.Rat
+
+let check = Alcotest.check
+let rat_t = Alcotest.testable R.pp R.equal
+
+let rel_t =
+  Alcotest.testable
+    (fun fmt r ->
+      Format.fprintf fmt "{%s}"
+        (String.concat "; " (List.map Tuple.to_string (Relation.to_list r))))
+    Relation.equal
+
+let rel arity rows = Relation.of_rows arity rows
+let c = Value.named
+let n = Value.null
+
+(* R = { c1, c2 }, S = { ~1 }: under every valuation the null takes a
+   single value, so at least one of c1, c2 survives R ∖ S. *)
+let rs_instance =
+  Instance.of_rows
+    (Schema.make [ ("R", 1); ("S", 1) ])
+    [ ("R", [ [ c "c1" ]; [ c "c2" ] ]); ("S", [ [ n 1 ] ]) ]
+
+(* SQL 3VL on the NOT IN pattern: the comparison against the null is
+   'unknown' for both witnesses, so SQL returns nothing even though
+   the sentence is certain. Sound but incomplete (§6). *)
+let test_sql_sound_but_incomplete () =
+  let q = Parser.query_exn "Q() := exists x. R(x) & !S(x)" in
+  let r = Approx.evaluate Approx.sql_scheme rs_instance q in
+  check rel_t "certain holds" (rel 0 [ [] ]) r.Approx.certain;
+  check rel_t "sql returns nothing" (Relation.empty 0) r.Approx.returned;
+  check rel_t "the certain answer is missed" (rel 0 [ [] ]) r.Approx.missed;
+  check Alcotest.bool "sound" true (Approx.sound r);
+  check Alcotest.bool "not complete" false (Approx.complete r);
+  check rat_t "recall 0" R.zero (Approx.recall r);
+  check rat_t "precision 1 (vacuous)" R.one (Approx.precision r)
+
+(* Null-free naive evaluation on the same database, open query: the
+   null in S is syntactically distinct from both constants, so naive
+   evaluation returns {c1, c2} — neither is certain, but each is
+   almost certainly true (µ = 1): spurious yet benign. *)
+let test_naive_null_free_spurious_benign () =
+  let q = Parser.query_exn "Q(x) := R(x) & !S(x)" in
+  let r = Approx.evaluate Approx.naive_null_free_scheme rs_instance q in
+  check rel_t "no certain answers" (Relation.empty 1) r.Approx.certain;
+  check rel_t "naive returns both constants"
+    (rel 1 [ [ c "c1" ]; [ c "c2" ] ])
+    r.Approx.returned;
+  check rel_t "both spurious answers are benign"
+    (rel 1 [ [ c "c1" ]; [ c "c2" ] ])
+    r.Approx.spurious_benign;
+  check rel_t "no harmful answers" (Relation.empty 1) r.Approx.spurious_harmful;
+  check Alcotest.bool "complete" true (Approx.complete r);
+  check Alcotest.bool "not sound" false (Approx.sound r);
+  check rat_t "recall 1 (no certain answers)" R.one (Approx.recall r);
+  check rat_t "precision 0" R.zero (Approx.precision r)
+
+(* The benign/harmful split itself, pinned with a hand-built scheme
+   (schemes are just functions): a spurious tuple with µ = 1 lands in
+   benign, one with µ = 0 in harmful. On R ∖ S with a null in S,
+   'c1' is naively true (µ = 1) but not certain, while a fabricated
+   constant is almost certainly false. *)
+let test_benign_vs_harmful_classification () =
+  let q = Parser.query_exn "Q(x) := R(x) & !S(x)" in
+  let scheme _ _ = rel 1 [ [ c "c1" ]; [ c "z" ] ] in
+  let r = Approx.evaluate scheme rs_instance q in
+  check rel_t "no certain answers" (Relation.empty 1) r.Approx.certain;
+  check rel_t "naive-true spurious tuple is benign"
+    (rel 1 [ [ c "c1" ] ])
+    r.Approx.spurious_benign;
+  check rel_t "naive-false spurious tuple is harmful"
+    (rel 1 [ [ c "z" ] ])
+    r.Approx.spurious_harmful;
+  check Alcotest.bool "not sound" false (Approx.sound r);
+  check Alcotest.bool "complete (nothing certain)" true (Approx.complete r)
+
+(* Fractional recall/precision: certain = {c1, c2}, scheme returns
+   one true positive and one harmful fabrication. *)
+let test_recall_precision_fractions () =
+  let inst =
+    Instance.of_rows
+      (Schema.make [ ("R", 1) ])
+      [ ("R", [ [ c "c1" ]; [ c "c2" ] ]) ]
+  in
+  let q = Parser.query_exn "Q(x) := R(x)" in
+  let scheme _ _ = rel 1 [ [ c "c1" ]; [ c "z" ] ] in
+  let r = Approx.evaluate scheme inst q in
+  check rel_t "c2 is missed" (rel 1 [ [ c "c2" ] ]) r.Approx.missed;
+  check rel_t "z is harmful" (rel 1 [ [ c "z" ] ]) r.Approx.spurious_harmful;
+  check rat_t "recall 1/2" (R.of_ints 1 2) (Approx.recall r);
+  check rat_t "precision 1/2" (R.of_ints 1 2) (Approx.precision r);
+  check Alcotest.bool "not sound" false (Approx.sound r);
+  check Alcotest.bool "not complete" false (Approx.complete r)
+
+(* On a complete (null-free) database both shipped schemes coincide
+   with the certain answers: sound, complete, recall = precision = 1. *)
+let test_schemes_exact_on_complete_db () =
+  let inst =
+    Instance.of_rows
+      (Schema.make [ ("R", 1); ("S", 1) ])
+      [ ("R", [ [ c "c1" ]; [ c "c2" ] ]); ("S", [ [ c "c2" ] ]) ]
+  in
+  let q = Parser.query_exn "Q(x) := R(x) & !S(x)" in
+  List.iter
+    (fun (name, scheme) ->
+      let r = Approx.evaluate scheme inst q in
+      check rel_t (name ^ " returns exactly the certain answers")
+        r.Approx.certain r.Approx.returned;
+      check Alcotest.bool (name ^ " sound") true (Approx.sound r);
+      check Alcotest.bool (name ^ " complete") true (Approx.complete r);
+      check rat_t (name ^ " recall 1") R.one (Approx.recall r);
+      check rat_t (name ^ " precision 1") R.one (Approx.precision r))
+    [ ("sql", Approx.sql_scheme);
+      ("naive-null-free", Approx.naive_null_free_scheme)
+    ]
+
+let () =
+  Alcotest.run "approx"
+    [ ( "schemes",
+        [ Alcotest.test_case "sql: sound but incomplete" `Quick
+            test_sql_sound_but_incomplete;
+          Alcotest.test_case "naive-null-free: spurious but benign" `Quick
+            test_naive_null_free_spurious_benign;
+          Alcotest.test_case "exact on complete databases" `Quick
+            test_schemes_exact_on_complete_db
+        ] );
+      ( "classification",
+        [ Alcotest.test_case "benign vs harmful split" `Quick
+            test_benign_vs_harmful_classification;
+          Alcotest.test_case "fractional recall and precision" `Quick
+            test_recall_precision_fractions
+        ] )
+    ]

@@ -342,9 +342,7 @@ let test_section4_example () =
 (* The shared pool on a single-core box has zero workers, so these
    tests build explicit two-worker pools to exercise the queue. *)
 
-let with_pool f =
-  let pool = Exec.Pool.create ~workers:2 () in
-  Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool) (fun () -> f pool)
+let with_pool f = Exec.Pool.with_pool ~workers:2 f
 
 let test_pool_queue_fold () =
   with_pool (fun pool ->

@@ -151,6 +151,30 @@ let test_validator_rejections () =
   bad "unknown event" [ {|{"ev":"x","id":1,"name":"s","t":1,"dom":0}|} ];
   bad "missing field" [ {|{"ev":"b","id":1,"t":1,"dom":0}|} ]
 
+(* --- shared JSON escaping ----------------------------------------- *)
+
+let test_json_escape () =
+  let esc = Obs.Json.escape in
+  Alcotest.(check string) "plain text passes through" "hello" (esc "hello");
+  Alcotest.(check string) "quotes" {|say \"hi\"|} (esc {|say "hi"|});
+  Alcotest.(check string) "backslashes" {|a\\b\\\\c|} (esc {|a\b\\c|});
+  Alcotest.(check string) "newline" {|line1\nline2|} (esc "line1\nline2");
+  Alcotest.(check string) "tab and CR become \\u escapes" "a\\u0009b\\u000dc"
+    (esc "a\tb\rc");
+  Alcotest.(check string) "NUL and ESC" "\\u0000\\u001b" (esc "\000\027");
+  (* Non-ASCII bytes pass through unchanged: UTF-8 payloads (µ, ⊥, …)
+     stay readable in the emitted JSON. *)
+  Alcotest.(check string) "UTF-8 multibyte passes through" "µ^k ⊥"
+    (esc "µ^k ⊥");
+  Alcotest.(check string) "high byte passes through" "\xff\x80"
+    (esc "\xff\x80");
+  Alcotest.(check string) "empty" "" (esc "");
+  (* add_escaped is the same encoder, Buffer-shaped. *)
+  let b = Buffer.create 16 in
+  Obs.Json.add_escaped b "x\"\n";
+  Alcotest.(check string) "add_escaped agrees with escape" (esc "x\"\n")
+    (Buffer.contents b)
+
 (* --- report ------------------------------------------------------- *)
 
 let test_report_renderers () =
@@ -184,6 +208,8 @@ let () =
           Alcotest.test_case "validator rejections" `Quick
             test_validator_rejections
         ] );
+      ( "json",
+        [ Alcotest.test_case "shared escaper" `Quick test_json_escape ] );
       ( "report",
         [ Alcotest.test_case "renderers" `Quick test_report_renderers ] )
     ]

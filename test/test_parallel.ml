@@ -99,6 +99,85 @@ let test_pool_exception () =
            ~chunk:(fun lo _ -> if lo > 0 then failwith "boom" else 0)
            ~combine:( + ) 0))
 
+let test_with_pool () =
+  let seen = ref None in
+  let r =
+    Exec.Pool.with_pool (fun pool ->
+        seen := Some pool;
+        Exec.Pool.fold_range ~pool ~jobs:4 ~min_work:1 ~n:100
+          ~chunk:(fun lo hi -> hi - lo)
+          ~combine:( + ) 0)
+  in
+  check int_t "body result returned" 100 r;
+  match !seen with
+  | None -> Alcotest.fail "body never ran"
+  | Some pool ->
+      check bool_t "pool shut down after return" true (Exec.Pool.is_stopped pool)
+
+let test_with_pool_raising_body () =
+  (* The scoped pool must be torn down even when the body raises —
+     otherwise every failed request in the server would leak domains. *)
+  let seen = ref None in
+  Alcotest.check_raises "body exception propagates" (Failure "body")
+    (fun () ->
+      Exec.Pool.with_pool (fun pool ->
+          seen := Some pool;
+          failwith "body"));
+  match !seen with
+  | None -> Alcotest.fail "body never ran"
+  | Some pool ->
+      check bool_t "pool shut down after raise" true
+        (Exec.Pool.is_stopped pool)
+
+let test_guard_cancels () =
+  (* A raising guard aborts the fold: the exception propagates, the
+     pool survives for the next fold. This is the deadline mechanism of
+     the query service. *)
+  let budget = Atomic.make 5 in
+  Alcotest.check_raises "guard exception propagates" Exit (fun () ->
+      ignore
+        (Exec.Pool.fold_range ~jobs:4 ~min_work:1 ~n:(1 lsl 20)
+           ~guard:(fun () ->
+             if Atomic.fetch_and_add budget (-1) <= 0 then raise Exit)
+           ~chunk:(fun lo hi -> hi - lo)
+           ~combine:( + ) 0));
+  check int_t "pool still folds after a cancelled run" 64
+    (Exec.Pool.fold_range ~jobs:4 ~min_work:1 ~n:64
+       ~chunk:(fun lo hi -> hi - lo)
+       ~combine:( + ) 0)
+
+let test_guard_identical () =
+  (* A pass-through guard refines the chunk partition (bounded check
+     granularity) but must not change the answer: combine order stays
+     chunk order and the accumulators are exact. *)
+  let n = (1 lsl 17) + 13 in
+  let expect =
+    Exec.Pool.fold_range ~jobs:1 ~n
+      ~chunk:(fun lo hi ->
+        let s = ref 0 in
+        for i = lo to hi - 1 do s := !s + (i * i) done;
+        !s)
+      ~combine:( + ) 0
+  in
+  List.iter
+    (fun jobs ->
+      let calls = Atomic.make 0 in
+      let got =
+        Exec.Pool.fold_range ~jobs ~n
+          ~guard:(fun () -> Atomic.incr calls)
+          ~chunk:(fun lo hi ->
+            let s = ref 0 in
+            for i = lo to hi - 1 do s := !s + (i * i) done;
+            !s)
+          ~combine:( + ) 0
+      in
+      check int_t (Printf.sprintf "guarded sum jobs=%d" jobs) expect got;
+      check bool_t
+        (Printf.sprintf "guard saw every chunk (jobs=%d)" jobs)
+        true
+        (Atomic.get calls >= 2))
+    jobs_grid
+
 let test_cache_basics () =
   let cache = Exec.Cache.create () in
   let calls = ref 0 in
@@ -382,6 +461,12 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "empty fold after shutdown" `Quick
             test_pool_empty_fold_after_shutdown;
+          Alcotest.test_case "with_pool scoping" `Quick test_with_pool;
+          Alcotest.test_case "with_pool raising body" `Quick
+            test_with_pool_raising_body;
+          Alcotest.test_case "guard cancels a fold" `Quick test_guard_cancels;
+          Alcotest.test_case "guard keeps results identical" `Quick
+            test_guard_identical;
           Alcotest.test_case "cache basics" `Quick test_cache_basics;
           Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
           Alcotest.test_case "cache concurrent hammer" `Quick

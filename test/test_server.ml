@@ -1,0 +1,371 @@
+(* The query service: wire-protocol parsing, the session store, the
+   request handlers (gated on identity with the direct engine calls),
+   deadline propagation, and an end-to-end exercise of a live daemon
+   over a Unix socket — admission control, parse-error survival,
+   health, and graceful drain. *)
+
+module W = Server.Wire
+module Session = Server.Session
+module Service = Server.Service
+module Daemon = Server.Daemon
+module Client = Server.Client
+
+let check = Alcotest.check
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- wire: requests ----------------------------------------------- *)
+
+let parse_ok line =
+  match W.parse_request line with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "expected %s to parse, got: %s" line msg
+
+let parse_err line =
+  match W.parse_request line with
+  | Ok _ -> Alcotest.failf "expected %s to be rejected" line
+  | Error msg -> msg
+
+let test_parse_good () =
+  let r = parse_ok {|{"op":"health"}|} in
+  check Alcotest.string "op" "health" r.W.op;
+  check Alcotest.(option string) "no id" None r.W.id;
+  let r =
+    parse_ok {|  { "id" : "r1" , "op" : "certain" , "deadline_ms" : 250 }  |}
+  in
+  check Alcotest.(option string) "id echoed" (Some "r1") r.W.id;
+  check Alcotest.(option int) "int field" (Some 250)
+    (W.int_field r "deadline_ms");
+  (* Lenient cross-coercion between the two value forms. *)
+  check Alcotest.(option string) "int read as string" (Some "250")
+    (W.str_field r "deadline_ms");
+  let r = parse_ok {|{"op":"certain","k":"42"}|} in
+  check Alcotest.(option int) "digit string read as int" (Some 42)
+    (W.int_field r "k");
+  check Alcotest.(option int) "absent field" None (W.int_field r "nope")
+
+let test_parse_escapes () =
+  let r = parse_ok {|{"op":"certain","query":"Q() := \"a\\b\"\n\t"}|} in
+  check Alcotest.(option string) "standard escapes decoded"
+    (Some "Q() := \"a\\b\"\n\t")
+    (W.str_field r "query");
+  let r = parse_ok {|{"op":"x","s":"µA⊥"}|} in
+  check Alcotest.(option string) "\\u decoded to UTF-8" (Some "µA⊥")
+    (W.str_field r "s")
+
+let test_parse_bad () =
+  let rejects label line = ignore (parse_err line); ignore label in
+  rejects "empty" "";
+  rejects "not an object" {|"health"|};
+  rejects "truncated" {|{"op":"health"|};
+  rejects "missing op" {|{"id":"r1"}|};
+  rejects "nested object" {|{"op":"x","v":{"a":1}}|};
+  rejects "array value" {|{"op":"x","v":[1]}|};
+  rejects "boolean value" {|{"op":"x","v":true}|};
+  rejects "float value" {|{"op":"x","v":1.5}|};
+  rejects "bad escape" {|{"op":"x","v":"\q"}|};
+  rejects "lone surrogate" {|{"op":"x","v":"\ud800"}|};
+  rejects "raw control byte" "{\"op\":\"x\",\"v\":\"a\tb\"}";
+  (* Positions in diagnostics and the two strictness rules the daemon
+     counts on: duplicates and trailing bytes. *)
+  check Alcotest.bool "duplicate key named" true
+    (contains (parse_err {|{"op":"x","op":"y"}|}) "duplicate");
+  check Alcotest.bool "trailing bytes named" true
+    (contains (parse_err {|{"op":"x"} extra|}) "trailing");
+  check Alcotest.bool "byte position reported" true
+    (contains (parse_err {|{oops|}) "byte")
+
+let test_wire_responses () =
+  check Alcotest.string "ok line"
+    {|{"id":"r1","ok":true,"op":"health","n":3,"b":false,"raw":[1]}|}
+    (W.ok_line ~id:(Some "r1") ~op:"health"
+       [ ("n", W.I 3); ("b", W.B false); ("raw", W.Raw "[1]") ]);
+  check Alcotest.string "error line, no id"
+    {|{"ok":false,"error":"overloaded","message":"queue full"}|}
+    (W.error_line ~id:None W.Overloaded "queue full");
+  (* Hostile content is escaped with the shared Obs.Json encoder:
+     quotes, backslashes, newlines, and control bytes all come out as
+     standard JSON escapes, one line per response. *)
+  check Alcotest.string "hostile content escaped"
+    {|{"id":"a\"b\n","ok":true,"op":"x","s":"\\\u0009"}|}
+    (W.ok_line ~id:(Some "a\"b\n") ~op:"x" [ ("s", W.S "\\\t") ])
+
+(* --- session store ------------------------------------------------ *)
+
+let schema_a = "R(a,b); S(a,b)"
+let db_a = "R = { ('c1', ~1), ('c2', 'v') }; S = { ('c1', 'v') }"
+
+let test_session_sharing_and_eviction () =
+  let s = Session.create ~max_sessions:2 () in
+  let e1 = Result.get_ok (Session.get s ~schema:schema_a ~db:db_a) in
+  let e1' = Result.get_ok (Session.get s ~schema:schema_a ~db:db_a) in
+  check Alcotest.bool "same entry shared" true (e1 == e1');
+  check Alcotest.int "one session" 1 (Session.count s);
+  let db2 = "R = { ('c9', ~7) }; S = { }" in
+  let db3 = "R = { }; S = { ('c8', 'w') }" in
+  ignore (Result.get_ok (Session.get s ~schema:schema_a ~db:db2));
+  check Alcotest.int "two sessions" 2 (Session.count s);
+  ignore (Result.get_ok (Session.get s ~schema:schema_a ~db:db3));
+  check Alcotest.int "capped at two" 2 (Session.count s);
+  (* FIFO: the first pair was evicted, so reloading it is a fresh
+     entry, not the one we held. *)
+  let e1'' = Result.get_ok (Session.get s ~schema:schema_a ~db:db_a) in
+  check Alcotest.bool "first session was evicted" false (e1 == e1'');
+  match Session.get s ~schema:"R(" ~db:db_a with
+  | Ok _ -> Alcotest.fail "bad schema text accepted"
+  | Error _ -> ()
+
+(* --- service handlers --------------------------------------------- *)
+
+let run_service ?guard line =
+  let sessions = Session.create () in
+  Service.handle ~sessions ~jobs:1 ?guard (parse_ok line)
+
+let expect_ok = function
+  | Ok payload -> payload
+  | Error (err, msg) ->
+      Alcotest.failf "expected success, got %s: %s" (W.error_code err) msg
+
+let expect_err expected = function
+  | Ok _ -> Alcotest.failf "expected %s" (W.error_code expected)
+  | Error (err, msg) ->
+      check Alcotest.string "typed error" (W.error_code expected)
+        (W.error_code err);
+      msg
+
+let payload_str payload k =
+  match List.assoc_opt k payload with
+  | Some (W.S s) -> s
+  | Some (W.I n) -> string_of_int n
+  | _ -> Alcotest.failf "payload field %s missing or non-scalar" k
+
+let certain_line =
+  W.obj
+    [ ("op", W.S "certain"); ("schema", W.S schema_a); ("db", W.S db_a);
+      ("query", W.S "Q(x,y) := R(x,y) & !S(x,y)")
+    ]
+
+(* The endpoint must agree exactly with the sequential engine run on
+   the same parsed inputs — the same identity [bench --serve] gates on
+   at scale. *)
+let test_service_certain_identity () =
+  let payload = expect_ok (run_service certain_line) in
+  let sch = Result.get_ok (Logic.Parser.schema schema_a) in
+  let inst = Result.get_ok (Logic.Parser.instance sch db_a) in
+  let q = Logic.Parser.query_exn "Q(x,y) := R(x,y) & !S(x,y)" in
+  let expected = Incomplete.Certain.certain_answers inst q in
+  let rel_string r =
+    String.concat "; "
+      (List.map Relational.Tuple.to_string (Relational.Relation.to_list r))
+  in
+  check Alcotest.string "certain identical to engine" (rel_string expected)
+    (payload_str payload "certain");
+  check Alcotest.string "certain count"
+    (string_of_int (Relational.Relation.cardinal expected))
+    (payload_str payload "certain_count")
+
+let test_service_measure () =
+  let line =
+    W.obj
+      [ ("op", W.S "measure"); ("schema", W.S schema_a); ("db", W.S db_a);
+        ("query", W.S "Q(x,y) := R(x,y)"); ("tuple", W.S "('c1', ~1)");
+        ("ks", W.S "2,3")
+      ]
+  in
+  let payload = expect_ok (run_service line) in
+  check Alcotest.string "verdict is the 0-1 limit" "almost certainly true"
+    (payload_str payload "verdict");
+  check Alcotest.string "mu" "1" (payload_str payload "mu");
+  check Alcotest.string "exact series" "2=1;3=1" (payload_str payload "series")
+
+let test_service_bad_requests () =
+  let msg =
+    expect_err W.Bad_request
+      (run_service (W.obj [ ("op", W.S "certain"); ("schema", W.S schema_a) ]))
+  in
+  check Alcotest.bool "names the missing field" true (contains msg "db");
+  ignore
+    (expect_err W.Unsupported_op (run_service (W.obj [ ("op", W.S "frob") ])));
+  (* The analysis gate: a non-generic query (names a constant) is
+     refused with the stable diagnostic code, never evaluated. *)
+  let msg =
+    expect_err W.Analysis_error
+      (run_service
+         (W.obj
+            [ ("op", W.S "certain"); ("schema", W.S schema_a);
+              ("db", W.S db_a); ("query", W.S "Q(x) := R(x, 'c1')")
+            ]))
+  in
+  check Alcotest.bool "carries the ANL code" true (contains msg "ANL")
+
+let test_service_deadline () =
+  (* A guard that trips immediately: the sweep must abort with the
+     typed error, whatever progress it had made. *)
+  let msg =
+    expect_err W.Deadline_exceeded
+      (run_service ~guard:(fun () -> raise Service.Deadline) certain_line)
+  in
+  check Alcotest.string "fixed message" "deadline exceeded" msg;
+  (* And a guard that never trips changes nothing. *)
+  let p1 = expect_ok (run_service certain_line) in
+  let p2 = expect_ok (run_service ~guard:(fun () -> ()) certain_line) in
+  check Alcotest.bool "guard presence is invisible in the result" true
+    (p1 = p2)
+
+(* --- daemon end-to-end -------------------------------------------- *)
+
+let temp_sock tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "certainty-test-%s-%d.sock" tag (Unix.getpid ()))
+
+let with_daemon ?(config = fun c -> c) tag f =
+  let sock = temp_sock tag in
+  if Sys.file_exists sock then Sys.remove sock;
+  let t = Daemon.start (config (Daemon.default_config (Daemon.Unix_sock sock))) in
+  Fun.protect
+    ~finally:(fun () ->
+      Daemon.drain t;
+      Daemon.wait t)
+    (fun () -> f (Daemon.Unix_sock sock))
+
+let request_exn c line =
+  match Client.request c line with
+  | Some resp -> resp
+  | None -> Alcotest.fail "server hung up"
+
+let test_daemon_end_to_end () =
+  with_daemon "e2e" @@ fun addr ->
+  Client.with_conn addr @@ fun c ->
+  (* Health answers inline. *)
+  let h = request_exn c (W.obj [ ("op", W.S "health"); ("id", W.S "h1") ]) in
+  check Alcotest.bool "health ok" true (contains h {|"ok":true|});
+  check Alcotest.bool "health echoes id" true (contains h {|"id":"h1"|});
+  check Alcotest.bool "health reports serving" true
+    (contains h {|"status":"serving"|});
+  (* A real evaluation matches the sequential engine byte-for-byte. *)
+  let sessions = Session.create () in
+  let r = parse_ok certain_line in
+  let expected =
+    match Service.handle ~sessions ~jobs:1 r with
+    | Ok payload -> W.ok_line ~id:r.W.id ~op:r.W.op payload
+    | Error (err, msg) -> W.error_line ~id:r.W.id err msg
+  in
+  check Alcotest.string "daemon response identical to sequential engine"
+    expected
+    (request_exn c certain_line);
+  (* A malformed line gets a typed parse_error and the connection
+     survives to serve the next request. *)
+  let bad = request_exn c "{oops" in
+  check Alcotest.bool "parse error typed" true
+    (contains bad {|"error":"parse_error"|});
+  check Alcotest.bool "connection survives a parse error" true
+    (contains (request_exn c (W.obj [ ("op", W.S "health") ])) {|"ok":true|})
+
+let test_daemon_overload () =
+  let config c = { c with Daemon.service_threads = 1; max_queue = 0 } in
+  with_daemon ~config "sat" @@ fun addr ->
+  (* max_queue = 0: the queue admits nothing, so every evaluating
+     request is shed with the typed response... *)
+  let before = Obs.Metrics.value Obs.Metrics.serve_overloaded in
+  Client.with_conn addr @@ fun c ->
+  let resp = request_exn c certain_line in
+  check Alcotest.bool "overloaded" true (contains resp {|"error":"overloaded"|});
+  (* ...the counter records the shed... *)
+  check Alcotest.bool "serve_overloaded counter bumped" true
+    (Obs.Metrics.value Obs.Metrics.serve_overloaded > before);
+  (* ...and the server stays responsive: health is answered inline,
+     off-queue. *)
+  check Alcotest.bool "health still served" true
+    (contains (request_exn c (W.obj [ ("op", W.S "health") ])) {|"ok":true|})
+
+let test_daemon_deadline () =
+  let config c = { c with Daemon.deadline_ms = Some 1 } in
+  with_daemon ~config "dl" @@ fun addr ->
+  let before = Obs.Metrics.value Obs.Metrics.serve_deadline_exceeded in
+  Client.with_conn addr @@ fun c ->
+  (* 60^4 = 12 960 000 valuations: cannot finish in 1ms; the guard
+     trips at a chunk boundary and the typed error comes back. *)
+  let slow =
+    W.obj
+      [ ("op", W.S "measure"); ("schema", W.S "U(a,b,c,d)");
+        ("db", W.S "U = { (~1, ~2, ~3, ~4) }");
+        ("query", W.S "Q() := exists x. U(x, x, x, x)"); ("ks", W.S "60")
+      ]
+  in
+  let resp = request_exn c slow in
+  check Alcotest.bool "deadline exceeded" true
+    (contains resp {|"error":"deadline_exceeded"|});
+  check Alcotest.bool "counter bumped" true
+    (Obs.Metrics.value Obs.Metrics.serve_deadline_exceeded > before);
+  (* A per-request deadline_ms overrides the server default upward:
+     the same connection can still run a real query to completion. *)
+  let ok_line =
+    W.obj
+      [ ("op", W.S "certain"); ("schema", W.S schema_a); ("db", W.S db_a);
+        ("query", W.S "Q(x,y) := R(x,y) & !S(x,y)"); ("deadline_ms", W.I 60_000)
+      ]
+  in
+  check Alcotest.bool "override lets the request finish" true
+    (contains (request_exn c ok_line) {|"ok":true|})
+
+let test_daemon_drain () =
+  let sock = temp_sock "drain" in
+  if Sys.file_exists sock then Sys.remove sock;
+  let t = Daemon.start (Daemon.default_config (Daemon.Unix_sock sock)) in
+  let addr = Daemon.Unix_sock sock in
+  let c = Client.connect addr in
+  check Alcotest.bool "serving before drain" true
+    (contains (request_exn c (W.obj [ ("op", W.S "health") ])) "serving");
+  Daemon.drain t;
+  Daemon.drain t;
+  (* idempotent *)
+  Daemon.wait t;
+  check Alcotest.bool "socket path unlinked" false (Sys.file_exists sock);
+  (* The old connection was shut down; a new connect is refused. *)
+  (match Client.recv_line c with
+  | None -> ()
+  | Some l -> Alcotest.failf "expected EOF after drain, got %s" l);
+  Client.close c;
+  match Client.connect addr with
+  | exception Unix.Unix_error _ -> ()
+  | c2 ->
+      Client.close c2;
+      Alcotest.fail "connect after drain should fail"
+
+let () =
+  Obs.Metrics.enable ();
+  Alcotest.run "server"
+    [ ( "wire",
+        [ Alcotest.test_case "parses well-formed requests" `Quick
+            test_parse_good;
+          Alcotest.test_case "decodes escapes" `Quick test_parse_escapes;
+          Alcotest.test_case "rejects malformed requests" `Quick test_parse_bad;
+          Alcotest.test_case "emits parseable responses" `Quick
+            test_wire_responses
+        ] );
+      ( "session",
+        [ Alcotest.test_case "sharing and FIFO eviction" `Quick
+            test_session_sharing_and_eviction
+        ] );
+      ( "service",
+        [ Alcotest.test_case "certain identical to engine" `Quick
+            test_service_certain_identity;
+          Alcotest.test_case "measure verdict and series" `Quick
+            test_service_measure;
+          Alcotest.test_case "typed bad requests" `Quick
+            test_service_bad_requests;
+          Alcotest.test_case "deadline guard" `Quick test_service_deadline
+        ] );
+      ( "daemon",
+        [ Alcotest.test_case "end to end over a unix socket" `Quick
+            test_daemon_end_to_end;
+          Alcotest.test_case "admission control sheds load" `Quick
+            test_daemon_overload;
+          Alcotest.test_case "deadlines trip mid-sweep" `Quick
+            test_daemon_deadline;
+          Alcotest.test_case "graceful drain" `Quick test_daemon_drain
+        ] )
+    ]
