@@ -704,8 +704,16 @@ let serve_cmd =
     in
     Arg.(value & opt int 16 & info [ "max-sessions" ] ~docv:"N" ~doc)
   in
+  let drain_grace_arg =
+    let doc =
+      "Seconds graceful drain waits for queued and in-flight work before \
+       force-closing connections (so a peer that stopped reading cannot \
+       hold the shutdown hostage)."
+    in
+    Arg.(value & opt float 30.0 & info [ "drain-grace" ] ~docv:"SECONDS" ~doc)
+  in
   let run socket port host jobs workers max_queue deadline_ms max_sessions
-      metrics metrics_json trace =
+      drain_grace metrics metrics_json trace =
     with_obs ~metrics ~metrics_json ~trace @@ fun () ->
     let addr = addr_of ~socket ~port ~host in
     let cfg =
@@ -714,7 +722,8 @@ let serve_cmd =
         service_threads = workers;
         max_queue;
         deadline_ms = (if deadline_ms <= 0 then None else Some deadline_ms);
-        max_sessions
+        max_sessions;
+        drain_grace_s = drain_grace
       }
     in
     (match addr with
@@ -722,7 +731,15 @@ let serve_cmd =
         Printf.eprintf "certainty: serving on %s\n%!" path
     | Server.Daemon.Tcp (host, port) ->
         Printf.eprintf "certainty: serving on %s:%d\n%!" host port);
-    Server.Daemon.run ~signals:true cfg
+    match Server.Daemon.run ~signals:true cfg with
+    | () -> ()
+    | exception Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | exception Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "error: cannot serve: %s (%s)\n" (Unix.error_message e)
+          fn;
+        exit 2
   in
   let doc =
     "Run the long-lived query service: newline-delimited JSON requests \
@@ -734,7 +751,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ socket_arg $ port_arg $ host_arg $ jobs_arg
           $ workers_arg $ max_queue_arg $ deadline_arg $ max_sessions_arg
-          $ metrics_arg $ metrics_json_arg $ trace_arg)
+          $ drain_grace_arg $ metrics_arg $ metrics_json_arg $ trace_arg)
 
 let contains_substring hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -805,18 +822,27 @@ let client_cmd =
       exit 2
     end;
     let failed = ref false in
-    Server.Client.with_conn addr (fun c ->
-        let exec line =
-          match Server.Client.request c line with
-          | Some resp ->
-              print_endline resp;
-              if contains_substring resp "\"ok\":false" then failed := true
-          | None ->
-              Printf.eprintf "error: server closed the connection\n";
-              failed := true
-        in
-        List.iter exec raws;
-        Option.iter (fun op -> exec (build op)) op);
+    (try
+       Server.Client.with_conn addr (fun c ->
+           let exec line =
+             match Server.Client.request c line with
+             | Some resp ->
+                 print_endline resp;
+                 if contains_substring resp "\"ok\":false" then failed := true
+             | None ->
+                 Printf.eprintf "error: server closed the connection\n";
+                 failed := true
+           in
+           List.iter exec raws;
+           Option.iter (fun op -> exec (build op)) op)
+     with
+     | Failure msg ->
+         Printf.eprintf "error: %s\n" msg;
+         exit 2
+     | Unix.Unix_error (e, fn, _) ->
+         Printf.eprintf "error: cannot connect: %s (%s)\n"
+           (Unix.error_message e) fn;
+         exit 2);
     if !failed then exit 1
   in
   let doc =

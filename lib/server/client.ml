@@ -9,10 +9,7 @@ let connect addr =
          with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
         fd
     | Daemon.Tcp (host, port) ->
-        let ip =
-          try Unix.inet_addr_of_string host
-          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
-        in
+        let ip = Daemon.resolve_ipv4 host in
         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
         (try Unix.connect fd (Unix.ADDR_INET (ip, port))
          with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);

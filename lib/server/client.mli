@@ -6,7 +6,8 @@
 type conn
 
 val connect : Daemon.addr -> conn
-(** @raise Unix.Unix_error when the server is not there. *)
+(** @raise Unix.Unix_error when the server is not there.
+    @raise Failure when a TCP host name does not resolve. *)
 
 val connect_retry : ?attempts:int -> ?delay:float -> Daemon.addr -> conn
 (** Retry [connect] (default 50 attempts, 0.1s apart) — for scripts

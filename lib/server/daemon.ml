@@ -9,6 +9,7 @@ type config = {
   max_queue : int;
   deadline_ms : int option;
   max_sessions : int;
+  drain_grace_s : float;
 }
 
 let default_config addr =
@@ -17,21 +18,56 @@ let default_config addr =
     service_threads = 4;
     max_queue = 64;
     deadline_ms = None;
-    max_sessions = 16
+    max_sessions = 16;
+    drain_grace_s = 30.0
   }
 
-(* A connection. Writes are serialized by [wlock]; [closed] guards the
-   file descriptor so shutdown/close happen exactly once — never on a
-   descriptor number the kernel may have already reused. *)
+(* Protocol limits. A request line longer than [max_line_bytes] is
+   refused (the admission design bounds memory everywhere else; the
+   reader must not be the exception). [max_pipeline] bounds the
+   per-connection reorder buffer: past it the reader stops reading —
+   backpressure through the socket — instead of buffering without
+   limit. [send_timeout_s] caps how long a single write to a peer
+   that stopped reading can block a worker. *)
+let max_line_bytes = 1 lsl 20
+let max_pipeline = 128
+let send_timeout_s = 30.0
+
+(* A connection. PROTOCOL.md promises responses in request order on
+   the connection, but inline replies (health, parse_error, …) are
+   produced by the reader thread while admitted requests finish on
+   worker threads in any order — so every non-blank request line gets
+   a sequence number and responses pass through a reorder buffer
+   ([pending]/[wnext], under [wlock]) that flushes them strictly in
+   sequence.
+
+   Two locks: [wlock] serializes writes and the reorder buffer;
+   [flock] guards the descriptor's lifecycle ([closed], close,
+   shutdown). They are split so that {!shutdown_fd} never has to wait
+   on a writer blocked mid-[send] — shutting the socket down is
+   exactly what unblocks such a writer. Lock order is wlock ⊃ flock;
+   close runs under both, so a held [wlock] also pins the fd open and
+   a send can never write to a recycled descriptor number. *)
 type conn = {
   fd : Unix.file_descr;
   ic : in_channel;
   oc : out_channel;
   wlock : Mutex.t;
+  flock : Mutex.t;
+  wroom : Condition.t;  (* with [wlock]: reader waits for buffer room *)
+  pending : (int, string) Hashtbl.t;  (* seq → unflushed response line *)
+  mutable wnext : int;  (* next seq to go on the wire *)
+  mutable next_seq : int;  (* next seq to assign; reader thread only *)
+  mutable wfailed : bool;  (* a write failed: drop all further output *)
   mutable closed : bool;
 }
 
-type job = { req : Wire.request; jconn : conn; deadline_ns : int64 option }
+type job = {
+  seq : int;
+  req : Wire.request;
+  jconn : conn;
+  deadline_ns : int64 option;
+}
 
 type t = {
   cfg : config;
@@ -39,7 +75,6 @@ type t = {
   lock : Mutex.t;
   queue : job Queue.t;
   nonempty : Condition.t;  (* workers wait here for jobs *)
-  idle : Condition.t;  (* drain waits here for queue empty ∧ inflight 0 *)
   mutable inflight : int;
   mutable admission_closed : bool;  (* set under [lock] when draining *)
   mutable stop_workers : bool;
@@ -58,32 +93,58 @@ type t = {
 (* Connection plumbing                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let send conn line =
-  Mutex.protect conn.wlock (fun () ->
-      if not conn.closed then
-        try
-          output_string conn.oc line;
-          output_char conn.oc '\n';
-          flush conn.oc
-        with Sys_error _ -> ())
-(* A dead peer surfaces as Sys_error (SIGPIPE is ignored); the reader
-   thread sees the hangup on its side and cleans up. *)
-
-let close_conn conn =
-  Mutex.protect conn.wlock (fun () ->
-      if not conn.closed then begin
-        conn.closed <- true;
-        (try flush conn.oc with Sys_error _ -> ());
-        try Unix.close conn.fd with Unix.Unix_error _ -> ()
-      end)
-
-let shutdown_conn conn =
-  Mutex.protect conn.wlock (fun () ->
+(* Safe concurrently with a send blocked in write(2): shutdown does
+   not free the descriptor number (close_conn holds [flock] for that)
+   and it is what makes the blocked write return. *)
+let shutdown_fd conn =
+  Mutex.protect conn.flock (fun () ->
       if not conn.closed then
         try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
         with Unix.Unix_error _ -> ())
 
-let respond_error conn ~id err msg = send conn (Wire.error_line ~id err msg)
+(* Deliver response [line] for request [seq]: buffer it, then flush
+   whatever prefix of the sequence is now complete. A dead peer
+   surfaces as Sys_error (SIGPIPE is ignored) or — via SO_SNDTIMEO —
+   as a timed-out write; either way the connection stops producing
+   output and the socket is shut down so its reader cleans up. *)
+let send conn seq line =
+  Mutex.protect conn.wlock (fun () ->
+      if not (conn.closed || conn.wfailed) then begin
+        Hashtbl.replace conn.pending seq line;
+        try
+          let wrote = ref false in
+          while Hashtbl.mem conn.pending conn.wnext do
+            let l = Hashtbl.find conn.pending conn.wnext in
+            Hashtbl.remove conn.pending conn.wnext;
+            conn.wnext <- conn.wnext + 1;
+            output_string conn.oc l;
+            output_char conn.oc '\n';
+            wrote := true
+          done;
+          if !wrote then flush conn.oc
+        with Sys_error _ ->
+          conn.wfailed <- true;
+          Hashtbl.reset conn.pending;
+          shutdown_fd conn
+      end;
+      Condition.broadcast conn.wroom)
+
+(* Only the connection's own reader closes the fd (after its read loop
+   ends), so no thread can still be blocked reading it when the number
+   is recycled. *)
+let close_conn conn =
+  Mutex.protect conn.wlock (fun () ->
+      Mutex.protect conn.flock (fun () ->
+          if not conn.closed then begin
+            conn.closed <- true;
+            Hashtbl.reset conn.pending;
+            if not conn.wfailed then (try flush conn.oc with Sys_error _ -> ());
+            try Unix.close conn.fd with Unix.Unix_error _ -> ()
+          end);
+      Condition.broadcast conn.wroom)
+
+let respond_error conn ~seq ~id err msg =
+  send conn seq (Wire.error_line ~id err msg)
 
 (* ------------------------------------------------------------------ *)
 (* Workers                                                             *)
@@ -103,7 +164,8 @@ let process t job =
   if expired then begin
     (* Spent its whole budget waiting in the queue. *)
     Metrics.incr Metrics.serve_deadline_exceeded;
-    respond_error job.jconn ~id Wire.Deadline_exceeded "deadline exceeded"
+    respond_error job.jconn ~seq:job.seq ~id Wire.Deadline_exceeded
+      "deadline exceeded"
   end
   else begin
     let guard = Option.map deadline_guard job.deadline_ns in
@@ -120,11 +182,11 @@ let process t job =
     Metrics.observe_span ("serve." ^ op)
       (Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t0));
     match outcome with
-    | Ok payload -> send job.jconn (Wire.ok_line ~id ~op payload)
+    | Ok payload -> send job.jconn job.seq (Wire.ok_line ~id ~op payload)
     | Error (Wire.Deadline_exceeded, msg) ->
         Metrics.incr Metrics.serve_deadline_exceeded;
-        respond_error job.jconn ~id Wire.Deadline_exceeded msg
-    | Error (err, msg) -> respond_error job.jconn ~id err msg
+        respond_error job.jconn ~seq:job.seq ~id Wire.Deadline_exceeded msg
+    | Error (err, msg) -> respond_error job.jconn ~seq:job.seq ~id err msg
   end
 
 let worker_loop t =
@@ -149,12 +211,10 @@ let worker_loop t =
          with e ->
            (* Belt and braces: Service.handle already catches; anything
               that still escapes must not kill the worker. *)
-           respond_error job.jconn ~id:job.req.Wire.id Wire.Internal_error
-             (Printexc.to_string e));
+           respond_error job.jconn ~seq:job.seq ~id:job.req.Wire.id
+             Wire.Internal_error (Printexc.to_string e));
         Mutex.lock t.lock;
         t.inflight <- t.inflight - 1;
-        if Queue.is_empty t.queue && t.inflight = 0 then
-          Condition.broadcast t.idle;
         Mutex.unlock t.lock;
         loop ()
   in
@@ -188,49 +248,101 @@ let admit t job =
         `Admitted
       end)
 
-let handle_line t conn line =
+let handle_line t conn seq line =
   Metrics.incr Metrics.serve_requests;
   match Wire.parse_request line with
   | Error msg ->
       Metrics.incr Metrics.serve_parse_errors;
-      respond_error conn ~id:None Wire.Parse_error msg
-  | Ok req when req.Wire.op = "health" -> send conn (health_line t req)
+      respond_error conn ~seq ~id:None Wire.Parse_error msg
+  | Ok req when req.Wire.op = "health" -> send conn seq (health_line t req)
   | Ok req when Atomic.get t.draining ->
-      respond_error conn ~id:req.Wire.id Wire.Shutting_down
+      respond_error conn ~seq ~id:req.Wire.id Wire.Shutting_down
         "server is draining"
   | Ok req -> (
-      let deadline_ms =
-        match Wire.int_field req "deadline_ms" with
-        | Some ms -> Some ms
-        | None -> t.cfg.deadline_ms
-      in
-      let deadline_ns =
-        match deadline_ms with
-        | Some ms when ms > 0 ->
-            Some
-              (Int64.add (Obs.Clock.now_ns ())
-                 (Int64.mul (Int64.of_int ms) 1_000_000L))
-        | _ -> None
-      in
-      match admit t { req; jconn = conn; deadline_ns } with
-      | `Admitted -> ()
-      | `Full ->
-          Metrics.incr Metrics.serve_overloaded;
-          respond_error conn ~id:req.Wire.id Wire.Overloaded
-            "admission queue full"
-      | `Draining ->
-          respond_error conn ~id:req.Wire.id Wire.Shutting_down
-            "server is draining")
+      match Wire.int_field req "deadline_ms" with
+      | Some ms when ms <= 0 ->
+          (* A non-positive override must not cancel the operator's
+             budget cap ("no deadline" is not a client's to grant). *)
+          respond_error conn ~seq ~id:req.Wire.id Wire.Bad_request
+            "deadline_ms must be positive"
+      | client_deadline -> (
+          let deadline_ms =
+            match client_deadline with
+            | Some _ -> client_deadline
+            | None -> t.cfg.deadline_ms
+          in
+          let deadline_ns =
+            match deadline_ms with
+            | Some ms when ms > 0 ->
+                Some
+                  (Int64.add (Obs.Clock.now_ns ())
+                     (Int64.mul (Int64.of_int ms) 1_000_000L))
+            | _ -> None
+          in
+          match admit t { seq; req; jconn = conn; deadline_ns } with
+          | `Admitted -> ()
+          | `Full ->
+              Metrics.incr Metrics.serve_overloaded;
+              respond_error conn ~seq ~id:req.Wire.id Wire.Overloaded
+                "admission queue full"
+          | `Draining ->
+              respond_error conn ~seq ~id:req.Wire.id Wire.Shutting_down
+                "server is draining"))
+
+(* [input_line] is unbounded; a hostile client could stream one
+   endless line into our heap. Read by hand with a cap instead. *)
+let read_request_line conn =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match input_char conn.ic with
+    | '\n' -> `Line (Buffer.contents buf)
+    | c ->
+        if Buffer.length buf >= max_line_bytes then `Too_long
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+    | exception End_of_file ->
+        if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+    | exception Sys_error _ -> `Eof
+  in
+  go ()
+
+(* Backpressure: once [max_pipeline] responses are buffered behind a
+   slow head-of-line request, stop reading until the buffer drains.
+   Progress is guaranteed — the head of the sequence is always owed by
+   an admitted job, and drain only stops workers once the queue is
+   empty — and close/send failure both broadcast [wroom]. *)
+let wait_room conn =
+  Mutex.protect conn.wlock (fun () ->
+      while
+        Hashtbl.length conn.pending >= max_pipeline
+        && not (conn.closed || conn.wfailed)
+      do
+        Condition.wait conn.wroom conn.wlock
+      done)
 
 let reader_loop t conn =
   Metrics.incr Metrics.serve_connections;
   let rec loop () =
-    match input_line conn.ic with
-    | "" -> loop ()  (* blank keep-alive lines are ignored *)
-    | line ->
-        handle_line t conn line;
+    wait_room conn;
+    match read_request_line conn with
+    | `Eof -> ()
+    | `Line "" -> loop ()  (* blank keep-alive lines are ignored *)
+    | `Line line ->
+        let seq = conn.next_seq in
+        conn.next_seq <- seq + 1;
+        handle_line t conn seq line;
         loop ()
-    | exception (End_of_file | Sys_error _) -> ()
+    | `Too_long ->
+        (* Cannot resync mid-line: answer and hang up. *)
+        Metrics.incr Metrics.serve_requests;
+        Metrics.incr Metrics.serve_parse_errors;
+        let seq = conn.next_seq in
+        conn.next_seq <- seq + 1;
+        respond_error conn ~seq ~id:None Wire.Parse_error
+          (Printf.sprintf "request line exceeds %d bytes; closing connection"
+             max_line_bytes)
   in
   loop ();
   close_conn conn;
@@ -244,11 +356,19 @@ let reader_loop t conn =
 let accept_one t =
   match Unix.accept t.listen_fd with
   | fd, _ ->
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO send_timeout_s
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
       let conn =
         { fd;
           ic = Unix.in_channel_of_descr fd;
           oc = Unix.out_channel_of_descr fd;
           wlock = Mutex.create ();
+          flock = Mutex.create ();
+          wroom = Condition.create ();
+          pending = Hashtbl.create 8;
+          wnext = 0;
+          next_seq = 0;
+          wfailed = false;
           closed = false
         }
       in
@@ -267,15 +387,35 @@ let drain_shutdown t =
     t.sock_path;
   Mutex.lock t.lock;
   t.admission_closed <- true;
+  (* Let queued and in-flight work finish — but only for so long. A
+     worker can be stuck in [send] to a peer that stopped reading; it
+     holds the connection's write lock and keeps [inflight] up, so an
+     unconditional wait would never end. Past the grace deadline,
+     shut every socket down ([shutdown_fd] takes only [flock], so a
+     stuck writer cannot block it) — the blocked writes fail, the
+     workers finish, and the wait completes. *)
+  let deadline = Unix.gettimeofday () +. t.cfg.drain_grace_s in
+  let forced = ref false in
   while not (Queue.is_empty t.queue && t.inflight = 0) do
-    Condition.wait t.idle t.lock
+    if (not !forced) && Unix.gettimeofday () >= deadline then begin
+      forced := true;
+      let conns = t.conns in
+      Mutex.unlock t.lock;
+      List.iter shutdown_fd conns;
+      Mutex.lock t.lock
+    end
+    else begin
+      Mutex.unlock t.lock;
+      Thread.delay 0.02;
+      Mutex.lock t.lock
+    end
   done;
   t.stop_workers <- true;
   Condition.broadcast t.nonempty;
   let conns = t.conns in
   Mutex.unlock t.lock;
   (* In-flight responses are on the wire; hang up so readers unblock. *)
-  List.iter shutdown_conn conns
+  List.iter shutdown_fd conns
 
 let listener_loop t =
   let rec loop () =
@@ -297,6 +437,16 @@ let listener_loop t =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
+let resolve_ipv4 host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } ->
+        failwith (Printf.sprintf "host %s resolves to no addresses" host)
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+    | exception Not_found ->
+        failwith (Printf.sprintf "cannot resolve host %s" host))
+
 let bind_listener addr =
   match addr with
   | Unix_sock path ->
@@ -307,10 +457,7 @@ let bind_listener addr =
       Unix.listen fd 64;
       (fd, Some path)
   | Tcp (host, port) ->
-      let ip =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
-      in
+      let ip = resolve_ipv4 host in
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
       Unix.bind fd (Unix.ADDR_INET (ip, port));
@@ -327,7 +474,6 @@ let start_common cfg =
       lock = Mutex.create ();
       queue = Queue.create ();
       nonempty = Condition.create ();
-      idle = Condition.create ();
       inflight = 0;
       admission_closed = false;
       stop_workers = false;

@@ -3,29 +3,45 @@
 
     Architecture: one listener thread accepts connections (woken by a
     self-pipe for shutdown); each connection gets a reader thread that
-    parses request lines and answers the cheap cases inline —
-    [parse_error] (the connection survives), [health], [overloaded]
-    when the bounded admission queue is full, [shutting_down] while
+    parses request lines (length-capped: an over-long line gets a
+    [parse_error] and the connection is closed) and answers the cheap
+    cases inline — [parse_error] (the connection survives), [health],
+    [bad_request] for a non-positive [deadline_ms], [overloaded] when
+    the bounded admission queue is full, [shutting_down] while
     draining. Admitted requests wait in the queue for one of
     [service_threads] worker threads, which run them through
     {!Service.handle} on the shared {!Session} store and the
     persistent {!Exec.Pool}, under a {!Obs.Trace} span and a
     per-endpoint {!Obs.Metrics} latency histogram.
 
+    Ordering: every non-blank request line gets a per-connection
+    sequence number and all responses — inline or worker-produced —
+    pass through a per-connection reorder buffer, so a pipelining
+    client receives responses strictly in request order even when a
+    later request finishes (or is answered inline) first. The buffer
+    is bounded: past [128] unflushed responses the reader stops
+    reading until it drains (backpressure through the socket).
+
     Deadlines: a request's budget ([deadline_ms] field, else the
     server default) is converted to an absolute {!Obs.Clock} instant
     at admission. Workers re-check it at dequeue and pass a guard into
     the engine that re-checks at every valuation-chunk boundary;
     either way the client gets a typed [deadline_exceeded] and the
-    partial count is discarded.
+    partial count is discarded. A non-positive [deadline_ms] is
+    refused with [bad_request] — a client cannot opt out of the
+    operator's budget cap.
 
     Drain ({!drain}, also wired to SIGTERM/SIGINT by {!run}): stop
     accepting — close the listening socket and unlink the Unix socket
     path — let queued and in-flight requests finish, then stop the
     workers, shut down every connection, and join all threads. During
     the drain window readers still answer [health] (reporting
-    [draining]) and refuse evaluating requests with
-    [shutting_down]. *)
+    [draining]) and refuse evaluating requests with [shutting_down].
+    The wait for in-flight work is bounded by [drain_grace_s]: past it
+    every connection socket is shut down, which unblocks any worker
+    stuck writing to a peer that stopped reading (writes are also
+    individually capped with [SO_SNDTIMEO]), so SIGTERM always
+    terminates the process. *)
 
 type addr = Unix_sock of string | Tcp of string * int
 
@@ -36,11 +52,20 @@ type config = {
   max_queue : int;  (** admission-queue bound; 0 rejects all queueing *)
   deadline_ms : int option;  (** default per-request budget *)
   max_sessions : int;  (** session-store cap *)
+  drain_grace_s : float;
+      (** how long drain waits for in-flight work before force-closing
+          connections *)
 }
 
 val default_config : addr -> config
 (** [jobs = None], 4 service threads, queue bound 64, no deadline,
-    16 sessions. *)
+    16 sessions, 30s drain grace. *)
+
+val resolve_ipv4 : string -> Unix.inet_addr
+(** Resolve a dotted-quad or host name to an IPv4 address.
+    @raise Failure with a readable message when the name does not
+    resolve (instead of leaking [Not_found] or an array access from
+    [Unix.gethostbyname]). *)
 
 type t
 
@@ -48,7 +73,8 @@ val start : config -> t
 (** Bind, listen, spawn the listener and worker threads, and return.
     Also ignores SIGPIPE process-wide (a client hanging up mid-response
     must not kill the server).
-    @raise Unix.Unix_error when the address cannot be bound. *)
+    @raise Unix.Unix_error when the address cannot be bound.
+    @raise Failure when a TCP host name does not resolve. *)
 
 val drain : t -> unit
 (** Begin graceful shutdown; idempotent, safe from signal handlers

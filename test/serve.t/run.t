@@ -76,5 +76,22 @@ request that raises its own deadline.
   >   -s "U(a,b,c,d)" -d "U = { (~1, ~2, ~3, ~4) }" \
   >   -q "Q() := exists x. U(x, x, x, x)" -k 5
   {"id":"d2","ok":true,"op":"measure","supp_poly":"k","nulls":4,"mu":"0","verdict":"almost certainly false","series":"5=1/125"}
+
+But a request cannot opt out of the operator's budget cap: a
+non-positive deadline_ms is refused up front with bad_request.
+
+  $ certainty client --socket ./dl.sock --raw '{"op":"measure","deadline_ms":0}'
+  {"ok":false,"error":"bad_request","message":"deadline_ms must be positive"}
+  [1]
   $ kill -TERM $DL_PID
   $ wait $DL_PID
+
+Connection failures are clean diagnostics, not crashes: an
+unresolvable host and a missing socket both exit 2 with a message.
+
+  $ certainty client --port 1 --host definitely.not.a.host.invalid health
+  error: cannot resolve host definitely.not.a.host.invalid
+  [2]
+  $ certainty client --socket ./no-such.sock health
+  error: cannot connect: No such file or directory (connect)
+  [2]

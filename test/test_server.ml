@@ -311,6 +311,78 @@ let test_daemon_deadline () =
   check Alcotest.bool "override lets the request finish" true
     (contains (request_exn c ok_line) {|"ok":true|})
 
+let test_daemon_pipelined_order () =
+  with_daemon "pipe" @@ fun addr ->
+  Client.with_conn addr @@ fun c ->
+  (* A queued evaluation followed immediately by an inline-answerable
+     health, written without reading in between: the health result is
+     ready first (the reader answers it while the evaluation sits with
+     a worker), but the wire must deliver responses in request
+     order. *)
+  Client.send_line c
+    (W.obj
+       [ ("op", W.S "certain"); ("id", W.S "p1"); ("schema", W.S schema_a);
+         ("db", W.S db_a); ("query", W.S "Q(x,y) := R(x,y) & !S(x,y)")
+       ]);
+  Client.send_line c (W.obj [ ("op", W.S "health"); ("id", W.S "p2") ]);
+  let recv () =
+    match Client.recv_line c with
+    | Some l -> l
+    | None -> Alcotest.fail "server hung up mid-pipeline"
+  in
+  let r1 = recv () in
+  let r2 = recv () in
+  check Alcotest.bool "first response answers the first request" true
+    (contains r1 {|"id":"p1"|} && contains r1 {|"op":"certain"|});
+  check Alcotest.bool "second response answers the second request" true
+    (contains r2 {|"id":"p2"|} && contains r2 {|"op":"health"|})
+
+let test_daemon_rejects_nonpositive_deadline () =
+  (* A client must not be able to cancel the operator's budget cap by
+     sending deadline_ms <= 0 ("no deadline"). *)
+  let config c = { c with Daemon.deadline_ms = Some 1 } in
+  with_daemon ~config "dl0" @@ fun addr ->
+  Client.with_conn addr @@ fun c ->
+  List.iter
+    (fun ms ->
+      let line =
+        W.obj
+          [ ("op", W.S "certain"); ("schema", W.S schema_a); ("db", W.S db_a);
+            ("query", W.S "Q(x,y) := R(x,y)"); ("deadline_ms", W.I ms)
+          ]
+      in
+      let resp = request_exn c line in
+      check Alcotest.bool "typed bad_request" true
+        (contains resp {|"error":"bad_request"|});
+      check Alcotest.bool "names the field" true (contains resp "deadline_ms"))
+    [ 0; -1 ]
+
+let test_daemon_caps_line_length () =
+  with_daemon "cap" @@ fun addr ->
+  Client.with_conn addr @@ fun c ->
+  (* One line just past the 1 MiB cap: a typed parse_error, then the
+     connection is closed (mid-line there is nothing to resync to). *)
+  Client.send_line c (String.make ((1 lsl 20) + 16) 'x');
+  (match Client.recv_line c with
+  | Some resp ->
+      check Alcotest.bool "typed parse_error" true
+        (contains resp {|"error":"parse_error"|});
+      check Alcotest.bool "says the line was too long" true
+        (contains resp "exceeds")
+  | None -> Alcotest.fail "no response to the over-long line");
+  match Client.recv_line c with
+  | None -> ()
+  | Some l -> Alcotest.failf "connection should be closed, got %s" l
+
+let test_resolve_ipv4 () =
+  check Alcotest.string "literal address passes through" "127.0.0.1"
+    (Unix.string_of_inet_addr (Daemon.resolve_ipv4 "127.0.0.1"));
+  match Daemon.resolve_ipv4 "definitely.not.a.host.invalid" with
+  | _ -> Alcotest.fail "bogus host resolved"
+  | exception Failure msg ->
+      check Alcotest.bool "diagnostic names the host" true
+        (contains msg "definitely.not.a.host.invalid")
+
 let test_daemon_drain () =
   let sock = temp_sock "drain" in
   if Sys.file_exists sock then Sys.remove sock;
@@ -366,6 +438,14 @@ let () =
             test_daemon_overload;
           Alcotest.test_case "deadlines trip mid-sweep" `Quick
             test_daemon_deadline;
+          Alcotest.test_case "pipelined responses keep request order" `Quick
+            test_daemon_pipelined_order;
+          Alcotest.test_case "non-positive deadline_ms is refused" `Quick
+            test_daemon_rejects_nonpositive_deadline;
+          Alcotest.test_case "request lines are length-capped" `Quick
+            test_daemon_caps_line_length;
+          Alcotest.test_case "host resolution fails readably" `Quick
+            test_resolve_ipv4;
           Alcotest.test_case "graceful drain" `Quick test_daemon_drain
         ] )
     ]
