@@ -1,0 +1,199 @@
+(* The statistical CI gate for the (ε,δ)-approximate measure engine
+   (lib/approx_measure), run in CI by scripts/check-approx.sh:
+
+     dune exec bench/main.exe -- --approx-gate
+
+   Four checks, every one FATAL on violation (exit 1):
+
+     1. accuracy     — 200 seeded trials of the estimator against the
+                       exact µ^k on the intro example; at least
+                       (1−δ)·200 must land within ε of the truth.
+     2. determinism  — a fixed seed must reproduce every reported
+                       figure (estimate, CI, hits, stratified pass)
+                       bit-for-bit across jobs = 1/2/4.
+     3. overflow     — a space ~10^3 times beyond the Bigint.Overflow
+                       frontier (k = 3·10^7 over 3 nulls ≈ 2.7·10^22
+                       valuations, vs 2^62 ≈ 4.6·10^18) must estimate
+                       successfully where the exact path can only
+                       refuse, and stay deterministic across jobs.
+     4. conditional  — the (ε, δ/2)-sized conditional estimator's CI
+                       must contain the exact µ^k(Q|Σ) on the
+                       section-4 example for every probe seed.
+
+   All four are deterministic: the estimator is seeded and
+   reproducible across machines (splitmix64 over int64), so a seed set
+   that passes once passes forever — the gate re-certifies the
+   implementation, not the luck of the draw. *)
+
+module AE = Approx_measure.Estimator
+module R = Arith.Rat
+module RInstance = Relational.Instance
+module Tuple = Relational.Tuple
+module Parser = Logic.Parser
+
+let failures = ref 0
+
+let fatal fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.eprintf "FATAL: %s\n%!" s)
+    fmt
+
+let ok fmt = Printf.ksprintf (fun s -> Printf.printf "  ok: %s\n%!" s) fmt
+
+let rat s =
+  match AE.rat_of_string s with Ok r -> r | Error e -> invalid_arg e
+
+let rabs r = if R.compare r R.zero < 0 then R.sub R.zero r else r
+
+(* --- fixture: the intro example — 3 nulls, exact µ^6 = 35/36 --- *)
+
+let intro_db = lazy (Experiments.intro_db ())
+let intro_q = lazy (Experiments.intro_query ())
+let intro_t = lazy (Parser.tuple_exn "('c1', ~1)")
+
+(* 1. Accuracy: the Hoeffding promise, verified frequentistly. With
+   ε = 1/10, δ = 1/20 the bound guarantees > 95% of trials within ε;
+   we demand exactly that on 200 fixed seeds. *)
+let check_accuracy () =
+  let d = Lazy.force intro_db
+  and q = Lazy.force intro_q
+  and t = Lazy.force intro_t in
+  let k = 6 in
+  let eps = rat "1/10" and delta = rat "1/20" in
+  let exact = Incomplete.Support.mu_k d q t ~k in
+  let cache = Incomplete.Support.create_cache () in
+  let trials = 200 in
+  let within = ref 0 in
+  for seed = 1 to trials do
+    let e = AE.mu_k ~cache d q t ~k ~eps ~delta ~seed in
+    if R.compare (rabs (R.sub e.AE.estimate exact)) eps <= 0 then incr within
+  done;
+  (* need ≥ (1−δ)·trials = 190 *)
+  let need = 190 in
+  if !within >= need then
+    ok "accuracy: %d/%d trials within ε = 1/10 of exact %s (need %d)" !within
+      trials (R.to_string exact) need
+  else
+    fatal "accuracy: only %d/%d trials within ε = 1/10 of exact %s (need %d)"
+      !within trials (R.to_string exact) need
+
+(* 2. Determinism: digest every reported figure and compare across
+   jobs. Stratification is on, so the second pass's allocations and
+   per-stratum streams are covered too. *)
+let digest (e : AE.t) =
+  Printf.sprintf "%s|%s|%s|%d|%d|%d|%s" (R.to_string e.AE.estimate)
+    (R.to_string e.AE.ci_lo) (R.to_string e.AE.ci_hi) e.AE.samples e.AE.hits
+    e.AE.seed
+    (match e.AE.stratified with
+    | None -> "-"
+    | Some s ->
+        Printf.sprintf "%s|%s|%s|%d|%d"
+          (R.to_string s.AE.s_estimate)
+          (R.to_string s.AE.s_ci_lo)
+          (R.to_string s.AE.s_ci_hi)
+          s.AE.s_samples s.AE.s_strata)
+
+let check_jobs_identity ~what run =
+  List.iter
+    (fun seed ->
+      let digests = List.map (fun jobs -> digest (run ~jobs ~seed)) [ 1; 2; 4 ] in
+      match digests with
+      | d1 :: rest when List.for_all (String.equal d1) rest ->
+          ok "%s: seed %d bit-identical across jobs 1/2/4" what seed
+      | _ ->
+          fatal "%s: seed %d differs across jobs: %s" what seed
+            (String.concat " / " digests))
+    [ 1; 7; 42 ]
+
+let check_determinism () =
+  let d = Lazy.force intro_db
+  and q = Lazy.force intro_q
+  and t = Lazy.force intro_t in
+  let eps = rat "1/20" and delta = rat "1/100" in
+  check_jobs_identity ~what:"determinism" (fun ~jobs ~seed ->
+      AE.mu_k ~jobs ~stratify:true d q t ~k:6 ~eps ~delta ~seed)
+
+(* 3. Overflow smoke: k = 3·10^7 over the intro example's 3 nulls is
+   2.7·10^22 valuations — ~5.9·10^3 times past the 2^62 rank frontier,
+   so [space_size] is [None] and the sampler must take the per-digit
+   path. The exact engine raises Bigint.Overflow here by design. *)
+let check_overflow_frontier () =
+  let d = Lazy.force intro_db
+  and q = Lazy.force intro_q
+  and t = Lazy.force intro_t in
+  let k = 30_000_000 in
+  let nulls =
+    List.sort_uniq Int.compare (RInstance.nulls d @ Tuple.nulls t)
+  in
+  (match Incomplete.Enumerate.space_size ~nulls ~k with
+  | None -> ok "overflow: k = %d over %d nulls is past the rank frontier" k
+              (List.length nulls)
+  | Some n ->
+      fatal "overflow: space fits a machine int (%d) — smoke is not testing \
+             the per-digit path" n);
+  let eps = rat "1/4" and delta = rat "1/4" in
+  let run ~jobs ~seed = AE.mu_k ~jobs ~stratify:true d q t ~k ~eps ~delta ~seed in
+  let e = run ~jobs:2 ~seed:42 in
+  if R.compare e.AE.estimate R.zero >= 0 && R.compare e.AE.estimate R.one <= 0
+     && R.compare e.AE.ci_lo e.AE.estimate <= 0
+     && R.compare e.AE.estimate e.AE.ci_hi <= 0
+  then
+    ok "overflow: estimate %s in [0,1], CI [%s, %s] well-formed (%d samples)"
+      (R.to_string e.AE.estimate) (R.to_string e.AE.ci_lo)
+      (R.to_string e.AE.ci_hi) e.AE.samples
+  else
+    fatal "overflow: malformed result: estimate %s, CI [%s, %s]"
+      (R.to_string e.AE.estimate) (R.to_string e.AE.ci_lo)
+      (R.to_string e.AE.ci_hi);
+  check_jobs_identity ~what:"overflow determinism" run
+
+(* 4. Conditional: CI must contain the exact µ^k(Q|Σ) — 1/3 on the
+   section-4 example's third tuple — for every probe seed. *)
+let check_conditional () =
+  let e = Zeroone.Constructions.section4_example () in
+  let d = e.Zeroone.Constructions.s4_instance
+  and q = e.Zeroone.Constructions.s4_query
+  and t = e.Zeroone.Constructions.s4_tuple_third
+  and sigma = e.Zeroone.Constructions.s4_sigma in
+  (* k = 9 keeps the Σ-frequency (≈ 1/3) well above ε, so the ratio
+     CI is informative — a [0,1] interval would contain 1/3 for free. *)
+  let k = 9 in
+  let exact = Zeroone.Conditional.mu_cond_k ~sigma d q t ~k in
+  let eps = rat "1/10" and delta = rat "1/20" in
+  let cache = Incomplete.Support.create_cache () in
+  List.iter
+    (fun seed ->
+      let c = AE.mu_cond_k ~cache ~sigma d q t ~k ~eps ~delta ~seed in
+      let vacuous =
+        R.compare c.AE.c_ci_lo R.zero = 0 && R.compare c.AE.c_ci_hi R.one = 0
+      in
+      if vacuous then
+        fatal "conditional: seed %d CI degenerated to [0, 1]" seed
+      else if
+        R.compare c.AE.c_ci_lo exact <= 0 && R.compare exact c.AE.c_ci_hi <= 0
+      then
+        ok "conditional: seed %d CI [%s, %s] contains exact %s (%d samples)"
+          seed
+          (R.to_string c.AE.c_ci_lo)
+          (R.to_string c.AE.c_ci_hi)
+          (R.to_string exact) c.AE.c_samples
+      else
+        fatal "conditional: seed %d CI [%s, %s] misses exact %s" seed
+          (R.to_string c.AE.c_ci_lo)
+          (R.to_string c.AE.c_ci_hi)
+          (R.to_string exact))
+    [ 1; 2; 3; 5; 8; 13; 21; 34; 42; 55 ]
+
+let run () =
+  print_endline "== approx-gate: (ε,δ) estimator vs exact measures ==";
+  check_accuracy ();
+  check_determinism ();
+  check_overflow_frontier ();
+  check_conditional ();
+  if !failures > 0 then begin
+    Printf.eprintf "approx-gate: %d check(s) FAILED\n%!" !failures;
+    exit 1
+  end;
+  print_endline "approx-gate: all checks passed"

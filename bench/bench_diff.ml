@@ -1,0 +1,270 @@
+(* Bench-regression diff: compare a freshly generated BENCH_*.json
+   against the committed baseline and fail on a throughput regression.
+
+     dune exec bench/main.exe -- --diff bench/BENCH_baseline.json \
+         BENCH_smoke.json [--max-regression 0.25]
+
+   Raw ns/op depends on the runner, so the comparison uses the
+   machine-normalized [speedup_vs_baseline] column instead: every
+   kernel's first row is the naive reference engine (always 1.0), and
+   a kernel row whose speedup drops to less than (1 − tolerance) of
+   the committed figure means the compiled/parallel engine lost ground
+   relative to the naive engine on the same machine — a real
+   regression, not runner noise. Rows are keyed (kernel, engine, jobs,
+   cache); a key present in the baseline but missing from the fresh
+   file fails too (a silently dropped configuration is not a pass).
+
+   Only schema_version 3 files are accepted — on a schema bump this
+   check fails loudly until the baseline is regenerated. *)
+
+(* --- a minimal JSON reader: just enough for the bench schema ---
+   (the repo-wide policy of strict, dependency-free parsers; see
+   Server.Wire and Obs.Trace's validator for the same spirit). *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> malformed "expected %c at byte %d, found %c" c !pos c'
+    | None -> malformed "expected %c at byte %d, found end of input" c !pos
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else malformed "unrecognized token at byte %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> malformed "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some (('"' | '\\' | '/') as c) ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+          | Some 'u' ->
+              (* bench files never escape beyond ASCII; keep the code
+                 point's hex form rather than decode UTF-16 *)
+              if !pos + 4 >= n then malformed "truncated \\u escape";
+              Buffer.add_string buf (String.sub s (!pos + 1) 4);
+              pos := !pos + 5;
+              go ()
+          | _ -> malformed "bad escape at byte %d" !pos)
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ();
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> Num f
+    | None -> malformed "bad number %S at byte %d" tok start
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> malformed "expected , or } at byte %d" !pos
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> malformed "expected , or ] at byte %d" !pos
+          in
+          elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('0' .. '9' | '-') -> parse_number ()
+    | Some c -> malformed "unexpected %c at byte %d" c !pos
+    | None -> malformed "empty input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then malformed "trailing bytes at %d" !pos;
+  v
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  try parse_json s
+  with Malformed m -> failwith (Printf.sprintf "%s: malformed JSON: %s" path m)
+
+(* --- schema access --- *)
+
+let field obj name =
+  match obj with
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let need path obj name =
+  match field obj name with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: missing field %S" path name)
+
+let num path = function
+  | Num f -> f
+  | _ -> failwith (Printf.sprintf "%s: expected a number" path)
+
+let str path = function
+  | Str s -> s
+  | _ -> failwith (Printf.sprintf "%s: expected a string" path)
+
+type bench_row = { key : string; speedup : float }
+
+(* Flatten a BENCH_*.json into keyed speedup rows, enforcing schema 3. *)
+let rows_of path json =
+  (match need path json "schema_version" with
+  | Num 3.0 -> ()
+  | v ->
+      failwith
+        (Printf.sprintf "%s: schema_version %s, this differ understands 3 — \
+                         regenerate the baseline"
+           path
+           (match v with Num f -> string_of_float f | _ -> "?")));
+  let kernels =
+    match need path json "kernels" with
+    | Arr ks -> ks
+    | _ -> failwith (Printf.sprintf "%s: kernels is not an array" path)
+  in
+  List.concat_map
+    (fun kernel ->
+      let kname = str path (need path kernel "name") in
+      let results =
+        match need path kernel "results" with
+        | Arr rs -> rs
+        | _ -> failwith (Printf.sprintf "%s: results is not an array" path)
+      in
+      List.map
+        (fun row ->
+          let engine = str path (need path row "engine") in
+          let jobs = int_of_float (num path (need path row "jobs")) in
+          let cache =
+            match need path row "cache" with
+            | Bool b -> b
+            | _ -> failwith (Printf.sprintf "%s: cache is not a bool" path)
+          in
+          let speedup = num path (need path row "speedup_vs_baseline") in
+          { key =
+              Printf.sprintf "%s engine=%s jobs=%d cache=%b" kname engine jobs
+                cache;
+            speedup
+          })
+        results)
+    kernels
+
+let run ~baseline ~fresh ~tolerance =
+  let base_rows = rows_of baseline (load baseline) in
+  let fresh_rows = rows_of fresh (load fresh) in
+  Printf.printf
+    "== bench-regression: %s vs baseline %s (tolerance %.0f%%) ==\n" fresh
+    baseline (tolerance *. 100.);
+  let failures = ref 0 in
+  List.iter
+    (fun b ->
+      match List.find_opt (fun f -> f.key = b.key) fresh_rows with
+      | None ->
+          incr failures;
+          Printf.eprintf "FATAL: row missing from %s: %s\n" fresh b.key
+      | Some f ->
+          let floor = b.speedup *. (1. -. tolerance) in
+          if f.speedup < floor then begin
+            incr failures;
+            Printf.eprintf
+              "FATAL: %s: speedup %.3fx < %.3fx (baseline %.3fx − %.0f%%)\n"
+              b.key f.speedup floor b.speedup (tolerance *. 100.)
+          end
+          else
+            Printf.printf "  ok: %-60s %.3fx (baseline %.3fx)\n" b.key
+              f.speedup b.speedup)
+    base_rows;
+  if !failures > 0 then begin
+    Printf.eprintf "bench-regression: %d row(s) regressed or went missing\n%!"
+      !failures;
+    exit 1
+  end;
+  Printf.printf "bench-regression: %d rows within tolerance\n%!"
+    (List.length base_rows)

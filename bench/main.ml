@@ -9,7 +9,10 @@
    Only timings:           dune exec bench/main.exe -- --timings
    Parallel engine + JSON: dune exec bench/main.exe -- --parallel [--jobs N] [--smoke]
    Query service + JSON:   dune exec bench/main.exe -- --serve [--smoke]
-                           [--socket PATH to drive an external server] *)
+                           [--socket PATH to drive an external server]
+   Approx CI gate:         dune exec bench/main.exe -- --approx-gate
+   Regression diff:        dune exec bench/main.exe -- --diff BASE FRESH
+                           [--max-regression 0.25] *)
 
 module RInstance = Relational.Instance
 module Relation = Relational.Relation
@@ -426,8 +429,12 @@ let emit_json ~smoke path results =
   out "}\n";
   close_out oc
 
-let run_parallel ~smoke ~max_jobs ~out ?trace () =
+let run_parallel ~smoke ~max_jobs ~out ?reps ?trace () =
   let w = if smoke then smoke_workload else full_workload in
+  (* --reps N: override best-of-N — the bench-regression gate uses a
+     higher N than the smoke default so one descheduled run doesn't
+     read as a throughput regression. *)
+  let w = match reps with None -> w | Some reps -> { w with reps } in
   (* --trace: every run (timed and capture) emits spans to the JSONL
      sink — use for the CI smoke gate, not for timing comparisons. *)
   Option.iter Obs.Trace.enable_file trace;
@@ -541,6 +548,36 @@ let () =
     | _ :: rest -> flag_value key rest
     | [] -> None
   in
+  let rec two_after key = function
+    | k :: a :: b :: _ when k = key -> Some (a, b)
+    | _ :: rest -> two_after key rest
+    | [] -> None
+  in
+  if List.mem "--approx-gate" args then begin
+    Approx_gate.run ();
+    exit 0
+  end;
+  (match two_after "--diff" args with
+  | Some (baseline, fresh) ->
+      let tolerance =
+        match flag_value "--max-regression" args with
+        | None -> 0.25
+        | Some v -> (
+            match float_of_string_opt v with
+            | Some t when t > 0. && t < 1. -> t
+            | _ ->
+                Printf.eprintf
+                  "error: --max-regression expects a fraction in (0,1), got %S\n"
+                  v;
+                exit 2)
+      in
+      Bench_diff.run ~baseline ~fresh ~tolerance;
+      exit 0
+  | None ->
+      if List.mem "--diff" args then begin
+        Printf.eprintf "error: --diff expects two files: BASE FRESH\n";
+        exit 2
+      end);
   let max_jobs =
     match flag_value "--jobs" args with
     | None -> 4
@@ -561,6 +598,17 @@ let () =
         else "BENCH_parallel.json"
   in
   let trace = flag_value "--trace" args in
+  let reps =
+    match flag_value "--reps" args with
+    | None -> None
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> Some n
+        | _ ->
+            Printf.eprintf "error: --reps expects a positive integer, got %S\n"
+              v;
+            exit 2)
+  in
   if serve then
     (* --serve is its own mode: the service bench spawns threads and an
        in-process server, which would only perturb the timing modes. *)
@@ -569,9 +617,9 @@ let () =
     match (experiments, timings, parallel) with
     | true, false, false -> run_experiments ()
     | false, true, false -> run_timings ()
-    | false, false, true -> run_parallel ~smoke ~max_jobs ~out ?trace ()
+    | false, false, true -> run_parallel ~smoke ~max_jobs ~out ?reps ?trace ()
     | _, _, _ ->
         if experiments || not (timings || parallel) then run_experiments ();
         if timings || not (experiments || parallel) then run_timings ();
         if parallel || not (experiments || timings) then
-          run_parallel ~smoke ~max_jobs ~out ?trace ()
+          run_parallel ~smoke ~max_jobs ~out ?reps ?trace ()

@@ -19,6 +19,7 @@ module Parser = Logic.Parser
 module F = Logic.Formula
 module R = Arith.Rat
 module P = Arith.Poly
+module AE = Approx_measure.Estimator
 
 open Cmdliner
 
@@ -82,6 +83,47 @@ let tuple2_arg =
 let ks_arg =
   let doc = "Domain sizes k at which to sample µ^k (comma-separated)." in
   Arg.(value & opt (some string) None & info [ "k"; "ks" ] ~docv:"K,K,..." ~doc)
+
+let approx_arg =
+  let doc =
+    "Estimate the µ^k series by seeded Monte-Carlo sampling instead of exact \
+     enumeration: draw a Hoeffding-sized sample of valuations so that \
+     P(|estimate − µ^k| > EPS) < DELTA. Works on valuation spaces far beyond \
+     the exact engine's overflow frontier; with a fixed --seed the figures \
+     are bit-identical for every --jobs."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "approx" ] ~docv:"EPS,DELTA" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for --approx (the sampler is fully deterministic)." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+
+let stratify_arg =
+  let doc =
+    "With --approx, add the stratified second pass: the sample is allocated \
+     across the null-support strata (how many nulls map into the anchor set \
+     C ∪ Const(D)), with exact stratum weights — same (EPS, DELTA) \
+     guarantee, usually tighter in practice."
+  in
+  Arg.(value & flag & info [ "stratify" ] ~doc)
+
+let parse_approx = function
+  | None -> None
+  | Some s -> (
+      let die msg =
+        Printf.eprintf "error: --approx %s\n" msg;
+        exit 2
+      in
+      match String.split_on_char ',' s with
+      | [ e; d ] -> (
+          match (AE.rat_of_string e, AE.rat_of_string d) with
+          | Ok eps, Ok delta ->
+              let ok v = R.compare v R.zero > 0 && R.compare v R.one < 0 in
+              if ok eps && ok delta then Some (eps, delta)
+              else die "expects EPS and DELTA strictly between 0 and 1"
+          | Error msg, _ | _, Error msg -> die msg)
+      | _ -> die "expects EPS,DELTA (e.g. --approx 0.05,0.01)")
 
 let jobs_arg =
   let doc =
@@ -265,18 +307,20 @@ let check_space_sizes ~nulls ks =
       with Arith.Bigint.Overflow size ->
         Printf.eprintf
           "error: k = %d over %d nulls gives a valuation space of %s \
-           valuations — too large to enumerate; pick smaller --ks\n"
+           valuations — too large to enumerate; pick smaller --ks, or \
+           estimate it with --approx EPS,DELTA (e.g. --approx 0.05,0.01)\n"
           k (List.length nulls)
           (Arith.Bigint.to_string size);
         exit 2)
     ks
 
 let measure_cmd =
-  let run schema db query tuple ks jobs no_cache strict metrics metrics_json
-      trace =
+  let run schema db query tuple ks approx seed stratify jobs no_cache strict
+      metrics metrics_json trace =
     with_obs ~metrics ~metrics_json ~trace @@ fun () ->
     with_context schema db query (fun sch inst q ->
         let jobs = jobs_opt jobs and cache = cache_opt no_cache in
+        let approx = parse_approx approx in
         let tuple =
           match load_tuple tuple with
           | Some t -> t
@@ -302,22 +346,55 @@ let measure_cmd =
           List.sort_uniq Int.compare
             (Instance.nulls inst @ Tuple.nulls tuple)
         in
-        check_space_sizes ~nulls ks;
-        print_endline "µ^k series (brute force):";
-        List.iter
-          (fun (k, v) ->
-            Printf.printf "  k = %3d   µ^k = %-12s ≈ %.6f\n" k (R.to_string v)
-              (R.to_float v))
-          (Incomplete.Support.mu_k_series ?jobs ?cache inst q tuple ~ks))
+        match approx with
+        | None ->
+            check_space_sizes ~nulls ks;
+            print_endline "µ^k series (brute force):";
+            List.iter
+              (fun (k, v) ->
+                Printf.printf "  k = %3d   µ^k = %-12s ≈ %.6f\n" k
+                  (R.to_string v) (R.to_float v))
+              (Incomplete.Support.mu_k_series ?jobs ?cache inst q tuple ~ks)
+        | Some (eps, delta) ->
+            (* No space preflight here — sampling beyond the exact
+               engine's overflow frontier is the point. *)
+            let n = AE.sample_size ~eps ~delta in
+            Printf.printf
+              "µ^k estimates (Monte-Carlo, ε = %s, δ = %s, %d samples/k, \
+               seed %d):\n"
+              (R.to_string eps) (R.to_string delta) n seed;
+            List.iter
+              (fun k ->
+                let r =
+                  AE.mu_k ?jobs ?cache ~stratify inst q tuple ~k ~eps ~delta
+                    ~seed
+                in
+                Printf.printf "  k = %3d   µ^k ≈ %-12s (%.6f)   CI [%s, %s]\n"
+                  k
+                  (R.to_string r.AE.estimate)
+                  (R.to_float r.AE.estimate)
+                  (R.to_string r.AE.ci_lo) (R.to_string r.AE.ci_hi);
+                match r.AE.stratified with
+                | None -> ()
+                | Some s ->
+                    Printf.printf
+                      "            stratified (%d null-support strata, %d \
+                       samples) ≈ %-12s (%.6f)   CI [%s, %s]\n"
+                      s.AE.s_strata s.AE.s_samples
+                      (R.to_string s.AE.s_estimate)
+                      (R.to_float s.AE.s_estimate)
+                      (R.to_string s.AE.s_ci_lo) (R.to_string s.AE.s_ci_hi))
+              ks)
   in
   let doc =
     "Measure how close an answer is to certainty: the support polynomial, the \
-     asymptotic measure µ (0 or 1 by the 0-1 law), and a µ^k series."
+     asymptotic measure µ (0 or 1 by the 0-1 law), and a µ^k series — exact \
+     by brute force, or (ε,δ)-approximate with --approx."
   in
   Cmd.v (Cmd.info "measure" ~doc)
     Term.(const run $ schema_arg $ db_arg $ query_arg $ tuple_arg $ ks_arg
-          $ jobs_arg $ no_cache_arg $ strict_arg $ metrics_arg
-          $ metrics_json_arg $ trace_arg)
+          $ approx_arg $ seed_arg $ stratify_arg $ jobs_arg $ no_cache_arg
+          $ strict_arg $ metrics_arg $ metrics_json_arg $ trace_arg)
 
 let conditional_cmd =
   let run schema db query cstr tuple ks jobs no_cache strict metrics
@@ -743,8 +820,8 @@ let serve_cmd =
   in
   let doc =
     "Run the long-lived query service: newline-delimited JSON requests \
-     (certain, measure, conditional, analyze, health) over a Unix or TCP \
-     socket, with shared per-database caches, bounded admission, \
+     (certain, measure, conditional, approx, analyze, health) over a Unix \
+     or TCP socket, with shared per-database caches, bounded admission, \
      per-request deadlines, and graceful drain on SIGTERM/SIGINT. The \
      protocol is documented in docs/PROTOCOL.md."
   in
@@ -761,8 +838,8 @@ let contains_substring hay needle =
 let client_cmd =
   let op_arg =
     let doc =
-      "Operation to request: certain, measure, conditional, analyze or \
-       health."
+      "Operation to request: certain, measure, conditional, approx, analyze \
+       or health."
     in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
   in
@@ -782,6 +859,19 @@ let client_cmd =
       "Approximation scheme for analyze: sql, naive or naive-null-free."
   in
   let id_arg = opt_str [ "id" ] "ID" "Request id, echoed in the response." in
+  let capprox_arg =
+    opt_str [ "approx" ] "EPS,DELTA"
+      "For the approx op: the (ε, δ) guarantee, sent as the eps and delta \
+       fields."
+  in
+  let cseed_arg =
+    let doc = "For the approx op: PRNG seed (sent as the seed field)." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let cstratify_arg =
+    let doc = "For the approx op: request the stratified second pass." in
+    Arg.(value & flag & info [ "stratify" ] ~doc)
+  in
   let deadline_arg =
     let doc = "Per-request deadline in milliseconds (0 = server default)." in
     Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
@@ -794,8 +884,8 @@ let client_cmd =
     in
     Arg.(value & opt_all string [] & info [ "raw" ] ~docv:"LINE" ~doc)
   in
-  let run socket port host op schema db query cstr tuple ks scheme deadline_ms
-      id raws =
+  let run socket port host op schema db query cstr tuple ks approx seed
+      stratify scheme deadline_ms id raws =
     let addr = addr_of ~socket ~port ~host in
     let build op =
       let fields = ref [] in
@@ -805,7 +895,26 @@ let client_cmd =
         | None -> ()
       in
       add "scheme" scheme;
-      add "ks" ks;
+      (* The approx op takes a single domain size "k" (plus eps/delta/
+         seed/stratify); every other op reads the "ks" list. *)
+      if op = "approx" then begin
+        if stratify then fields := ("stratify", Server.Wire.I 1) :: !fields;
+        Option.iter
+          (fun n -> fields := ("seed", Server.Wire.I n) :: !fields)
+          seed;
+        (match Option.map (String.split_on_char ',') approx with
+        | Some [ e; d ] ->
+            fields :=
+              ("delta", Server.Wire.S (String.trim d))
+              :: ("eps", Server.Wire.S (String.trim e))
+              :: !fields
+        | Some _ ->
+            Printf.eprintf "error: --approx expects EPS,DELTA\n";
+            exit 2
+        | None -> ());
+        add "k" ks
+      end
+      else add "ks" ks;
       add "tuple" tuple;
       add "constraints" cstr;
       add "query" query;
@@ -853,7 +962,8 @@ let client_cmd =
   Cmd.v (Cmd.info "client" ~doc)
     Term.(const run $ socket_arg $ port_arg $ host_arg $ op_arg $ schema_arg
           $ db_arg $ query_arg $ constraints_arg $ tuple_arg $ ks_arg
-          $ scheme_arg $ deadline_arg $ id_arg $ raw_arg)
+          $ capprox_arg $ cseed_arg $ cstratify_arg $ scheme_arg
+          $ deadline_arg $ id_arg $ raw_arg)
 
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))

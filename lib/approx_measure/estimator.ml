@@ -1,0 +1,374 @@
+module Instance = Relational.Instance
+module Tuple = Relational.Tuple
+module Query = Logic.Query
+module F = Logic.Formula
+module B = Arith.Bigint
+module R = Arith.Rat
+module Support = Incomplete.Support
+module Enumerate = Incomplete.Enumerate
+module Valuation = Incomplete.Valuation
+
+(* ------------------------------------------------------------------ *)
+(* Parameters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let rat_of_string s =
+  let s = String.trim s in
+  let invalid () =
+    Error (Printf.sprintf "expected a decimal or p/q fraction, got %S" s)
+  in
+  match String.index_opt s '.' with
+  | None ->
+      (* "p" or "p/q" — Rat.of_string's grammar. *)
+      let ok =
+        match String.split_on_char '/' s with
+        | [ p ] -> is_digits p
+        | [ p; q ] -> is_digits p && is_digits q && q <> String.make (String.length q) '0'
+        | _ -> false
+      in
+      if ok then Ok (R.of_string s) else invalid ()
+  | Some i ->
+      let int_part = String.sub s 0 i in
+      let frac = String.sub s (i + 1) (String.length s - i - 1) in
+      if (int_part = "" && frac = "")
+         || (int_part <> "" && not (is_digits int_part))
+         || (frac <> "" && not (is_digits frac))
+      then invalid ()
+      else
+        let int_part = if int_part = "" then "0" else int_part in
+        let frac = if frac = "" then "0" else frac in
+        let scale = B.pow (B.of_int 10) (String.length frac) in
+        let num = B.add (B.mul (B.of_string int_part) scale) (B.of_string frac) in
+        Ok (R.make num scale)
+
+let check_prob name v =
+  if R.compare v R.zero <= 0 || R.compare v R.one >= 0 then
+    invalid_arg (Printf.sprintf "Estimator: %s must lie in (0, 1)" name)
+
+let sample_size ~eps ~delta =
+  check_prob "eps" eps;
+  check_prob "delta" delta;
+  (* Hoeffding: P(|p̂ − µ| > ε) ≤ 2·exp(−2nε²) ≤ δ once
+     n ≥ ln(2/δ) / (2ε²). The float excursion is only this ceiling —
+     every reported quantity stays rational. *)
+  let e = R.to_float eps and d = R.to_float delta in
+  let n = Float.ceil (log (2.0 /. d) /. (2.0 *. e *. e)) in
+  Stdlib.max 1 (int_of_float n)
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type stratified = {
+  s_estimate : R.t;
+  s_ci_lo : R.t;
+  s_ci_hi : R.t;
+  s_samples : int;
+  s_strata : int;
+}
+
+type t = {
+  estimate : R.t;
+  ci_lo : R.t;
+  ci_hi : R.t;
+  samples : int;
+  hits : int;
+  seed : int;
+  eps : R.t;
+  delta : R.t;
+  stratified : stratified option;
+}
+
+type cond = {
+  c_estimate : R.t;
+  c_ci_lo : R.t;
+  c_ci_hi : R.t;
+  c_samples : int;
+  c_hits_num : int;
+  c_hits_den : int;
+  c_seed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Uniform sampling of V^k(D)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Chunks under a guard are capped at 2^16 items by the pool; this
+   lower threshold just lets moderate sample counts (~10^3) actually
+   fan out. *)
+let min_work = 256
+
+let draw_uniform ~rng ~nulls ~k ~space =
+  match space with
+  | Some size ->
+      (* Small space: a uniform rank, decoded mixed-radix — the visit
+         order of the exact sweep. *)
+      Enumerate.valuation_of_rank ~nulls ~k (Srng.uniform rng size)
+  | None ->
+      (* Beyond the int frontier: draw the m digits independently.
+         A uniform rank in [0, k^m) *is* m independent uniform digits
+         in [0, k), so the distribution is identical — with no bigint
+         arithmetic per sample. *)
+      Valuation.of_list (List.map (fun nl -> (nl, 1 + Srng.uniform rng k)) nulls)
+
+(* Count how many of the samples [base, base+n) hit every checker.
+   Sample index i draws from its own (seed, i) stream, so the counts
+   are independent of the chunk partition; int subtotals are summed in
+   chunk order — bit-identical for any ?jobs, guarded or not. *)
+let count_hits ?jobs ?guard ?cache ~db ~sentences ~nulls ~k ~space ~seed ~base n =
+  let nsent = List.length sentences in
+  let chunk lo hi =
+    let checkers = List.map (fun s -> Support.checker ?cache db s) sentences in
+    let hits = Array.make nsent 0 in
+    for i = lo to hi - 1 do
+      let rng = Srng.stream ~seed ~index:(base + i) in
+      let v = draw_uniform ~rng ~nulls ~k ~space in
+      List.iteri
+        (fun s chk -> if Support.check chk v then hits.(s) <- hits.(s) + 1)
+        checkers
+    done;
+    Obs.Metrics.add Obs.Metrics.approx_samples (hi - lo);
+    hits
+  in
+  let combine a b = Array.map2 ( + ) a b in
+  Exec.Pool.fold_range ?jobs ?guard ~min_work ~n ~chunk ~combine
+    (Array.make nsent 0)
+
+(* ------------------------------------------------------------------ *)
+(* Stratification by null support                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Stratum j of V^k(D): the valuations mapping exactly j of the m
+   nulls into the anchor set C ∪ Const(D) (restricted to codes ≤ k).
+   Collisions with the anchors are what flip support checks (§3.3), so
+   conditioning on their number is the natural variance-reduction
+   axis. The strata partition V^k exactly:
+     |stratum j| = C(m,j) · a^j · (k−a)^(m−j),  Σ_j = k^m. *)
+
+type stratum = { s_j : int; weight : R.t; mutable alloc : int }
+
+let strata_of ~m ~a ~free ~total =
+  List.filter_map
+    (fun j ->
+      let card =
+        B.mul
+          (B.mul (Arith.Combinat.binomial m j) (B.pow (B.of_int a) j))
+          (B.pow (B.of_int free) (m - j))
+      in
+      if B.sign card <= 0 then None
+      else Some { s_j = j; weight = R.make card total; alloc = 0 })
+    (List.init (m + 1) (fun j -> j))
+
+(* Proportional allocation by largest remainder (deterministic: ties
+   break toward the smaller stratum index), with every positive-weight
+   stratum granted at least one sample. *)
+let allocate strata n =
+  let floors =
+    List.map
+      (fun s ->
+        let exact = R.mul_int s.weight n in
+        let fl = B.div (R.num exact) (R.den exact) in
+        let rem = R.sub exact (R.of_bigint fl) in
+        (s, B.to_int_exn fl, rem))
+      strata
+  in
+  List.iter (fun (s, fl, _) -> s.alloc <- fl) floors;
+  let given = List.fold_left (fun acc (_, fl, _) -> acc + fl) 0 floors in
+  let by_remainder =
+    List.stable_sort (fun (_, _, r1) (_, _, r2) -> R.compare r2 r1) floors
+  in
+  let rec grant k = function
+    | [] -> ()
+    | (s, _, _) :: rest when k > 0 ->
+        s.alloc <- s.alloc + 1;
+        grant (k - 1) rest
+    | _ -> ()
+  in
+  grant (n - given) by_remainder;
+  List.iter (fun s -> if s.alloc = 0 then s.alloc <- 1) strata
+
+(* The weighted Hoeffding bound for Σ_j w_j·hits_j/n_j needs
+   Σ_j w_j²/n_j ≤ 1/n to carry the same ε at confidence δ. The
+   proportional allocation already lands within rounding of it; bump
+   every stratum until the exact rational inequality holds. *)
+let enforce_bound strata n =
+  let sum2 () =
+    List.fold_left
+      (fun acc s -> R.add acc (R.div_int (R.mul s.weight s.weight) s.alloc))
+      R.zero strata
+  in
+  let target = R.of_ints 1 n in
+  while R.compare (sum2 ()) target > 0 do
+    List.iter (fun s -> s.alloc <- s.alloc + 1) strata
+  done
+
+(* The idx-th code of [1..k] \ anchors (anchors sorted ascending, all
+   ≤ k): walk the anchors, shifting the candidate past each one it
+   meets. *)
+let nth_non_anchor anchors k idx =
+  let c = ref (idx + 1) in
+  Array.iter (fun a -> if a <= !c then incr c) anchors;
+  assert (!c <= k);
+  !c
+
+(* One valuation of stratum j: a uniform j-subset of the nulls gets
+   uniform anchor codes, the rest uniform non-anchor codes — exactly
+   the uniform distribution on V^k conditioned on the stratum. *)
+let draw_stratum ~rng ~nulls_arr ~anchors ~k ~a ~free ~j =
+  let m = Array.length nulls_arr in
+  let picked = ref j and left = ref m in
+  let bindings = ref [] in
+  Array.iter
+    (fun nl ->
+      (* Sequential sampling: include this null with probability
+         picked/left — uniform over the C(m,j) subsets. *)
+      let anchored = Srng.uniform rng !left < !picked in
+      let code =
+        if anchored then begin
+          decr picked;
+          anchors.(Srng.uniform rng a)
+        end
+        else nth_non_anchor anchors k (Srng.uniform rng free)
+      in
+      decr left;
+      bindings := (nl, code) :: !bindings)
+    nulls_arr;
+  Valuation.of_list (List.rev !bindings)
+
+let stratified_pass ?jobs ?guard ?cache ~db ~sentence ~anchors_all ~nulls ~k
+    ~eps ~seed ~base n =
+  let nulls_arr = Array.of_list nulls in
+  let m = Array.length nulls_arr in
+  let anchors =
+    Array.of_list (List.filter (fun c -> c >= 1 && c <= k) anchors_all)
+  in
+  let a = Array.length anchors and total = Enumerate.count ~nulls ~k in
+  let free = k - a in
+  let strata = strata_of ~m ~a ~free ~total in
+  allocate strata n;
+  enforce_bound strata n;
+  Obs.Metrics.add Obs.Metrics.approx_strata (List.length strata);
+  let estimate, samples, _ =
+    List.fold_left
+      (fun (acc, count, offset) s ->
+        let chunk lo hi =
+          let chk = Support.checker ?cache db sentence in
+          let hits = ref 0 in
+          for i = lo to hi - 1 do
+            let rng = Srng.stream ~seed ~index:(base + offset + i) in
+            let v =
+              draw_stratum ~rng ~nulls_arr ~anchors ~k ~a ~free ~j:s.s_j
+            in
+            if Support.check chk v then incr hits
+          done;
+          Obs.Metrics.add Obs.Metrics.approx_samples (hi - lo);
+          !hits
+        in
+        let hits =
+          Exec.Pool.fold_range ?jobs ?guard ~min_work ~n:s.alloc ~chunk
+            ~combine:( + ) 0
+        in
+        ( R.add acc (R.mul s.weight (R.of_ints hits s.alloc)),
+          count + s.alloc,
+          offset + s.alloc ))
+      (R.zero, 0, 0) strata
+  in
+  { s_estimate = estimate;
+    s_ci_lo = R.max R.zero (R.sub estimate eps);
+    s_ci_hi = R.min R.one (R.add estimate eps);
+    s_samples = samples;
+    s_strata = List.length strata
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mu_k ?jobs ?guard ?cache ?(stratify = false) inst q tuple ~k ~eps ~delta
+    ~seed =
+  if k < 1 then invalid_arg "Estimator.mu_k: k must be >= 1";
+  let n = sample_size ~eps ~delta in
+  let sentence = Query.instantiate q tuple in
+  let nulls =
+    List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
+  in
+  Obs.Trace.span
+    ~attrs:
+      [ ("k", string_of_int k); ("samples", string_of_int n);
+        ("seed", string_of_int seed);
+        ("stratify", if stratify then "true" else "false")
+      ]
+    "approx.run"
+  @@ fun () ->
+  let db = Support.kernel_db ?cache inst in
+  let space = Enumerate.space_size ~nulls ~k in
+  let hits =
+    (count_hits ?jobs ?guard ?cache ~db ~sentences:[ sentence ] ~nulls ~k
+       ~space ~seed ~base:0 n).(0)
+  in
+  let estimate = R.of_ints hits n in
+  let stratified =
+    if not stratify then None
+    else
+      let anchors_all = Support.anchor_set_sentences inst [ sentence ] in
+      Some
+        (stratified_pass ?jobs ?guard ?cache ~db ~sentence ~anchors_all ~nulls
+           ~k ~eps ~seed ~base:n n)
+  in
+  { estimate;
+    ci_lo = R.max R.zero (R.sub estimate eps);
+    ci_hi = R.min R.one (R.add estimate eps);
+    samples = n;
+    hits;
+    seed;
+    eps;
+    delta;
+    stratified
+  }
+
+let mu_k_boolean ?jobs ?guard ?cache ?stratify inst q ~k ~eps ~delta ~seed =
+  if Query.arity q <> 0 then
+    invalid_arg "Estimator.mu_k_boolean: query is not Boolean";
+  mu_k ?jobs ?guard ?cache ?stratify inst q Tuple.empty ~k ~eps ~delta ~seed
+
+let mu_cond_k ?jobs ?guard ?cache ~sigma inst q tuple ~k ~eps ~delta ~seed =
+  if k < 1 then invalid_arg "Estimator.mu_cond_k: k must be >= 1";
+  check_prob "delta" delta;
+  (* δ/2 per Hoeffding event: the numerator and denominator frequencies
+     must hold simultaneously (union bound). *)
+  let n = sample_size ~eps ~delta:(R.div_int delta 2) in
+  let answer = Query.instantiate q tuple in
+  let both = F.And (sigma, answer) in
+  let nulls =
+    List.sort_uniq Int.compare
+      (Instance.nulls inst @ Tuple.nulls tuple @ F.nulls sigma)
+  in
+  Obs.Trace.span
+    ~attrs:
+      [ ("k", string_of_int k); ("samples", string_of_int n);
+        ("seed", string_of_int seed); ("mode", "conditional")
+      ]
+    "approx.run"
+  @@ fun () ->
+  let db = Support.kernel_db ?cache inst in
+  let space = Enumerate.space_size ~nulls ~k in
+  let hits =
+    count_hits ?jobs ?guard ?cache ~db ~sentences:[ both; sigma ] ~nulls ~k
+      ~space ~seed ~base:0 n
+  in
+  let num = hits.(0) and den = hits.(1) in
+  let p_and = R.of_ints num n and p_sig = R.of_ints den n in
+  let c_estimate = if den = 0 then R.zero else R.of_ints num den in
+  let c_ci_lo =
+    R.div (R.max R.zero (R.sub p_and eps)) (R.min R.one (R.add p_sig eps))
+  in
+  let c_ci_hi =
+    let margin = R.sub p_sig eps in
+    if R.compare margin R.zero <= 0 then R.one
+    else R.min R.one (R.div (R.min R.one (R.add p_and eps)) margin)
+  in
+  { c_estimate; c_ci_lo; c_ci_hi; c_samples = n; c_hits_num = num;
+    c_hits_den = den; c_seed = seed
+  }

@@ -24,6 +24,8 @@ let pool_tasks_queued = make "pool_tasks_queued"
 let pool_tasks_stolen = make "pool_tasks_stolen"
 let pool_tasks_completed = make "pool_tasks_completed"
 let chase_steps = make "chase_steps"
+let approx_samples = make "approx_samples"
+let approx_strata = make "approx_strata"
 let serve_connections = make "serve_connections"
 let serve_requests = make "serve_requests"
 let serve_parse_errors = make "serve_parse_errors"
@@ -35,7 +37,8 @@ let serve_session_evictions = make "serve_session_evictions"
 let all =
   [ valuations_evaluated; kernel_refreshes; short_circuits; cache_hits;
     cache_misses; cache_evictions; pool_tasks_queued; pool_tasks_stolen;
-    pool_tasks_completed; chase_steps; serve_connections; serve_requests;
+    pool_tasks_completed; chase_steps; approx_samples; approx_strata;
+    serve_connections; serve_requests;
     serve_parse_errors; serve_overloaded; serve_deadline_exceeded;
     serve_session_loads; serve_session_evictions
   ]

@@ -69,6 +69,16 @@ val pool_tasks_completed : t
 val chase_steps : t
 (** Null substitutions applied by {!Constraints.Chase}. *)
 
+val approx_samples : t
+(** Valuations drawn by the Monte-Carlo estimator
+    ([Approx_measure.Estimator]) — uniform and stratified passes
+    both; each sampled valuation also counts one
+    {!valuations_evaluated} per sentence checked on it. *)
+
+val approx_strata : t
+(** Null-support strata sampled by the estimator's stratified second
+    pass (strata of weight zero are skipped and not counted). *)
+
 (** {2 Query-service counters}
 
     Bumped by the concurrent query service ([Server], [certainty

@@ -6,6 +6,7 @@ module Parser = Logic.Parser
 module F = Logic.Formula
 module R = Arith.Rat
 module P = Arith.Poly
+module AE = Approx_measure.Estimator
 
 exception Deadline
 
@@ -227,6 +228,89 @@ let run_conditional ~sessions ?jobs ?guard req =
      ]
     @ chase @ series)
 
+(* The approx op: a seeded Monte-Carlo (ε,δ)-estimate of µ^k — or of
+   µ^k(Q|Σ) when a "constraints" field rides along. Unlike "measure"
+   there is no space preflight: estimating the spaces the exact sweep
+   must refuse is the endpoint's reason to exist. The response is
+   deterministic for a fixed seed, whatever the server's --jobs. *)
+
+let get_prob req name =
+  let* s = require req name in
+  match AE.rat_of_string s with
+  | Ok v ->
+      if R.compare v R.zero > 0 && R.compare v R.one < 0 then Ok v
+      else
+        Error
+          ( Wire.Bad_request,
+            Printf.sprintf "%s must lie strictly between 0 and 1" name )
+  | Error msg -> Error (Wire.Bad_request, Printf.sprintf "%s: %s" name msg)
+
+let run_approx ~sessions ?jobs ?guard req =
+  let* entry = get_session sessions req in
+  let* qs = require req "query" in
+  let* q = parse_query qs in
+  let* () = well_formed entry.Session.schema q in
+  let* tuple = get_tuple req q in
+  let* k =
+    match Wire.int_field req "k" with
+    | Some k when k >= 1 -> Ok k
+    | Some _ -> Error (Wire.Bad_request, "k must be >= 1")
+    | None -> Error (Wire.Bad_request, "missing field \"k\"")
+  in
+  let* eps = get_prob req "eps" in
+  let* delta = get_prob req "delta" in
+  let seed = Option.value ~default:0 (Wire.int_field req "seed") in
+  let stratify =
+    match Wire.int_field req "stratify" with Some n -> n > 0 | None -> false
+  in
+  let inst = entry.Session.inst and cache = entry.Session.cache in
+  match Wire.str_field req "constraints" with
+  | Some _ ->
+      let* deps = get_deps entry.Session.schema req in
+      let* () = precheck ~deps ~tuple entry.Session.schema inst q in
+      let sigma =
+        Constraints.Dependency.set_to_formula entry.Session.schema deps
+      in
+      let r =
+        AE.mu_cond_k ?jobs ?guard ~cache ~sigma inst q tuple ~k ~eps ~delta
+          ~seed
+      in
+      Ok
+        [ ("estimate", Wire.S (R.to_string r.AE.c_estimate));
+          ("ci_lo", Wire.S (R.to_string r.AE.c_ci_lo));
+          ("ci_hi", Wire.S (R.to_string r.AE.c_ci_hi));
+          ("samples", Wire.I r.AE.c_samples);
+          ("seed", Wire.I r.AE.c_seed);
+          ("hits_num", Wire.I r.AE.c_hits_num);
+          ("hits_den", Wire.I r.AE.c_hits_den)
+        ]
+  | None ->
+      let* () = precheck ~tuple entry.Session.schema inst q in
+      let r =
+        AE.mu_k ?jobs ?guard ~cache ~stratify inst q tuple ~k ~eps ~delta
+          ~seed
+      in
+      let stratified =
+        match r.AE.stratified with
+        | None -> []
+        | Some s ->
+            [ ("stratified", Wire.S (R.to_string s.AE.s_estimate));
+              ("stratified_ci_lo", Wire.S (R.to_string s.AE.s_ci_lo));
+              ("stratified_ci_hi", Wire.S (R.to_string s.AE.s_ci_hi));
+              ("stratified_samples", Wire.I s.AE.s_samples);
+              ("strata", Wire.I s.AE.s_strata)
+            ]
+      in
+      Ok
+        ([ ("estimate", Wire.S (R.to_string r.AE.estimate));
+           ("ci_lo", Wire.S (R.to_string r.AE.ci_lo));
+           ("ci_hi", Wire.S (R.to_string r.AE.ci_hi));
+           ("samples", Wire.I r.AE.samples);
+           ("seed", Wire.I r.AE.seed);
+           ("hits", Wire.I r.AE.hits)
+         ]
+        @ stratified)
+
 let scheme_of_name = function
   | "sql" -> Ok Zeroone.Approx.sql_scheme
   | "naive" -> Ok (fun d q -> Incomplete.Naive.answers d q)
@@ -310,6 +394,7 @@ let run ~sessions ?jobs ?guard req =
   | "certain" -> run_certain ~sessions ?jobs ?guard req
   | "measure" -> run_measure ~sessions ?jobs ?guard req
   | "conditional" -> run_conditional ~sessions ?jobs ?guard req
+  | "approx" -> run_approx ~sessions ?jobs ?guard req
   | "analyze" -> run_analyze ~sessions req
   | op -> Error (Wire.Unsupported_op, Printf.sprintf "unsupported op %S" op)
 

@@ -18,7 +18,9 @@ type value = Str of string | Int of int
 
 type request = {
   id : string option;  (** echoed verbatim in the response *)
-  op : string;  (** [certain], [measure], [conditional], [analyze], [health] *)
+  op : string;
+      (** [certain], [measure], [conditional], [approx], [analyze],
+          [health] *)
   fields : (string * value) list;  (** every field, including [op]/[id] *)
 }
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Bench-regression gate: regenerate the smoke bench and diff its
+# machine-normalized speedups against the committed baseline.
+#
+# What must hold for this script to exit 0:
+#   - `bench --parallel --smoke` still certifies every engine variant
+#     identical to the naive reference (it exits nonzero otherwise);
+#   - every (kernel, engine, jobs, cache) row of the committed
+#     bench/BENCH_baseline.json is present in the fresh run with
+#     speedup_vs_baseline no more than 25% below the committed figure
+#     (raw ns/op is runner-dependent; the speedup column is the same
+#     machine's naive engine as denominator, so a drop is a real
+#     regression, not a slower runner).
+#
+# Regenerate the baseline after an intentional perf change with:
+#
+#   dune exec bench/main.exe -- --parallel --smoke --reps 5 \
+#     --out bench/BENCH_baseline.json
+#
+# CI runs this after the build; run it locally with:
+#
+#   dune build && scripts/check-bench-regression.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE="bench/BENCH_baseline.json"
+FRESH="${BENCH_FRESH_OUT:-BENCH_smoke.json}"
+TOLERANCE="${BENCH_MAX_REGRESSION:-0.25}"
+
+[ -f "$BASELINE" ] || {
+  echo "FATAL: no committed baseline at $BASELINE" >&2; exit 1; }
+
+dune build bench/main.exe
+
+echo "== fresh smoke bench (best of 5) =="
+dune exec --no-build bench/main.exe -- --parallel --smoke --reps 5 \
+  --out "$FRESH"
+
+echo "== diff vs $BASELINE =="
+dune exec --no-build bench/main.exe -- --diff "$BASELINE" "$FRESH" \
+  --max-regression "$TOLERANCE"

@@ -336,6 +336,8 @@ make every k=3 verdict a cache hit at k=4.
     pool_tasks_stolen        0
     pool_tasks_completed     0
     chase_steps              0
+    approx_samples           0
+    approx_strata            0
     serve_connections        0
     serve_requests           0
     serve_parse_errors       0
@@ -378,7 +380,75 @@ with the exact size, instead of hanging in the brute-force sweep.
   tuple:  (c2, _|_2)
   |Supp^k| = k^3 - k^2   (|V^k| = k^3)
   µ(Q,D,t) = 1   [0-1 law: almost certainly true]
-  error: k = 3000000 over 3 nulls gives a valuation space of 27000000000000000000 valuations — too large to enumerate; pick smaller --ks
+  error: k = 3000000 over 3 nulls gives a valuation space of 27000000000000000000 valuations — too large to enumerate; pick smaller --ks, or estimate it with --approx EPS,DELTA (e.g. --approx 0.05,0.01)
+  [2]
+
+As the diagnostic suggests, --approx answers on that same space with a
+seeded Monte-Carlo (ε,δ)-estimate — 17 samples suffice at ε = δ = 1/4,
+and a fixed seed makes the estimate reproducible bit for bit (for any
+--jobs; scripts/check-approx.sh holds the gate on that).
+
+  $ certainty measure \
+  >   --schema "R1(c, p); R2(c, p)" \
+  >   --db "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) }; R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }" \
+  >   --query "Q(x,y) := R1(x,y) & !R2(x,y)" \
+  >   --tuple "('c2', ~2)" --ks 3000000 --approx 0.25,0.25 --seed 7
+  query:  Q(x, y) := R1(x, y) & !R2(x, y)
+  tuple:  (c2, _|_2)
+  |Supp^k| = k^3 - k^2   (|V^k| = k^3)
+  µ(Q,D,t) = 1   [0-1 law: almost certainly true]
+  µ^k estimates (Monte-Carlo, ε = 1/4, δ = 1/4, 17 samples/k, seed 7):
+    k = 3000000   µ^k ≈ 1            (1.000000)   CI [3/4, 1]
+
+On an enumerable space the estimates bracket the exact series — here
+µ^4 = 3/4 and µ^6 = 5/6, both inside their intervals. --stratify adds
+a second pass partitioned by null support, and the new work is visible
+in the approx_samples / approx_strata counters.
+
+  $ certainty measure \
+  >   --schema "R1(c, p); R2(c, p)" \
+  >   --db "R1 = { ('c1', ~1), ('c2', ~1), ('c2', ~2) }; R2 = { ('c1', ~2), ('c2', ~1), (~3, ~1) }" \
+  >   --query "Q(x,y) := R1(x,y) & !R2(x,y)" \
+  >   --tuple "('c2', ~2)" --ks 4,6 --approx 0.1,0.05 --seed 42 --stratify --metrics
+  query:  Q(x, y) := R1(x, y) & !R2(x, y)
+  tuple:  (c2, _|_2)
+  |Supp^k| = k^3 - k^2   (|V^k| = k^3)
+  µ(Q,D,t) = 1   [0-1 law: almost certainly true]
+  µ^k estimates (Monte-Carlo, ε = 1/10, δ = 1/20, 185 samples/k, seed 42):
+    k =   4   µ^k ≈ 147/185      (0.794595)   CI [257/370, 331/370]
+              stratified (4 null-support strata, 189 samples) ≈ 70873/95424  (0.742717)   CI [306653/477120, 402077/477120]
+    k =   6   µ^k ≈ 157/185      (0.848649)   CI [277/370, 351/370]
+              stratified (4 null-support strata, 189 samples) ≈ 15233/17928  (0.849676)   CI [67201/89640, 85129/89640]
+  == metrics ==
+    valuations_evaluated     822
+    kernel_refreshes         263
+    short_circuits           0
+    cache_hits               560
+    cache_misses             190
+    cache_evictions          0
+    pool_tasks_queued        0
+    pool_tasks_stolen        0
+    pool_tasks_completed     0
+    chase_steps              0
+    approx_samples           748
+    approx_strata            8
+    serve_connections        0
+    serve_requests           0
+    serve_parse_errors       0
+    serve_overloaded         0
+    serve_deadline_exceeded  0
+    serve_session_loads      0
+    serve_session_evictions  0
+
+Malformed or out-of-range (ε,δ) are refused up front.
+
+  $ certainty measure -s "R1(c,p)" -d "R1 = { (~1, 'x') }" \
+  >   -q "Q() := exists x. R1(x, x)" --approx nope
+  error: --approx expects EPS,DELTA (e.g. --approx 0.05,0.01)
+  [2]
+  $ certainty measure -s "R1(c,p)" -d "R1 = { (~1, 'x') }" \
+  >   -q "Q() := exists x. R1(x, x)" --approx 2,0.5
+  error: --approx expects EPS and DELTA strictly between 0 and 1
   [2]
 
 The chase reports its substitution count through the same counters.
@@ -406,6 +476,8 @@ The chase reports its substitution count through the same counters.
     pool_tasks_stolen        0
     pool_tasks_completed     0
     chase_steps              1
+    approx_samples           0
+    approx_strata            0
     serve_connections        0
     serve_requests           0
     serve_parse_errors       0

@@ -38,6 +38,25 @@ A real query, for comparison with the sequential CLI engine.
   >   -q "Q(x) := R(x) & !S(x)"
   {"id":"q1","ok":true,"op":"certain","certain":"","certain_count":0,"possible":"(c1); (c2)","possible_count":2,"naive":"(c1); (c2)","naive_count":2}
 
+The approx op: a seeded Monte-Carlo (ε,δ)-estimate of µ^k over the
+wire, deterministic for a fixed seed. --stratify adds the null-support
+second pass's figures to the response.
+
+  $ certainty client --socket ./main.sock approx --id a1 \
+  >   -s "R1(c,p); R2(c,p)" -d "R1 = { ('c1', ~1) }; R2 = { (~2, 'x') }" \
+  >   -q "Q(x,y) := R1(x,y) & !R2(x,y)" -t "('c1', ~1)" -k 6 \
+  >   --approx 0.1,0.05 --seed 42 --stratify
+  {"id":"a1","ok":true,"op":"approx","estimate":"178/185","ci_lo":"319/370","ci_hi":"1","samples":185,"seed":42,"hits":178,"stratified":"97/99","stratified_ci_lo":"871/990","stratified_ci_hi":"1","stratified_samples":188,"strata":3}
+
+It also answers on a valuation space the exact measure op must refuse:
+k = 3*10^7 over 3 nulls is 2.7*10^22 valuations, past the machine-int
+rank frontier, and 17 samples give the (1/4, 1/4) guarantee.
+
+  $ certainty client --socket ./main.sock approx --id a2 \
+  >   -s "U(a,b,c)" -d "U = { (~1, ~2, ~3) }" \
+  >   -q "Q() := exists x. U(x, x, x)" -k 30000000 --approx 0.25,0.25 --seed 7
+  {"id":"a2","ok":true,"op":"approx","estimate":"0","ci_lo":"0","ci_hi":"1/4","samples":17,"seed":7,"hits":0}
+
 SIGTERM drains: the process exits 0 and unlinks its socket.
 
   $ kill -TERM $SERVE_PID
@@ -76,6 +95,16 @@ request that raises its own deadline.
   >   -s "U(a,b,c,d)" -d "U = { (~1, ~2, ~3, ~4) }" \
   >   -q "Q() := exists x. U(x, x, x, x)" -k 5
   {"id":"d2","ok":true,"op":"measure","supp_poly":"k","nulls":4,"mu":"0","verdict":"almost certainly false","series":"5=1/125"}
+
+The deadline also cancels sampling: (ε,δ) = (0.001, 0.001) asks for
+~3.8 million samples, and the guard trips at a chunk boundary mid-run.
+
+  $ certainty client --socket ./dl.sock approx --id d3 \
+  >   -s "R1(c,p); R2(c,p)" -d "R1 = { ('c1', ~1) }; R2 = { (~2, 'x') }" \
+  >   -q "Q(x,y) := R1(x,y) & !R2(x,y)" -t "('c1', ~1)" -k 6 \
+  >   --approx 0.001,0.001 --seed 1
+  {"id":"d3","ok":false,"error":"deadline_exceeded","message":"deadline exceeded"}
+  [1]
 
 But a request cannot opt out of the operator's budget cap: a
 non-positive deadline_ms is refused up front with bad_request.
