@@ -28,7 +28,41 @@ let constraint_class deps =
   in
   { n_constraints = List.length deps; fd_only; unary_keys_fks }
 
-let dispatch_hints ?deps q =
+type chase_class =
+  | Fd_chase
+  | Terminating_chase of Constraints.Wacyclic.t
+  | Bounded_chase of Constraints.Wacyclic.t
+
+let chase_strategy schema deps =
+  let c = constraint_class deps in
+  if c.fd_only then Fd_chase
+  else
+    let cert = Constraints.Wacyclic.check schema deps in
+    if Constraints.Wacyclic.is_weakly_acyclic cert then Terminating_chase cert
+    else Bounded_chase cert
+
+let termination_hints schema deps =
+  match chase_strategy schema deps with
+  | Fd_chase -> []
+  | Terminating_chase cert ->
+      [ Diag.hint ~code:"ANL306" ~loc:"dispatch"
+          (Printf.sprintf
+             "dependency set is weakly acyclic (%d regular, %d special \
+              edges, no special cycle): the chase terminates on every \
+              instance — static certificate, no step budget"
+             cert.Constraints.Wacyclic.n_regular
+             cert.Constraints.Wacyclic.n_special)
+      ]
+  | Bounded_chase cert ->
+      [ Diag.warning ~code:"ANL307" ~loc:"dispatch"
+          ~hint:"only bounded chase runs are sound; raise --max-steps with care"
+          (Printf.sprintf
+             "dependency set has a special-edge cycle (%s): chase \
+              termination is not guaranteed"
+             (Constraints.Wacyclic.cycle_string cert))
+      ]
+
+let dispatch_hints ?deps ?schema q =
   let fr = fragment q in
   let query_hints =
     (if Fragment.naive_eval_sound fr then
@@ -67,11 +101,15 @@ let dispatch_hints ?deps q =
              ]
            else [])
         @
-        if (not c.fd_only) && not c.unary_keys_fks then
-          [ Diag.hint ~code:"ANL305" ~loc:"dispatch"
-              "constraint set is neither FD-only nor unary keys+FKs: only \
-               the generic (exponential) procedures apply"
-          ]
-        else []
+        (if (not c.fd_only) && not c.unary_keys_fks then
+           [ Diag.hint ~code:"ANL305" ~loc:"dispatch"
+               "constraint set is neither FD-only nor unary keys+FKs: only \
+                the generic (exponential) procedures apply"
+           ]
+         else [])
+        @
+        match schema with
+        | Some schema when not c.fd_only -> termination_hints schema deps
+        | _ -> []
   in
   query_hints @ constraint_hints

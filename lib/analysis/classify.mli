@@ -25,10 +25,36 @@ type constraint_class = {
 val constraint_class : Constraints.Dependency.t list -> constraint_class
 (** Both flags hold vacuously for the empty set. *)
 
+type chase_class =
+  | Fd_chase
+      (** EGD-only set: the FD chase always terminates (each step
+          removes a null or fails) — no certificate needed *)
+  | Terminating_chase of Constraints.Wacyclic.t
+      (** TGDs present but weakly acyclic: {!Constraints.Chase.chase_tgds}
+          reaches a fixpoint on every instance — run it uncapped *)
+  | Bounded_chase of Constraints.Wacyclic.t
+      (** special-edge cycle: only bounded chase runs are sound *)
+
+val chase_strategy :
+  Relational.Schema.t -> Constraints.Dependency.t list -> chase_class
+(** The dispatch decision the chase front ends consume: which chase to
+    run and whether a step budget is required, backed by the static
+    weak-acyclicity certificate ({!Constraints.Wacyclic.check}). *)
+
+val termination_hints :
+  Relational.Schema.t -> Constraints.Dependency.t list -> Diag.t list
+(** ANL306 (weakly acyclic: chase terminates on every instance) or
+    ANL307 (special-edge cycle: bounded runs only); empty for EGD-only
+    sets, where ANL303 already covers termination. *)
+
 val dispatch_hints :
-  ?deps:Constraints.Dependency.t list -> Logic.Query.t -> Diag.t list
+  ?deps:Constraints.Dependency.t list ->
+  ?schema:Relational.Schema.t ->
+  Logic.Query.t ->
+  Diag.t list
 (** The paper-backed consequences as hint diagnostics: ANL301 (naïve
     evaluation sound, Corollary 3), ANL302 (UCQ polynomial comparisons,
     Theorem 8), and — when [?deps] is given — ANL303 (chase shortcut,
     Theorem 5), ANL304 (Proposition 6 satisfiability) or ANL305
-    (generic procedures only). *)
+    (generic procedures only), plus — when [?schema] is also given and
+    the set has TGDs — the {!termination_hints}. *)

@@ -27,9 +27,33 @@ let analyse ?k ?tuple inst =
     machine = Enumerate.space_size ~nulls ~k
   }
 
-let diagnostics c =
-  match c.machine with
-  | None ->
+(* The largest independent sweep a sound decomposition leaves: what
+   enumeration cost the engine actually pays. [None] when the
+   certificate is indecomposable (or absent) — then the monolithic
+   k^m stands. *)
+let largest_component (d : Decomp.t) =
+  match d.Decomp.verdict with
+  | Decomp.Indecomposable _ -> None
+  | Decomp.Decomposable | Decomp.Trivial ->
+      let largest =
+        List.fold_left
+          (fun acc ((c : Incomplete.Factor.component), (space, machine)) ->
+            let nulls = List.length c.Incomplete.Factor.c_nulls in
+            match acc with
+            | Some (n, _, _) when n >= nulls -> acc
+            | _ -> Some (nulls, space, machine))
+          None
+          (List.combine d.Decomp.components
+             (List.combine d.Decomp.spaces d.Decomp.machines))
+      in
+      (* No components: the sentence reads no nulls; one sweep of the
+         empty valuation decides it. *)
+      Some (Option.value largest ~default:(0, B.one, Some 1))
+
+let diagnostics ?decomp c =
+  let post = Option.bind decomp largest_component in
+  match (c.machine, post) with
+  | None, None ->
       [ Diag.warning ~code:"ANL201" ~loc:"cost"
           ~hint:
             "exhaustive enumeration cannot terminate; use the symbolic \
@@ -40,14 +64,47 @@ let diagnostics c =
               integers"
              c.k c.nulls (B.to_string c.space))
       ]
-  | Some n when n > big_space_threshold ->
+  | None, Some (nulls, space, None) ->
+      (* Decomposed, but the largest component alone still overflows:
+         only that component needs --approx (ANL403 names it). *)
+      [ Diag.warning ~code:"ANL201" ~loc:"cost"
+          ~hint:
+            "route the oversized component to --approx; the other \
+             components stay exact"
+          (Printf.sprintf
+             "valuation space blows up even after decomposition: largest \
+              component k^m_i = %d^%d = %s overflows machine integers"
+             c.k nulls (B.to_string space))
+      ]
+  | None, Some (nulls, _, Some n) ->
+      (* The decomposition rescued an exact sweep the monolithic bound
+         had written off. *)
+      if n > big_space_threshold then
+        [ Diag.hint ~code:"ANL202" ~loc:"cost"
+            ~hint:"pass --jobs 0 to sweep valuations on parallel domains"
+            (Printf.sprintf
+               "large valuation space: largest component k^m_i = %d^%d = %d \
+                valuations per sweep (monolithic k^%d overflows)"
+               c.k nulls n c.nulls)
+        ]
+      else []
+  | Some _, Some (nulls, _, Some n) when n > big_space_threshold ->
+      [ Diag.hint ~code:"ANL202" ~loc:"cost"
+          ~hint:"pass --jobs 0 to sweep valuations on parallel domains"
+          (Printf.sprintf
+             "large valuation space: largest component k^m_i = %d^%d = %d \
+              valuations per sweep"
+             c.k nulls n)
+      ]
+  | Some _, Some _ -> []
+  | Some n, None when n > big_space_threshold ->
       [ Diag.hint ~code:"ANL202" ~loc:"cost"
           ~hint:"pass --jobs 0 to sweep valuations on parallel domains"
           (Printf.sprintf
              "large valuation space: k^m = %d^%d = %d valuations per sweep"
              c.k c.nulls n)
       ]
-  | Some _ -> []
+  | Some _, None -> []
 
 let to_json c =
   Printf.sprintf

@@ -24,8 +24,12 @@ val analyse :
 (** [k] defaults to [Instance.max_constant + 16], the largest domain of
     the CLI's default [µ^k] series. *)
 
-val diagnostics : t -> Diag.t list
+val diagnostics : ?decomp:Decomp.t -> t -> Diag.t list
 (** ANL201 (overflow) or ANL202 (large but machine-representable);
-    empty when the space is small. *)
+    empty when the space is small. With a decomposition certificate
+    the bounds are post-decomposition: the largest component's space
+    replaces the monolithic [k^m], so ANL201 only fires when a
+    component is genuinely over the frontier and the [--approx] hint
+    targets that component alone. *)
 
 val to_json : t -> string

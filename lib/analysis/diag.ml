@@ -51,7 +51,12 @@ let registry =
     ("ANL302", Hint, "fragment ⊆ UCQ: polynomial-time comparisons and best answers (Thm 8)");
     ("ANL303", Hint, "FD-only constraints: chase shortcut applies (Thm 5)");
     ("ANL304", Hint, "unary keys + foreign keys: polynomial satisfiability (Prop 6)");
-    ("ANL305", Hint, "constraint set needs the generic exponential procedures")
+    ("ANL305", Hint, "constraint set needs the generic exponential procedures");
+    ("ANL306", Hint, "weakly acyclic dependencies: chase terminates on every instance");
+    ("ANL307", Warning, "special-edge cycle: chase termination not guaranteed, bounded run only");
+    ("ANL401", Hint, "support sentence decomposes: factorized evaluation collapses k^m to sum of k^m_i");
+    ("ANL402", Hint, "support sentence does not decompose (single component or unguarded quantifier)");
+    ("ANL403", Warning, "a component exceeds the exact frontier even after decomposition: route it to --approx")
   ]
 
 (* ------------------------------------------------------------------ *)

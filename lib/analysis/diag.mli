@@ -24,8 +24,16 @@
     - [ANL103] — implication query: [µ(Σ → Q)] degenerates to 1
       whenever [µ(Σ) = 0] (Proposition 3); prefer the conditional
       measure.
-    - [ANL201] — valuation space [k^m] overflows machine integers;
+    - [ANL201] — valuation space [k^m] overflows machine integers
+      even after decomposition (the largest component's space is
+      quoted when a decomposition certificate is available);
       exhaustive enumeration is hopeless.
+    - [ANL307] — the dependency set has a cycle through a special
+      edge of the position graph: the chase may not terminate; only
+      bounded runs are available.
+    - [ANL403] — a component of the decomposition still exceeds the
+      exact enumeration frontier; route that component alone to
+      [--approx] (the estimator samples it and keeps the rest exact).
 
     Hints (dispatch consequences; never gate):
     - [ANL202] — valuation space is large; recommend [--jobs] or the
@@ -39,7 +47,15 @@
     - [ANL304] — unary keys + foreign keys: polynomial-time
       satisfiability (Proposition 6).
     - [ANL305] — constraint set outside both tractable classes: only
-      the generic exponential procedures apply. *)
+      the generic exponential procedures apply.
+    - [ANL306] — the dependency set is weakly acyclic (no special-edge
+      cycle in the position graph): the chase terminates on every
+      instance — a static termination certificate, no step budget.
+    - [ANL401] — the support sentence decomposes into independent
+      components: factorized evaluation collapses the [k^m] sweep to
+      [Σᵢ k^{mᵢ}], bit-identical to the monolithic path.
+    - [ANL402] — no decomposition: a single interaction component
+      spans every null, or a conjunct fails the guardedness check. *)
 
 type severity = Error | Warning | Hint
 

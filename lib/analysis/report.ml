@@ -9,22 +9,56 @@ type t = {
   generic : bool;
   cclass : Classify.constraint_class option;
   cost : Cost.t option;
+  decomp : Decomp.t option;
+  wacyclic : Constraints.Wacyclic.t option;
   diags : Diag.t list;
   hints : Diag.t list;
 }
 
+let has_tgds deps =
+  List.exists
+    (function
+      | Constraints.Dependency.Ind _ | Constraints.Dependency.ForeignKey _ ->
+          true
+      | Constraints.Dependency.Fd _ | Constraints.Dependency.Key _ -> false)
+    deps
+
 let analyze ?inst ?deps ?tuple ?k schema q =
   let cost = Option.map (fun inst -> Cost.analyse ?k ?tuple inst) inst in
+  (* The decomposition certificate needs a concrete support sentence:
+     the query instantiated on the candidate tuple (or closed already
+     for Boolean queries). *)
+  let decomp =
+    match (inst, tuple) with
+    | Some inst, Some tuple when Relational.Tuple.arity tuple = Query.arity q
+      ->
+        Some
+          (Decomp.analyze ?k
+             ~extra_nulls:(Relational.Tuple.nulls tuple)
+             inst
+             (Query.instantiate q tuple))
+    | Some inst, None when Query.arity q = 0 ->
+        Some (Decomp.analyze ?k inst (Query.instantiate q Relational.Tuple.empty))
+    | _ -> None
+  in
+  let wacyclic =
+    match deps with
+    | Some deps when has_tgds deps -> Some (Constraints.Wacyclic.check schema deps)
+    | _ -> None
+  in
   { query = q;
     fragment = Classify.fragment q;
     safe = Safety.is_safe q;
     generic = Query.constants q = [];
     cclass = Option.map Classify.constraint_class deps;
     cost;
+    decomp;
+    wacyclic;
     diags = Safety.check_query schema q;
     hints =
-      Classify.dispatch_hints ?deps q
-      @ (match cost with None -> [] | Some c -> Cost.diagnostics c)
+      Classify.dispatch_hints ?deps ~schema q
+      @ (match cost with None -> [] | Some c -> Cost.diagnostics ?decomp c)
+      @ (match decomp with None -> [] | Some d -> Decomp.diagnostics d)
   }
 
 let has_errors r = Diag.has_errors r.diags
@@ -58,6 +92,28 @@ let to_text r =
         (match c.Cost.machine with
         | None -> " (overflows machine integers)"
         | Some _ -> ""));
+  (match r.decomp with
+  | None -> ()
+  | Some d ->
+      line "decomp:      %s%s"
+        (Decomp.verdict_string d.Decomp.verdict)
+        (match d.Decomp.verdict with
+        | Decomp.Indecomposable reason -> Printf.sprintf " (%s)" reason
+        | Decomp.Decomposable | Decomp.Trivial ->
+            Printf.sprintf ": %d part%s, %s" (Decomp.parts d)
+              (if Decomp.parts d = 1 then "" else "s")
+              (Decomp.sizes_string d)));
+  (match r.wacyclic with
+  | None -> ()
+  | Some w ->
+      line "chase:       %s (%d regular, %d special edge%s)%s"
+        (Constraints.Wacyclic.verdict_string w)
+        w.Constraints.Wacyclic.n_regular w.Constraints.Wacyclic.n_special
+        (if w.Constraints.Wacyclic.n_special = 1 then "" else "s")
+        (match w.Constraints.Wacyclic.verdict with
+        | Constraints.Wacyclic.Weakly_acyclic -> ""
+        | Constraints.Wacyclic.Special_cycle _ ->
+            ": " ^ Constraints.Wacyclic.cycle_string w));
   let errors = Diag.count Diag.Error r.diags
   and warnings = Diag.count Diag.Warning r.diags in
   line "verdict:     %s (%d error%s, %d warning%s)"
@@ -97,6 +153,12 @@ let to_json r =
     @ (match r.cost with
       | None -> []
       | Some c -> [ ("cost", Cost.to_json c) ])
+    @ (match r.decomp with
+      | None -> []
+      | Some d -> [ ("decomp", Decomp.to_json d) ])
+    @ (match r.wacyclic with
+      | None -> []
+      | Some w -> [ ("wacyclic", Constraints.Wacyclic.to_json w) ])
     @ [ ("errors", string_of_int (Diag.count Diag.Error r.diags));
         ("warnings", string_of_int (Diag.count Diag.Warning r.diags));
         ("hints", string_of_int (List.length r.hints));

@@ -11,6 +11,12 @@ type t = {
   generic : bool;
   cclass : Classify.constraint_class option;  (** when constraints given *)
   cost : Cost.t option;  (** when a database is given *)
+  decomp : Decomp.t option;
+      (** decomposition certificate — when a database is given and the
+          support sentence is closed (a candidate tuple, or arity 0) *)
+  wacyclic : Constraints.Wacyclic.t option;
+      (** chase-termination certificate — when the constraint set has
+          tuple-generating dependencies *)
   diags : Diag.t list;  (** checks: errors and warnings *)
   hints : Diag.t list;  (** dispatch consequences and cost hints *)
 }

@@ -90,6 +90,55 @@ val mu_k :
     adds the null-support second pass.
     @raise Invalid_argument if [k < 1] or ε/δ are out of range. *)
 
+(** {1 Factorized estimation} *)
+
+type part = {
+  p_nulls : int;  (** nulls of the component *)
+  p_exact : bool;  (** swept exactly rather than sampled *)
+  p_estimate : Arith.Rat.t;  (** the component factor [p̂ᵢ] *)
+  p_samples : int;  (** 0 when exact *)
+}
+
+type factored = {
+  f_estimate : Arith.Rat.t;  (** [∏ᵢ p̂ᵢ], exact rational. *)
+  f_ci_lo : Arith.Rat.t;
+  f_ci_hi : Arith.Rat.t;
+  f_samples : int;  (** total drawn across sampled components. *)
+  f_exact_parts : int;
+  f_sampled_parts : int;
+  f_parts : part list;  (** in component order. *)
+  f_seed : int;
+  f_eps : Arith.Rat.t;
+  f_delta : Arith.Rat.t;
+}
+
+val mu_k_plan :
+  ?jobs:int ->
+  ?guard:(unit -> unit) ->
+  ?cache:Incomplete.Support.cache ->
+  Relational.Instance.t ->
+  Incomplete.Factor.plan ->
+  k:int ->
+  eps:Arith.Rat.t ->
+  delta:Arith.Rat.t ->
+  seed:int ->
+  factored
+(** Estimate [µ^k] component-by-component on a sound decomposition
+    plan ({!Analysis.Decomp.plan} via {!Incomplete.Factor}): since
+    [µ^k = ∏ᵢ µ^k_i] over the components, each factor is measured on
+    its own restricted kernel. Components whose space [k^{mᵢ}] fits
+    under a small cutoff are counted exactly (zero-width factor); the
+    [b] oversized ones are sampled with [(ε/b, δ/b)] Hoeffding
+    parameters, so the product carries
+    [P(|f_estimate − µ^k| > ε) < δ] by the union bound — usually with
+    far fewer samples than {!mu_k} needs for the same width, because
+    each sample only evaluates one component's sentence. With [b = 0]
+    the result is the exact measure and the interval collapses to a
+    point. Deterministic for a fixed seed and any [?jobs]: sample
+    index [i] of component [c] draws from the [(seed, baseᶜ + i)]
+    stream with cumulative per-component bases.
+    @raise Invalid_argument if [k < 1] or ε/δ are out of range. *)
+
 val mu_k_boolean :
   ?jobs:int ->
   ?guard:(unit -> unit) ->

@@ -64,3 +64,98 @@ let chase_constraints schema cs inst =
   chase (Dependency.fds_of_schema schema cs) inst
 
 let successful = function Success i -> Some i | Failure _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Bounded chase with tuple-generating dependencies                    *)
+(* ------------------------------------------------------------------ *)
+
+type tgd_outcome =
+  | Tgd_fixpoint of Relational.Instance.t
+  | Tgd_failed of Dependency.fd * Relational.Tuple.t * Relational.Tuple.t
+  | Tgd_budget of Relational.Instance.t
+
+(* The standard chase: alternate EGD repair (the FD chase above, which
+   always terminates — each step removes a null or fails) with TGD
+   steps that repair an unmatched inclusion by inserting a target
+   tuple, exported columns copied, existential columns filled with
+   fresh nulls. Only TGD insertions count against [max_steps]: they
+   are the only steps a cyclic dependency set can fire forever.
+   Weakly acyclic sets ({!Wacyclic.check}) reach a fixpoint within a
+   polynomial number of steps on every instance — the certificate the
+   property tests hold this oracle against. *)
+let inclusions deps =
+  List.filter_map
+    (function
+      | Dependency.Ind i ->
+          Some
+            ( i.Dependency.ind_src, i.Dependency.ind_src_cols,
+              i.Dependency.ind_dst, i.Dependency.ind_dst_cols )
+      | Dependency.ForeignKey fk ->
+          Some
+            ( fk.Dependency.fk_src, fk.Dependency.fk_src_cols,
+              fk.Dependency.fk_dst, fk.Dependency.fk_dst_cols )
+      | Dependency.Fd _ | Dependency.Key _ -> None)
+    deps
+
+let find_ind_violation inst (src, src_cols, dst, dst_cols) =
+  let dst_rel = Instance.relation inst dst in
+  let matched proj =
+    Relation.exists
+      (fun u ->
+        List.for_all2 Value.equal proj (List.map (Tuple.get u) dst_cols))
+      dst_rel
+  in
+  Relation.fold
+    (fun t acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          let proj = List.map (Tuple.get t) src_cols in
+          if matched proj then None else Some proj)
+    (Instance.relation inst src)
+    None
+
+let chase_tgds ?(max_steps = 10_000) schema deps inst =
+  let fds = Dependency.fds_of_schema schema deps in
+  let inds = inclusions deps in
+  let fresh =
+    ref (List.fold_left max 0 (Instance.nulls inst))
+  in
+  let fresh_null () =
+    incr fresh;
+    Value.Null !fresh
+  in
+  let rec loop inst steps =
+    match chase fds inst with
+    | Failure (fd, t, u) -> Tgd_failed (fd, t, u)
+    | Success inst -> (
+        let violation =
+          List.find_map
+            (fun ind ->
+              match find_ind_violation inst ind with
+              | Some proj -> Some (ind, proj)
+              | None -> None)
+            inds
+        in
+        match violation with
+        | None -> Tgd_fixpoint inst
+        | Some ((_, _, dst, dst_cols), proj) ->
+            if steps >= max_steps then Tgd_budget inst
+            else (
+              Obs.Metrics.incr Obs.Metrics.chase_steps;
+              let arity = Relational.Schema.arity (Instance.schema inst) dst in
+              let cells =
+                Array.init arity (fun p ->
+                    match List.assoc_opt p (List.combine dst_cols proj) with
+                    | Some v -> v
+                    | None -> fresh_null ())
+              in
+              loop
+                (Instance.add_tuple dst (Tuple.of_array cells) inst)
+                (steps + 1)))
+  in
+  loop inst 0
+
+let tgd_result = function
+  | Tgd_fixpoint i | Tgd_budget i -> Some i
+  | Tgd_failed _ -> None

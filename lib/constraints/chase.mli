@@ -32,3 +32,34 @@ val trace :
   (Dependency.fd * Relational.Value.t * Relational.Value.t) list * outcome
 (** Like {!chase} but also returns the substitution steps performed
     (the FD fired, the value replaced, the value it was replaced by). *)
+
+(** {1 Chase with tuple-generating dependencies}
+
+    The standard chase over the full constraint set: EGD repair (the
+    FD chase above) alternated with TGD steps that insert a target
+    tuple for each unmatched inclusion, fresh nulls in existential
+    positions. Unlike the FD-only chase this need not terminate — the
+    step budget applies to TGD insertions only. {!Wacyclic.check}
+    certifies termination statically: on a weakly acyclic set the
+    fixpoint is reached on every instance within polynomially many
+    steps, so a generous budget never triggers (the property-tested
+    agreement between certificate and oracle). *)
+
+type tgd_outcome =
+  | Tgd_fixpoint of Relational.Instance.t
+      (** all dependencies satisfied (naïve reading) *)
+  | Tgd_failed of Dependency.fd * Relational.Tuple.t * Relational.Tuple.t
+      (** an FD clashed two constants — no repair exists *)
+  | Tgd_budget of Relational.Instance.t
+      (** TGD budget exhausted before a fixpoint; partial result *)
+
+val chase_tgds :
+  ?max_steps:int ->
+  Relational.Schema.t ->
+  Dependency.t list ->
+  Relational.Instance.t ->
+  tgd_outcome
+(** [max_steps] defaults to 10_000 TGD insertions. *)
+
+val tgd_result : tgd_outcome -> Relational.Instance.t option
+(** The (possibly partial) chased instance; [None] on failure. *)

@@ -1,0 +1,176 @@
+module Schema = Relational.Schema
+
+type position = { pos_rel : string; pos_col : int }
+
+type verdict =
+  | Weakly_acyclic
+  | Special_cycle of position list
+      (** a cycle through at least one special edge, in traversal
+          order (last position closes back to the first) *)
+
+type t = {
+  n_positions : int;
+  n_regular : int;
+  n_special : int;
+  verdict : verdict;
+}
+
+let position_string p = Printf.sprintf "%s[%d]" p.pos_rel (p.pos_col + 1)
+
+(* The dependency graph of Fagin et al.: nodes are (relation, column)
+   positions; every inclusion dependency π_src(R) ⊆ π_dst(S) — the TGD
+   ∀x̄(R(x̄) → ∃ȳ(S(ȳ) ∧ agree)) — contributes, for each exported
+   column pair (src_i, dst_i), a regular edge (R,src_i) → (S,dst_i)
+   and a special edge (R,src_i) → (S,p) for every existential position
+   p of S (those the TGD invents fresh values for). FDs and keys are
+   equality-generating and add no edges. *)
+let edges schema deps =
+  let ind_edges src src_cols dst dst_cols =
+    let dst_arity = Schema.arity schema dst in
+    let existential =
+      List.filter
+        (fun p -> not (List.mem p dst_cols))
+        (List.init dst_arity Fun.id)
+    in
+    List.concat_map
+      (fun (sc, dc) ->
+        let u = { pos_rel = src; pos_col = sc } in
+        ((u, { pos_rel = dst; pos_col = dc }), false)
+        :: List.map
+             (fun p -> ((u, { pos_rel = dst; pos_col = p }), true))
+             existential)
+      (List.combine src_cols dst_cols)
+  in
+  List.concat_map
+    (function
+      | Dependency.Ind i ->
+          ind_edges i.Dependency.ind_src i.Dependency.ind_src_cols
+            i.Dependency.ind_dst i.Dependency.ind_dst_cols
+      | Dependency.ForeignKey fk ->
+          (* The inclusion half; the key half is an EGD. *)
+          ind_edges fk.Dependency.fk_src fk.Dependency.fk_src_cols
+            fk.Dependency.fk_dst fk.Dependency.fk_dst_cols
+      | Dependency.Fd _ | Dependency.Key _ -> [])
+    deps
+
+let check schema deps =
+  let all_edges = edges schema deps in
+  let n_special =
+    List.length (List.filter (fun (_, special) -> special) all_edges)
+  in
+  let n_regular = List.length all_edges - n_special in
+  let n_positions =
+    List.fold_left (fun acc r -> acc + Schema.arity schema r) 0
+      (Schema.relations schema)
+  in
+  (* A special edge u → v lies on a cycle iff u is reachable from v.
+     BFS with parents recovers a witness path v ⇝ u; closing it with
+     the edge gives the cycle. Graphs here are tiny (positions ×
+     dependencies), so per-edge BFS is fine. *)
+  let succs u =
+    List.filter_map
+      (fun ((a, b), _) -> if a = u then Some b else None)
+      all_edges
+  in
+  let find_path src dst =
+    if src = dst then Some [ src ]
+    else
+      let parent = Hashtbl.create 16 in
+      let queue = Queue.create () in
+      Queue.add src queue;
+      Hashtbl.replace parent src src;
+      let rec bfs () =
+        if Queue.is_empty queue then None
+        else
+          let u = Queue.pop queue in
+          if u = dst then (
+            let rec walk v acc =
+              if v = src then src :: acc
+              else walk (Hashtbl.find parent v) (v :: acc)
+            in
+            Some (walk dst []))
+          else (
+            List.iter
+              (fun v ->
+                if not (Hashtbl.mem parent v) then (
+                  Hashtbl.replace parent v u;
+                  Queue.add v queue))
+              (succs u);
+            bfs ())
+      in
+      bfs ()
+  in
+  let special_cycle =
+    List.find_map
+      (fun ((u, v), special) ->
+        if not special then None
+        else
+          match find_path v u with
+          | None -> None
+          | Some path -> Some path)
+      all_edges
+  in
+  { n_positions;
+    n_regular;
+    n_special;
+    verdict =
+      (match special_cycle with
+      | None -> Weakly_acyclic
+      | Some cyc -> Special_cycle cyc)
+  }
+
+let is_weakly_acyclic t =
+  match t.verdict with Weakly_acyclic -> true | Special_cycle _ -> false
+
+let verdict_string t =
+  match t.verdict with
+  | Weakly_acyclic -> "weakly acyclic"
+  | Special_cycle _ -> "special-edge cycle"
+
+let cycle_string t =
+  match t.verdict with
+  | Weakly_acyclic -> ""
+  | Special_cycle cyc ->
+      String.concat " -> " (List.map position_string cyc)
+
+(* Local JSON string escaper: [Analysis.Diag.json_string] lives above
+   this library in the dependency DAG. Position/verdict strings are
+   ASCII, so escaping quote/backslash/control chars suffices. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json t =
+  let fields =
+    [ ("verdict", json_string (verdict_string t));
+      ("weakly_acyclic", string_of_bool (is_weakly_acyclic t));
+      ("positions", string_of_int t.n_positions);
+      ("regular_edges", string_of_int t.n_regular);
+      ("special_edges", string_of_int t.n_special)
+    ]
+    @
+    match t.verdict with
+    | Weakly_acyclic -> []
+    | Special_cycle cyc ->
+        [ ( "cycle",
+            "["
+            ^ String.concat ", "
+                (List.map (fun p -> json_string (position_string p)) cyc)
+            ^ "]" )
+        ]
+  in
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> json_string k ^ ": " ^ v) fields)
+  ^ "}"

@@ -1,0 +1,45 @@
+(** Weak acyclicity of a dependency set: a static chase-termination
+    certificate (Fagin–Kolaitis–Miller–Popa).
+
+    Inclusion dependencies are tuple-generating: chasing them invents
+    fresh nulls, and a cyclic flow of invented values into positions
+    that invent more can run forever. The dependency graph has one
+    node per (relation, column) position; each IND (and the inclusion
+    half of each foreign key) adds a {e regular} edge from every
+    exported source position to the matching target position and a
+    {e special} edge from every exported source position to every
+    existential target position. FDs and keys are equality-generating
+    and add no edges. The set is {e weakly acyclic} iff no cycle goes
+    through a special edge — and then the chase terminates on every
+    instance in polynomially many steps, no step budget needed.
+
+    [Analysis.Classify] turns the verdict into dispatch (ANL306 /
+    ANL307) and the CLI [chase] command into an unbounded-vs-bounded
+    run decision; the qcheck suite cross-checks the verdict against a
+    bounded-chase oracle ({!Chase.chase_tgds}). *)
+
+type position = { pos_rel : string; pos_col : int }
+
+type verdict =
+  | Weakly_acyclic
+  | Special_cycle of position list
+      (** witness: a path closing a cycle through a special edge *)
+
+type t = {
+  n_positions : int;
+  n_regular : int;
+  n_special : int;
+  verdict : verdict;
+}
+
+val check : Relational.Schema.t -> Dependency.t list -> t
+(** The certificate; [Weakly_acyclic] vacuously for EGD-only sets. *)
+
+val is_weakly_acyclic : t -> bool
+val verdict_string : t -> string
+val cycle_string : t -> string
+(** ["R[1] -> S[2] -> R[1]"]; [""] when weakly acyclic. Columns are
+    printed 1-based, matching the constraint syntax. *)
+
+val position_string : position -> string
+val to_json : t -> string

@@ -107,6 +107,29 @@ let mu_cond_k ?jobs ?guard ?cache ~sigma inst q tuple ~k =
   in
   if B.is_zero den then Rat.zero else Rat.make num den
 
+(* Factorized µ^k(Q|Σ): numerator and denominator counts factorize
+   independently (Σ∧Q(ā) and Σ have their own interaction graphs),
+   but both plans must sweep the same null set — the one the
+   monolithic pass above uses — so the quotient is the identical
+   reduced rational. [cond_decomp] builds both certificates on that
+   shared sweep. *)
+let cond_decomp ?k ~sigma inst q tuple =
+  let answer = Query.instantiate q tuple in
+  let extra =
+    List.sort_uniq Int.compare (Tuple.nulls tuple @ Formula.nulls sigma)
+  in
+  ( Analysis.Decomp.analyze ?k ~extra_nulls:extra inst
+      (Formula.And (sigma, answer)),
+    Analysis.Decomp.analyze ?k ~extra_nulls:extra inst sigma )
+
+let mu_cond_k_plans ?jobs ?guard ?cache ~num_plan ~den_plan inst ~k =
+  Obs.Trace.span "conditional.mu_k"
+    ~attrs:[ ("k", string_of_int k); ("decomp", "1") ]
+  @@ fun () ->
+  let num = Support.supp_count_plan ?jobs ?guard ?cache inst num_plan ~k in
+  let den = Support.supp_count_plan ?jobs ?guard ?cache inst den_plan ~k in
+  if B.is_zero den then Rat.zero else Rat.make num den
+
 let mu_implication ?jobs ?cache ~sigma inst q tuple =
   let answer = Query.instantiate q tuple in
   let sp =

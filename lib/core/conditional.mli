@@ -92,6 +92,32 @@ val mu_cond_k :
 (** Brute-force [µ^k(Q|Σ,D,ā)] for cross-checking; 0 when no valuation
     in [V^k] satisfies [Σ]. *)
 
+val cond_decomp :
+  ?k:int ->
+  sigma:Logic.Formula.t ->
+  Relational.Instance.t ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  Analysis.Decomp.t * Analysis.Decomp.t
+(** Decomposition certificates for the numerator sentence [Σ ∧ Q(ā)]
+    and the denominator sentence [Σ], both over the sweep set of
+    {!mu_cond_k} (database, tuple and [Σ] nulls). *)
+
+val mu_cond_k_plans :
+  ?jobs:int ->
+  ?guard:(unit -> unit) ->
+  ?cache:Incomplete.Support.cache ->
+  num_plan:Incomplete.Factor.plan ->
+  den_plan:Incomplete.Factor.plan ->
+  Relational.Instance.t ->
+  k:int ->
+  Arith.Rat.t
+(** Factorized [µ^k(Q|Σ)]: both counts run component-by-component on
+    restricted kernels ({!Incomplete.Support.supp_count_plan}) and the
+    quotient of the exact bigint counts is formed — bit-identical to
+    {!mu_cond_k} on sound plans sharing its sweep set (which
+    {!cond_decomp} guarantees). *)
+
 val mu_implication :
   ?jobs:int ->
   ?cache:Incomplete.Support.cache ->

@@ -176,6 +176,71 @@ let mu_k_boolean ?jobs ?guard ?cache inst q ~k =
 let mu_k_series ?jobs ?guard ?cache inst q tuple ~ks =
   List.map (fun k -> (k, mu_k ?jobs ?guard ?cache inst q tuple ~k)) ks
 
+(* ------------------------------------------------------------------ *)
+(* Factorized counting over a decomposition plan                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One kernel db per component, restricted to the relations the
+   component mentions, hoisted so a µ^k series compiles each component
+   once. The shared verdict cache stays sound across components: keys
+   are (bindings, sentence) and each conjunct belongs to exactly one
+   component, so no two restricted kernels ever answer for the same
+   key. The unit-keyed kernel-db cache is for the monolithic instance
+   only and is deliberately not consulted here. *)
+type compiled_plan = {
+  cp_parts : (Kernel.db * Formula.t * int list) list;
+      (* restricted db, component sentence, component nulls *)
+  cp_free : int list;
+  cp_all : int list;
+}
+
+let compile_plan inst (plan : Factor.plan) =
+  { cp_parts =
+      List.map
+        (fun (c : Factor.component) ->
+          ( Kernel.db_of_instance
+              (Factor.restricted_instance inst c.Factor.c_relations),
+            c.Factor.c_sentence,
+            c.Factor.c_nulls ))
+        plan.Factor.components;
+    cp_free = plan.Factor.free_nulls;
+    cp_all = plan.Factor.all_nulls
+  }
+
+let supp_count_compiled ?jobs ?guard ?cache cp ~k =
+  let component_counts =
+    List.map
+      (fun (db, sentence, nulls) ->
+        count_satisfying ?jobs ?guard ?cache ~db ~sentence ~nulls ~k ())
+      cp.cp_parts
+  in
+  let product = List.fold_left B.mul B.one component_counts in
+  B.mul product (Enumerate.count ~nulls:cp.cp_free ~k)
+
+(* µ^k as the exact product of per-component measures; the free block
+   contributes count k^f over space k^f, i.e. factor 1. Each factor is
+   a reduced Rat, and the product of reduced rationals re-reduces, so
+   the result is bit-identical to the monolithic
+   supp_count / k^m quotient. *)
+let mu_k_compiled ?jobs ?guard ?cache cp ~k =
+  List.fold_left
+    (fun acc (db, sentence, nulls) ->
+      let count =
+        count_satisfying ?jobs ?guard ?cache ~db ~sentence ~nulls ~k ()
+      in
+      Rat.mul acc (Rat.make count (Enumerate.count ~nulls ~k)))
+    Rat.one cp.cp_parts
+
+let supp_count_plan ?jobs ?guard ?cache inst plan ~k =
+  supp_count_compiled ?jobs ?guard ?cache (compile_plan inst plan) ~k
+
+let mu_k_plan ?jobs ?guard ?cache inst plan ~k =
+  mu_k_compiled ?jobs ?guard ?cache (compile_plan inst plan) ~k
+
+let mu_k_series_plan ?jobs ?guard ?cache inst plan ~ks =
+  let cp = compile_plan inst plan in
+  List.map (fun k -> (k, mu_k_compiled ?jobs ?guard ?cache cp ~k)) ks
+
 let support_valuations ?cache inst q tuple ~k =
   let nulls = all_nulls inst tuple in
   let db = kernel_db ?cache inst in

@@ -113,6 +113,21 @@ val check : checker -> Valuation.t -> bool
 
 (** {1 Counting} *)
 
+val count_satisfying :
+  ?jobs:int ->
+  ?guard:(unit -> unit) ->
+  ?cache:cache ->
+  db:Kernel.db ->
+  sentence:Logic.Formula.t ->
+  nulls:int list ->
+  k:int ->
+  unit ->
+  Arith.Bigint.t
+(** The raw sweep: how many of the [k^|nulls|] valuations of [nulls]
+    satisfy [sentence] on [db]. The building block of {!supp_count}
+    and of the per-component counts of {!supp_count_plan}; exposed so
+    the approximate engine can count small components exactly. *)
+
 val supp_count :
   ?jobs:int ->
   ?guard:(unit -> unit) ->
@@ -156,6 +171,68 @@ val mu_k_series :
 (** The convergence series [(k, µ^k)] — the paper's limit object,
     sampled. Passing a shared [?cache] makes later, larger [k]s reuse
     every verdict already computed for smaller [k]s. *)
+
+(** {1 Factorized counting}
+
+    The decomposition-aware path: a {!Factor.plan} (built and proven
+    sound by the planner in [Analysis.Decomp]) names independent
+    components of the support sentence; each is counted on its own
+    kernel restriction and the exact [Rat.t]/[Bigint.t] products are
+    combined. Bit-identical to the monolithic entry points above on
+    every sound plan — property-tested and enforced by the bench
+    identity gate. *)
+
+type compiled_plan
+(** Per-component restricted kernels, compiled once per plan. *)
+
+val compile_plan : Relational.Instance.t -> Factor.plan -> compiled_plan
+
+val supp_count_compiled :
+  ?jobs:int ->
+  ?guard:(unit -> unit) ->
+  ?cache:cache ->
+  compiled_plan ->
+  k:int ->
+  Arith.Bigint.t
+(** [∏ᵢ |Suppᵢ| · k^f] — equals the monolithic [|Supp^k|]. *)
+
+val mu_k_compiled :
+  ?jobs:int ->
+  ?guard:(unit -> unit) ->
+  ?cache:cache ->
+  compiled_plan ->
+  k:int ->
+  Arith.Rat.t
+(** [∏ᵢ µᵢ^k] — equals the monolithic [µ^k] (free nulls cancel). *)
+
+val supp_count_plan :
+  ?jobs:int ->
+  ?guard:(unit -> unit) ->
+  ?cache:cache ->
+  Relational.Instance.t ->
+  Factor.plan ->
+  k:int ->
+  Arith.Bigint.t
+
+val mu_k_plan :
+  ?jobs:int ->
+  ?guard:(unit -> unit) ->
+  ?cache:cache ->
+  Relational.Instance.t ->
+  Factor.plan ->
+  k:int ->
+  Arith.Rat.t
+
+val mu_k_series_plan :
+  ?jobs:int ->
+  ?guard:(unit -> unit) ->
+  ?cache:cache ->
+  Relational.Instance.t ->
+  Factor.plan ->
+  ks:int list ->
+  (int * Arith.Rat.t) list
+(** Like {!mu_k_series} but sweeping [Σᵢ k^{mᵢ}] valuations per [k]
+    instead of [k^m]; component kernels are compiled once. *)
 
 val support_valuations :
   ?cache:cache ->

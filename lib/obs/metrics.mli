@@ -108,6 +108,19 @@ val serve_session_loads : t
 val serve_session_evictions : t
 (** Sessions dropped by the store's FIFO cap. *)
 
+(** {2 Decomposition-analysis counters}
+
+    Bumped by the null-dependency planner ([Analysis.Decomp]). *)
+
+val decomp_plans : t
+(** Decomposition analyses run (every [analysis.decomp] span). *)
+
+val decomp_components : t
+(** Independent components certified across all sound plans. *)
+
+val decomp_indecomposable : t
+(** Analyses that ended [Indecomposable] (no sound plan). *)
+
 (** {1 Span histograms}
 
     {!Trace.span} feeds the wall-time of every completed span into a

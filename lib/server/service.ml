@@ -86,6 +86,48 @@ let check_space ~nulls ks =
   in
   go ks
 
+(* Factorized sweeps only enumerate per-component spaces k^mᵢ. *)
+let check_space_plan ~plan ks =
+  let rec go = function
+    | [] -> Ok ()
+    | k :: rest -> (
+        let rec comps i = function
+          | [] -> Ok ()
+          | c :: cs -> (
+              let cn = c.Incomplete.Factor.c_nulls in
+              match Incomplete.Enumerate.space_size_exn ~nulls:cn ~k with
+              | _ -> comps (i + 1) cs
+              | exception Arith.Bigint.Overflow size ->
+                  Error
+                    ( Wire.Bad_request,
+                      Printf.sprintf
+                        "k = %d gives component %d (%d nulls) a space of %s \
+                         valuations; too large to enumerate even factorized"
+                        k (i + 1) (List.length cn)
+                        (Arith.Bigint.to_string size) ))
+        in
+        match comps 1 plan.Incomplete.Factor.components with
+        | Ok () -> go rest
+        | Error e -> Error e)
+  in
+  go ks
+
+(* The CLI's gating, verbatim: the factorized series only replaces the
+   monolithic sweep on a genuine [Decomposable] verdict (≥ 2 parts) —
+   the engines agree bit-for-bit, so the wire payload is unchanged
+   except for the extra decomp fields. *)
+let decomp_certificate inst sentence ~extra_nulls ks =
+  let kc = List.fold_left max 1 ks in
+  let d = Analysis.Decomp.analyze ~k:kc ~extra_nulls inst sentence in
+  match (d.Analysis.Decomp.verdict, Analysis.Decomp.plan d) with
+  | Analysis.Decomp.Decomposable, Some p -> Some (d, p)
+  | _ -> None
+
+let decomp_fields d =
+  [ ("decomp_parts", Wire.I (Analysis.Decomp.parts d));
+    ("decomp_sizes", Wire.S (Analysis.Decomp.sizes_string d))
+  ]
+
 (* The static-analysis gate. Unlike the CLI (which prints warnings and
    only aborts under --strict), the server always refuses queries with
    analysis errors: there is no terminal to warn on, and a typed
@@ -159,11 +201,26 @@ let run_measure ~sessions ?jobs ?guard req =
         let nulls =
           List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
         in
-        let* () = check_space ~nulls ks in
-        let series =
-          Incomplete.Support.mu_k_series ?jobs ?guard ~cache inst q tuple ~ks
-        in
-        Ok [ ("series", Wire.S (series_string series)) ]
+        match
+          decomp_certificate inst
+            (Logic.Query.instantiate q tuple)
+            ~extra_nulls:(Tuple.nulls tuple) ks
+        with
+        | Some (d, plan) ->
+            let* () = check_space_plan ~plan ks in
+            let series =
+              Incomplete.Support.mu_k_series_plan ?jobs ?guard ~cache inst plan
+                ~ks
+            in
+            Ok
+              (("series", Wire.S (series_string series)) :: decomp_fields d)
+        | None ->
+            let* () = check_space ~nulls ks in
+            let series =
+              Incomplete.Support.mu_k_series ?jobs ?guard ~cache inst q tuple
+                ~ks
+            in
+            Ok [ ("series", Wire.S (series_string series)) ]
   in
   Ok
     ([ ("supp_poly", Wire.S (P.to_string sp));
@@ -204,16 +261,51 @@ let run_conditional ~sessions ?jobs ?guard req =
           List.sort_uniq Int.compare
             (Instance.nulls inst @ Tuple.nulls tuple @ F.nulls sigma)
         in
-        let* () = check_space ~nulls ks in
-        let series =
-          List.map
-            (fun k ->
-              ( k,
-                Zeroone.Conditional.mu_cond_k ?jobs ?guard ~cache ~sigma inst q
-                  tuple ~k ))
-            ks
+        let kc = List.fold_left max 1 ks in
+        let dnum, dden =
+          Zeroone.Conditional.cond_decomp ~k:kc ~sigma inst q tuple
         in
-        Ok [ ("series", Wire.S (series_string series)) ]
+        let decomposable d =
+          match d.Analysis.Decomp.verdict with
+          | Analysis.Decomp.Decomposable -> true
+          | _ -> false
+        in
+        let plans =
+          if decomposable dnum || decomposable dden then
+            match (Analysis.Decomp.plan dnum, Analysis.Decomp.plan dden) with
+            | Some np, Some dp -> Some (np, dp)
+            | _ -> None
+          else None
+        in
+        match plans with
+        | Some (num_plan, den_plan) ->
+            let* () = check_space_plan ~plan:num_plan ks in
+            let* () = check_space_plan ~plan:den_plan ks in
+            let series =
+              List.map
+                (fun k ->
+                  ( k,
+                    Zeroone.Conditional.mu_cond_k_plans ?jobs ?guard ~cache
+                      ~num_plan ~den_plan inst ~k ))
+                ks
+            in
+            Ok
+              [ ("series", Wire.S (series_string series));
+                ( "decomp_parts",
+                  Wire.I (Analysis.Decomp.parts dnum + Analysis.Decomp.parts dden)
+                )
+              ]
+        | None ->
+            let* () = check_space ~nulls ks in
+            let series =
+              List.map
+                (fun k ->
+                  ( k,
+                    Zeroone.Conditional.mu_cond_k ?jobs ?guard ~cache ~sigma
+                      inst q tuple ~k ))
+                ks
+            in
+            Ok [ ("series", Wire.S (series_string series)) ]
   in
   Ok
     ([ ("numerator", Wire.S (P.to_string report.Zeroone.Conditional.numerator));

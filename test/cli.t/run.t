@@ -242,12 +242,14 @@ and genericity verdicts, constraint class, and the k^m cost bound.
   generic:     yes
   constraints: 1 dependency; FD-only: no; unary keys+FKs: no
   cost:        |V^k| = k^1; at k = 19: 19 valuations
+  chase:       weakly acyclic (1 regular, 0 special edges)
   verdict:     ok (0 errors, 0 warnings)
   diagnostics: none
   dispatch:
     hint[ANL301] dispatch: CQ ⊆ Pos∀G: naive evaluation computes certain answers (Corollary 3) — no valuation enumeration needed
     hint[ANL302] dispatch: CQ ⊆ UCQ: support comparisons and best answers run in polynomial time (Theorem 8)
     hint[ANL305] dispatch: constraint set is neither FD-only nor unary keys+FKs: only the generic (exponential) procedures apply
+    hint[ANL306] dispatch: dependency set is weakly acyclic (1 regular, 0 special edges, no special cycle): the chase terminates on every instance — static certificate, no step budget
 
 The same report as JSON, here for a non-generic query (error ANL002).
 Without --strict the exit code stays zero.
@@ -345,6 +347,9 @@ make every k=3 verdict a cache hit at k=4.
     serve_deadline_exceeded  0
     serve_session_loads      0
     serve_session_evictions  0
+    decomp_plans             2
+    decomp_components        2
+    decomp_indecomposable    0
 
 --trace writes the span events as JSON lines; trace-check validates the
 file (flat JSON per line, every span closed, monotone timestamps). The
@@ -357,9 +362,9 @@ sweeps and one µ^k count per k.
   >   --query "Q(x,y) := R1(x,y) & !R2(x,y)" \
   >   --tuple "('c2', ~2)" --ks 3,4 --jobs 1 --trace run.jsonl > /dev/null
   $ certainty trace-check run.jsonl
-  trace ok: 4 completed span(s)
+  trace ok: 6 completed span(s)
   $ sed -n '1p' run.jsonl | sed 's/"t":[0-9]*/"t":T/'
-  {"ev":"b","id":1,"name":"support_poly.sum","t":T,"dom":0}
+  {"ev":"b","id":1,"name":"analysis.decomp","t":T,"dom":0}
 
 A truncated or interleaved trace fails the gate.
 
@@ -439,6 +444,9 @@ in the approx_samples / approx_strata counters.
     serve_deadline_exceeded  0
     serve_session_loads      0
     serve_session_evictions  0
+    decomp_plans             2
+    decomp_components        2
+    decomp_indecomposable    0
 
 Malformed or out-of-range (ε,δ) are refused up front.
 
@@ -485,3 +493,6 @@ The chase reports its substitution count through the same counters.
     serve_deadline_exceeded  0
     serve_session_loads      0
     serve_session_evictions  0
+    decomp_plans             0
+    decomp_components        0
+    decomp_indecomposable    0

@@ -64,7 +64,8 @@ let test_diag_registry () =
      the severity the constructors use. *)
   let expected =
     [ "ANL001"; "ANL002"; "ANL003"; "ANL101"; "ANL102"; "ANL103"; "ANL201";
-      "ANL202"; "ANL301"; "ANL302"; "ANL303"; "ANL304"; "ANL305" ]
+      "ANL202"; "ANL301"; "ANL302"; "ANL303"; "ANL304"; "ANL305"; "ANL306";
+      "ANL307"; "ANL401"; "ANL402"; "ANL403" ]
   in
   check int_t "registry size" (List.length expected) (List.length Diag.registry);
   List.iter
@@ -78,7 +79,11 @@ let test_diag_registry () =
   in
   check bool_t "ANL001 is error" true (sev "ANL001" = Diag.Error);
   check bool_t "ANL201 is warning" true (sev "ANL201" = Diag.Warning);
-  check bool_t "ANL305 is hint" true (sev "ANL305" = Diag.Hint)
+  check bool_t "ANL305 is hint" true (sev "ANL305" = Diag.Hint);
+  check bool_t "ANL306 is hint" true (sev "ANL306" = Diag.Hint);
+  check bool_t "ANL307 is warning" true (sev "ANL307" = Diag.Warning);
+  check bool_t "ANL401 is hint" true (sev "ANL401" = Diag.Hint);
+  check bool_t "ANL403 is warning" true (sev "ANL403" = Diag.Warning)
 
 let test_diag_json () =
   let d =
