@@ -14,7 +14,13 @@
    cache); a key present in the baseline but missing from the fresh
    file fails too (a silently dropped configuration is not a pass).
 
-   Only schema_version 3 files are accepted — on a schema bump this
+   The parallel rows are diffed the same way: every jobs>1 row also
+   contributes its [speedup_vs_jobs1] column (keyed with a vs_jobs1
+   suffix), so losing parallel scaling relative to the committed
+   baseline fails even when the single-threaded engine held its
+   speedup over naive.
+
+   Only schema_version 4 files are accepted — on a schema bump this
    check fails loudly until the baseline is regenerated. *)
 
 (* --- a minimal JSON reader: just enough for the bench schema ---
@@ -195,13 +201,13 @@ let str path = function
 
 type bench_row = { key : string; speedup : float }
 
-(* Flatten a BENCH_*.json into keyed speedup rows, enforcing schema 3. *)
+(* Flatten a BENCH_*.json into keyed speedup rows, enforcing schema 4. *)
 let rows_of path json =
   (match need path json "schema_version" with
-  | Num 3.0 -> ()
+  | Num 4.0 -> ()
   | v ->
       failwith
-        (Printf.sprintf "%s: schema_version %s, this differ understands 3 — \
+        (Printf.sprintf "%s: schema_version %s, this differ understands 4 — \
                          regenerate the baseline"
            path
            (match v with Num f -> string_of_float f | _ -> "?")));
@@ -218,7 +224,7 @@ let rows_of path json =
         | Arr rs -> rs
         | _ -> failwith (Printf.sprintf "%s: results is not an array" path)
       in
-      List.map
+      List.concat_map
         (fun row ->
           let engine = str path (need path row "engine") in
           let jobs = int_of_float (num path (need path row "jobs")) in
@@ -227,12 +233,16 @@ let rows_of path json =
             | Bool b -> b
             | _ -> failwith (Printf.sprintf "%s: cache is not a bool" path)
           in
+          let key = Printf.sprintf "%s engine=%s jobs=%d cache=%b" kname engine jobs cache in
           let speedup = num path (need path row "speedup_vs_baseline") in
-          { key =
-              Printf.sprintf "%s engine=%s jobs=%d cache=%b" kname engine jobs
-                cache;
-            speedup
-          })
+          let base = { key; speedup } in
+          if jobs <= 1 then [ base ]
+          else
+            [ base;
+              { key = key ^ " vs_jobs1";
+                speedup = num path (need path row "speedup_vs_jobs1")
+              }
+            ])
         results)
     kernels
 

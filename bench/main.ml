@@ -185,6 +185,10 @@ type row = {
   v : variant;
   ns_per_op : float;
   speedup : float;
+  speedup_vs_jobs1 : float;
+      (* ns/op of the same engine+cache at jobs=1 over this row's —
+         the parallel-scaling column the check-parallel gate reads.
+         1.0 when the variant has no jobs=1 counterpart. *)
   metrics : (string * int) list;  (* counter snapshot of the capture run *)
 }
 
@@ -240,10 +244,22 @@ let measure_kernel ~reps ~name ~params variants =
   let identical =
     List.for_all (fun d -> d = List.hd digests) digests
   in
+  let jobs1_ns v =
+    List.find_map
+      (fun (v', _, ns) ->
+        if v'.engine = v.engine && v'.cached = v.cached && v'.jobs = 1 then
+          Some ns
+        else None)
+      timed
+  in
   let rows =
     List.map2
       (fun (v, _, ns) (_, metrics) ->
-        { v; ns_per_op = ns; speedup = baseline_ns /. ns; metrics })
+        let speedup_vs_jobs1 =
+          match jobs1_ns v with Some ns1 -> ns1 /. ns | None -> 1.0
+        in
+        { v; ns_per_op = ns; speedup = baseline_ns /. ns; speedup_vs_jobs1;
+          metrics })
       timed captures
   in
   { name; params; identical; rows }
@@ -439,7 +455,7 @@ let emit_json ~smoke path results =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema_version\": 3,\n";
+  out "  \"schema_version\": 4,\n";
   out "  \"generated_by\": \"bench/main.exe --parallel%s\",\n"
     (if smoke then " --smoke" else "");
   out "  \"recommended_domain_count\": %d,\n" (Exec.Pool.default_jobs ());
@@ -462,9 +478,9 @@ let emit_json ~smoke path results =
           out
             "        {\"engine\": \"%s\", \"jobs\": %d, \"cache\": %b, \
              \"ns_per_op\": %.1f, \"speedup_vs_baseline\": %.3f, \
-             \"metrics\": {%s}}%s\n"
+             \"speedup_vs_jobs1\": %.3f, \"metrics\": {%s}}%s\n"
             (json_escape row.v.engine) row.v.jobs row.v.cached row.ns_per_op
-            row.speedup metrics
+            row.speedup row.speedup_vs_jobs1 metrics
             (if j = List.length r.rows - 1 then "" else ","))
         r.rows;
       out "      ]\n";
@@ -548,8 +564,10 @@ let run_parallel ~smoke ~max_jobs ~out ?reps ?trace () =
       List.iter
         (fun row ->
           Printf.printf
-            "    %-6s jobs=%d cache=%-5b %12.1f ns/op   %6.2fx   vals=%d\n"
+            "    %-6s jobs=%d cache=%-5b %12.1f ns/op   %6.2fx   \
+             vs_jobs1=%.2fx   vals=%d\n"
             row.v.engine row.v.jobs row.v.cached row.ns_per_op row.speedup
+            row.speedup_vs_jobs1
             (Option.value ~default:0
                (List.assoc_opt "valuations_evaluated" row.metrics)))
         r.rows)

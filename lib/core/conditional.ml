@@ -79,31 +79,54 @@ let mu_cond_k ?jobs ?guard ?cache ~sigma inst q tuple ~k =
       (Instance.nulls inst @ Tuple.nulls tuple @ Formula.nulls sigma)
   in
   let db = Support.kernel_db ?cache inst in
-  (* Σ and Q(ā) are compiled once per chunk against the shared db;
-     each valuation then only refreshes the kernels' null images. *)
-  let mk_step () =
-    let sig_chk = Support.checker ?cache db sigma in
-    let ans_chk = Support.checker ?cache db answer in
-    fun (num, den) v ->
-      if Support.check sig_chk v then
-        let num = if Support.check ans_chk v then B.succ num else num in
-        (num, B.succ den)
-      else (num, den)
-  in
   let num, den =
     match Enumerate.space_size ~nulls ~k with
     | Some n ->
-        (* Both counts fold in the same chunked pass; bigint partial
-           sums are exact, so any chunking gives the sequential pair. *)
+        (* The exhaustive sweep: each chunk steps one odometer through
+           its rank range and feeds the digit fast path of the calling
+           domain's memoized Σ and Q(ā) kernels — an answer check only
+           when Σ holds, exactly like the sequential pass, and no
+           verdict-cache traffic (every key of the sweep is distinct).
+           Bigint partial sums are exact, so any chunking gives the
+           sequential pair. *)
         Exec.Pool.fold_range ?jobs ?guard ~min_work:512 ~n
           ~chunk:(fun lo hi ->
-            Enumerate.fold_valuations_range ~nulls ~k ~lo ~hi (mk_step ())
-              (B.zero, B.zero))
+            let sig_kern = Support.domain_kernel db sigma in
+            let ans_kern = Support.domain_kernel db answer in
+            Incomplete.Kernel.prepare_digits sig_kern ~nulls;
+            Incomplete.Kernel.prepare_digits ans_kern ~nulls;
+            Obs.Metrics.add Obs.Metrics.valuations_evaluated (hi - lo);
+            Obs.Metrics.add Obs.Metrics.kernel_refreshes (hi - lo);
+            let num, den =
+              Enumerate.fold_digits_range ~nulls ~k ~lo ~hi
+                (fun ((num, den) as acc) digits ->
+                  if Incomplete.Kernel.holds_digits sig_kern digits then begin
+                    Obs.Metrics.incr Obs.Metrics.valuations_evaluated;
+                    Obs.Metrics.incr Obs.Metrics.kernel_refreshes;
+                    let num =
+                      if Incomplete.Kernel.holds_digits ans_kern digits then
+                        num + 1
+                      else num
+                    in
+                    (num, den + 1)
+                  end
+                  else acc)
+                (0, 0)
+            in
+            (B.of_int num, B.of_int den))
           ~combine:(fun (n1, d1) (n2, d2) -> (B.add n1 n2, B.add d1 d2))
           (B.zero, B.zero)
     | None ->
         (match guard with Some g -> g () | None -> ());
-        Enumerate.fold_valuations ~nulls ~k (mk_step ()) (B.zero, B.zero)
+        let sig_chk = Support.checker ?cache db sigma in
+        let ans_chk = Support.checker ?cache db answer in
+        Enumerate.fold_valuations ~nulls ~k
+          (fun (num, den) v ->
+            if Support.check sig_chk v then
+              let num = if Support.check ans_chk v then B.succ num else num in
+              (num, B.succ den)
+            else (num, den))
+          (B.zero, B.zero)
   in
   if B.is_zero den then Rat.zero else Rat.make num den
 

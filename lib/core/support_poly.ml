@@ -18,9 +18,10 @@ type t = {
 (* Both constructors fold one pass over the equivalence classes,
    accumulating one polynomial per sentence/predicate. The class list
    is carved into contiguous chunks on pool domains; each chunk calls
-   [mk_weigh ()] to build its own weigher, so chunk-local state (the
-   compiled kernels, which are single-threaded) is never shared across
-   domains. Per-chunk partial sums are merged with Poly.add, whose
+   [mk_weigh ()] to build its own weigher, so mutable evaluation state
+   (the compiled kernels, single-threaded and memoized per domain via
+   [Support.domain_checker]) is never shared across domains.
+   Per-chunk partial sums are merged with Poly.add, whose
    bigint-rational coefficients make the sum exact and
    order-independent — parallel results are bit-identical to
    sequential ones. Classes below don't share work, so even short
@@ -62,9 +63,13 @@ let of_sentences ?jobs ?cache inst sentences =
   in
   let classes = Classes.enumerate ~anchor_set ~nulls in
   let polys =
+    (* Class representatives repeat across calls (and across the two
+       sentences of a conditional report), so the verdict cache stays
+       on; the kernels behind the checkers are memoized per pool
+       domain, so chunks landing on one domain share a compile. *)
     sum_over_classes ?jobs ~width:sentences classes (fun () ->
         let checkers =
-          List.map (fun s -> Support.checker ?cache db s) sentences
+          List.map (fun s -> Support.domain_checker ?cache db s) sentences
         in
         fun acc cls ->
           let v = Classes.representative ~anchor_set cls in

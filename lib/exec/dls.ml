@@ -1,0 +1,44 @@
+(* Per-domain compiled-state memos.
+
+   A parallel valuation sweep wants exactly one compiled kernel per
+   pool domain: kernels carry mutable scratch (single-threaded by
+   construction), and compiling one per *chunk* — the previous
+   discipline — multiplies compile cost by the chunk count (up to 8192
+   under the pool guard) and churns the minor heap mid-sweep. A [Dls]
+   table keys values by the caller's choice of equality inside
+   [Domain.DLS], so each domain compiles once per (db, sentence) and
+   every chunk that lands on that domain reuses the same scratch;
+   domains never see each other's entries, so no synchronization is
+   involved.
+
+   The per-domain store is a bounded association list scanned
+   linearly: a domain touches a handful of distinct keys (one or two
+   sentences per sweep, a few sessions on a server), so a scan of ≤
+   [cap] entries is cheaper than hashing structural keys. Eviction
+   drops the oldest entry — insertion order, newest first. *)
+
+type ('k, 'v) t = {
+  eq : 'k -> 'k -> bool;
+  cap : int;
+  key : ('k * 'v) list ref Domain.DLS.key;
+}
+
+let default_cap = 32
+
+let create ?(cap = default_cap) ~eq () =
+  if cap < 1 then invalid_arg "Exec.Dls.create: cap < 1";
+  { eq; cap; key = Domain.DLS.new_key (fun () -> ref []) }
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let find_or_add t k ~mk =
+  let slot = Domain.DLS.get t.key in
+  match List.find_opt (fun (k', _) -> t.eq k k') !slot with
+  | Some (_, v) -> v
+  | None ->
+      let v = mk () in
+      slot := take t.cap ((k, v) :: !slot);
+      v

@@ -1,0 +1,27 @@
+(** Per-domain memo tables ([Domain.DLS]).
+
+    The pool's unit of state reuse: a [('k, 'v) t] memoizes one value
+    per key {e per domain}. Sweep loops use it to compile one kernel
+    per pool domain instead of one per chunk — each domain's entry is
+    created on first use by that domain and reused by every subsequent
+    chunk it runs, with no locking (domains never observe each other's
+    entries).
+
+    Values handed out are therefore domain-local but {e not}
+    re-entrant: a caller that obtains [v] for key [k] must finish with
+    it before asking for [k] again in a nested computation on the same
+    domain (pool chunks never nest, so sweep loops satisfy this by
+    construction). *)
+
+type ('k, 'v) t
+
+val create : ?cap:int -> eq:('k -> 'k -> bool) -> unit -> ('k, 'v) t
+(** A memo whose per-domain store keeps at most [cap] entries
+    (default 32), evicting the oldest. [eq] compares keys — use
+    physical equality on shared immutable structure (e.g. a
+    [Kernel.db]) where possible.
+    @raise Invalid_argument if [cap < 1]. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> mk:(unit -> 'v) -> 'v
+(** The calling domain's value for this key, building it with [mk] on
+    that domain's first use. *)

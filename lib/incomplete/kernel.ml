@@ -18,13 +18,25 @@ module Compiled = Logic.Compiled
      null-carrying tuples;
    - the sentence is compiled (Logic.Compiled) with nulls resolved
      through a valuation-image array rewritten in place;
-   - per valuation only the null images, the domain suffix and the
-     completed null tuples (a small hash table per mentioned relation)
-     are refreshed.
+   - the null-carrying tuples are completed *in place*: each becomes a
+     fixed row whose constant cells are written at compile time and
+     whose null cells are plain array slots, reachable from a
+     precomputed null → (row, cell) dependency map. Refreshing a
+     valuation is a handful of cell writes — no hash table is cleared
+     or repopulated, and nothing is allocated.
+
+   Two refresh entry points share this machinery. [holds] takes a
+   {!Valuation.t} and rewrites every null image. [holds_digits] is the
+   sweep fast path: it takes the live digit array of an
+   [Enumerate.odometer] and, by comparing against the digits of the
+   previous call, refreshes only the images, dependent row cells and
+   domain suffix that the changed digits touch — an odometer step
+   changes the low-order digits only, so consecutive checks degenerate
+   to one or two cell writes plus the compiled run.
 
    The immutable, shareable part is [db]; a [t] adds mutable
    per-valuation scratch and is single-threaded. Parallel folds share
-   one [db] and compile one [t] per chunk. *)
+   one [db] and compile one [t] per domain (see [Support]). *)
 
 type db = {
   split : Split.t;
@@ -53,22 +65,24 @@ let db_of_split split =
 let split t = t.split
 let instance t = Split.base t.split
 
-(* One null-carrying tuple, precompiled: the constant cells, and for
-   each null cell its position in the kernel's null-image array. *)
-type template = { cells : Value.t array; null_cells : (int * int) array }
-
-type table = { templates : template array; tbl : (Tuple.t, unit) Hashtbl.t }
-
 type t = {
   db : db;
   sentence : Formula.t;
   knulls : int array; (* Null(D) ∪ nulls(φ), sorted *)
   null_img : Value.t array; (* image of knulls under the current v *)
-  tables : table list; (* mentioned relations with null tuples *)
+  ndeps : (Value.t array * int) array array;
+      (* knull index → the (completed row, cell) slots its image
+         occupies across all mentioned relations *)
   base_codes : int array; (* Const(D) ∪ consts(φ), sorted *)
   dom : Value.t array; (* base values ++ room for the null images *)
   base_dom_n : int;
   compiled : Compiled.t;
+  (* Digit-sweep state ([prepare_digits]/[holds_digits]). *)
+  mutable prepared : bool;
+  mutable sweep_nulls : int list; (* nulls the map was built for *)
+  mutable sweep_map : int array; (* digit position → knull index or -1 *)
+  mutable prev_digits : int array; (* digits of the last [holds_digits] *)
+  mutable prev_valid : bool;
 }
 
 let rec mentioned acc = function
@@ -98,54 +112,73 @@ let compile db sentence =
       | None -> invalid_arg (Printf.sprintf "Kernel: unknown null ~%d" n)
   in
   let rels = mentioned [] sentence in
-  let tables_by_name =
+  (* Complete each null tuple into a reusable row: constant cells are
+     final; null cells are recorded in the per-null dependency lists
+     and overwritten in place at refresh time. *)
+  let deps = Array.make (max m 1) [] in
+  let rows_by_name =
     List.filter_map
       (fun (name, tuples) ->
         if not (List.mem name rels) then None
         else
-          let templates =
+          let rows =
             Array.map
               (fun tup ->
-                let cells = Tuple.to_array tup in
-                let null_cells =
-                  Array.of_list
-                    (List.concat
-                       (List.mapi
-                          (fun i v ->
-                            match Value.null_id v with
-                            | Some n -> [ (i, pos_of n) ]
-                            | None -> [])
-                          (Array.to_list cells)))
-                in
-                { cells; null_cells })
+                let row = Tuple.to_array tup in
+                Array.iteri
+                  (fun i v ->
+                    match Value.null_id v with
+                    | Some n ->
+                        let p = pos_of n in
+                        deps.(p) <- (row, i) :: deps.(p)
+                    | None -> ())
+                  row;
+                row)
               tuples
           in
-          Some
-            ( name,
-              {
-                templates;
-                tbl = Hashtbl.create (max 8 (2 * Array.length templates));
-              } ))
+          Some (name, rows))
       (Split.null_tuples db.split)
   in
-  let tables = List.map snd tables_by_name in
+  let ndeps = Array.map (fun l -> Array.of_list (List.rev l)) deps in
+  let row_eq row buf =
+    let len = Array.length buf in
+    Array.length row = len
+    && begin
+         let rec go i =
+           i >= len
+           || (Value.equal (Array.unsafe_get row i) (Array.unsafe_get buf i)
+              && go (i + 1))
+         in
+         go 0
+       end
+  in
   let src_mem r _arity =
     let ground =
       match List.assoc_opt r db.indexes with
       | Some idx -> Some idx
       | None -> None
     in
-    let null_tbl = List.assoc_opt r tables_by_name in
-    match (ground, null_tbl) with
+    let null_rows = List.assoc_opt r rows_by_name in
+    match (ground, null_rows) with
     | None, _ ->
         (* Unknown relation: fail only if the atom is evaluated, like
            Instance.relation in the naive path. *)
         fun _ -> raise Not_found
     | Some idx, None -> Index.mem_values idx
-    | Some idx, Some { tbl; _ } ->
+    | Some idx, Some rows ->
+        (* Null-tuple counts per relation are small (that is the
+           regime of the paper's examples and of [Split]); a linear
+           scan beats rebuilding a hash table per valuation and
+           allocates nothing. *)
+        let n = Array.length rows in
         fun buf ->
           Index.mem_values idx buf
-          || Hashtbl.mem tbl (Tuple.unsafe_of_array buf)
+          || begin
+               let rec go i =
+                 i < n && (row_eq (Array.unsafe_get rows i) buf || go (i + 1))
+               in
+               go 0
+             end
   in
   let src_null n =
     let p = pos_of n in
@@ -161,8 +194,22 @@ let compile db sentence =
   let dom = Array.make (base_dom_n + m + 1) (Value.null 0) in
   Array.iteri (fun i c -> dom.(i) <- Value.const c) base_codes;
   Compiled.set_domain compiled dom base_dom_n;
-  { db; sentence; knulls; null_img; tables; base_codes; dom; base_dom_n;
-    compiled }
+  {
+    db;
+    sentence;
+    knulls;
+    null_img;
+    ndeps;
+    base_codes;
+    dom;
+    base_dom_n;
+    compiled;
+    prepared = false;
+    sweep_nulls = [];
+    sweep_map = [||];
+    prev_digits = [||];
+    prev_valid = false;
+  }
 
 let sentence t = t.sentence
 
@@ -177,19 +224,22 @@ let base_mem codes c =
   in
   go 0 (Array.length codes)
 
-let holds t v =
-  (* Refreshes are the misses of the verdict cache: requests minus
-     refreshes ≈ cache-served verdicts. *)
-  Obs.Metrics.incr Obs.Metrics.kernel_refreshes;
-  let m = Array.length t.knulls in
-  (* 1. Null images under v (raises like Valuation.instance would if a
-     null of D or of the sentence is unassigned). *)
-  for i = 0 to m - 1 do
-    t.null_img.(i) <- Value.const (Valuation.find_exn v t.knulls.(i))
-  done;
-  (* 2. Evaluation domain of v(D) ⊨ φ[v]: the base constants plus the
-     distinct fresh constants among the null images. *)
+(* Set the image of the [ki]-th kernel null and propagate it to every
+   completed-row cell that mentions it. *)
+let refresh_null t ki img =
+  Array.unsafe_set t.null_img ki img;
+  Array.iter
+    (fun (row, cell) -> Array.unsafe_set row cell img)
+    (Array.unsafe_get t.ndeps ki)
+
+(* Evaluation domain of v(D) ⊨ φ[v]: the base constants plus the
+   distinct fresh constants among the null images. The suffix is a
+   function of the whole image set (deduplication), so it is recomputed
+   wholesale whenever any image changed — it is O(m · suffix) on a
+   handful of values, dwarfed by the compiled run. *)
+let refresh_domain t =
   if Compiled.has_quantifier t.compiled then begin
+    let m = Array.length t.knulls in
     let n = ref t.base_dom_n in
     for i = 0 to m - 1 do
       let img = t.null_img.(i) in
@@ -206,19 +256,90 @@ let holds t v =
       end
     done;
     Compiled.set_domain t.compiled t.dom !n
-  end;
-  (* 3. Complete the null tuples into the per-relation side tables. *)
-  List.iter
-    (fun { templates; tbl } ->
-      Hashtbl.clear tbl;
-      Array.iter
-        (fun { cells; null_cells } ->
-          let tup = Array.copy cells in
-          Array.iter
-            (fun (cell, pos) -> tup.(cell) <- t.null_img.(pos))
-            null_cells;
-          Hashtbl.replace tbl (Tuple.unsafe_of_array tup) ())
-        templates)
-    t.tables;
-  (* 4. Evaluate the compiled sentence. *)
+  end
+
+let holds t v =
+  (* Refreshes are the misses of the verdict cache: requests minus
+     refreshes ≈ cache-served verdicts. *)
+  Obs.Metrics.incr Obs.Metrics.kernel_refreshes;
+  let m = Array.length t.knulls in
+  (* Null images under v (raises like Valuation.instance would if a
+     null of D or of the sentence is unassigned). *)
+  for i = 0 to m - 1 do
+    refresh_null t i (Value.const (Valuation.find_exn v t.knulls.(i)))
+  done;
+  refresh_domain t;
+  (* The row cells no longer reflect [prev_digits]. *)
+  t.prev_valid <- false;
+  Compiled.run t.compiled
+
+let prepare_digits t ~nulls =
+  let same =
+    t.prepared
+    && (t.sweep_nulls == nulls || List.equal Int.equal t.sweep_nulls nulls)
+  in
+  if not same then begin
+    let sweep = Array.of_list nulls in
+    let len = Array.length sweep in
+    let map = Array.make len (-1) in
+    let covered = Array.make (Array.length t.knulls) false in
+    let find_knull n =
+      let rec go lo hi =
+        if lo >= hi then -1
+        else
+          let mid = (lo + hi) / 2 in
+          let d = Int.compare n t.knulls.(mid) in
+          if d = 0 then mid else if d < 0 then go lo mid else go (mid + 1) hi
+      in
+      go 0 (Array.length t.knulls)
+    in
+    Array.iteri
+      (fun p n ->
+        let ki = find_knull n in
+        if ki >= 0 then begin
+          if covered.(ki) then
+            invalid_arg
+              (Printf.sprintf "Kernel.prepare_digits: duplicate null ~%d" n);
+          covered.(ki) <- true;
+          map.(p) <- ki
+        end)
+      sweep;
+    Array.iteri
+      (fun ki c ->
+        if not c then
+          invalid_arg
+            (Printf.sprintf
+               "Kernel.prepare_digits: sweep misses null ~%d of the instance \
+                or sentence"
+               t.knulls.(ki)))
+      covered;
+    t.sweep_nulls <- nulls;
+    t.sweep_map <- map;
+    t.prev_digits <- Array.make len 0;
+    t.prev_valid <- false;
+    t.prepared <- true
+  end
+
+let holds_digits t digits =
+  let len = Array.length t.sweep_map in
+  if not t.prepared || Array.length digits <> len then
+    invalid_arg
+      "Kernel.holds_digits: prepare_digits with the sweep's nulls first";
+  let prev = t.prev_digits in
+  let fresh = not t.prev_valid in
+  let changed = ref fresh in
+  for p = 0 to len - 1 do
+    let d = Array.unsafe_get digits p in
+    if fresh || Array.unsafe_get prev p <> d then begin
+      let ki = Array.unsafe_get t.sweep_map p in
+      if ki >= 0 then begin
+        if d < 1 then invalid_arg "Kernel.holds_digits: code < 1";
+        refresh_null t ki (Value.const d);
+        changed := true
+      end;
+      Array.unsafe_set prev p d
+    end
+  done;
+  if !changed then refresh_domain t;
+  t.prev_valid <- true;
   Compiled.run t.compiled

@@ -11,9 +11,12 @@
     - {!Logic.Compiled}: the sentence is compiled once, with nulls
       resolved through a per-valuation image array.
 
-    Checking a valuation then refreshes only the null images, the
-    fresh-constant suffix of the evaluation domain, and one small hash
-    table of completed null tuples per mentioned relation.
+    The null-carrying tuples are completed {e in place}: at compile
+    time each becomes a fixed row whose constant cells are final and
+    whose null cells are recorded in a null → (row, cell) dependency
+    map. Checking a valuation refreshes only the null images, the
+    dependent row cells, and the fresh-constant suffix of the
+    evaluation domain — no per-valuation hash table, no allocation.
 
     [holds (compile (db_of_instance d) φ) v =
      Eval.sentence_holds (Valuation.instance v d)
@@ -46,3 +49,32 @@ val sentence : t -> Logic.Formula.t
 val holds : t -> Valuation.t -> bool
 (** [v(D) ⊨ φ[v]].
     @raise Invalid_argument if [v] misses a null of [D] or [φ]. *)
+
+(** {1 Digit fast path}
+
+    The exhaustive-sweep loop: an {!Enumerate.odometer} steps an
+    in-place digit array through [V^k(D)] in rank order, and
+    {!holds_digits} consumes it directly — bypassing [Valuation.t]
+    construction and [Valuation.find_exn] lookups entirely. Because
+    the kernel remembers the digits of the previous call, and an
+    odometer step changes only trailing digits, each check refreshes
+    only the null images, completed-row cells and domain suffix the
+    changed digits actually touch (delta refresh). *)
+
+val prepare_digits : t -> nulls:int list -> unit
+(** Bind the kernel to a sweep over [nulls]: digit position [i] of
+    every subsequent {!holds_digits} call assigns the [i]-th null of
+    [nulls] (the {!Enumerate.odometer} digit convention). Idempotent
+    when called again with an equal null list; switching lists rebuilds
+    the position map and invalidates the delta state.
+    @raise Invalid_argument if [nulls] misses a null of [D] or the
+    sentence, or lists a null twice. *)
+
+val holds_digits : t -> int array -> bool
+(** [v(D) ⊨ φ[v]] for the valuation sending the [i]-th null of the
+    prepared sweep to constant code [digits.(i)]. Allocation-free; the
+    array is read, never retained, so passing an odometer's live
+    {!Enumerate.digits} between steps is safe. Agrees with {!holds} on
+    the corresponding {!Valuation.t} — property-tested and bench-gated.
+    @raise Invalid_argument without a matching {!prepare_digits}, on a
+    length mismatch, or on a code [< 1]. *)

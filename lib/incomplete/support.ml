@@ -103,6 +103,23 @@ type checker = { kern : Kernel.t; cache : cache option }
 
 let checker ?cache db sentence = { kern = Kernel.compile db sentence; cache }
 
+(* One compiled kernel per pool domain per (db, sentence), memoized in
+   domain-local storage: chunks of a parallel fold that land on the
+   same domain reuse one kernel's mutable scratch instead of paying a
+   compile per chunk (up to 8192 chunks under the pool guard). The db
+   is compared physically — it is the shared immutable half hoisted by
+   the caller — and the sentence structurally, so repeated sweeps over
+   the same session hit even when the sentence value was rebuilt. *)
+let domain_kernels : (Kernel.db * Formula.t, Kernel.t) Exec.Dls.t =
+  Exec.Dls.create ~eq:(fun (db1, s1) (db2, s2) -> db1 == db2 && s1 = s2) ()
+
+let domain_kernel db sentence =
+  Exec.Dls.find_or_add domain_kernels (db, sentence) ~mk:(fun () ->
+      Kernel.compile db sentence)
+
+let domain_checker ?cache db sentence =
+  { kern = domain_kernel db sentence; cache }
+
 let check c v =
   Obs.Metrics.incr Obs.Metrics.valuations_evaluated;
   match c.cache with
@@ -124,11 +141,22 @@ let all_nulls inst tuple =
   List.sort_uniq Int.compare (Instance.nulls inst @ Tuple.nulls tuple)
 
 (* Count the valuations of V^k satisfying the compiled sentence,
-   splitting the rank space across pool domains. Each chunk compiles
-   its own single-threaded checker from the shared [db]. Per-chunk
-   subcounts fit in [int] because the whole space does; they are
-   summed as bigints in chunk order — bit-identical to the sequential
-   count since addition is exact. *)
+   splitting the rank space across pool domains. Each chunk seeds an
+   odometer at its first rank and runs the kernel's digit fast path on
+   that domain's memoized kernel ({!domain_kernel}) — no Valuation.t,
+   no compile per chunk, no allocation per valuation.
+
+   The verdict cache is deliberately {e bypassed} here: an exhaustive
+   sweep visits every key of the space exactly once, so each lookup is
+   a guaranteed miss that pays the global cache mutex, hashes the
+   bindings key, and evicts verdicts the repeated-valuation paths
+   (Certain / Support_poly class loops) actually want. [?cache] still
+   feeds those paths and {!kernel_db}; here it only matters to the
+   overflow fallback below.
+
+   Per-chunk subcounts fit in [int] because the whole space does; they
+   are summed as bigints in chunk order — bit-identical to the
+   sequential count since addition is exact. *)
 let count_satisfying ?jobs ?guard ?cache ~db ~sentence ~nulls ~k () =
   Obs.Trace.span "support.count"
     ~attrs:
@@ -138,13 +166,19 @@ let count_satisfying ?jobs ?guard ?cache ~db ~sentence ~nulls ~k () =
   | Some n ->
       Exec.Pool.fold_range ?jobs ?guard ~min_work:parallel_threshold ~n
         ~chunk:(fun lo hi ->
-          let chk = checker ?cache db sentence in
-          let count = ref 0 in
-          for r = lo to hi - 1 do
-            if check chk (Enumerate.valuation_of_rank ~nulls ~k r) then
-              incr count
-          done;
-          B.of_int !count)
+          let kern = domain_kernel db sentence in
+          Kernel.prepare_digits kern ~nulls;
+          (* Every digit vector is a verdict request and a kernel
+             refresh; counted in bulk to keep the loop branch-free. *)
+          Obs.Metrics.add Obs.Metrics.valuations_evaluated (hi - lo);
+          Obs.Metrics.add Obs.Metrics.kernel_refreshes (hi - lo);
+          let count =
+            Enumerate.fold_digits_range ~nulls ~k ~lo ~hi
+              (fun count digits ->
+                if Kernel.holds_digits kern digits then count + 1 else count)
+              0
+          in
+          B.of_int count)
         ~combine:B.add B.zero
   | None ->
       (* Space too large for rank indexing; the sequential fold is

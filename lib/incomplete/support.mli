@@ -9,8 +9,10 @@
 
     The per-valuation check runs on the compiled kernel ({!Kernel}):
     the instance is split and indexed once ({!kernel_db}), the sentence
-    compiled once per loop ({!checker}), and each valuation only
-    refreshes the null images. [sentence_in_support_naive] keeps the
+    compiled once per pool domain ({!domain_checker}), and each
+    valuation only delta-refreshes the null images the previous one
+    did not share ([Kernel.holds_digits] fed by an
+    [Enumerate.odometer]). [sentence_in_support_naive] keeps the
     original complete-then-interpret path as the executable reference;
     the two agree on every input (property-tested, and re-verified
     bit-for-bit by [bench --parallel]).
@@ -25,10 +27,13 @@
       exactly in chunk order, so the result is bit-identical to the
       sequential count for any [jobs].
     - [?cache] — a {!cache} memoizing the kernel database and the
-      evaluation verdicts across calls. Sharing one cache over a
-      [µ^k]-series pays off because the spaces [V^k ⊆ V^{k'}] are
-      nested. A cache is tied to the instance it was first used with —
-      never reuse it across databases.
+      evaluation verdicts across calls. Verdict memoization serves the
+      {e repeated-valuation} paths (per-candidate class loops in
+      Certain, support-polynomial weights); the exhaustive sweeps of
+      {!count_satisfying} bypass it — every key of a sweep is distinct
+      by construction, so each lookup would be a guaranteed miss paying
+      the global cache mutex. A cache is tied to the instance it was
+      first used with — never reuse it across databases.
 
     A third knob, [?guard], is the cancellation hook of the query
     service: it is invoked at every valuation-chunk boundary
@@ -111,6 +116,19 @@ val checker : ?cache:cache -> Kernel.db -> Logic.Formula.t -> checker
 val check : checker -> Valuation.t -> bool
 (** [check (checker db φ) v = sentence_in_support (base db) φ v]. *)
 
+val domain_kernel : Kernel.db -> Logic.Formula.t -> Kernel.t
+(** The calling pool domain's compiled kernel for [(db, sentence)],
+    memoized in domain-local storage ({!Exec.Dls}): every chunk of a
+    parallel fold that lands on the same domain reuses one kernel's
+    scratch instead of compiling per chunk. The [db] is keyed
+    physically — hoist it once per loop. Kernels are single-threaded;
+    the domain-local key is what makes handing them out safe. *)
+
+val domain_checker : ?cache:cache -> Kernel.db -> Logic.Formula.t -> checker
+(** {!checker} on the calling domain's memoized kernel — for
+    repeated-valuation loops (class sweeps, per-candidate checks) that
+    want the verdict cache {e and} per-domain compile reuse. *)
+
 (** {1 Counting} *)
 
 val count_satisfying :
@@ -126,7 +144,14 @@ val count_satisfying :
 (** The raw sweep: how many of the [k^|nulls|] valuations of [nulls]
     satisfy [sentence] on [db]. The building block of {!supp_count}
     and of the per-component counts of {!supp_count_plan}; exposed so
-    the approximate engine can count small components exactly. *)
+    the approximate engine can count small components exactly.
+
+    This is the odometer hot path: each pool chunk steps an in-place
+    digit array through its rank range and feeds it to
+    [Kernel.holds_digits] on the domain's memoized kernel. The verdict
+    cache is bypassed (each key occurs exactly once per sweep);
+    [?cache] still short-cuts the overflow fallback and is accepted so
+    callers can thread one cache through mixed workloads. *)
 
 val supp_count :
   ?jobs:int ->

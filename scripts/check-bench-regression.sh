@@ -10,7 +10,10 @@
 #     speedup_vs_baseline no more than 25% below the committed figure
 #     (raw ns/op is runner-dependent; the speedup column is the same
 #     machine's naive engine as denominator, so a drop is a real
-#     regression, not a slower runner).
+#     regression, not a slower runner);
+#   - the parallel rows hold too: every jobs>1 row's speedup_vs_jobs1
+#     (scaling against the same engine at jobs=1) stays within the
+#     same tolerance of the committed figure.
 #
 # Regenerate the baseline after an intentional perf change with:
 #

@@ -311,9 +311,11 @@ warnings on stderr and the computation proceeds…
 
 Observability: --metrics prints the engine counters after the run. With
 --jobs 1 the sweep is sequential (no pool tasks), so every counter is
-deterministic: 27 + 64 verdict requests for the k=3,4 series plus the
-class sweeps of the support polynomial, and the nested V^3 ⊆ V^4 spaces
-make every k=3 verdict a cache hit at k=4.
+deterministic: 27 + 64 digit-sweep verdicts for the k=3,4 series plus
+the class sweeps of the support polynomial. Exhaustive sweeps bypass
+the verdict cache (every key is distinct by construction), so the only
+cache traffic left is the kernel-db memo: one miss building it, one
+hit reusing it.
 
   $ certainty measure \
   >   --schema "R1(c, p); R2(c, p)" \
@@ -329,10 +331,10 @@ make every k=3 verdict a cache hit at k=4.
     k =   4   µ^k = 3/4          ≈ 0.750000
   == metrics ==
     valuations_evaluated     165
-    kernel_refreshes         138
+    kernel_refreshes         165
     short_circuits           0
-    cache_hits               28
-    cache_misses             65
+    cache_hits               1
+    cache_misses             1
     cache_evictions          0
     pool_tasks_queued        0
     pool_tasks_stolen        0

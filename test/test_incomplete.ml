@@ -93,6 +93,43 @@ let test_enumerate_count () =
         (B.of_int (List.length vs)))
     [ (0, 5); (1, 4); (2, 3); (3, 3) ]
 
+(* The bool-array implementation of fold_bijective against the
+   original List.mem reference, including avoid lists with duplicates
+   and codes outside [1, k] (which must simply be ignored). *)
+let test_bijective_equals_reference () =
+  let reference ~nulls ~avoid ~k f acc =
+    let rec go acc used assigned = function
+      | [] -> f acc (Valuation.of_list assigned)
+      | n :: rest ->
+          let acc = ref acc in
+          for c = 1 to k do
+            if (not (List.mem c avoid)) && not (List.mem c used) then
+              acc := go !acc (c :: used) ((n, c) :: assigned) rest
+          done;
+          !acc
+    in
+    go acc [] [] nulls
+  in
+  let visited fold =
+    List.rev (fold (fun acc v -> Valuation.bindings v :: acc) [])
+  in
+  List.iter
+    (fun seed ->
+      let st = Random.State.make [| 0xb17; seed |] in
+      let m = Random.State.int st 4 in
+      let k = Random.State.int st 6 in
+      let nulls = List.init m (fun i -> i + 1) in
+      let avoid =
+        List.init (Random.State.int st 5) (fun _ ->
+            Random.State.int st 9 - 1 (* may fall outside [1, k], repeat *))
+      in
+      check bool_t
+        (Printf.sprintf "fold_bijective = reference (seed %d)" seed)
+        true
+        (visited (reference ~nulls ~avoid ~k)
+        = visited (Enumerate.fold_bijective ~nulls ~avoid ~k)))
+    (List.init 200 Fun.id)
+
 let test_enumerate_bijective () =
   let nulls = [ 1; 2 ] in
   let avoid = [ 1; 2 ] in
@@ -562,7 +599,9 @@ let () =
         ] );
       ( "enumerate",
         [ Alcotest.test_case "counts" `Quick test_enumerate_count;
-          Alcotest.test_case "bijective" `Quick test_enumerate_bijective
+          Alcotest.test_case "bijective" `Quick test_enumerate_bijective;
+          Alcotest.test_case "bijective ≡ List.mem reference" `Quick
+            test_bijective_equals_reference
         ] );
       ( "naive",
         [ Alcotest.test_case "intro example" `Quick test_naive_intro_example;

@@ -290,6 +290,273 @@ let test_checker_cache_consistent () =
     (List.filteri (fun i _ -> i < 100) seeds)
 
 (* ------------------------------------------------------------------ *)
+(* Odometer ≡ valuation_of_rank                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Enumerate = Incomplete.Enumerate
+
+(* Random small spaces: up to 5 nulls with k ∈ 1..5 capped so k^m stays
+   enumerable, then a random [lo, hi) sub-range. The odometer must
+   reproduce valuation_of_rank at every rank — including across carry
+   cascades — both through [valuation] and through [fold_digits_range]. *)
+let test_odometer_equals_rank () =
+  List.iter
+    (fun seed ->
+      let st = state seed in
+      let m = Random.State.int st 5 in
+      let k = 1 + Random.State.int st 5 in
+      let nulls =
+        List.sort_uniq Int.compare
+          (List.init m (fun _ -> Random.State.int st 10))
+      in
+      let n =
+        match Enumerate.space_size ~nulls ~k with
+        | Some n -> n
+        | None -> Alcotest.fail "space unexpectedly overflows"
+      in
+      let lo = Random.State.int st n in
+      let hi = lo + Random.State.int st (min (n - lo) 700 + 1) in
+      (* stepping odometer vs per-rank decode *)
+      let od = Enumerate.odometer ~nulls ~k ~rank:lo in
+      for r = lo to hi - 1 do
+        let expect = Enumerate.valuation_of_rank ~nulls ~k r in
+        check bool_t
+          (Printf.sprintf "odometer = rank %d (seed %d)" r seed)
+          true
+          (Valuation.equal expect (Enumerate.valuation od));
+        Enumerate.step od
+      done;
+      (* fold_digits_range visits the same digit vectors in rank order *)
+      let ranks =
+        Enumerate.fold_digits_range ~nulls ~k ~lo ~hi
+          (fun acc digits -> Array.copy digits :: acc)
+          []
+      in
+      check int_t "fold_digits_range length" (hi - lo) (List.length ranks);
+      List.iteri
+        (fun i digits ->
+          let r = hi - 1 - i in
+          let expect = Enumerate.valuation_of_rank ~nulls ~k r in
+          let got =
+            Valuation.of_list
+              (List.mapi (fun j nl -> (nl, digits.(j))) nulls)
+          in
+          check bool_t
+            (Printf.sprintf "digits = rank %d (seed %d)" r seed)
+            true
+            (Valuation.equal expect got))
+        ranks)
+    seeds
+
+let test_odometer_wraps_and_rejects () =
+  let nulls = [ 1; 2 ] in
+  let od = Enumerate.odometer ~nulls ~k:3 ~rank:8 in
+  check bool_t "last rank = all 3s" true (Enumerate.digits od = [| 3; 3 |]);
+  Enumerate.step od;
+  check bool_t "wraps to all 1s" true (Enumerate.digits od = [| 1; 1 |]);
+  Alcotest.check_raises "rank out of range"
+    (Invalid_argument "Enumerate.odometer: rank out of range") (fun () ->
+      ignore (Enumerate.odometer ~nulls ~k:3 ~rank:9));
+  Alcotest.check_raises "k < 1"
+    (Invalid_argument "Enumerate.odometer: k < 1") (fun () ->
+      ignore (Enumerate.odometer ~nulls ~k:0 ~rank:0));
+  (* the empty space has exactly one (empty) valuation *)
+  let od0 = Enumerate.odometer ~nulls:[] ~k:4 ~rank:0 in
+  check int_t "no digits" 0 (Array.length (Enumerate.digits od0));
+  Enumerate.step od0 (* must not raise *)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel digit fast path ≡ holds                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* holds_digits must agree with holds — and with the naive reference —
+   at every rank, under sequential stepping, random jumps (chunk
+   boundaries) and interleaving with the Valuation path (which
+   invalidates the delta state). *)
+let digit_path_agrees ~name inst sentence ~k =
+  let nulls =
+    List.sort_uniq Int.compare (Instance.nulls inst @ F.nulls sentence)
+  in
+  let kern = Kernel.compile (Kernel.db_of_instance inst) sentence in
+  let refkern = Kernel.compile (Kernel.db_of_instance inst) sentence in
+  Kernel.prepare_digits kern ~nulls;
+  let n =
+    match Incomplete.Enumerate.space_size ~nulls ~k with
+    | Some n -> n
+    | None -> Alcotest.fail "space too large for the test"
+  in
+  (* sequential sweep via fold_digits_range *)
+  let () =
+    Enumerate.fold_digits_range ~nulls ~k ~lo:0 ~hi:n
+      (fun r digits ->
+        let v = Enumerate.valuation_of_rank ~nulls ~k r in
+        check bool_t
+          (Printf.sprintf "%s: digits = holds at rank %d" name r)
+          (Kernel.holds refkern v)
+          (Kernel.holds_digits kern digits);
+        r + 1)
+      0
+    |> fun final -> check int_t (name ^ ": swept all") n final
+  in
+  (* random jumps: seed a fresh odometer at scattered ranks, stressing
+     the prev-digits comparison with non-adjacent changes *)
+  let st = state 77 in
+  for _ = 1 to 50 do
+    let r = Random.State.int st n in
+    let od = Enumerate.odometer ~nulls ~k ~rank:r in
+    check bool_t
+      (Printf.sprintf "%s: digits = holds at jump rank %d" name r)
+      (Kernel.holds refkern (Enumerate.valuation_of_rank ~nulls ~k r))
+      (Kernel.holds_digits kern (Enumerate.digits od))
+  done;
+  (* interleaving with the Valuation path invalidates and recovers *)
+  let st = state 78 in
+  for _ = 1 to 20 do
+    let r = Random.State.int st n in
+    let v = Enumerate.valuation_of_rank ~nulls ~k r in
+    let expect = Kernel.holds refkern v in
+    check bool_t (name ^ ": holds interleaved") expect (Kernel.holds kern v);
+    let od = Enumerate.odometer ~nulls ~k ~rank:r in
+    check bool_t (name ^ ": digits after holds") expect
+      (Kernel.holds_digits kern (Enumerate.digits od))
+  done
+
+let test_digits_section4 () =
+  let e = Zeroone.Constructions.section4_example () in
+  let d = e.Zeroone.Constructions.s4_instance in
+  let sigma = e.Zeroone.Constructions.s4_sigma in
+  let q = e.Zeroone.Constructions.s4_query in
+  let answer =
+    Logic.Query.instantiate q e.Zeroone.Constructions.s4_tuple_third
+  in
+  digit_path_agrees ~name:"§4 Σ" d sigma ~k:4;
+  digit_path_agrees ~name:"§4 Q(ā)" d answer ~k:4
+
+let test_digits_two_block () =
+  let sch =
+    Parser.schema_exn "R1(a, b); R2(a, b); S1(a, b); S2(a, b)"
+  in
+  let d =
+    Parser.instance_exn sch
+      "R1 = { ('c1', ~1), ('c2', ~2), ('c3', ~3) }; R2 = { ('c1', ~2), \
+       ('c2', ~3) }; S1 = { ('d1', ~4), ('d2', ~5), ('d3', ~6) }; S2 = { \
+       ('d1', ~5), ('d2', ~6) }"
+  in
+  let q =
+    Parser.query_exn
+      "Q() := R1('c1', 'c1') & !R2('c2', 'c2') & S1('d1', 'd1') & \
+       !S2('d2', 'd2')"
+  in
+  digit_path_agrees ~name:"two-block"
+    d (Logic.Query.instantiate q Tuple.empty) ~k:3
+
+let test_digits_randomized () =
+  List.iter
+    (fun seed ->
+      let st = state seed in
+      let inst = gen_instance st ~with_nulls:true in
+      let s = gen_formula st ~vars:[] ~depth:2 ~with_nulls:true in
+      let nulls =
+        List.sort_uniq Int.compare (Instance.nulls inst @ F.nulls s)
+      in
+      let k = 2 in
+      match Enumerate.space_size ~nulls ~k with
+      | Some n when n <= 256 ->
+          let kern = Kernel.compile (Kernel.db_of_instance inst) s in
+          Kernel.prepare_digits kern ~nulls;
+          ignore
+            (Enumerate.fold_digits_range ~nulls ~k ~lo:0 ~hi:n
+               (fun r digits ->
+                 check bool_t
+                   (Printf.sprintf "digits = naive (seed %d, rank %d)" seed r)
+                   (Support.sentence_in_support_naive inst s
+                      (Enumerate.valuation_of_rank ~nulls ~k r))
+                   (Kernel.holds_digits kern digits);
+                 r + 1)
+               0)
+      | _ -> ())
+    (List.filteri (fun i _ -> i < 100) seeds)
+
+let test_digits_guards () =
+  let inst = gen_instance (state 3) ~with_nulls:true in
+  let s = F.Atom ("S", [ F.Val (Value.null 7) ]) in
+  let kern = Kernel.compile (Kernel.db_of_instance inst) s in
+  let nulls =
+    List.sort_uniq Int.compare (Instance.nulls inst @ F.nulls s)
+  in
+  (* unprepared / mismatched sweeps are rejected *)
+  Alcotest.check_raises "unprepared"
+    (Invalid_argument
+       "Kernel.holds_digits: prepare_digits with the sweep's nulls first")
+    (fun () -> ignore (Kernel.holds_digits kern (Array.make 1 1)));
+  (match nulls with
+  | _ :: rest when rest <> [] ->
+      Alcotest.check_raises "missing null"
+        (Invalid_argument
+           (Printf.sprintf
+              "Kernel.prepare_digits: sweep misses null ~%d of the instance \
+               or sentence"
+              (List.hd nulls)))
+        (fun () -> Kernel.prepare_digits kern ~nulls:rest)
+  | _ -> ());
+  Kernel.prepare_digits kern ~nulls;
+  Alcotest.check_raises "code < 1"
+    (Invalid_argument "Kernel.holds_digits: code < 1") (fun () ->
+      ignore
+        (Kernel.holds_digits kern (Array.make (List.length nulls) 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Exec.Dls per-domain memo                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_dls_memoizes () =
+  let builds = ref 0 in
+  let memo = Exec.Dls.create ~eq:Int.equal () in
+  let get k =
+    Exec.Dls.find_or_add memo k ~mk:(fun () -> incr builds; k * 10)
+  in
+  check int_t "built" 10 (get 1);
+  check int_t "memoized" 10 (get 1);
+  check int_t "second key" 20 (get 2);
+  check int_t "one build per key" 2 !builds
+
+let test_dls_cap_evicts_oldest () =
+  let builds = ref 0 in
+  let memo = Exec.Dls.create ~cap:2 ~eq:Int.equal () in
+  let get k = Exec.Dls.find_or_add memo k ~mk:(fun () -> incr builds; k) in
+  ignore (get 1); ignore (get 2); ignore (get 3);
+  (* 1 was evicted; 2 and 3 survive *)
+  check int_t "three builds" 3 !builds;
+  ignore (get 3); ignore (get 2);
+  check int_t "2 and 3 still cached" 3 !builds;
+  ignore (get 1);
+  check int_t "1 rebuilt after eviction" 4 !builds
+
+let test_dls_per_domain () =
+  (* each domain builds its own value — entries never cross domains *)
+  let memo = Exec.Dls.create ~eq:Int.equal () in
+  let mine () =
+    Exec.Dls.find_or_add memo 0 ~mk:(fun () -> Domain.self ())
+  in
+  let here = mine () in
+  check bool_t "stable on caller" true (here = mine ());
+  let d = Domain.spawn (fun () -> mine ()) in
+  let there = Domain.join d in
+  check bool_t "distinct per domain" false (here = there)
+
+let test_dls_backs_domain_kernel () =
+  let inst = gen_instance (state 11) ~with_nulls:true in
+  let s = gen_formula (state 11) ~vars:[] ~depth:2 ~with_nulls:false in
+  let db = Kernel.db_of_instance inst in
+  let k1 = Support.domain_kernel db s in
+  let k2 = Support.domain_kernel db s in
+  check bool_t "same kernel on one domain" true (k1 == k2);
+  (* a physically distinct (if equal) db gets its own kernel *)
+  let db' = Kernel.db_of_instance inst in
+  check bool_t "distinct db, distinct kernel" false
+    (Support.domain_kernel db' s == k1)
+
+(* ------------------------------------------------------------------ *)
 (* Worked examples                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -440,6 +707,29 @@ let () =
             test_checker_cache_consistent;
           Alcotest.test_case "intro example" `Quick test_intro_example;
           Alcotest.test_case "§4 example" `Quick test_section4_example
+        ] );
+      ( "odometer",
+        [ Alcotest.test_case "≡ valuation_of_rank (randomized)" `Quick
+            test_odometer_equals_rank;
+          Alcotest.test_case "wrap & range checks" `Quick
+            test_odometer_wraps_and_rejects
+        ] );
+      ( "digits",
+        [ Alcotest.test_case "≡ holds on §4 example" `Quick
+            test_digits_section4;
+          Alcotest.test_case "≡ holds on two-block workload" `Quick
+            test_digits_two_block;
+          Alcotest.test_case "≡ naive (randomized)" `Quick
+            test_digits_randomized;
+          Alcotest.test_case "guards" `Quick test_digits_guards
+        ] );
+      ( "dls",
+        [ Alcotest.test_case "memoizes per key" `Quick test_dls_memoizes;
+          Alcotest.test_case "cap evicts oldest" `Quick
+            test_dls_cap_evicts_oldest;
+          Alcotest.test_case "per-domain isolation" `Quick test_dls_per_domain;
+          Alcotest.test_case "backs Support.domain_kernel" `Quick
+            test_dls_backs_domain_kernel
         ] );
       ( "pool-queue",
         [ Alcotest.test_case "folds reuse workers" `Quick test_pool_queue_fold;
