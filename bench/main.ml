@@ -10,6 +10,7 @@
    Parallel engine + JSON: dune exec bench/main.exe -- --parallel [--jobs N] [--smoke]
    Query service + JSON:   dune exec bench/main.exe -- --serve [--smoke]
                            [--socket PATH to drive an external server]
+   Update vs rebuild:      dune exec bench/main.exe -- --update [--smoke]
    Approx CI gate:         dune exec bench/main.exe -- --approx-gate
    Regression diff:        dune exec bench/main.exe -- --diff BASE FRESH
                            [--max-regression 0.25] *)
@@ -622,6 +623,7 @@ let () =
   let timings = List.mem "--timings" args in
   let parallel = List.mem "--parallel" args in
   let serve = List.mem "--serve" args in
+  let update = List.mem "--update" args in
   let smoke = List.mem "--smoke" args in
   let rec flag_value key = function
     | k :: v :: _ when k = key -> Some v
@@ -674,6 +676,7 @@ let () =
     | Some p -> p
     | None ->
         if serve then "BENCH_serve.json"
+        else if update then "BENCH_update.json"
         else if smoke then "BENCH_smoke.json"
         else "BENCH_parallel.json"
   in
@@ -693,6 +696,10 @@ let () =
     (* --serve is its own mode: the service bench spawns threads and an
        in-process server, which would only perturb the timing modes. *)
     Serve_bench.run ~smoke ~out ?socket:(flag_value "--socket" args) ()
+  else if update then
+    (* --update too: it wants a quiet process to time the mutation
+       path against a from-scratch session rebuild. *)
+    Update_bench.run ~smoke ~out ()
   else
     match (experiments, timings, parallel) with
     | true, false, false -> run_experiments ()

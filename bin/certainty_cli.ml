@@ -1013,8 +1013,8 @@ let serve_cmd =
   in
   let doc =
     "Run the long-lived query service: newline-delimited JSON requests \
-     (certain, measure, conditional, approx, analyze, health) over a Unix \
-     or TCP socket, with shared per-database caches, bounded admission, \
+     (certain, measure, conditional, approx, analyze, update, health) over \
+     a Unix or TCP socket, with shared per-database caches, bounded admission, \
      per-request deadlines, and graceful drain on SIGTERM/SIGINT. The \
      protocol is documented in docs/PROTOCOL.md."
   in
@@ -1031,8 +1031,8 @@ let contains_substring hay needle =
 let client_cmd =
   let op_arg =
     let doc =
-      "Operation to request: certain, measure, conditional, approx, analyze \
-       or health."
+      "Operation to request: certain, measure, conditional, approx, analyze, \
+       update or health."
     in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
   in
@@ -1052,6 +1052,14 @@ let client_cmd =
       "Approximation scheme for analyze: sql, naive or naive-null-free."
   in
   let id_arg = opt_str [ "id" ] "ID" "Request id, echoed in the response." in
+  let action_arg =
+    opt_str [ "action" ] "ACTION"
+      "For the update op: insert or delete (sent as the action field)."
+  in
+  let relation_arg =
+    opt_str [ "relation" ] "NAME"
+      "For the update op: the relation the tuple goes into or out of."
+  in
   let capprox_arg =
     opt_str [ "approx" ] "EPS,DELTA"
       "For the approx op: the (ε, δ) guarantee, sent as the eps and delta \
@@ -1078,7 +1086,7 @@ let client_cmd =
     Arg.(value & opt_all string [] & info [ "raw" ] ~docv:"LINE" ~doc)
   in
   let run socket port host op schema db query cstr tuple ks approx seed
-      stratify scheme deadline_ms id raws =
+      stratify scheme action relation deadline_ms id raws =
     let addr = addr_of ~socket ~port ~host in
     let build op =
       let fields = ref [] in
@@ -1088,6 +1096,8 @@ let client_cmd =
         | None -> ()
       in
       add "scheme" scheme;
+      add "action" action;
+      add "relation" relation;
       (* The approx op takes a single domain size "k" (plus eps/delta/
          seed/stratify); every other op reads the "ks" list. *)
       if op = "approx" then begin
@@ -1156,7 +1166,7 @@ let client_cmd =
     Term.(const run $ socket_arg $ port_arg $ host_arg $ op_arg $ schema_arg
           $ db_arg $ query_arg $ constraints_arg $ tuple_arg $ ks_arg
           $ capprox_arg $ cseed_arg $ cstratify_arg $ scheme_arg
-          $ deadline_arg $ id_arg $ raw_arg)
+          $ action_arg $ relation_arg $ deadline_arg $ id_arg $ raw_arg)
 
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))

@@ -28,9 +28,25 @@ let find_violation inst (fd : Dependency.fd) =
   in
   scan tuples
 
-(* Replace value [from_v] by [to_v] everywhere in the instance. *)
+(* Replace value [from_v] by [to_v] everywhere in the instance. A
+   unification step always rewrites away a null (a constant pair is a
+   hard violation, not a step), so relations without a single null
+   cannot mention [from_v] and are kept physically — on the typical
+   mostly-ground database the rewrite touches only the small
+   null-carrying relations instead of rebuilding everything. *)
 let substitute from_v to_v inst =
-  Instance.map_values (fun v -> if Value.equal v from_v then to_v else v) inst
+  List.fold_left
+    (fun acc name ->
+      let r = Instance.relation inst name in
+      if Relation.exists Tuple.has_null r then
+        Instance.set_relation name
+          (Relation.map_values
+             (fun v -> if Value.equal v from_v then to_v else v)
+             r)
+          acc
+      else acc)
+    inst
+    (Relational.Schema.relations (Instance.schema inst))
 
 type step = Dependency.fd * Value.t * Value.t
 
@@ -64,6 +80,43 @@ let chase_constraints schema cs inst =
   chase (Dependency.fds_of_schema schema cs) inst
 
 let successful = function Success i -> Some i | Failure _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Incremental chase under single-tuple insertion                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The recorded steps of a finished chase of [D] form a valid prefix of
+   a chase sequence of [D + t]: each step fired on a violating pair
+   that the insertion cannot remove. So instead of re-chasing from
+   scratch we replay the cumulative substitution on the incoming tuple
+   alone, add it to the already-chased instance, and resume the
+   fixpoint — which, by confluence, agrees with [chase fds (D + t)] up
+   to a renaming of nulls (and exactly on success/failure). When no FD
+   constrains the touched relation the resume is free: the new tuple
+   cannot create a violation, so the chased instance plus the
+   substituted tuple already is the fixpoint. *)
+let apply_steps (steps : step list) tuple =
+  List.fold_left
+    (fun t (_, from_v, to_v) ->
+      Tuple.map (fun v -> if Value.equal v from_v then to_v else v) t)
+    tuple steps
+
+let chase_inc_insert fds ~chased ~steps ~name ~tuple =
+  Obs.Trace.span "chase.inc_insert" @@ fun () ->
+  let tuple = apply_steps steps tuple in
+  let inst = Instance.add_tuple name tuple chased in
+  if List.exists (fun fd -> String.equal fd.Dependency.fd_relation name) fds
+  then run fds inst (List.rev steps)
+  else (steps, Success inst)
+
+let chase_inc fds ~prev ~name ~tuple =
+  match prev with
+  | _, Failure _ ->
+      (* An FD clash between two constant tuples survives any
+         insertion: the chase of the grown instance fails too (with
+         the same witness pair), so the memo stands as-is. *)
+      prev
+  | steps, Success chased -> chase_inc_insert fds ~chased ~steps ~name ~tuple
 
 (* ------------------------------------------------------------------ *)
 (* Bounded chase with tuple-generating dependencies                    *)

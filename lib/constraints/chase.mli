@@ -33,6 +33,33 @@ val trace :
 (** Like {!chase} but also returns the substitution steps performed
     (the FD fired, the value replaced, the value it was replaced by). *)
 
+(** {1 Incremental chase}
+
+    Resuming a finished chase after a single-tuple insertion, instead
+    of re-chasing the grown instance from scratch. The recorded steps
+    of [chase_Σ(D)] are a valid prefix of a chase sequence of [D + t]
+    (an insertion removes no violation), so it suffices to apply their
+    cumulative substitution to [t] alone, add the result to the chased
+    instance, and resume the fixpoint — by confluence this agrees with
+    the from-scratch chase up to a renaming of nulls, and exactly on
+    success versus failure. Cost: [O(|steps|)] plus the resumed
+    fixpoint, which is empty whenever no FD constrains the touched
+    relation. Deletions get no such shortcut (removing a tuple can
+    retract a forced merge): drop the memo and re-chase lazily. *)
+
+val chase_inc :
+  Dependency.fd list ->
+  prev:
+    ((Dependency.fd * Relational.Value.t * Relational.Value.t) list * outcome) ->
+  name:string ->
+  tuple:Relational.Tuple.t ->
+  (Dependency.fd * Relational.Value.t * Relational.Value.t) list * outcome
+(** [chase_inc fds ~prev ~name ~tuple] where [prev = trace fds d]
+    returns the steps and outcome of the chase of [d] with [tuple]
+    added to relation [name], reusing [prev]'s work. A failed [prev]
+    is returned unchanged — an FD clash between constant tuples
+    survives any insertion. *)
+
 (** {1 Chase with tuple-generating dependencies}
 
     The standard chase over the full constraint set: EGD repair (the

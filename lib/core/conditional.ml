@@ -172,15 +172,20 @@ let strategy deps tuple =
   then Chase_fds
   else Symbolic
 
-let mu_cond_fds fds inst q tuple =
+let mu_cond_chased outcome q tuple =
   if Tuple.has_null tuple then
-    invalid_arg "Conditional.mu_cond_fds: tuple must be null-free"
+    invalid_arg "Conditional.mu_cond_chased: tuple must be null-free"
   else begin
-    match Constraints.Chase.chase fds inst with
+    match outcome with
     | Constraints.Chase.Failure _ -> Rat.zero
     | Constraints.Chase.Success chased ->
         if Incomplete.Naive.tuple_in chased q tuple then Rat.one else Rat.zero
   end
+
+let mu_cond_fds fds inst q tuple =
+  if Tuple.has_null tuple then
+    invalid_arg "Conditional.mu_cond_fds: tuple must be null-free"
+  else mu_cond_chased (Constraints.Chase.chase fds inst) q tuple
 
 let mu_cond_auto ?jobs ?cache schema deps inst q tuple =
   match strategy deps tuple with

@@ -142,6 +142,20 @@ val mu_cond_fds :
     @raise Invalid_argument if [ā] contains nulls (the chase renames
     nulls, so the statement only makes sense for constant tuples). *)
 
+val mu_cond_chased :
+  Constraints.Chase.outcome ->
+  Logic.Query.t ->
+  Relational.Tuple.t ->
+  Arith.Rat.t
+(** {!mu_cond_fds} on an already-chased outcome — for callers that
+    maintain the chase incrementally across updates
+    ({!Constraints.Chase.chase_inc}) and answer many conditional
+    queries against it. The value only reads success/failure and the
+    naïve answer, both invariant under the null renaming incremental
+    resumption may introduce, so memoized and from-scratch outcomes
+    give the same measure.
+    @raise Invalid_argument if [ā] contains nulls. *)
+
 (** {1 Classifier-driven dispatch} *)
 
 type strategy =

@@ -65,6 +65,39 @@ let db_of_split split =
 let split t = t.split
 let instance t = Split.base t.split
 
+(* The db inherits the generation stamp of the instance it presents:
+   caches (Support's kernel-db cache, the per-domain compiled-kernel
+   memo) key on it, so a delta-updated db — whose base instance is a
+   new value with a fresh stamp — can never be confused with the
+   pre-update one, while two dbs built from the same instance value
+   share their derived state. *)
+let db_generation t = Instance.generation (Split.base t.split)
+
+(* Single-tuple deltas: patch the split and, for a ground tuple, the
+   touched relation's index (incremental overlay — Index.add/remove);
+   indexes of untouched relations are shared physically. Null-carrying
+   tuples live outside the ground indexes, so only the split moves.
+   Validation (unknown relation, arity, duplicate insert / absent
+   delete) is inherited from Split/Instance and raises
+   Invalid_argument. *)
+let db_update ~index_op ~split_op db ~name ~tuple =
+  let split = split_op db.split ~name ~tuple in
+  let indexes =
+    if Tuple.has_null tuple then db.indexes
+    else
+      List.map
+        (fun (n, idx) ->
+          if String.equal n name then (n, index_op idx tuple) else (n, idx))
+        db.indexes
+  in
+  { split; indexes }
+
+let db_insert db ~name ~tuple =
+  db_update ~index_op:Index.add ~split_op:Split.insert db ~name ~tuple
+
+let db_delete db ~name ~tuple =
+  db_update ~index_op:Index.remove ~split_op:Split.remove db ~name ~tuple
+
 type t = {
   db : db;
   sentence : Formula.t;
@@ -85,14 +118,6 @@ type t = {
   mutable prev_valid : bool;
 }
 
-let rec mentioned acc = function
-  | Formula.True | Formula.False | Formula.Eq _ -> acc
-  | Formula.Atom (r, _) -> if List.mem r acc then acc else r :: acc
-  | Formula.Not g | Formula.Exists (_, g) | Formula.Forall (_, g) ->
-      mentioned acc g
-  | Formula.And (g, h) | Formula.Or (g, h) | Formula.Implies (g, h) ->
-      mentioned (mentioned acc g) h
-
 let compile db sentence =
   if not (Formula.is_sentence sentence) then
     invalid_arg "Kernel.compile: formula is not a sentence";
@@ -111,7 +136,7 @@ let compile db sentence =
       | Some i -> i
       | None -> invalid_arg (Printf.sprintf "Kernel: unknown null ~%d" n)
   in
-  let rels = mentioned [] sentence in
+  let rels = Formula.relations sentence in
   (* Complete each null tuple into a reusable row: constant cells are
      final; null cells are recorded in the per-null dependency lists
      and overwritten in place at refresh time. *)

@@ -38,6 +38,33 @@ val db_of_split : Split.t -> db
 val split : db -> Split.t
 val instance : db -> Relational.Instance.t
 
+val db_generation : db -> int
+(** The {!Relational.Instance.generation} stamp of the presented
+    instance. Caches key dbs and their compiled kernels by this stamp
+    (equal stamps ⇒ the same instance value), so derived state can
+    never outlive a mutation: a delta-updated db carries the fresh
+    stamp of its new base instance. *)
+
+(** {1 Single-tuple deltas}
+
+    [db_insert]/[db_delete] return a new db without rebuilding: the
+    split is patched for the touched relation ({!Split.insert} /
+    {!Split.remove}), a ground tuple additionally updates that
+    relation's index incrementally ({!Relational.Index.add} /
+    [remove] — overlay, not rebuild), and the indexes of every other
+    relation are shared physically with the input. Equivalent to
+    [db_of_instance] of the updated instance (property-tested); the
+    input db is untouched, so in-flight readers of the old generation
+    stay consistent. *)
+
+val db_insert : db -> name:string -> tuple:Relational.Tuple.t -> db
+(** @raise Invalid_argument on unknown relation, arity mismatch, or a
+    tuple already present. *)
+
+val db_delete : db -> name:string -> tuple:Relational.Tuple.t -> db
+(** @raise Invalid_argument on unknown relation or a tuple not
+    present. *)
+
 type t
 (** A sentence compiled against a [db]; single-threaded. *)
 

@@ -48,6 +48,120 @@ let of_instance base =
 let base t = t.base
 let ground t = t.ground
 let null_tuples t = t.null_tuples
+
+(* ------------------------------------------------------------------ *)
+(* Single-tuple deltas                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Sorted-int-list union/merge; both inputs sorted, output sorted. The
+   lists are Null(D)/Const(D) — small relative to the instance. *)
+let merge_sorted xs ys =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | x :: xs', y :: ys' ->
+        let c = Int.compare x y in
+        if c = 0 then x :: go xs' ys'
+        else if c < 0 then x :: go xs' ys
+        else y :: go xs ys'
+  in
+  go xs ys
+
+(* Replace the null-tuple array of one relation, preserving the
+   [of_instance] invariants: the assoc list keeps Schema.relations
+   order and only lists relations with at least one null tuple. *)
+let set_null_tuples t ~base name arr =
+  List.filter_map
+    (fun n ->
+      if String.equal n name then
+        if Array.length arr = 0 then None else Some (n, arr)
+      else Option.map (fun a -> (n, a)) (List.assoc_opt n t.null_tuples))
+    (Schema.relations (Instance.schema base))
+
+let null_array t name =
+  Option.value ~default:[||] (List.assoc_opt name t.null_tuples)
+
+let check_relation fn t name =
+  if not (Schema.mem name (Instance.schema t.base)) then
+    invalid_arg ("Split." ^ fn ^ ": unknown relation " ^ name)
+
+let insert t ~name ~tuple =
+  check_relation "insert" t name;
+  if Instance.mem t.base name tuple then
+    invalid_arg ("Split.insert: tuple already present in " ^ name)
+  else
+    let base = Instance.add_tuple name tuple t.base in
+    let constants =
+      merge_sorted t.constants
+        (List.sort_uniq Int.compare (Tuple.constants tuple))
+    in
+    if Tuple.has_null tuple then
+      let arr = null_array t name in
+      let n = Array.length arr in
+      (* Keep the array in Tuple.compare (= Relation.to_list) order, so
+         the delta split is indistinguishable from [of_instance base]. *)
+      let pos =
+        let rec go i =
+          if i >= n || Tuple.compare arr.(i) tuple > 0 then i else go (i + 1)
+        in
+        go 0
+      in
+      let arr' =
+        Array.init (n + 1) (fun i ->
+            if i < pos then arr.(i)
+            else if i = pos then tuple
+            else arr.(i - 1))
+      in
+      { base;
+        ground = t.ground;
+        null_tuples = set_null_tuples t ~base name arr';
+        nulls =
+          merge_sorted t.nulls (List.sort_uniq Int.compare (Tuple.nulls tuple));
+        constants
+      }
+    else
+      { base;
+        ground = Instance.add_tuple name tuple t.ground;
+        null_tuples = t.null_tuples;
+        nulls = t.nulls;
+        constants
+      }
+
+let remove t ~name ~tuple =
+  check_relation "remove" t name;
+  if not (Instance.mem t.base name tuple) then
+    invalid_arg ("Split.remove: tuple not present in " ^ name)
+  else
+    let base = Instance.remove_tuple name tuple t.base in
+    (* A removed value may or may not still occur elsewhere, so the
+       hoisted domain lists are recomputed from the new base — O(|D|),
+       but with no re-parse, re-split or re-index; the partition and
+       untouched relations are patched in place below. *)
+    let nulls = if Tuple.has_null tuple then Instance.nulls base else t.nulls in
+    let constants =
+      if Tuple.constants tuple = [] then t.constants
+      else Instance.constants base
+    in
+    if Tuple.has_null tuple then
+      let arr' =
+        Array.of_list
+          (List.filter
+             (fun u -> not (Tuple.equal u tuple))
+             (Array.to_list (null_array t name)))
+      in
+      { base;
+        ground = t.ground;
+        null_tuples = set_null_tuples t ~base name arr';
+        nulls;
+        constants
+      }
+    else
+      { base;
+        ground = Instance.remove_tuple name tuple t.ground;
+        null_tuples = t.null_tuples;
+        nulls;
+        constants
+      }
 let nulls t = t.nulls
 let constants t = t.constants
 

@@ -39,6 +39,26 @@ val constants : t -> int list
 
 val null_tuple_count : t -> int
 
+(** {1 Single-tuple deltas}
+
+    [insert]/[remove] patch the partition for one touched relation
+    instead of re-splitting the instance: the ground fragment or the
+    relation's null-tuple array is updated, every other relation's
+    fragment is shared physically with the input split, and the hoisted
+    domain lists are merged ([insert], O(|Null| + |Const|)) or
+    recomputed from the new base ([remove] of a tuple carrying that
+    value class). The result equals [of_instance] of the updated base —
+    same partition, same orders — so downstream kernels cannot tell a
+    delta split from a rebuilt one (property-tested). *)
+
+val insert : t -> name:string -> tuple:Relational.Tuple.t -> t
+(** @raise Invalid_argument if the tuple is already present, the
+    relation is unknown, or the arity mismatches. *)
+
+val remove : t -> name:string -> tuple:Relational.Tuple.t -> t
+(** @raise Invalid_argument if the tuple is absent or the relation is
+    unknown. *)
+
 val complete : t -> Valuation.t -> Relational.Instance.t
 (** [complete t v = Valuation.instance v (base t)]: the ground fragment
     plus the valuation's image of each null tuple.

@@ -24,14 +24,32 @@ let anchor_set_sentences_split split sentences =
 (* ------------------------------------------------------------------ *)
 
 type cache = {
-  verdicts : ((int * int) list * Formula.t, bool) Exec.Cache.t;
-      (* (valuation bindings, sentence) ↦ v(D) ⊨ sentence[v]. The
-         bindings come first: Hashtbl.hash only samples the first few
-         nodes of a key, and the bindings are what distinguishes the
-         thousands of keys sharing one sentence. *)
-  dbs : (unit, Kernel.db) Exec.Cache.t;
-      (* The split + indexed form of the instance the cache is tied
-         to — built once, shared by every loop using this cache. *)
+  verdicts : (int * (int * int) list * Formula.t, bool) Exec.Cache.t;
+      (* (epoch, valuation bindings, sentence) ↦ v(D) ⊨ sentence[v].
+         The bindings sit early in the key: Hashtbl.hash only samples
+         the first few nodes, and the bindings are what distinguishes
+         the thousands of keys sharing one sentence. The epoch (below)
+         is what makes verdicts survive database updates soundly. *)
+  dbs : (int, Kernel.db) Exec.Cache.t;
+      (* instance generation ↦ its split + indexed form. Keyed by the
+         monotone Instance.generation stamp, so after a mutation the
+         new instance can never be served the old kernel db; a session
+         update pre-installs the delta-maintained db under the new
+         stamp ({!install_kernel_db}). Capped: old generations age
+         out. *)
+  (* Relation update epochs: how verdicts stay warm across updates.
+     Each relation's epoch counts the updates that touched it;
+     [adom_epoch] counts the updates that changed the instance's
+     constant or null set (the active domain quantifiers range over).
+     A sentence's verdicts are keyed under [sentence_epoch] = max of
+     its mentioned relations' epochs (plus [adom_epoch] if it
+     quantifies): an update bumps exactly the epochs it invalidates,
+     so verdicts of untouched sentences keep matching — precise
+     invalidation, and in-flight checkers of the old state can never
+     poison the new epoch's keys. *)
+  epochs : (string, int) Hashtbl.t;
+  mutable adom_epoch : int;
+  elock : Mutex.t;
 }
 
 type cache_stats = {
@@ -39,17 +57,22 @@ type cache_stats = {
   kernel_dbs : Exec.Cache.stats;
 }
 
-(* Verdict keys are (bindings, sentence) pairs — one per valuation per
-   sentence — so a long µ^k series over a big space would grow the
-   table without bound. The cap makes the cache an LRU-ish window (FIFO
-   eviction) instead; 2^18 entries comfortably covers every space the
-   brute-force engine can sweep in reasonable time. The dbs cache holds
-   a single entry and stays uncapped. *)
+(* Verdict keys are (epoch, bindings, sentence) triples — one per
+   valuation per sentence — so a long µ^k series over a big space would
+   grow the table without bound. The cap makes the cache an LRU-ish
+   window (FIFO eviction) instead; 2^18 entries comfortably covers
+   every space the brute-force engine can sweep in reasonable time.
+   The dbs cache keeps the last few instance generations a session
+   passed through. *)
 let default_verdict_cap = 1 lsl 18
+let default_dbs_cap = 4
 
 let create_cache () =
   { verdicts = Exec.Cache.create ~max_entries:default_verdict_cap ();
-    dbs = Exec.Cache.create ()
+    dbs = Exec.Cache.create ~size:8 ~max_entries:default_dbs_cap ();
+    epochs = Hashtbl.create 8;
+    adom_epoch = 0;
+    elock = Mutex.create ()
   }
 
 let cache_stats c =
@@ -60,7 +83,48 @@ let cache_stats c =
 let kernel_db ?cache inst =
   match cache with
   | None -> Kernel.db_of_instance inst
-  | Some c -> Exec.Cache.find_or_add c.dbs () (fun () -> Kernel.db_of_instance inst)
+  | Some c ->
+      Exec.Cache.find_or_add c.dbs (Instance.generation inst) (fun () ->
+          Kernel.db_of_instance inst)
+
+let install_kernel_db c db =
+  ignore
+    (Exec.Cache.find_or_add c.dbs (Kernel.db_generation db) (fun () -> db))
+
+(* The epoch a sentence's verdicts are currently keyed under (0 until
+   the first relevant update). Quantified sentences range over the
+   active domain, so they additionally track [adom_epoch] — an update
+   inserting only already-present values leaves it, and them, alone. *)
+let sentence_epoch_of c sentence =
+  match c with
+  | None -> 0
+  | Some c ->
+      Mutex.protect c.elock (fun () ->
+          let e =
+            List.fold_left
+              (fun acc r ->
+                max acc (Option.value ~default:0 (Hashtbl.find_opt c.epochs r)))
+              0
+              (Formula.relations sentence)
+          in
+          if Formula.has_quantifier sentence then max e c.adom_epoch else e)
+
+let note_update c ~rels ~adom_changed =
+  Mutex.protect c.elock (fun () ->
+      List.iter
+        (fun r ->
+          Hashtbl.replace c.epochs r
+            (1 + Option.value ~default:0 (Hashtbl.find_opt c.epochs r)))
+        rels;
+      if adom_changed then c.adom_epoch <- c.adom_epoch + 1);
+  (* Precise invalidation: drop exactly the verdicts stranded on an
+     epoch the bump above retired — entries of sentences mentioning a
+     touched relation (or quantifying, when the domain changed). The
+     epoch key already guarantees they can never be served again; the
+     purge just frees their capacity for live entries. *)
+  ignore
+    (Exec.Cache.remove_matching c.verdicts (fun (e, _, sentence) ->
+         e < sentence_epoch_of (Some c) sentence))
 
 (* ------------------------------------------------------------------ *)
 (* Support checks                                                      *)
@@ -87,7 +151,7 @@ let sentence_in_support ?cache inst sentence v =
   | None -> sentence_in_support_raw inst sentence v
   | Some c ->
       Exec.Cache.find_or_add c.verdicts
-        (Valuation.bindings v, sentence)
+        (sentence_epoch_of cache sentence, Valuation.bindings v, sentence)
         (fun () -> sentence_in_support_raw inst sentence v)
 
 let in_support ?cache inst q tuple v =
@@ -99,26 +163,43 @@ let in_support ?cache inst q tuple v =
 (* Hoisted checkers: one kernel per loop, not one instance per check   *)
 (* ------------------------------------------------------------------ *)
 
-type checker = { kern : Kernel.t; cache : cache option }
+type checker = { kern : Kernel.t; cache : cache option; epoch : int }
+(* The epoch is sampled when the checker is hoisted, so every verdict
+   it stores is keyed to the database state it was compiled against —
+   a checker outliving an update keeps writing to its own (retired)
+   epoch and can never poison the post-update cache. *)
 
-let checker ?cache db sentence = { kern = Kernel.compile db sentence; cache }
+let checker ?cache db sentence =
+  { kern = Kernel.compile db sentence;
+    cache;
+    epoch = sentence_epoch_of cache sentence
+  }
 
 (* One compiled kernel per pool domain per (db, sentence), memoized in
    domain-local storage: chunks of a parallel fold that land on the
    same domain reuse one kernel's mutable scratch instead of paying a
    compile per chunk (up to 8192 chunks under the pool guard). The db
-   is compared physically — it is the shared immutable half hoisted by
-   the caller — and the sentence structurally, so repeated sweeps over
-   the same session hit even when the sentence value was rebuilt. *)
+   is keyed by its generation stamp — equal stamps guarantee the same
+   underlying instance value, unlike the physical comparison this memo
+   used before, which would silently reuse a stale compiled kernel if
+   a db were ever revived at the same address after a mutation. The
+   sentence is structural, so repeated sweeps over the same session
+   hit even when the sentence value was rebuilt. *)
 let domain_kernels : (Kernel.db * Formula.t, Kernel.t) Exec.Dls.t =
-  Exec.Dls.create ~eq:(fun (db1, s1) (db2, s2) -> db1 == db2 && s1 = s2) ()
+  Exec.Dls.create
+    ~eq:(fun (db1, s1) (db2, s2) ->
+      Kernel.db_generation db1 = Kernel.db_generation db2 && s1 = s2)
+    ()
 
 let domain_kernel db sentence =
   Exec.Dls.find_or_add domain_kernels (db, sentence) ~mk:(fun () ->
       Kernel.compile db sentence)
 
 let domain_checker ?cache db sentence =
-  { kern = domain_kernel db sentence; cache }
+  { kern = domain_kernel db sentence;
+    cache;
+    epoch = sentence_epoch_of cache sentence
+  }
 
 let check c v =
   Obs.Metrics.incr Obs.Metrics.valuations_evaluated;
@@ -126,7 +207,7 @@ let check c v =
   | None -> Kernel.holds c.kern v
   | Some cc ->
       Exec.Cache.find_or_add cc.verdicts
-        (Valuation.bindings v, Kernel.sentence c.kern)
+        (c.epoch, Valuation.bindings v, Kernel.sentence c.kern)
         (fun () -> Kernel.holds c.kern v)
 
 (* ------------------------------------------------------------------ *)

@@ -58,8 +58,21 @@ val anchor_set_sentences_split : Split.t -> Logic.Formula.t list -> int list
 
 type cache
 (** Memoizes, behind mutexes (safe to share across pool domains): the
-    kernel database (split + indexes) of the instance, and sentence
-    verdicts keyed by (bindings, sentence). *)
+    kernel databases (split + indexes) of the last few instance
+    generations, and sentence verdicts keyed by
+    (epoch, bindings, sentence).
+
+    A cache follows a {e session} across single-tuple updates: the
+    kernel-db side is keyed by the monotone
+    {!Relational.Instance.generation} stamp (a mutated instance can
+    never be served a stale db), and the verdict side by a per-relation
+    {e update epoch} sampled when each checker is hoisted. An update
+    bumps the epochs of exactly the relations it touched (plus a
+    domain epoch when the constant/null set changed, which quantified
+    sentences also track), so verdicts of unaffected sentences stay
+    warm across updates while affected ones are retired — and an
+    in-flight checker of the old state keeps writing under its own
+    retired epoch, never poisoning post-update reads. *)
 
 type cache_stats = {
   eval_verdicts : Exec.Cache.stats;
@@ -71,7 +84,30 @@ val cache_stats : cache -> cache_stats
 
 val kernel_db : ?cache:cache -> Relational.Instance.t -> Kernel.db
 (** The split + indexed form of the instance. With [?cache] it is
-    built once and shared by every subsequent loop on that cache. *)
+    built once per instance generation and shared by every subsequent
+    loop on that cache. *)
+
+(** {1 Update hooks}
+
+    The session mutation path (lib/server) applies a single-tuple
+    delta to the kernel db ({!Kernel.db_insert}/[db_delete]) and then
+    tells the cache about it with these two calls; query paths need no
+    change — they pick the new state up through the generation and
+    epoch keys. *)
+
+val install_kernel_db : cache -> Kernel.db -> unit
+(** Seed the kernel-db memo with a (delta-maintained) db under its own
+    generation stamp, so the next query for that instance generation
+    reuses it instead of rebuilding from scratch. *)
+
+val note_update :
+  cache -> rels:string list -> adom_changed:bool -> unit
+(** Record that an update touched [rels] (bumping their epochs, plus
+    the domain epoch when the update changed the instance's
+    constant/null set) and purge the verdicts thereby retired.
+    Verdicts of sentences not mentioning a touched relation — and, for
+    an adom-preserving update, not quantifying — remain valid and are
+    kept. *)
 
 (** {1 Support checks} *)
 

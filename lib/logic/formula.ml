@@ -98,6 +98,22 @@ let nulls f =
     [] f
   |> List.sort_uniq Int.compare
 
+let relations f =
+  let rec go acc = function
+    | True | False | Eq _ -> acc
+    | Atom (r, _) -> if List.mem r acc then acc else r :: acc
+    | Not g | Exists (_, g) | Forall (_, g) -> go acc g
+    | And (g, h) | Or (g, h) | Implies (g, h) -> go (go acc g) h
+  in
+  List.sort String.compare (go [] f)
+
+let rec has_quantifier = function
+  | True | False | Atom _ | Eq _ -> false
+  | Exists _ | Forall _ -> true
+  | Not g -> has_quantifier g
+  | And (g, h) | Or (g, h) | Implies (g, h) ->
+      has_quantifier g || has_quantifier h
+
 let all_vars f =
   let rec go acc = function
     | True | False -> acc

@@ -33,6 +33,7 @@ let serve_overloaded = make "serve_overloaded"
 let serve_deadline_exceeded = make "serve_deadline_exceeded"
 let serve_session_loads = make "serve_session_loads"
 let serve_session_evictions = make "serve_session_evictions"
+let serve_updates = make "serve_updates"
 let decomp_plans = make "decomp_plans"
 let decomp_components = make "decomp_components"
 let decomp_indecomposable = make "decomp_indecomposable"
@@ -43,7 +44,7 @@ let all =
     pool_tasks_completed; chase_steps; approx_samples; approx_strata;
     serve_connections; serve_requests;
     serve_parse_errors; serve_overloaded; serve_deadline_exceeded;
-    serve_session_loads; serve_session_evictions;
+    serve_session_loads; serve_session_evictions; serve_updates;
     decomp_plans; decomp_components; decomp_indecomposable
   ]
 

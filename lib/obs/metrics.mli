@@ -106,7 +106,10 @@ val serve_session_loads : t
     request for an already-loaded database does not count). *)
 
 val serve_session_evictions : t
-(** Sessions dropped by the store's FIFO cap. *)
+(** Sessions dropped by the store's LRU cap. *)
+
+val serve_updates : t
+(** Single-tuple updates applied to live sessions (the [update] op). *)
 
 (** {2 Decomposition-analysis counters}
 

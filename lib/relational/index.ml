@@ -1,9 +1,18 @@
 (* Hash indexes over a relation: O(1) full-tuple membership plus
-   per-column postings for selections. Built once from a Relation.t and
-   immutable afterwards, so an index may be shared freely across
-   domains (concurrent reads of an unmutated Hashtbl are safe). *)
+   per-column postings for selections.
 
-type t = {
+   The bulk of an index — the [base] below — is built once from a
+   Relation.t and immutable afterwards, so it may be shared freely
+   across domains (concurrent reads of an unmutated Hashtbl are safe).
+   Single-tuple updates ({!add}/{!remove}) do not rebuild it: they are
+   pure and return a new index sharing the same base plus a small
+   overlay of added/removed tuples, consulted after the base on every
+   probe. Once the overlay outgrows [overlay_cap] the live contents
+   are compacted into a fresh base, amortizing the O(n) rebuild over
+   [overlay_cap] updates. Un-updated indexes carry empty overlays, so
+   the probe hot path pays only a [[] = []]-style check. *)
+
+type base = {
   arity : int;
   tuples : Tuple.t array; (* in Relation.to_list (= Tuple.compare) order *)
   members : (Tuple.t, unit) Hashtbl.t;
@@ -12,15 +21,20 @@ type t = {
          column [i] holds it, in increasing row order *)
 }
 
-let of_relation r =
-  let arity = Relation.arity r in
-  let tuples = Relation.to_array r in
+type t = {
+  b : base;
+  extra : Tuple.t list; (* added since the base, newest first, ∉ base *)
+  gone : Tuple.t list; (* removed since the base, ∈ base *)
+  card : int; (* live cardinality *)
+}
+
+let overlay_cap = 16
+
+let build arity tuples =
   let n = Array.length tuples in
   let members = Hashtbl.create (max 16 (2 * n)) in
   Array.iter (fun t -> Hashtbl.replace members t ()) tuples;
-  let columns =
-    Array.init arity (fun _ -> Hashtbl.create (max 16 (2 * n)))
-  in
+  let columns = Array.init arity (fun _ -> Hashtbl.create (max 16 (2 * n))) in
   (* Walk rows backwards so each posting list comes out in increasing
      row order without a final reverse. *)
   for row = n - 1 downto 0 do
@@ -33,49 +47,123 @@ let of_relation r =
   done;
   { arity; tuples; members; columns }
 
-let arity t = t.arity
-let cardinal t = Array.length t.tuples
-let mem t tuple = Hashtbl.mem t.members tuple
+let of_relation r =
+  let b = build (Relation.arity r) (Relation.to_array r) in
+  { b; extra = []; gone = []; card = Array.length b.tuples }
+
+let arity t = t.b.arity
+let cardinal t = t.card
+let overlay t = List.length t.extra + List.length t.gone
+
+let in_list tuple l = List.exists (fun u -> Tuple.equal u tuple) l
+
+let mem t tuple =
+  if Hashtbl.mem t.b.members tuple then not (in_list tuple t.gone)
+  else in_list tuple t.extra
 
 let mem_values t values =
-  Array.length values = t.arity && Hashtbl.mem t.members (Tuple.unsafe_of_array values)
+  Array.length values = t.b.arity
+  && mem t (Tuple.unsafe_of_array values)
+
+(* Live tuples in deterministic order: surviving base rows in row
+   order, then the added tuples oldest first. *)
+let to_list t =
+  let from_base =
+    if t.gone = [] then Array.to_list t.b.tuples
+    else
+      Array.to_list t.b.tuples
+      |> List.filter (fun tup -> not (in_list tup t.gone))
+  in
+  from_base @ List.rev t.extra
+
+(* Compaction: fold the overlay into a fresh base, restoring the
+   canonical Tuple.compare order of [of_relation]. *)
+let compact t =
+  let live = List.sort Tuple.compare (to_list t) in
+  let b = build t.b.arity (Array.of_list live) in
+  { b; extra = []; gone = []; card = Array.length b.tuples }
+
+let maybe_compact t = if overlay t > overlay_cap then compact t else t
+
+let add t tuple =
+  if Tuple.arity tuple <> t.b.arity then
+    invalid_arg "Index.add: arity mismatch"
+  else if mem t tuple then t
+  else if Hashtbl.mem t.b.members tuple then
+    (* Present in the base, currently shadowed by [gone]: resurrect. *)
+    { t with
+      gone = List.filter (fun u -> not (Tuple.equal u tuple)) t.gone;
+      card = t.card + 1
+    }
+  else
+    maybe_compact { t with extra = tuple :: t.extra; card = t.card + 1 }
+
+let remove t tuple =
+  if not (mem t tuple) then t
+  else if in_list tuple t.extra then
+    { t with
+      extra = List.filter (fun u -> not (Tuple.equal u tuple)) t.extra;
+      card = t.card - 1
+    }
+  else maybe_compact { t with gone = tuple :: t.gone; card = t.card - 1 }
+
+let check_column t column name =
+  if column < 0 || column >= t.b.arity then
+    invalid_arg (name ^ ": column out of range")
+
+let base_postings b ~column v =
+  Option.value ~default:[] (Hashtbl.find_opt b.columns.(column) v)
 
 let postings t ~column v =
-  if column < 0 || column >= t.arity then
-    invalid_arg "Index.postings: column out of range"
-  else Option.value ~default:[] (Hashtbl.find_opt t.columns.(column) v)
+  check_column t column "Index.postings";
+  let from_base =
+    List.filter_map
+      (fun row ->
+        let tup = t.b.tuples.(row) in
+        if t.gone <> [] && in_list tup t.gone then None else Some tup)
+      (base_postings t.b ~column v)
+  in
+  from_base
+  @ List.filter
+      (fun tup -> Value.equal (Tuple.get tup column) v)
+      (List.rev t.extra)
 
 let column_cardinal t ~column v = List.length (postings t ~column v)
 
 let select t bindings =
   List.iter
-    (fun (col, _) ->
-      if col < 0 || col >= t.arity then
-        invalid_arg "Index.select: column out of range")
+    (fun (col, _) -> check_column t col "Index.select")
     bindings;
   match bindings with
-  | [] -> Array.to_list t.tuples
+  | [] -> to_list t
   | (c0, v0) :: rest ->
-      (* Start from the shortest posting list, then filter the other
-         bound columns by direct access. *)
+      (* Start from the shortest base posting list, then filter the
+         other bound columns by direct access; the base-length
+         comparison is a heuristic, so the (small) overlay is ignored
+         when picking the start column. *)
+      let posting_len (c, v) = List.length (base_postings t.b ~column:c v) in
       let start, others =
         List.fold_left
-          (fun ((bc, bv), others) (c, v) ->
-            if
-              column_cardinal t ~column:c v
-              < column_cardinal t ~column:bc bv
-            then ((c, v), (bc, bv) :: others)
-            else ((bc, bv), (c, v) :: others))
+          (fun (best, others) cand ->
+            if posting_len cand < posting_len best then (cand, best :: others)
+            else (best, cand :: others))
           ((c0, v0), []) rest
       in
       let bc, bv = start in
-      List.filter_map
-        (fun row ->
-          let tup = t.tuples.(row) in
-          if
-            List.for_all
-              (fun (c, v) -> Value.equal (Tuple.get tup c) v)
-              others
-          then Some tup
-          else None)
-        (postings t ~column:bc bv)
+      let matches tup =
+        List.for_all (fun (c, v) -> Value.equal (Tuple.get tup c) v) others
+      in
+      let from_base =
+        List.filter_map
+          (fun row ->
+            let tup = t.b.tuples.(row) in
+            if matches tup && not (t.gone <> [] && in_list tup t.gone) then
+              Some tup
+            else None)
+          (base_postings t.b ~column:bc bv)
+      in
+      from_base
+      @ List.filter
+          (fun tup ->
+            Value.equal (Tuple.get tup bc) bv && matches tup)
+          (List.rev t.extra)

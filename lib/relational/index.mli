@@ -7,10 +7,16 @@
     selections: a full-tuple hash table plus one posting-list table per
     column.
 
-    An index is immutable after {!of_relation} and may be shared across
-    OCaml 5 domains (reads of an unmutated hash table race with
-    nothing). It is a snapshot: it does {e not} follow later updates of
-    the relation it was built from. *)
+    An index value is immutable and may be shared across OCaml 5
+    domains (reads of an unmutated hash table race with nothing). It is
+    a snapshot: it does {e not} follow later updates of the relation it
+    was built from. Single-tuple maintenance is {e incremental}:
+    {!add} and {!remove} are pure and return a new index that shares
+    the hashed bulk of the original plus a small overlay of
+    added/removed tuples — no rebuild per update. The overlay is
+    compacted into a fresh base automatically once it outgrows a fixed
+    cap, so probe overhead stays bounded and un-updated indexes pay
+    (almost) nothing. *)
 
 type t
 
@@ -19,6 +25,20 @@ val of_relation : Relation.t -> t
 val arity : t -> int
 val cardinal : t -> int
 
+val add : t -> Tuple.t -> t
+(** The index with the tuple present; [t] itself when already a member.
+    O(overlay) — shares the original's hashed base.
+    @raise Invalid_argument on arity mismatch. *)
+
+val remove : t -> Tuple.t -> t
+(** The index without the tuple; [t] itself when not a member.
+    O(overlay + postings touched at compaction). *)
+
+val overlay : t -> int
+(** Number of pending overlay entries (added + removed since the last
+    base build); 0 for a freshly built or just-compacted index.
+    Exposed for tests and diagnostics. *)
+
 val mem : t -> Tuple.t -> bool
 (** [O(1)] expected; tuples of the wrong arity are never members. *)
 
@@ -26,15 +46,19 @@ val mem_values : t -> Value.t array -> bool
 (** Membership probed directly with a value array, avoiding the
     {!Tuple.of_array} copy. The array is only read. *)
 
-val postings : t -> column:int -> Value.t -> int list
-(** Rows (positions in {!Relation.to_list} order) whose [column] holds
-    the value, increasing. @raise Invalid_argument on a bad column. *)
+val postings : t -> column:int -> Value.t -> Tuple.t list
+(** Live tuples whose [column] holds the value: base tuples in
+    {!Relation.to_list} row order, then tuples added since the base in
+    insertion order. @raise Invalid_argument on a bad column. *)
 
 val column_cardinal : t -> column:int -> Value.t -> int
 (** [List.length (postings …)]. *)
 
 val select : t -> (int * Value.t) list -> Tuple.t list
-(** Tuples matching all [(column, value)] bindings, in row order:
-    the selection [σ_{c₁=v₁,…}(R)] served from the smallest posting
-    list. [select t \[\]] lists every tuple.
+(** Tuples matching all [(column, value)] bindings — the selection
+    [σ_{c₁=v₁,…}(R)] served from the smallest posting list, in the same
+    order as {!postings}. [select t \[\]] lists every live tuple.
     @raise Invalid_argument on a bad column. *)
+
+val to_list : t -> Tuple.t list
+(** Every live tuple, same order as [select t \[\]]. *)

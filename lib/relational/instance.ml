@@ -1,6 +1,57 @@
 module SMap = Map.Make (String)
 
-type t = { schema : Schema.t; relations : Relation.t SMap.t }
+type t = {
+  gen : int;
+  schema : Schema.t;
+  relations : Relation.t SMap.t;
+  dom : (int list * int list) option Atomic.t;
+      (* memoized (Const(D), Null(D)), both sorted: filled on first
+         demand, merged through add_tuple, dropped by every other
+         update. Identity metadata like [gen] — ignored by equal and
+         compare, never shared between instances. *)
+}
+
+(* Monotone generation stamps. Every instance value carries a
+   process-unique stamp, allocated from one atomic counter at each
+   construction (including every functional update): two instances
+   share a stamp only when one IS the other. Caches key derived
+   structures (kernel databases, compiled kernels) by the stamp instead
+   of by physical equality — a mutation path that produces a new
+   instance can never silently reuse state derived from the old one.
+   The stamp is identity metadata, not content: {!equal}, {!compare}
+   and {!isomorphic} ignore it. *)
+let gen_counter = Atomic.make 1
+let next_gen () = Atomic.fetch_and_add gen_counter 1
+
+let generation t = t.gen
+
+(* Active-domain memo. Computing Const(D)/Null(D) is a full scan of
+   every tuple; evaluation paths (anchor sets, µ^k null lists, naive
+   quantifier ranges) ask for them on every call, so each instance
+   value computes them at most once and publishes the result through
+   its own atomic cell. An insert merges the parent's memo instead of
+   invalidating it — the domain only grows; a delete cannot know
+   whether a value still occurs elsewhere and drops the memo, so the
+   next demand pays one rescan. *)
+let merge_sorted xs ys =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | x :: xs', y :: ys' ->
+        let c = Int.compare x y in
+        if c = 0 then x :: go xs' ys'
+        else if c < 0 then x :: go xs' ys
+        else y :: go xs ys'
+  in
+  go xs ys
+
+let dom_after_add dom tuple =
+  match Atomic.get dom with
+  | None -> None
+  | Some (cs, ns) ->
+      Some
+        ( merge_sorted cs (List.sort_uniq Int.compare (Tuple.constants tuple)),
+          merge_sorted ns (List.sort_uniq Int.compare (Tuple.nulls tuple)) )
 
 let empty schema =
   let relations =
@@ -8,7 +59,7 @@ let empty schema =
       (fun m name -> SMap.add name (Relation.empty (Schema.arity schema name)) m)
       SMap.empty (Schema.relations schema)
   in
-  { schema; relations }
+  { gen = next_gen (); schema; relations; dom = Atomic.make (Some ([], [])) }
 
 let schema t = t.schema
 
@@ -22,12 +73,32 @@ let set_relation name r t =
   | None -> invalid_arg ("Instance.set_relation: unknown relation " ^ name)
   | Some a when a <> Relation.arity r ->
       invalid_arg ("Instance.set_relation: arity mismatch for " ^ name)
-  | Some _ -> { t with relations = SMap.add name r t.relations }
+  | Some _ ->
+      { t with
+        gen = next_gen ();
+        relations = SMap.add name r t.relations;
+        dom = Atomic.make None
+      }
 
 let add_tuple name tuple t =
   match SMap.find_opt name t.relations with
   | None -> invalid_arg ("Instance.add_tuple: unknown relation " ^ name)
-  | Some r -> { t with relations = SMap.add name (Relation.add tuple r) t.relations }
+  | Some r ->
+      { t with
+        gen = next_gen ();
+        relations = SMap.add name (Relation.add tuple r) t.relations;
+        dom = Atomic.make (dom_after_add t.dom tuple)
+      }
+
+let remove_tuple name tuple t =
+  match SMap.find_opt name t.relations with
+  | None -> invalid_arg ("Instance.remove_tuple: unknown relation " ^ name)
+  | Some r ->
+      { t with
+        gen = next_gen ();
+        relations = SMap.add name (Relation.remove tuple r) t.relations;
+        dom = Atomic.make None
+      }
 
 let of_rows schema rows =
   List.fold_left
@@ -46,13 +117,25 @@ let fold f t acc =
 
 let total_tuples t = fold (fun _ _ n -> n + 1) t 0
 
-let nulls t =
-  SMap.fold (fun _ r acc -> Relation.nulls r @ acc) t.relations []
-  |> List.sort_uniq Int.compare
+let domains t =
+  match Atomic.get t.dom with
+  | Some d -> d
+  | None ->
+      let cs, ns =
+        fold
+          (fun _ tuple (cs, ns) ->
+            (Tuple.constants tuple @ cs, Tuple.nulls tuple @ ns))
+          t ([], [])
+      in
+      let d =
+        (List.sort_uniq Int.compare cs, List.sort_uniq Int.compare ns)
+      in
+      (* A racing demand computes the same value; last write wins. *)
+      Atomic.set t.dom (Some d);
+      d
 
-let constants t =
-  SMap.fold (fun _ r acc -> Relation.constants r @ acc) t.relations []
-  |> List.sort_uniq Int.compare
+let nulls t = snd (domains t)
+let constants t = fst (domains t)
 
 let adom t =
   List.map Value.const (constants t) @ List.map Value.null (nulls t)
@@ -62,7 +145,11 @@ let is_complete t = nulls t = []
 let max_constant t = List.fold_left max 0 (constants t)
 
 let map_values f t =
-  { t with relations = SMap.map (Relation.map_values f) t.relations }
+  { t with
+    gen = next_gen ();
+    relations = SMap.map (Relation.map_values f) t.relations;
+    dom = Atomic.make None
+  }
 
 let subst_nulls f t =
   map_values (function Value.Const _ as c -> c | Value.Null i -> f i) t
@@ -72,6 +159,7 @@ let union a b =
     invalid_arg "Instance.union: different schemas"
   else
     { a with
+      gen = next_gen ();
       relations =
         SMap.merge
           (fun _ ra rb ->
@@ -79,7 +167,8 @@ let union a b =
             | Some ra, Some rb -> Some (Relation.union ra rb)
             | Some r, None | None, Some r -> Some r
             | None, None -> None)
-          a.relations b.relations
+          a.relations b.relations;
+      dom = Atomic.make None
     }
 
 let equal a b = SMap.equal Relation.equal a.relations b.relations

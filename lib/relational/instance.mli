@@ -20,10 +20,25 @@ val of_rows : Schema.t -> (string * Value.t list list) list -> t
 val add_tuple : string -> Tuple.t -> t -> t
 (** @raise Invalid_argument on unknown relation or arity mismatch. *)
 
+val remove_tuple : string -> Tuple.t -> t -> t
+(** Removes the tuple if present (no-op content otherwise; the result
+    carries a fresh {!generation} either way).
+    @raise Invalid_argument on unknown relation. *)
+
 val set_relation : string -> Relation.t -> t -> t
 (** @raise Invalid_argument on unknown relation or arity mismatch. *)
 
 (** {1 Access} *)
+
+val generation : t -> int
+(** A process-unique, monotone stamp allocated at construction: every
+    instance value — including the result of every functional update
+    ({!add_tuple}, {!remove_tuple}, {!set_relation}, {!map_values},
+    {!union}) — gets a fresh stamp. Caches key instance-derived state
+    (kernel databases, compiled kernels) by this stamp: equal stamps
+    guarantee the same underlying value, so a stale derivation can
+    never be served for a mutated database. The stamp is identity
+    metadata only; {!equal}/{!compare}/{!isomorphic} ignore it. *)
 
 val schema : t -> Schema.t
 
@@ -34,7 +49,14 @@ val mem : t -> string -> Tuple.t -> bool
 val fold : (string -> Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val total_tuples : t -> int
 
-(** {1 Domains} *)
+(** {1 Domains}
+
+    Both lists are memoized per instance value: the first demand scans
+    every tuple, later demands are O(1). [add_tuple] carries the memo
+    forward (the domain only grows under insertion); a removal or a
+    value map drops it, and the next demand rescans. The memo is
+    identity metadata like the generation stamp — invisible to
+    {!equal} and {!compare}. *)
 
 val nulls : t -> int list
 (** [Null(D)]: identifiers of nulls occurring, sorted, deduplicated. *)

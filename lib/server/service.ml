@@ -160,11 +160,15 @@ let series_string series =
 
 let run_certain ~sessions ?jobs ?guard req =
   let* entry = get_session sessions req in
+  (* One snapshot of the session state per request: a concurrent
+     update swaps [entry.inst], and every derived structure is keyed
+     by the snapshot's generation — so the whole response is computed
+     against one consistent instance. Same in every handler below. *)
+  let inst = entry.Session.inst and cache = entry.Session.cache in
   let* qs = require req "query" in
   let* q = parse_query qs in
   let* () = well_formed entry.Session.schema q in
-  let* () = precheck entry.Session.schema entry.Session.inst q in
-  let inst = entry.Session.inst and cache = entry.Session.cache in
+  let* () = precheck entry.Session.schema inst q in
   let certain = Incomplete.Certain.certain_answers ?jobs ?guard ~cache inst q in
   let possible =
     Incomplete.Certain.possible_answers ?jobs ?guard ~cache inst q
@@ -181,12 +185,12 @@ let run_certain ~sessions ?jobs ?guard req =
 
 let run_measure ~sessions ?jobs ?guard req =
   let* entry = get_session sessions req in
+  let inst = entry.Session.inst and cache = entry.Session.cache in
   let* qs = require req "query" in
   let* q = parse_query qs in
   let* () = well_formed entry.Session.schema q in
   let* tuple = get_tuple req q in
-  let* () = precheck ~tuple entry.Session.schema entry.Session.inst q in
-  let inst = entry.Session.inst and cache = entry.Session.cache in
+  let* () = precheck ~tuple entry.Session.schema inst q in
   let sp = Zeroone.Support_poly.of_query inst q tuple in
   let mu = Zeroone.Measure.mu_symbolic inst q tuple in
   let verdict =
@@ -232,13 +236,13 @@ let run_measure ~sessions ?jobs ?guard req =
 
 let run_conditional ~sessions ?jobs ?guard req =
   let* entry = get_session sessions req in
+  let inst = entry.Session.inst and cache = entry.Session.cache in
   let* qs = require req "query" in
   let* q = parse_query qs in
   let* () = well_formed entry.Session.schema q in
   let* deps = get_deps entry.Session.schema req in
   let* tuple = get_tuple req q in
-  let* () = precheck ~deps ~tuple entry.Session.schema entry.Session.inst q in
-  let inst = entry.Session.inst and cache = entry.Session.cache in
+  let* () = precheck ~deps ~tuple entry.Session.schema inst q in
   let sch = entry.Session.schema in
   let sigma = Constraints.Dependency.set_to_formula sch deps in
   let report = Zeroone.Conditional.mu_cond_report ?jobs ~cache ~sigma inst q tuple in
@@ -246,9 +250,15 @@ let run_conditional ~sessions ?jobs ?guard req =
   let chase =
     match strategy with
     | Zeroone.Conditional.Chase_fds ->
+        (* The session memoizes the finished chase per FD set and
+           advances it across inserts, so repeated conditional queries
+           (and queries after updates) skip the fixpoint. *)
         let fds = Constraints.Dependency.fds_of_schema sch deps in
+        let outcome = Session.chase_outcome entry ~inst fds in
         [ ( "chase",
-            Wire.S (R.to_string (Zeroone.Conditional.mu_cond_fds fds inst q tuple)) )
+            Wire.S
+              (R.to_string (Zeroone.Conditional.mu_cond_chased outcome q tuple))
+          )
         ]
     | Zeroone.Conditional.Symbolic -> []
   in
@@ -403,6 +413,46 @@ let run_approx ~sessions ?jobs ?guard req =
          ]
         @ stratified)
 
+(* The update op: mutate a live session by one tuple. The session is
+   addressed — like every other op — by the original (schema, db)
+   texts; its state drifts away from the db text with each update,
+   which is the point: later queries against the same pair see the
+   updated instance without re-parsing or re-indexing anything. *)
+let run_update ~sessions req =
+  let* schema = require req "schema" in
+  let* db = require req "db" in
+  let* action =
+    let* s = require req "action" in
+    match s with
+    | "insert" -> Ok Session.Insert
+    | "delete" -> Ok Session.Delete
+    | other ->
+        Error
+          ( Wire.Bad_request,
+            Printf.sprintf "unknown action %S (want insert or delete)" other )
+  in
+  let* relation = require req "relation" in
+  let* tuple =
+    let* s = require req "tuple" in
+    match Parser.tuple s with
+    | Ok t -> Ok t
+    | Error msg -> Error (Wire.Bad_request, "tuple: " ^ msg)
+  in
+  match Session.update sessions ~schema ~db ~action ~relation ~tuple with
+  | Error msg -> Error (Wire.Bad_request, msg)
+  | Ok (entry, generation) ->
+      let inst = entry.Session.inst in
+      Ok
+        [ ("applied", Wire.S (match action with
+             | Session.Insert -> "insert"
+             | Session.Delete -> "delete"));
+          ("relation", Wire.S relation);
+          ("generation", Wire.I generation);
+          ( "cardinality",
+            Wire.I (Relation.cardinal (Instance.relation inst relation)) );
+          ("nulls", Wire.I (Instance.null_count inst))
+        ]
+
 let scheme_of_name = function
   | "sql" -> Ok Zeroone.Approx.sql_scheme
   | "naive" -> Ok (fun d q -> Incomplete.Naive.answers d q)
@@ -488,6 +538,7 @@ let run ~sessions ?jobs ?guard req =
   | "conditional" -> run_conditional ~sessions ?jobs ?guard req
   | "approx" -> run_approx ~sessions ?jobs ?guard req
   | "analyze" -> run_analyze ~sessions req
+  | "update" -> run_update ~sessions req
   | op -> Error (Wire.Unsupported_op, Printf.sprintf "unsupported op %S" op)
 
 let handle ~sessions ?jobs ?guard req =

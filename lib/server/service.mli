@@ -3,7 +3,9 @@
     [handle] maps one parsed {!Wire.request} to a response payload,
     running the same engine entry points as the CLI subcommands —
     [certain], [measure], [conditional], [analyze] — against a shared
-    {!Session} store. It is deliberately transport-free: the daemon
+    {!Session} store; the [update] op mutates a session in place by
+    one tuple ({!Session.update}), with the kernel db, chase memos and
+    verdict cache maintained incrementally rather than rebuilt. It is deliberately transport-free: the daemon
     calls it from worker threads, and [bench --serve] calls it
     directly (with [jobs = 1] and a fresh store) to build the expected
     responses its identity gate compares against. All payload values

@@ -9,14 +9,45 @@
     one CLI process per query: the [k^m]-sweep verdicts accumulate
     across requests.
 
-    The store holds at most [max_sessions] entries and evicts in FIFO
-    order; {!Obs.Metrics.serve_session_loads} and
-    {!Obs.Metrics.serve_session_evictions} count the churn. *)
+    Sessions are {e mutable}: the [update] op applies a single-tuple
+    insert or delete in place. The kernel database is delta-maintained
+    ({!Incomplete.Kernel.db_insert}/[db_delete]) instead of rebuilt,
+    finished FD chases are resumed ({!Constraints.Chase.chase_inc})
+    instead of re-run, and the verdict cache is invalidated precisely
+    — only verdicts that could depend on the touched relation (or, for
+    a domain-changing update, on the active domain) are retired. The
+    session key stays the {e original} database text: the store is a
+    live instance seeded from that text, not a content hash.
 
-type entry = {
+    Concurrency: an update swaps [entry.inst] under the entry's lock;
+    a query takes one snapshot of [inst] and is internally consistent
+    against it — the generation stamp keys every derived structure, so
+    a racing update can neither corrupt a running query nor have its
+    own state poisoned by one.
+
+    The store holds at most [max_sessions] entries and evicts the
+    least recently used — every [get] (hit or load) refreshes a
+    session's position, so a hot session survives a burst of one-shot
+    ones. {!Obs.Metrics.serve_session_loads} and
+    {!Obs.Metrics.serve_session_evictions} count the churn; loads
+    count winning inserts only, not parses that lost the race to a
+    concurrent connection. *)
+
+type entry = private {
   schema : Relational.Schema.t;
-  inst : Relational.Instance.t;
   cache : Incomplete.Support.cache;
+  ulock : Mutex.t;  (** serializes updates and chase-memo access *)
+  mutable inst : Relational.Instance.t;
+      (** current state; read it {e once} per request and evaluate
+          against the snapshot *)
+  mutable chase_gen : int;
+  mutable chase_memos :
+    (Constraints.Dependency.fd list
+    * ((Constraints.Dependency.fd * Relational.Value.t * Relational.Value.t)
+         list
+      * Constraints.Chase.outcome))
+    list;
+  mutable last_used : int;
 }
 
 type t
@@ -31,3 +62,33 @@ val get : t -> schema:string -> db:string -> (entry, string) result
 
 val count : t -> int
 (** Number of live sessions (for the [health] endpoint). *)
+
+(** {1 Updates} *)
+
+type action = Insert | Delete
+
+val update :
+  t ->
+  schema:string ->
+  db:string ->
+  action:action ->
+  relation:string ->
+  tuple:Relational.Tuple.t ->
+  (entry * int, string) result
+(** Apply a single-tuple update to the (possibly just-loaded) session,
+    returning the entry and the new instance generation. [Error]s:
+    unknown relation, arity mismatch, inserting a tuple already
+    present, deleting a tuple that is absent — all leave the session
+    untouched. *)
+
+val chase_outcome :
+  entry ->
+  inst:Relational.Instance.t ->
+  Constraints.Dependency.fd list ->
+  Constraints.Chase.outcome
+(** The chase of [inst] (the caller's snapshot of [entry.inst]) with
+    [fds], memoized in the entry: the first conditional query for an
+    FD set pays the full chase, later ones — including after inserts,
+    which advance the memo incrementally — reuse it. A snapshot
+    outdated by a concurrent update is chased from scratch without
+    disturbing the memo. *)

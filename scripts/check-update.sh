@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Update-path gate: certify that tuple-level mutation stays correct
+# and keeps paying.
+#
+# What must hold for this script to exit 0:
+#   - `bench --update --smoke` passes (the bench itself FATALs if any
+#     post-update answer — certain answers, the µ^k series, or the
+#     chase-backed conditional value — differs from a session rebuilt
+#     from scratch on the updated database text, or if repeated timing
+#     passes disagree);
+#   - the emitted JSON does not report "identical": false (belt and
+#     braces re-check of the bench's own gate);
+#   - the incremental row reports speedup_vs_rebuild >=
+#     UPDATE_MIN_SPEEDUP (default 5): one Session.update plus a
+#     re-query must beat re-parsing, re-splitting, re-indexing and
+#     re-chasing the whole database by a wide margin, or the delta
+#     machinery has regressed into a rebuild.
+#
+# CI runs this after the build; run it locally with:
+#
+#   dune build && scripts/check-update.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${UPDATE_BENCH_OUT:-BENCH_update_smoke.json}"
+MIN_SPEEDUP="${UPDATE_MIN_SPEEDUP:-5}"
+
+dune build bench/main.exe
+
+echo "== bench identity smoke (update vs rebuild digest gate) =="
+dune exec --no-build bench/main.exe -- --update --smoke --out "$OUT"
+
+echo "== incremental row: identical + speedup_vs_rebuild >= $MIN_SPEEDUP =="
+awk -v min="$MIN_SPEEDUP" '
+  /"identical": false/ {
+    print "FATAL: post-update answers differ from the rebuilt session" \
+      > "/dev/stderr"
+    bad = 1
+  }
+  /"speedup_vs_rebuild":/ {
+    if (match($0, /"speedup_vs_rebuild": [0-9.]+/)) {
+      s = substr($0, RSTART + 22, RLENGTH - 22) + 0
+      rows++
+      if (s < min) {
+        printf "FATAL: speedup_vs_rebuild %.2f < %.2f\n%s\n", s, min, $0 \
+          > "/dev/stderr"
+        bad = 1
+      }
+    }
+  }
+  END {
+    if (rows == 0) {
+      print "FATAL: no speedup_vs_rebuild row in the bench output" \
+        > "/dev/stderr"
+      exit 1
+    }
+    if (bad) exit 1
+    printf "update gate: incremental path >= %.2fx over rebuild, all \
+answers identical\n", min
+  }
+' "$OUT"
+
+echo "check-update: OK"

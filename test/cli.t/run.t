@@ -349,6 +349,7 @@ hit reusing it.
     serve_deadline_exceeded  0
     serve_session_loads      0
     serve_session_evictions  0
+    serve_updates            0
     decomp_plans             2
     decomp_components        2
     decomp_indecomposable    0
@@ -446,6 +447,7 @@ in the approx_samples / approx_strata counters.
     serve_deadline_exceeded  0
     serve_session_loads      0
     serve_session_evictions  0
+    serve_updates            0
     decomp_plans             2
     decomp_components        2
     decomp_indecomposable    0
@@ -495,6 +497,7 @@ The chase reports its substitution count through the same counters.
     serve_deadline_exceeded  0
     serve_session_loads      0
     serve_session_evictions  0
+    serve_updates            0
     decomp_plans             0
     decomp_components        0
     decomp_indecomposable    0

@@ -110,8 +110,8 @@ let test_session_sharing_and_eviction () =
   check Alcotest.int "two sessions" 2 (Session.count s);
   ignore (Result.get_ok (Session.get s ~schema:schema_a ~db:db3));
   check Alcotest.int "capped at two" 2 (Session.count s);
-  (* FIFO: the first pair was evicted, so reloading it is a fresh
-     entry, not the one we held. *)
+  (* The first pair was the least recently used, so it was evicted:
+     reloading it is a fresh entry, not the one we held. *)
   let e1'' = Result.get_ok (Session.get s ~schema:schema_a ~db:db_a) in
   check Alcotest.bool "first session was evicted" false (e1 == e1'');
   match Session.get s ~schema:"R(" ~db:db_a with
@@ -214,6 +214,105 @@ let test_service_deadline () =
   let p2 = expect_ok (run_service ~guard:(fun () -> ()) certain_line) in
   check Alcotest.bool "guard presence is invisible in the result" true
     (p1 = p2)
+
+(* The update op, end to end at the service layer: a session mutated
+   in place must answer exactly like a fresh session loaded from the
+   updated database text — and the original (schema, db) pair keeps
+   addressing the mutated state. *)
+let test_service_update () =
+  let sessions = Session.create () in
+  let handle line = Service.handle ~sessions ~jobs:1 (parse_ok line) in
+  let certain_for db =
+    W.obj
+      [ ("op", W.S "certain"); ("schema", W.S schema_a); ("db", W.S db);
+        ("query", W.S "Q(x,y) := R(x,y) & !S(x,y)")
+      ]
+  in
+  let update_line fields =
+    W.obj
+      ([ ("op", W.S "update"); ("schema", W.S schema_a); ("db", W.S db_a) ]
+      @ List.map (fun (k, v) -> (k, W.S v)) fields)
+  in
+  let before = expect_ok (handle (certain_for db_a)) in
+  (* block R('c2','v') by inserting it into S *)
+  let up =
+    expect_ok
+      (handle
+         (update_line
+            [ ("action", "insert"); ("relation", "S");
+              ("tuple", "('c2', 'v')")
+            ]))
+  in
+  check Alcotest.string "applied echoed" "insert" (payload_str up "applied");
+  check Alcotest.string "new cardinality" "2" (payload_str up "cardinality");
+  let after = expect_ok (handle (certain_for db_a)) in
+  check Alcotest.bool "update changed the certain answers" false
+    (before = after);
+  (* bit-identity with a rebuilt session on the updated text *)
+  let rebuilt = Session.create () in
+  let db_updated = "R = { ('c1', ~1), ('c2', 'v') }; S = { ('c1', 'v'), ('c2', 'v') }" in
+  let expected =
+    expect_ok
+      (Service.handle ~sessions:rebuilt ~jobs:1 (parse_ok (certain_for db_updated)))
+  in
+  check Alcotest.bool "mutated session = rebuilt session" true
+    (after = expected);
+  (* deleting the tuple again restores the original answers exactly *)
+  ignore
+    (expect_ok
+       (handle
+          (update_line
+             [ ("action", "delete"); ("relation", "S");
+               ("tuple", "('c2', 'v')")
+             ])));
+  let restored = expect_ok (handle (certain_for db_a)) in
+  check Alcotest.bool "delete restored the original answers" true
+    (before = restored)
+
+let test_service_update_errors () =
+  let sessions = Session.create () in
+  let handle line = Service.handle ~sessions ~jobs:1 (parse_ok line) in
+  let line fields =
+    W.obj
+      ([ ("op", W.S "update"); ("schema", W.S schema_a); ("db", W.S db_a) ]
+      @ List.map (fun (k, v) -> (k, W.S v)) fields)
+  in
+  let expect_bad label fields needle =
+    let msg = expect_err W.Bad_request (handle (line fields)) in
+    check Alcotest.bool label true (contains msg needle)
+  in
+  expect_bad "missing action"
+    [ ("relation", "R"); ("tuple", "('c1', ~1)") ]
+    "action";
+  expect_bad "unknown action"
+    [ ("action", "upsert"); ("relation", "R"); ("tuple", "('c1', ~1)") ]
+    "upsert";
+  expect_bad "unknown relation"
+    [ ("action", "insert"); ("relation", "T"); ("tuple", "('c1', ~1)") ]
+    "unknown relation";
+  expect_bad "arity mismatch"
+    [ ("action", "insert"); ("relation", "R"); ("tuple", "('c1')") ]
+    "arity";
+  expect_bad "deleting an absent tuple"
+    [ ("action", "delete"); ("relation", "R"); ("tuple", "('c9', 'z')") ]
+    "not in";
+  expect_bad "inserting a duplicate"
+    [ ("action", "insert"); ("relation", "R"); ("tuple", "('c2', 'v')") ]
+    "already";
+  expect_bad "unparseable tuple"
+    [ ("action", "insert"); ("relation", "R"); ("tuple", "(oops") ]
+    "tuple";
+  (* the failed updates left the session byte-identical *)
+  let fresh = Session.create () in
+  let certain =
+    W.obj
+      [ ("op", W.S "certain"); ("schema", W.S schema_a); ("db", W.S db_a);
+        ("query", W.S "Q(x,y) := R(x,y)")
+      ]
+  in
+  check Alcotest.bool "session unchanged by refused updates" true
+    (expect_ok (handle certain)
+    = expect_ok (Service.handle ~sessions:fresh ~jobs:1 (parse_ok certain)))
 
 (* --- daemon end-to-end -------------------------------------------- *)
 
@@ -419,7 +518,7 @@ let () =
             test_wire_responses
         ] );
       ( "session",
-        [ Alcotest.test_case "sharing and FIFO eviction" `Quick
+        [ Alcotest.test_case "sharing and LRU eviction" `Quick
             test_session_sharing_and_eviction
         ] );
       ( "service",
@@ -429,7 +528,11 @@ let () =
             test_service_measure;
           Alcotest.test_case "typed bad requests" `Quick
             test_service_bad_requests;
-          Alcotest.test_case "deadline guard" `Quick test_service_deadline
+          Alcotest.test_case "deadline guard" `Quick test_service_deadline;
+          Alcotest.test_case "update mutates the session in place" `Quick
+            test_service_update;
+          Alcotest.test_case "update validation" `Quick
+            test_service_update_errors
         ] );
       ( "daemon",
         [ Alcotest.test_case "end to end over a unix socket" `Quick
