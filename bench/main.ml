@@ -623,6 +623,7 @@ let () =
   let timings = List.mem "--timings" args in
   let parallel = List.mem "--parallel" args in
   let serve = List.mem "--serve" args in
+  let router = List.mem "--router" args in
   let update = List.mem "--update" args in
   let smoke = List.mem "--smoke" args in
   let rec flag_value key = function
@@ -676,6 +677,7 @@ let () =
     | Some p -> p
     | None ->
         if serve then "BENCH_serve.json"
+        else if router then "BENCH_router.json"
         else if update then "BENCH_update.json"
         else if smoke then "BENCH_smoke.json"
         else "BENCH_parallel.json"
@@ -696,6 +698,11 @@ let () =
     (* --serve is its own mode: the service bench spawns threads and an
        in-process server, which would only perturb the timing modes. *)
     Serve_bench.run ~smoke ~out ?socket:(flag_value "--socket" args) ()
+  else if router then
+    Router_bench.run ~smoke ~out
+      ?socket:(flag_value "--socket" args)
+      ?ref_socket:(flag_value "--ref-socket" args)
+      ()
   else if update then
     (* --update too: it wants a quiet process to time the mutation
        path against a from-scratch session rebuild. *)

@@ -982,8 +982,15 @@ let serve_cmd =
     in
     Arg.(value & opt float 30.0 & info [ "drain-grace" ] ~docv:"SECONDS" ~doc)
   in
+  let shard_id_arg =
+    let doc =
+      "Stable shard identity reported by the health op (defaults to the \
+       listen address) — what a router uses to tell shards apart."
+    in
+    Arg.(value & opt (some string) None & info [ "shard-id" ] ~docv:"ID" ~doc)
+  in
   let run socket port host jobs workers max_queue deadline_ms max_sessions
-      drain_grace metrics metrics_json trace =
+      drain_grace shard_id metrics metrics_json trace =
     with_obs ~metrics ~metrics_json ~trace @@ fun () ->
     let addr = addr_of ~socket ~port ~host in
     let cfg =
@@ -993,7 +1000,8 @@ let serve_cmd =
         max_queue;
         deadline_ms = (if deadline_ms <= 0 then None else Some deadline_ms);
         max_sessions;
-        drain_grace_s = drain_grace
+        drain_grace_s = drain_grace;
+        shard_id
       }
     in
     (match addr with
@@ -1021,7 +1029,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ socket_arg $ port_arg $ host_arg $ jobs_arg
           $ workers_arg $ max_queue_arg $ deadline_arg $ max_sessions_arg
-          $ drain_grace_arg $ metrics_arg $ metrics_json_arg $ trace_arg)
+          $ drain_grace_arg $ shard_id_arg $ metrics_arg $ metrics_json_arg
+          $ trace_arg)
 
 let contains_substring hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -1168,6 +1177,105 @@ let client_cmd =
           $ capprox_arg $ cseed_arg $ cstratify_arg $ scheme_arg
           $ action_arg $ relation_arg $ deadline_arg $ id_arg $ raw_arg)
 
+let router_cmd =
+  let shards_arg =
+    let doc =
+      "Backend shard address (repeatable, in ring order): host:port for TCP, \
+       anything else a Unix socket path. The ring is built from every \
+       configured shard; liveness is probed, not configured."
+    in
+    Arg.(value & opt_all string [] & info [ "shard" ] ~docv:"ADDR" ~doc)
+  in
+  let replicas_arg =
+    let doc =
+      "Read replicas per session: reads round-robin over the session's \
+       $(docv) first live ring successors; updates go to the primary and \
+       are forwarded to the rest in order."
+    in
+    Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"R" ~doc)
+  in
+  let window_arg =
+    let doc = "Bound on in-flight requests per shard." in
+    Arg.(value & opt int 32 & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let fail_threshold_arg =
+    let doc = "Consecutive health-probe failures before a shard is ejected." in
+    Arg.(value & opt int 3 & info [ "fail-threshold" ] ~docv:"K" ~doc)
+  in
+  let probe_interval_arg =
+    let doc = "Seconds between health-probe rounds." in
+    Arg.(value & opt float 0.25 & info [ "probe-interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let shard_timeout_arg =
+    let doc =
+      "Bound in seconds on any single shard conversation (send and receive); \
+       past it the request fails over or returns shard_unavailable instead \
+       of hanging."
+    in
+    Arg.(value & opt float 30.0 & info [ "shard-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let drain_grace_arg =
+    let doc =
+      "Seconds the rolling drain waits for each shard's in-flight window to \
+       empty before closing its connections."
+    in
+    Arg.(value & opt float 30.0 & info [ "drain-grace" ] ~docv:"SECONDS" ~doc)
+  in
+  let run socket port host shards replicas window fail_threshold probe_interval
+      shard_timeout drain_grace metrics metrics_json trace =
+    with_obs ~metrics ~metrics_json ~trace @@ fun () ->
+    let addr = addr_of ~socket ~port ~host in
+    if shards = [] then begin
+      Printf.eprintf "error: pass at least one --shard ADDR\n";
+      exit 2
+    end;
+    let shard_addrs =
+      List.map
+        (fun s ->
+          match Shard.Router.parse_addr s with
+          | Ok a -> a
+          | Error msg ->
+              Printf.eprintf "error: bad --shard %s: %s\n" s msg;
+              exit 2)
+        shards
+    in
+    let cfg =
+      { (Shard.Router.default_config ~addr ~shards:shard_addrs) with
+        replicas;
+        window;
+        fail_threshold;
+        probe_interval_s = probe_interval;
+        shard_timeout_s = shard_timeout;
+        drain_grace_s = drain_grace
+      }
+    in
+    Printf.eprintf "certainty: routing %d shard(s) on %s\n%!"
+      (List.length shards)
+      (Server.Daemon.addr_string addr);
+    match Shard.Router.run ~signals:true cfg with
+    | () -> ()
+    | exception Invalid_argument msg | exception Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | exception Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "error: cannot route: %s (%s)\n" (Unix.error_message e)
+          fn;
+        exit 2
+  in
+  let doc =
+    "Run the sharded serving tier's front router: consistent-hash the \
+     (schema, db) session key of every wire-protocol request onto a ring of \
+     backend 'certainty serve' shards, with health-gated membership, \
+     replicated reads, ordered update forwarding, and typed \
+     shard_unavailable errors. Clients speak the exact same protocol as to \
+     a single daemon."
+  in
+  Cmd.v (Cmd.info "router" ~doc)
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ shards_arg
+          $ replicas_arg $ window_arg $ fail_threshold_arg
+          $ probe_interval_arg $ shard_timeout_arg $ drain_grace_arg
+          $ metrics_arg $ metrics_json_arg $ trace_arg)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -1182,4 +1290,4 @@ let () =
        (Cmd.group ~default info
           [ analyze_cmd; naive_cmd; certain_cmd; measure_cmd; conditional_cmd; best_cmd;
             approx_cmd; datalog_cmd; chase_cmd; sat_cmd; trace_check_cmd;
-            serve_cmd; client_cmd ]))
+            serve_cmd; router_cmd; client_cmd ]))

@@ -18,8 +18,14 @@ let analyse ?k ?tuple inst =
       (Instance.nulls inst
       @ match tuple with None -> [] | Some t -> Tuple.nulls t)
   in
+  (* Content-determined default: |Const(D)| + 16, never the max intern
+     code. Intern codes are assigned in process arrival order, so a
+     max-code default would make the reported cost depend on what else
+     the process has served — a long-lived daemon (or a differently
+     loaded shard behind a router) would report different k, space and
+     machine figures for the very same database. *)
   let k =
-    match k with Some k -> max 1 k | None -> Instance.max_constant inst + 16
+    match k with Some k -> max 1 k | None -> Instance.constant_count inst + 16
   in
   { nulls = List.length nulls;
     k;

@@ -37,6 +37,13 @@ let serve_updates = make "serve_updates"
 let decomp_plans = make "decomp_plans"
 let decomp_components = make "decomp_components"
 let decomp_indecomposable = make "decomp_indecomposable"
+let router_requests = make "router_requests"
+let router_forwards = make "router_forwards"
+let router_retries = make "router_retries"
+let router_replica_forwards = make "router_replica_forwards"
+let router_shard_unavailable = make "router_shard_unavailable"
+let router_ring_remaps = make "router_ring_remaps"
+let router_probe_failures = make "router_probe_failures"
 
 let all =
   [ valuations_evaluated; kernel_refreshes; short_circuits; cache_hits;
@@ -45,7 +52,10 @@ let all =
     serve_connections; serve_requests;
     serve_parse_errors; serve_overloaded; serve_deadline_exceeded;
     serve_session_loads; serve_session_evictions; serve_updates;
-    decomp_plans; decomp_components; decomp_indecomposable
+    decomp_plans; decomp_components; decomp_indecomposable;
+    router_requests; router_forwards; router_retries;
+    router_replica_forwards; router_shard_unavailable; router_ring_remaps;
+    router_probe_failures
   ]
 
 let name c = c.cname

@@ -124,6 +124,37 @@ val decomp_components : t
 val decomp_indecomposable : t
 (** Analyses that ended [Indecomposable] (no sound plan). *)
 
+(** {2 Router-tier counters}
+
+    Bumped by the sharding router ([Shard.Router], [certainty
+    router]); zero everywhere else. Per-shard latency lands in the
+    [router.shard.<name>] span histograms. *)
+
+val router_requests : t
+(** Request lines received by the router (well-formed or not). *)
+
+val router_forwards : t
+(** Request lines sent to backend shards — proxied client requests
+    and replayed [update] lines both. *)
+
+val router_retries : t
+(** Reads retried on another replica after a shard conversation
+    failed. *)
+
+val router_replica_forwards : t
+(** Accepted [update] lines forwarded to read replicas (one count per
+    replica reached). *)
+
+val router_shard_unavailable : t
+(** Requests answered with the typed [shard_unavailable] error. *)
+
+val router_ring_remaps : t
+(** Membership transitions (shard ejected, re-admitted, or observed
+    restarting under a new generation) — each remaps one ring arc. *)
+
+val router_probe_failures : t
+(** Health probes that failed (connect refused, timeout, bad reply). *)
+
 (** {1 Span histograms}
 
     {!Trace.span} feeds the wall-time of every completed span into a

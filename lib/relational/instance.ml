@@ -143,6 +143,7 @@ let adom t =
 let null_count t = List.length (nulls t)
 let is_complete t = nulls t = []
 let max_constant t = List.fold_left max 0 (constants t)
+let constant_count t = List.length (constants t)
 
 let map_values f t =
   { t with

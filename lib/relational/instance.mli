@@ -71,7 +71,14 @@ val null_count : t -> int
 val is_complete : t -> bool
 
 val max_constant : t -> int
-(** Largest constant code occurring; [0] when none. *)
+(** Largest constant code occurring; [0] when none. Constant codes are
+    process-global intern order, so this depends on what else the
+    process has parsed — use {!constant_count} for anything that must
+    be a function of the instance's content alone. *)
+
+val constant_count : t -> int
+(** [|Const(D)|], the number of distinct constants — content-determined,
+    identical in every process that holds this instance. *)
 
 (** {1 Transformation} *)
 

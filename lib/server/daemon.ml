@@ -10,6 +10,7 @@ type config = {
   deadline_ms : int option;
   max_sessions : int;
   drain_grace_s : float;
+  shard_id : string option;
 }
 
 let default_config addr =
@@ -19,8 +20,13 @@ let default_config addr =
     max_queue = 64;
     deadline_ms = None;
     max_sessions = 16;
-    drain_grace_s = 30.0
+    drain_grace_s = 30.0;
+    shard_id = None
   }
+
+let addr_string = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
 
 (* Protocol limits. A request line longer than [max_line_bytes] is
    refused (the admission design bounds memory everywhere else; the
@@ -71,6 +77,7 @@ type job = {
 
 type t = {
   cfg : config;
+  generation : int;  (* fresh per [start]: lets a router spot restarts *)
   sessions : Session.t;
   lock : Mutex.t;
   queue : job Queue.t;
@@ -235,7 +242,13 @@ let health_line t req =
       ("queue", Wire.I queue_len);
       ("inflight", Wire.I inflight);
       ("workers", Wire.I t.cfg.service_threads);
-      ("max_queue", Wire.I t.cfg.max_queue)
+      ("max_queue", Wire.I t.cfg.max_queue);
+      ( "shard_id",
+        Wire.S
+          (match t.cfg.shard_id with
+          | Some id -> id
+          | None -> addr_string t.cfg.addr) );
+      ("generation", Wire.I t.generation)
     ]
 
 let admit t job =
@@ -468,8 +481,15 @@ let start_common cfg =
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let listen_fd, sock_path = bind_listener cfg.addr in
   let wake_r, wake_w = Unix.pipe () in
+  (* Monotone clock mixed with the pid: distinct across restarts of a
+     shard behind the same address, which is all a router needs. *)
+  let generation =
+    (Int64.to_int (Obs.Clock.now_ns ()) lxor (Unix.getpid () * 0x9E3779B1))
+    land max_int lor 1
+  in
   let t =
     { cfg;
+      generation;
       sessions = Session.create ~max_sessions:cfg.max_sessions ();
       lock = Mutex.create ();
       queue = Queue.create ();

@@ -55,11 +55,17 @@ type config = {
   drain_grace_s : float;
       (** how long drain waits for in-flight work before force-closing
           connections *)
+  shard_id : string option;
+      (** stable identity reported by [health] (defaults to the
+          listen address) — lets a router tell shards apart *)
 }
 
 val default_config : addr -> config
 (** [jobs = None], 4 service threads, queue bound 64, no deadline,
-    16 sessions, 30s drain grace. *)
+    16 sessions, 30s drain grace, [shard_id = None]. *)
+
+val addr_string : addr -> string
+(** Human-readable form: the socket path, or [host:port]. *)
 
 val resolve_ipv4 : string -> Unix.inet_addr
 (** Resolve a dotted-quad or host name to an IPv4 address.
@@ -72,7 +78,10 @@ type t
 val start : config -> t
 (** Bind, listen, spawn the listener and worker threads, and return.
     Also ignores SIGPIPE process-wide (a client hanging up mid-response
-    must not kill the server).
+    must not kill the server). Each start stamps a fresh nonzero
+    [generation], reported by [health]: a router seeing it change
+    behind a fixed address knows the shard restarted and lost its
+    sessions.
     @raise Unix.Unix_error when the address cannot be bound.
     @raise Failure when a TCP host name does not resolve. *)
 

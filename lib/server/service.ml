@@ -147,8 +147,16 @@ let precheck ?deps ?tuple schema inst q =
       ( Wire.Analysis_error,
         "static analysis failed: " ^ String.concat " " codes )
 
+(* Render in name order, not code order: relation sets iterate in
+   constant-code order, and codes are process-global intern state —
+   two shards that interned the same constants in a different order
+   would list the same answers differently. Sorting the rendered
+   strings makes the wire bytes a function of content alone, which the
+   router tier's byte-identity gate depends on. *)
 let rel_string rel =
-  String.concat "; " (List.map Tuple.to_string (Relation.to_list rel))
+  String.concat "; "
+    (List.sort String.compare
+       (List.map Tuple.to_string (Relation.to_list rel)))
 
 let series_string series =
   String.concat ";"

@@ -206,6 +206,7 @@ type error =
   | Overloaded
   | Deadline_exceeded
   | Shutting_down
+  | Shard_unavailable
   | Internal_error
 
 let error_code = function
@@ -216,6 +217,7 @@ let error_code = function
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
   | Shutting_down -> "shutting_down"
+  | Shard_unavailable -> "shard_unavailable"
   | Internal_error -> "internal_error"
 
 let obj fields =

@@ -54,6 +54,9 @@ type error =
   | Overloaded  (** admission queue full — load shed, retry later *)
   | Deadline_exceeded  (** partial work discarded *)
   | Shutting_down  (** server is draining; no new work accepted *)
+  | Shard_unavailable
+      (** router tier only: no live backend shard can serve the
+          session right now — retry after the prober re-admits one *)
   | Internal_error
 
 val error_code : error -> string

@@ -1,0 +1,69 @@
+(* FNV-1a over the bytes, avalanched with the murmur3 finalizer and
+   folded to a nonnegative 62-bit int. The ring only needs a
+   well-spread deterministic hash — not a cryptographic one — but raw
+   FNV is not it: its high bits barely avalanche, so similar short
+   keys ("a#0", "a#1", ...) cluster into a few arcs and one shard ends
+   up owning half the circle. The finalizer's two xor-shift/multiply
+   rounds fix exactly that, and keep the whole thing dependency-free. *)
+let hash64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  let mix = Int64.logxor !h (Int64.shift_right_logical !h 33) in
+  let mix = Int64.mul mix 0xff51afd7ed558ccdL in
+  let mix = Int64.logxor mix (Int64.shift_right_logical mix 33) in
+  let mix = Int64.mul mix 0xc4ceb9fe1a85ec53L in
+  let mix = Int64.logxor mix (Int64.shift_right_logical mix 33) in
+  Int64.to_int (Int64.shift_right_logical mix 2) land max_int
+
+type t = {
+  points : (int * int) array;  (* (point hash, shard index), sorted *)
+  nshards : int;
+}
+
+let create ?(vnodes = 64) names =
+  let nshards = Array.length names in
+  if nshards = 0 then invalid_arg "Ring.create: no shards";
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be positive";
+  let pts = ref [] in
+  Array.iteri
+    (fun i name ->
+      for v = 0 to vnodes - 1 do
+        pts := (hash64 (Printf.sprintf "%s#%d" name v), i) :: !pts
+      done)
+    names;
+  let points = Array.of_list !pts in
+  (* Ties (identical point hashes) resolve by shard index — still
+     deterministic across processes. *)
+  Array.sort compare points;
+  { points; nshards }
+
+let nshards t = t.nshards
+
+(* First point at or clockwise of [h]; wraps to 0 past the end. *)
+let first_at t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let successors t ~up ~n key =
+  let npts = Array.length t.points in
+  let start = first_at t (hash64 key) in
+  let rec go steps acc count =
+    if steps >= npts || count >= n then List.rev acc
+    else
+      let _, s = t.points.((start + steps) mod npts) in
+      if (not (List.mem s acc)) && up s then
+        go (steps + 1) (s :: acc) (count + 1)
+      else go (steps + 1) acc count
+  in
+  if n <= 0 then [] else go 0 [] 0
+
+let lookup t ~up key =
+  match successors t ~up ~n:1 key with [] -> None | s :: _ -> Some s

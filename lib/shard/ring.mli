@@ -1,0 +1,35 @@
+(** Consistent-hash ring over a fixed set of configured shards.
+
+    The ring is built once, from {e every} configured shard: each
+    shard owns [vnodes] pseudo-random points on a 62-bit circle, and a
+    session key is served by the first point clockwise from its hash.
+    Liveness is {e not} baked into the ring — lookups take an [up]
+    predicate and walk past points owned by down shards. That is what
+    makes membership changes minimally disruptive: ejecting a shard
+    remaps only the arcs it owned (keys whose walk never met the shard
+    keep their assignment, bit for bit), and re-admission restores
+    exactly the original mapping. *)
+
+type t
+
+val create : ?vnodes:int -> string array -> t
+(** Build the ring from the configured shard names (index [i] in the
+    array is the shard's identity everywhere else). Deterministic: the
+    same names yield the same ring in every process. Default 64
+    virtual nodes per shard.
+    @raise Invalid_argument on an empty array. *)
+
+val nshards : t -> int
+
+val successors : t -> up:(int -> bool) -> n:int -> string -> int list
+(** The first [n] {e distinct} live shards clockwise from the key's
+    point, in ring order — position 0 is the key's primary, the rest
+    its replica candidates. Fewer than [n] (possibly none) when the
+    ring is short of live shards. *)
+
+val lookup : t -> up:(int -> bool) -> string -> int option
+(** [successors ~n:1], the key's current primary. *)
+
+val hash64 : string -> int
+(** The ring's point hash (FNV-1a folded to 62 bits, nonnegative) —
+    exposed for tests. *)

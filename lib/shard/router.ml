@@ -1,0 +1,822 @@
+module Daemon = Server.Daemon
+module Client = Server.Client
+module Wire = Server.Wire
+module Metrics = Obs.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  addr : Daemon.addr;
+  shards : Daemon.addr array;
+  replicas : int;
+  window : int;
+  fail_threshold : int;
+  probe_interval_s : float;
+  shard_timeout_s : float;
+  connect_attempts : int;
+  drain_grace_s : float;
+}
+
+let default_config ~addr ~shards =
+  { addr;
+    shards = Array.of_list shards;
+    replicas = 1;
+    window = 32;
+    fail_threshold = 3;
+    probe_interval_s = 0.25;
+    shard_timeout_s = 30.0;
+    connect_attempts = 3;
+    drain_grace_s = 30.0
+  }
+
+(* "host:port" with a numeric port and no slash is TCP; anything else
+   is a Unix socket path (so "./srv.sock" and "/tmp/a:b" both work). *)
+let parse_addr s =
+  if s = "" then Error "empty shard address"
+  else
+    match String.rindex_opt s ':' with
+    | Some i when i > 0 && i < String.length s - 1 -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && not (String.contains host '/') ->
+            Ok (Daemon.Tcp (host, p))
+        | _ -> Ok (Daemon.Unix_sock s))
+    | _ -> Ok (Daemon.Unix_sock s)
+
+(* Protocol limit, same as the daemon's reader. *)
+let max_line_bytes = 1 lsl 20
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One backend shard. [s_lock]/[s_cond] guard every mutable field; the
+   in-flight window blocks on the condition. [s_generation] is the
+   value last reported by the shard's health op — when it changes
+   behind the same address the shard restarted and lost its sessions,
+   so pooled connections are dropped and per-session replay state
+   keyed by the old generation goes stale by construction. *)
+type shard = {
+  s_idx : int;
+  s_name : string;
+  s_addr : Daemon.addr;
+  s_lock : Mutex.t;
+  s_cond : Condition.t;
+  mutable s_up : bool;
+  mutable s_generation : int;  (* 0 = never probed successfully *)
+  mutable s_failures : int;  (* consecutive probe failures *)
+  mutable s_idle : Client.conn list;
+  mutable s_busy : Client.conn list;
+  mutable s_inflight : int;
+  mutable s_draining : bool;
+}
+
+(* Per-session replication state, created lazily on the first accepted
+   [update]. The ordered log of accepted update lines is the session's
+   write history: any shard (replica, remapped primary, restarted
+   primary) is brought to the present by replaying the suffix it has
+   not seen, tracked per (shard, generation). Read-only sessions never
+   allocate one of these — backends materialize them from the request
+   text on demand. *)
+type session = {
+  sn_lock : Mutex.t;
+  mutable sn_log : string list;  (* accepted update lines, newest first *)
+  mutable sn_len : int;
+  mutable sn_applied : ((int * int) * int) list;
+      (* (shard index, shard generation) -> prefix length applied *)
+}
+
+(* A downstream client connection. Requests on one connection are
+   handled serially by its reader thread, which preserves the wire
+   protocol's response ordering without a reorder buffer. *)
+type cconn = {
+  c_fd : Unix.file_descr;
+  c_ic : in_channel;
+  c_oc : out_channel;
+  c_wlock : Mutex.t;
+  mutable c_closed : bool;
+}
+
+type t = {
+  cfg : config;
+  ring : Ring.t;
+  shards : shard array;
+  sessions : (string, session) Hashtbl.t;
+  sess_lock : Mutex.t;
+  rr_tick : int Atomic.t;  (* spreads reads over replica sets *)
+  draining : bool Atomic.t;
+  stop_prober : bool Atomic.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  listen_fd : Unix.file_descr;
+  sock_path : string option;
+  lock : Mutex.t;  (* [conns] and [readers] *)
+  mutable conns : cconn list;
+  mutable readers : Thread.t list;
+  mutable prober : Thread.t option;
+  mutable listener : Thread.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let resp_ok resp = contains resp "\"ok\":true"
+
+(* A shard that answers [shutting_down] is mid-drain: the line is a
+   valid response, but relaying it would leak tier topology to the
+   client — the contract is that backends failing over is the
+   router's problem. Treat it like a transport failure and move on. *)
+let resp_shutting_down resp = contains resp "\"error\":\"shutting_down\""
+
+(* Pull an integer field out of a response line. Responses are our own
+   emitter's output, so a plain scan for the key is exact enough. *)
+let int_of_resp resp key =
+  let pat = "\"" ^ key ^ "\":" in
+  let nh = String.length resp and np = String.length pat in
+  let rec find i =
+    if i + np > nh then None
+    else if String.sub resp i np = pat then Some (i + np)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some j ->
+      let k = ref j in
+      while !k < nh && (match resp.[!k] with '0' .. '9' -> true | _ -> false) do
+        incr k
+      done;
+      if !k = j then None else int_of_string_opt (String.sub resp j (!k - j))
+
+let rec firstn n l =
+  if n <= 0 then [] else match l with [] -> [] | x :: r -> x :: firstn (n - 1) r
+
+let rotate k l =
+  let n = List.length l in
+  if n = 0 then []
+  else
+    let k = ((k mod n) + n) mod n in
+    let rec drop i l = if i = 0 then l else drop (i - 1) (List.tl l) in
+    drop k l @ firstn k l
+
+let session_key ~schema ~db = schema ^ "\x00" ^ db
+
+let now_ns () = Int64.to_int (Obs.Clock.now_ns ())
+
+(* ------------------------------------------------------------------ *)
+(* Shard connection pool                                               *)
+(* ------------------------------------------------------------------ *)
+
+let drop_idle sh =
+  let idle =
+    Mutex.protect sh.s_lock (fun () ->
+        let l = sh.s_idle in
+        sh.s_idle <- [];
+        l)
+  in
+  List.iter
+    (fun c ->
+      Client.shutdown c;
+      Client.close c)
+    idle
+
+(* Borrow a connection to [sh], blocking while the shard's in-flight
+   window is full. [None] when the shard is down, draining, or cannot
+   be connected within the (short, backed-off) attempt budget. *)
+let checkout t sh =
+  Mutex.lock sh.s_lock;
+  let rec go () =
+    if sh.s_draining || not sh.s_up then begin
+      Mutex.unlock sh.s_lock;
+      None
+    end
+    else if sh.s_inflight >= t.cfg.window then begin
+      Condition.wait sh.s_cond sh.s_lock;
+      go ()
+    end
+    else begin
+      sh.s_inflight <- sh.s_inflight + 1;
+      let pooled =
+        match sh.s_idle with
+        | c :: rest ->
+            sh.s_idle <- rest;
+            sh.s_busy <- c :: sh.s_busy;
+            Some c
+        | [] -> None
+      in
+      Mutex.unlock sh.s_lock;
+      match pooled with
+      | Some c -> Some c
+      | None -> (
+          match
+            Client.connect_retry ~attempts:t.cfg.connect_attempts ~delay:0.02
+              ~cap:0.2 sh.s_addr
+          with
+          | c ->
+              Client.set_timeout c t.cfg.shard_timeout_s;
+              Mutex.protect sh.s_lock (fun () -> sh.s_busy <- c :: sh.s_busy);
+              Some c
+          | exception (Unix.Unix_error _ | Failure _) ->
+              Mutex.protect sh.s_lock (fun () ->
+                  sh.s_inflight <- sh.s_inflight - 1;
+                  Condition.signal sh.s_cond);
+              None)
+    end
+  in
+  go ()
+
+let checkin sh conn ~ok =
+  Mutex.protect sh.s_lock (fun () ->
+      sh.s_busy <- List.filter (fun c -> c != conn) sh.s_busy;
+      sh.s_inflight <- sh.s_inflight - 1;
+      if ok && sh.s_up && not sh.s_draining then sh.s_idle <- conn :: sh.s_idle
+      else begin
+        Client.shutdown conn;
+        Client.close conn
+      end;
+      Condition.signal sh.s_cond)
+
+(* One request/response round trip; [None] on any transport failure
+   (the connection must then be checked in with [~ok:false]). *)
+let talk conn line =
+  Metrics.incr Metrics.router_forwards;
+  match Client.request conn line with
+  | resp -> resp
+  | exception Sys_error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Session catch-up (write forwarding and replay)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Bring [sh] up to date with the session's accepted-update log over
+   [conn]. Caller holds [sn_lock]. Replay is idempotent per shard
+   generation: the applied prefix length is tracked per (shard,
+   generation), so a restarted shard (fresh generation) replays from
+   zero while a caught-up one replays nothing. *)
+let ensure_synced sess sh conn =
+  let gen = Mutex.protect sh.s_lock (fun () -> sh.s_generation) in
+  let k = (sh.s_idx, gen) in
+  let have =
+    match List.assoc_opt k sess.sn_applied with Some n -> n | None -> 0
+  in
+  if have >= sess.sn_len then true
+  else
+    let to_replay = List.rev (firstn (sess.sn_len - have) sess.sn_log) in
+    let ok =
+      List.for_all
+        (fun l -> match talk conn l with Some r -> resp_ok r | None -> false)
+        to_replay
+    in
+    if ok then
+      sess.sn_applied <-
+        (k, sess.sn_len)
+        :: List.filter (fun ((i, _), _) -> i <> sh.s_idx) sess.sn_applied;
+    ok
+
+let find_session t key =
+  Mutex.protect t.sess_lock (fun () -> Hashtbl.find_opt t.sessions key)
+
+let get_session t key =
+  Mutex.protect t.sess_lock (fun () ->
+      match Hashtbl.find_opt t.sessions key with
+      | Some s -> s
+      | None ->
+          let s =
+            { sn_lock = Mutex.create ();
+              sn_log = [];
+              sn_len = 0;
+              sn_applied = []
+            }
+          in
+          Hashtbl.add t.sessions key s;
+          s)
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let live_mask t =
+  Array.map
+    (fun sh -> Mutex.protect sh.s_lock (fun () -> sh.s_up && not sh.s_draining))
+    t.shards
+
+let candidates t key =
+  let mask = live_mask t in
+  Ring.successors t.ring ~up:(Array.get mask) ~n:(max 1 t.cfg.replicas) key
+
+let unavailable ~id msg =
+  Metrics.incr Metrics.router_shard_unavailable;
+  Wire.error_line ~id Wire.Shard_unavailable msg
+
+(* One shard conversation for a read: sync the session's updates in if
+   it has any, then proxy the request line verbatim. *)
+let read_on_shard sess_opt sh conn line =
+  let synced =
+    match sess_opt with
+    | None -> true
+    | Some sess -> Mutex.protect sess.sn_lock (fun () -> ensure_synced sess sh conn)
+  in
+  if not synced then None
+  else
+    match talk conn line with
+    | Some resp when resp_shutting_down resp -> None
+    | r -> r
+
+let route_read t ~id ~key line =
+  match candidates t key with
+  | [] -> unavailable ~id "no live shard for session"
+  | cands ->
+      let order = rotate (Atomic.fetch_and_add t.rr_tick 1) cands in
+      let sess = find_session t key in
+      let rec go tried = function
+        | [] ->
+            unavailable ~id
+              (Printf.sprintf "no replica reachable (%d tried)" tried)
+        | i :: rest -> (
+            if tried > 0 then Metrics.incr Metrics.router_retries;
+            let sh = t.shards.(i) in
+            match checkout t sh with
+            | None -> go (tried + 1) rest
+            | Some conn -> (
+                let t0 = now_ns () in
+                match read_on_shard sess sh conn line with
+                | Some resp ->
+                    checkin sh conn ~ok:true;
+                    Metrics.observe_span
+                      ("router.shard." ^ sh.s_name)
+                      (now_ns () - t0);
+                    resp
+                | None ->
+                    checkin sh conn ~ok:false;
+                    go (tried + 1) rest))
+      in
+      go 0 order
+
+(* Writes: catch the primary up, apply there, and only on an accepted
+   response append the line to the session log and forward it (by the
+   same catch-up) to the replicas that are reachable right now — all
+   under the session lock, so updates to one session are totally
+   ordered and every replica applies the same accepted prefix in the
+   same order. Replicas missed here (down, restarting) are caught up
+   lazily by the next read or write that touches them. *)
+let route_update t ~id ~key line =
+  let sess = get_session t key in
+  Mutex.protect sess.sn_lock (fun () ->
+      match candidates t key with
+      | [] -> unavailable ~id "no live shard for session"
+      | primary :: replicas -> (
+          let sh = t.shards.(primary) in
+          match checkout t sh with
+          | None -> unavailable ~id "primary shard unavailable"
+          | Some conn ->
+              if not (ensure_synced sess sh conn) then begin
+                checkin sh conn ~ok:false;
+                unavailable ~id "primary shard unavailable"
+              end
+              else begin
+                let t0 = now_ns () in
+                match talk conn line with
+                | None ->
+                    checkin sh conn ~ok:false;
+                    unavailable ~id "primary shard failed mid-update"
+                | Some resp when resp_shutting_down resp ->
+                    checkin sh conn ~ok:false;
+                    unavailable ~id "primary shard is draining"
+                | Some resp ->
+                    checkin sh conn ~ok:true;
+                    Metrics.observe_span
+                      ("router.shard." ^ sh.s_name)
+                      (now_ns () - t0);
+                    if resp_ok resp then begin
+                      sess.sn_log <- line :: sess.sn_log;
+                      sess.sn_len <- sess.sn_len + 1;
+                      let gen =
+                        Mutex.protect sh.s_lock (fun () -> sh.s_generation)
+                      in
+                      sess.sn_applied <-
+                        ((primary, gen), sess.sn_len)
+                        :: List.filter
+                             (fun ((i, _), _) -> i <> primary)
+                             sess.sn_applied;
+                      List.iter
+                        (fun r ->
+                          let rsh = t.shards.(r) in
+                          match checkout t rsh with
+                          | None -> ()
+                          | Some rc ->
+                              let ok = ensure_synced sess rsh rc in
+                              if ok then
+                                Metrics.incr Metrics.router_replica_forwards;
+                              checkin rsh rc ~ok)
+                        replicas
+                    end;
+                    resp
+              end))
+
+(* ------------------------------------------------------------------ *)
+(* Router health                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let health_line t ~id =
+  let up = ref 0 in
+  let parts =
+    Array.to_list t.shards
+    |> List.map (fun sh ->
+           let state =
+             Mutex.protect sh.s_lock (fun () ->
+                 if sh.s_up then begin
+                   incr up;
+                   "up"
+                 end
+                 else "down")
+           in
+           sh.s_name ^ "=" ^ state)
+  in
+  let sessions = Mutex.protect t.sess_lock (fun () -> Hashtbl.length t.sessions) in
+  Wire.ok_line ~id ~op:"health"
+    [ ( "status",
+        Wire.S (if Atomic.get t.draining then "draining" else "serving") );
+      ("tier", Wire.S "router");
+      ("shards", Wire.I (Array.length t.shards));
+      ("shards_up", Wire.I !up);
+      ("replicas", Wire.I t.cfg.replicas);
+      ("sessions", Wire.I sessions);
+      ("shard_status", Wire.S (String.concat " " parts))
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Downstream connections                                              *)
+(* ------------------------------------------------------------------ *)
+
+let cc_send cc line =
+  Mutex.protect cc.c_wlock (fun () ->
+      if not cc.c_closed then
+        try
+          output_string cc.c_oc line;
+          output_char cc.c_oc '\n';
+          flush cc.c_oc
+        with Sys_error _ -> (
+          try Unix.shutdown cc.c_fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ()))
+
+let close_cconn cc =
+  Mutex.protect cc.c_wlock (fun () ->
+      if not cc.c_closed then begin
+        cc.c_closed <- true;
+        (try flush cc.c_oc with Sys_error _ -> ());
+        try Unix.close cc.c_fd with Unix.Unix_error _ -> ()
+      end)
+
+let handle_line t cc line =
+  Metrics.incr Metrics.router_requests;
+  match Wire.parse_request line with
+  | Error msg -> cc_send cc (Wire.error_line ~id:None Wire.Parse_error msg)
+  | Ok req when req.Wire.op = "health" ->
+      cc_send cc (health_line t ~id:req.Wire.id)
+  | Ok req when Atomic.get t.draining ->
+      cc_send cc
+        (Wire.error_line ~id:req.Wire.id Wire.Shutting_down
+           "router is draining")
+  | Ok req ->
+      let id = req.Wire.id in
+      let schema = Option.value (Wire.str_field req "schema") ~default:"" in
+      let db = Option.value (Wire.str_field req "db") ~default:"" in
+      let key = session_key ~schema ~db in
+      let t0 = now_ns () in
+      let resp =
+        Obs.Trace.span "router.request"
+          ~attrs:
+            [ ("op", req.Wire.op);
+              ("id", match id with Some i -> i | None -> "")
+            ]
+          (fun () ->
+            if req.Wire.op = "update" then route_update t ~id ~key line
+            else route_read t ~id ~key line)
+      in
+      Metrics.observe_span "router.request" (now_ns () - t0);
+      cc_send cc resp
+
+let read_request_line cc =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match input_char cc.c_ic with
+    | '\n' -> `Line (Buffer.contents buf)
+    | c ->
+        if Buffer.length buf >= max_line_bytes then `Too_long
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+    | exception End_of_file ->
+        if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+    | exception Sys_error _ -> `Eof
+  in
+  go ()
+
+let reader_loop t cc =
+  let rec loop () =
+    match read_request_line cc with
+    | `Eof -> ()
+    | `Line "" -> loop ()
+    | `Line line ->
+        handle_line t cc line;
+        loop ()
+    | `Too_long ->
+        Metrics.incr Metrics.router_requests;
+        cc_send cc
+          (Wire.error_line ~id:None Wire.Parse_error
+             (Printf.sprintf
+                "request line exceeds %d bytes; closing connection"
+                max_line_bytes))
+  in
+  loop ();
+  close_cconn cc;
+  Mutex.protect t.lock (fun () ->
+      t.conns <- List.filter (fun c -> c != cc) t.conns)
+
+(* ------------------------------------------------------------------ *)
+(* Health-gated membership                                             *)
+(* ------------------------------------------------------------------ *)
+
+let probe_request = Wire.obj [ ("id", Wire.S "probe"); ("op", Wire.S "health") ]
+
+let probe_shard t sh =
+  match Client.connect sh.s_addr with
+  | exception (Unix.Unix_error _ | Failure _) -> None
+  | conn ->
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          Client.set_timeout conn (Float.min 2.0 t.cfg.shard_timeout_s);
+          match Client.request conn probe_request with
+          | Some resp when resp_ok resp -> int_of_resp resp "generation"
+          | Some _ | None -> None
+          | exception Sys_error _ -> None)
+
+let note_probe_ok sh gen =
+  let change =
+    Mutex.protect sh.s_lock (fun () ->
+        sh.s_failures <- 0;
+        let was_up = sh.s_up and old_gen = sh.s_generation in
+        sh.s_up <- true;
+        sh.s_generation <- gen;
+        if not was_up then `Readmitted
+        else if old_gen <> 0 && old_gen <> gen then `Restarted
+        else `Steady)
+  in
+  match change with
+  | `Steady -> ()
+  | `Readmitted | `Restarted ->
+      (* Either way the pooled connections point at a process that is
+         gone; per-session replay state keyed by the old generation is
+         stale by construction and will be rebuilt on first touch. *)
+      Metrics.incr Metrics.router_ring_remaps;
+      drop_idle sh
+
+let note_probe_failure t sh =
+  Metrics.incr Metrics.router_probe_failures;
+  let ejected =
+    Mutex.protect sh.s_lock (fun () ->
+        sh.s_failures <- sh.s_failures + 1;
+        if sh.s_up && sh.s_failures >= t.cfg.fail_threshold then begin
+          sh.s_up <- false;
+          Condition.broadcast sh.s_cond;
+          true
+        end
+        else false)
+  in
+  if ejected then begin
+    Metrics.incr Metrics.router_ring_remaps;
+    drop_idle sh
+  end
+
+let prober_loop t =
+  while not (Atomic.get t.stop_prober) do
+    Array.iter
+      (fun sh ->
+        if not (Atomic.get t.stop_prober) then
+          match probe_shard t sh with
+          | Some gen -> note_probe_ok sh gen
+          | None -> note_probe_failure t sh)
+      t.shards;
+    (* Sleep in short slices so drain does not wait a full interval. *)
+    let slept = ref 0.0 in
+    while !slept < t.cfg.probe_interval_s && not (Atomic.get t.stop_prober) do
+      Thread.delay 0.02;
+      slept := !slept +. 0.02
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listener addr =
+  match addr with
+  | Daemon.Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, Some path)
+  | Daemon.Tcp (host, port) ->
+      let ip = Daemon.resolve_ipv4 host in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (ip, port));
+      Unix.listen fd 64;
+      (fd, None)
+
+let accept_one t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+      let cc =
+        { c_fd = fd;
+          c_ic = Unix.in_channel_of_descr fd;
+          c_oc = Unix.out_channel_of_descr fd;
+          c_wlock = Mutex.create ();
+          c_closed = false
+        }
+      in
+      let thread = Thread.create (fun () -> reader_loop t cc) () in
+      Mutex.protect t.lock (fun () ->
+          t.conns <- cc :: t.conns;
+          t.readers <- thread :: t.readers)
+  | exception
+      Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN), _, _) ->
+      ()
+
+(* Rolling drain: stop accepting (new requests already get
+   [shutting_down]), then walk the shards one at a time, waiting up to
+   the grace period for each one's in-flight window to empty before
+   closing its pool — so backends never see a thundering hang-up and
+   at most one shard's arc is in teardown at any moment. *)
+let drain_shutdown t =
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Option.iter
+    (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ())
+    t.sock_path;
+  Atomic.set t.stop_prober true;
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.s_lock;
+      sh.s_draining <- true;
+      Condition.broadcast sh.s_cond;
+      let deadline = Unix.gettimeofday () +. t.cfg.drain_grace_s in
+      while sh.s_inflight > 0 && Unix.gettimeofday () < deadline do
+        Mutex.unlock sh.s_lock;
+        Thread.delay 0.02;
+        Mutex.lock sh.s_lock
+      done;
+      let idle = sh.s_idle and busy = sh.s_busy in
+      sh.s_idle <- [];
+      Mutex.unlock sh.s_lock;
+      List.iter
+        (fun c ->
+          Client.shutdown c;
+          Client.close c)
+        idle;
+      (* Busy connections still belong to a reader mid-conversation:
+         shut them down (which unblocks the reader) but let the
+         borrower close them at check-in. *)
+      List.iter Client.shutdown busy)
+    t.shards;
+  let conns = Mutex.protect t.lock (fun () -> t.conns) in
+  List.iter
+    (fun cc ->
+      try Unix.shutdown cc.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns
+
+let listener_loop t =
+  let rec loop () =
+    if Atomic.get t.draining then ()
+    else
+      match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
+      | readable, _, _ ->
+          if List.mem t.wake_r readable then ()
+          else begin
+            if List.mem t.listen_fd readable then accept_one t;
+            loop ()
+          end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ();
+  drain_shutdown t
+
+let start_common (cfg : config) =
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  if Array.length cfg.shards = 0 then
+    invalid_arg "Router.start: no shards configured";
+  if cfg.replicas < 1 then invalid_arg "Router.start: replicas must be >= 1";
+  let shards =
+    Array.mapi
+      (fun i addr ->
+        { s_idx = i;
+          s_name = Daemon.addr_string addr;
+          s_addr = addr;
+          s_lock = Mutex.create ();
+          s_cond = Condition.create ();
+          s_up = false;
+          s_generation = 0;
+          s_failures = 0;
+          s_idle = [];
+          s_busy = [];
+          s_inflight = 0;
+          s_draining = false
+        })
+      cfg.shards
+  in
+  let ring = Ring.create (Array.map (fun sh -> sh.s_name) shards) in
+  let listen_fd, sock_path = bind_listener cfg.addr in
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    { cfg;
+      ring;
+      shards;
+      sessions = Hashtbl.create 64;
+      sess_lock = Mutex.create ();
+      rr_tick = Atomic.make 0;
+      draining = Atomic.make false;
+      stop_prober = Atomic.make false;
+      wake_r;
+      wake_w;
+      listen_fd;
+      sock_path;
+      lock = Mutex.create ();
+      conns = [];
+      readers = [];
+      prober = None;
+      listener = None
+    }
+  in
+  (* A synchronous first pass, so a router started after its shards
+     serves immediately instead of rejecting until the first tick. *)
+  Array.iter
+    (fun sh ->
+      match probe_shard t sh with
+      | Some gen ->
+          Mutex.protect sh.s_lock (fun () ->
+              sh.s_up <- true;
+              sh.s_generation <- gen)
+      | None -> Metrics.incr Metrics.router_probe_failures)
+    t.shards;
+  t.prober <- Some (Thread.create (fun () -> prober_loop t) ());
+  t
+
+let start cfg =
+  let t = start_common cfg in
+  t.listener <- Some (Thread.create (fun () -> listener_loop t) ());
+  t
+
+let drain t =
+  if not (Atomic.exchange t.draining true) then
+    ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+
+let wait t =
+  Option.iter Thread.join t.listener;
+  Option.iter Thread.join t.prober;
+  let readers = Mutex.protect t.lock (fun () -> t.readers) in
+  List.iter Thread.join readers;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+
+(* Like [Daemon.run]: keep the accept loop on the calling thread so an
+   OCaml-level signal handler always has a poll point to run at. *)
+let run ?(signals = true) cfg =
+  let t = start_common cfg in
+  if signals then begin
+    let handler = Sys.Signal_handle (fun _ -> drain t) in
+    ignore (Sys.signal Sys.sigterm handler);
+    ignore (Sys.signal Sys.sigint handler)
+  end;
+  listener_loop t;
+  wait t
+
+(* ------------------------------------------------------------------ *)
+(* Introspection (tests, bench)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let shard_names t = Array.map (fun sh -> sh.s_name) t.shards
+
+let live_shards t =
+  let mask = live_mask t in
+  Array.to_list t.shards
+  |> List.filter_map (fun sh -> if mask.(sh.s_idx) then Some sh.s_name else None)
+
+let replica_set t ~schema ~db =
+  let mask = live_mask t in
+  Ring.successors t.ring ~up:(Array.get mask)
+    ~n:(max 1 t.cfg.replicas)
+    (session_key ~schema ~db)
+  |> List.map (fun i -> t.shards.(i).s_name)
+
+let primary_of t ~schema ~db =
+  match replica_set t ~schema ~db with [] -> None | s :: _ -> Some s

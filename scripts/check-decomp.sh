@@ -13,7 +13,7 @@
 #   - `certainty analyze --json` on the same workload emits the
 #     decomposition certificate (ANL401) and the weak-acyclicity
 #     verdict; the JSON is kept as a CI artifact
-#     (decomp-analysis.json).
+#     (_build/decomp-analysis.json).
 #
 # CI runs this after the build; run it locally with:
 #
@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 CERTAINTY=(dune exec --no-build -- certainty)
 OUT="${DECOMP_BENCH_OUT:-BENCH_decomp_smoke.json}"
-ANALYSIS_OUT="${DECOMP_ANALYSIS_OUT:-decomp-analysis.json}"
+ANALYSIS_OUT="${DECOMP_ANALYSIS_OUT:-_build/decomp-analysis.json}"
 MIN_SPEEDUP="${DECOMP_MIN_SPEEDUP:-5}"
 
 dune build bin/certainty_cli.exe bench/main.exe

@@ -20,7 +20,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 SOCK="${TMPDIR:-/tmp}/certainty-serve-smoke-$$.sock"
-TRACE="${SERVE_TRACE:-serve-trace.jsonl}"
+TRACE="${SERVE_TRACE:-_build/serve-trace.jsonl}"
 OUT="${SERVE_BENCH_OUT:-BENCH_serve.json}"
 
 CERTAINTY=(dune exec --no-build -- certainty)

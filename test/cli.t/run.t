@@ -353,6 +353,13 @@ hit reusing it.
     decomp_plans             2
     decomp_components        2
     decomp_indecomposable    0
+    router_requests          0
+    router_forwards          0
+    router_retries           0
+    router_replica_forwards  0
+    router_shard_unavailable 0
+    router_ring_remaps       0
+    router_probe_failures    0
 
 --trace writes the span events as JSON lines; trace-check validates the
 file (flat JSON per line, every span closed, monotone timestamps). The
@@ -451,6 +458,13 @@ in the approx_samples / approx_strata counters.
     decomp_plans             2
     decomp_components        2
     decomp_indecomposable    0
+    router_requests          0
+    router_forwards          0
+    router_retries           0
+    router_replica_forwards  0
+    router_shard_unavailable 0
+    router_ring_remaps       0
+    router_probe_failures    0
 
 Malformed or out-of-range (ε,δ) are refused up front.
 
@@ -501,3 +515,10 @@ The chase reports its substitution count through the same counters.
     decomp_plans             0
     decomp_components        0
     decomp_indecomposable    0
+    router_requests          0
+    router_forwards          0
+    router_retries           0
+    router_replica_forwards  0
+    router_shard_unavailable 0
+    router_ring_remaps       0
+    router_probe_failures    0

@@ -18,18 +18,19 @@ deterministic.
   $ certainty serve --socket ./main.sock 2>/dev/null &
   $ SERVE_PID=$!
   $ wait_for_health ./main.sock
-  $ certainty client --socket ./main.sock health --id h1
-  {"id":"h1","ok":true,"op":"health","status":"serving","sessions":0,"queue":0,"inflight":0,"workers":4,"max_queue":64}
+  $ certainty client --socket ./main.sock health --id h1 | sed 's/"generation":[0-9]*/"generation":GEN/'
+  {"id":"h1","ok":true,"op":"health","status":"serving","sessions":0,"queue":0,"inflight":0,"workers":4,"max_queue":64,"shard_id":"./main.sock","generation":GEN}
 
 A malformed request line is answered with a typed parse_error — and the
 connection survives it: the health request sent afterwards on the very
 same connection is answered normally. The client exits 1 because one
 response was an error.
 
-  $ certainty client --socket ./main.sock --raw '{oops' health --id h2
+  $ certainty client --socket ./main.sock --raw '{oops' health --id h2 > h2.out; echo "exit $?"
+  exit 1
+  $ sed 's/"generation":[0-9]*/"generation":GEN/' h2.out
   {"ok":false,"error":"parse_error","message":"expected '\"' at byte 1, found 'o'"}
-  {"id":"h2","ok":true,"op":"health","status":"serving","sessions":0,"queue":0,"inflight":0,"workers":4,"max_queue":64}
-  [1]
+  {"id":"h2","ok":true,"op":"health","status":"serving","sessions":0,"queue":0,"inflight":0,"workers":4,"max_queue":64,"shard_id":"./main.sock","generation":GEN}
 
 A real query, for comparison with the sequential CLI engine.
 
